@@ -1,0 +1,404 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. Write coalescing — storage RPCs with and without same-key merge.
+//! 2. Write-back flush batch size — RPC amortization.
+//! 3. Bloom filters — LSM point-read cost for absent keys.
+//! 4. DRAM/PMem split threshold — space cost vs latency.
+//! 5. SHARDS sampling rate — MRC build cost vs accuracy vs the CR* it
+//!    feeds into Theorem 5.1.
+//! 6. Replication protocol — sync / quorum / async write cost.
+//! 7. Deferred cache-fetching — per-key gets vs one batched fetch over
+//!    a simulated network (§4.1.2).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use tb_bench::{bench_dir, print_table, scale};
+use tb_cache::{CacheConfig, ReplicatedCache, ReplicationMode, WriteCoalescer};
+use tb_common::{Key, KvEngine, Value};
+use tb_costmodel::{
+    lru_miss_ratio_curve, shards_miss_ratio_curve, MissRatioCurve, ShardsConfig,
+    TieredCostModel, TieredCostParams,
+};
+use tb_lsm::{sstable::SstConfig, DisaggregatedStore, LsmConfig, LsmDb, NetworkModel};
+use tb_workload::{DatasetKind, KeyChooser, Op, ScrambledZipfian, Trace};
+use tierbase_core::{PmemTuning, SyncPolicy, TierBase, TierBaseConfig, WriteBackTuning};
+
+fn main() {
+    ablation_coalescing();
+    ablation_writeback_batch();
+    ablation_bloom();
+    ablation_pmem_split();
+    ablation_shards_sampling();
+    ablation_replication_mode();
+    ablation_deferred_fetch();
+}
+
+/// 1. Write coalescing: a hot-key-heavy update stream flushed to the
+///    storage tier with and without coalescing.
+fn ablation_coalescing() {
+    let n = 20_000 * scale();
+    let dataset = DatasetKind::Kv1.build(3);
+    // 90% of updates hit 100 hot keys — coalescing's natural prey.
+    let updates: Vec<(Key, Value)> = (0..n)
+        .map(|i| {
+            let key = if i % 10 != 0 {
+                Key::from(format!("hot{}", i % 100))
+            } else {
+                Key::from(format!("cold{i}"))
+            };
+            (key, Value::from(dataset.record(i as u64)))
+        })
+        .collect();
+
+    let store = |name: &str| {
+        let db = Arc::new(LsmDb::open(LsmConfig::new(bench_dir(name))).unwrap());
+        DisaggregatedStore::new(db, NetworkModel { rtt_us: 100, per_kib_us: 0 })
+    };
+
+    // Without coalescing: every update is a storage write.
+    let s1 = store("abl-coal-off");
+    let t0 = Instant::now();
+    for (k, v) in updates.clone() {
+        s1.put(k, v).unwrap();
+    }
+    let without = t0.elapsed();
+    let calls_without = s1.stats.calls.load(Ordering::Relaxed);
+
+    // With coalescing: merge within event-loop turns of 1024 updates
+    // (the hot-key working set re-hits within a turn at this window).
+    let s2 = store("abl-coal-on");
+    let coalescer = WriteCoalescer::new();
+    let t1 = Instant::now();
+    for (i, (k, v)) in updates.into_iter().enumerate() {
+        coalescer.offer_put(k, v);
+        if (i + 1) % 1024 == 0 {
+            for (k, w) in coalescer.drain(usize::MAX) {
+                match w {
+                    tb_cache::coalesce::PendingWrite::Put(v) => s2.put(k, v).unwrap(),
+                    tb_cache::coalesce::PendingWrite::Delete => s2.delete(&k).unwrap(),
+                }
+            }
+        }
+    }
+    for (k, w) in coalescer.drain(usize::MAX) {
+        if let tb_cache::coalesce::PendingWrite::Put(v) = w {
+            s2.put(k, v).unwrap();
+        }
+    }
+    let with = t1.elapsed();
+    let calls_with = s2.stats.calls.load(Ordering::Relaxed);
+
+    print_table(
+        "Ablation 1: write coalescing (write-through group commit)",
+        &["variant", "storage RPCs", "wall ms", "coalesce rate"],
+        &[
+            vec![
+                "no-coalescing".into(),
+                calls_without.to_string(),
+                format!("{:.0}", without.as_millis()),
+                "-".into(),
+            ],
+            vec![
+                "coalescing(1024)".into(),
+                calls_with.to_string(),
+                format!("{:.0}", with.as_millis()),
+                format!("{:.2}", coalescer.coalesce_rate()),
+            ],
+        ],
+    );
+}
+
+/// 2. Write-back batch size: same dirty set, different flush batches.
+fn ablation_writeback_batch() {
+    let mut rows = Vec::new();
+    for batch in [1usize, 16, 256] {
+        let tb = TierBase::open(
+            TierBaseConfig::builder(bench_dir(&format!("abl-wb-{batch}")))
+                .cache_capacity(256 << 20)
+                .policy(SyncPolicy::WriteBack)
+                .storage_rtt_us(200)
+                .write_back(WriteBackTuning {
+                    max_dirty_bytes: u64::MAX,
+                    flush_every_ops: u64::MAX,
+                    batch_size: batch,
+                })
+                .build(),
+        )
+        .unwrap();
+        let n = 2_000 * scale();
+        for i in 0..n {
+            tb.put(Key::from(format!("k{i}")), Value::from(vec![b'x'; 120]))
+                .unwrap();
+        }
+        let t0 = Instant::now();
+        let flushed = tb.flush_dirty().unwrap();
+        let dt = t0.elapsed();
+        rows.push(vec![
+            format!("batch={batch}"),
+            flushed.to_string(),
+            format!("{:.0}", dt.as_millis()),
+            format!("{:.0}", flushed as f64 / dt.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Ablation 2: write-back flush batch size (200us RTT)",
+        &["variant", "entries", "flush ms", "entries/s"],
+        &rows,
+    );
+}
+
+/// 3. Bloom filters: random absent-key reads against a multi-table LSM.
+fn ablation_bloom() {
+    let mut rows = Vec::new();
+    for (label, bits) in [("bloom(10b/key)", 10usize), ("no-bloom", 0)] {
+        let mut config = LsmConfig::new(bench_dir(&format!("abl-bloom-{bits}")));
+        config.memtable_bytes = 32 << 10; // many small tables
+        config.l0_compaction_trigger = 64; // keep tables un-merged
+        config.sst = SstConfig {
+            block_size: 4096,
+            bloom_bits_per_key: bits,
+        };
+        let db = LsmDb::open(config).unwrap();
+        let n = 4_000 * scale();
+        for i in 0..n {
+            db.put(
+                Key::from(format!("present{i:08}")),
+                Value::from(vec![b'v'; 64]),
+            )
+            .unwrap();
+        }
+        db.flush().unwrap();
+        let tables: usize = db.level_table_counts().iter().sum();
+
+        let t0 = Instant::now();
+        let lookups = 20_000 * scale();
+        for i in 0..lookups {
+            // Absent keys *inside* the table key range, so the min/max
+            // range check cannot reject them — only the bloom filter
+            // (or a block read) can.
+            let _ = db
+                .get(&Key::from(format!("present{:08}x", i % n)))
+                .unwrap();
+        }
+        let dt = t0.elapsed();
+        rows.push(vec![
+            label.into(),
+            tables.to_string(),
+            format!("{:.0}", lookups as f64 / dt.as_secs_f64().max(1e-9) / 1000.0),
+        ]);
+    }
+    print_table(
+        "Ablation 3: bloom filters on absent-key reads",
+        &["variant", "sstables", "kQPS (absent gets)"],
+        &rows,
+    );
+}
+
+/// 4. DRAM/PMem split threshold: space cost of the same data set.
+fn ablation_pmem_split() {
+    let mut rows = Vec::new();
+    for (label, threshold) in [
+        ("all-DRAM", usize::MAX),
+        ("split@1KiB", 1024),
+        ("split@64B", 64),
+    ] {
+        let mut builder = TierBaseConfig::builder(bench_dir(&format!("abl-pmem-{threshold}")))
+            .cache_capacity(256 << 20);
+        if threshold != usize::MAX {
+            builder = builder.pmem(PmemTuning {
+                value_threshold: threshold,
+                cost_factor: 0.4,
+            });
+        }
+        let tb = TierBase::open(builder.build()).unwrap();
+        let n = 3_000 * scale();
+        let t0 = Instant::now();
+        for i in 0..n {
+            // Mixed sizes: small counters + large records.
+            let len = if i % 4 == 0 { 32 } else { 512 };
+            tb.put(Key::from(format!("k{i}")), Value::from(vec![b'x'; len]))
+                .unwrap();
+        }
+        let dt = t0.elapsed();
+        rows.push(vec![
+            label.into(),
+            tb.resident_bytes().to_string(),
+            format!("{:.0}", n as f64 / dt.as_secs_f64().max(1e-9) / 1000.0),
+        ]);
+    }
+    print_table(
+        "Ablation 4: DRAM/PMem value placement (cost-equivalent bytes)",
+        &["variant", "SC bytes (DRAM-equiv)", "kQPS (puts)"],
+        &rows,
+    );
+}
+
+/// 5. SHARDS sampling rate: MRC construction cost vs accuracy, and the
+///    CR* each curve feeds into Theorem 5.1.
+fn ablation_shards_sampling() {
+    // A zipfian read trace large enough that sampling matters.
+    let n_keys = 20_000u64;
+    let n_refs = 100_000 * scale();
+    let mut chooser = ScrambledZipfian::with_theta(n_keys, 0.9);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let ops: Vec<Op> = (0..n_refs)
+        .map(|_| Op::Read {
+            key: Key::from(format!("k{:08}", chooser.next_index(&mut rng))),
+        })
+        .collect();
+    let trace = Trace::new(ops);
+
+    let params = TieredCostParams {
+        pc_cache: 1.0,
+        pc_miss: 4.0,
+        sc_cache: 20.0,
+        pc_storage: 30.0,
+        sc_storage: 2.0,
+    };
+
+    let t0 = Instant::now();
+    let exact = lru_miss_ratio_curve(&trace);
+    let exact_ms = t0.elapsed().as_millis();
+    let exact_cr = TieredCostModel::new(params, exact).optimal_cache_ratio();
+
+    let mut rows = vec![vec![
+        "exact (Mattson)".into(),
+        format!("{exact_ms}"),
+        "0.0000".into(),
+        format!("{:.4}", exact_cr.cache_ratio),
+    ]];
+
+    for rate in [0.5, 0.1, 0.02] {
+        let t0 = Instant::now();
+        let approx = shards_miss_ratio_curve(&trace, ShardsConfig { sampling_rate: rate });
+        let build_ms = t0.elapsed().as_millis();
+        // Mean absolute error against the exact curve.
+        let exact = lru_miss_ratio_curve(&trace);
+        let mae: f64 = (1..=50)
+            .map(|i| {
+                let cr = i as f64 / 50.0;
+                (exact.miss_ratio(cr) - approx.miss_ratio(cr)).abs()
+            })
+            .sum::<f64>()
+            / 50.0;
+        let cr = TieredCostModel::new(params, approx).optimal_cache_ratio();
+        rows.push(vec![
+            format!("SHARDS R={rate}"),
+            format!("{build_ms}"),
+            format!("{mae:.4}"),
+            format!("{:.4}", cr.cache_ratio),
+        ]);
+    }
+    print_table(
+        "Ablation 5: SHARDS sampling rate (MRC accuracy vs cost)",
+        &["variant", "build ms", "MAE vs exact", "CR* (Thm 5.1)"],
+        &rows,
+    );
+}
+
+/// 6. Replication protocol: write cost and failover exposure of sync /
+///    quorum / async replication with 2 replicas.
+fn ablation_replication_mode() {
+    let n = 20_000 * scale();
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("sync", ReplicationMode::Sync),
+        ("quorum", ReplicationMode::Quorum),
+        ("async", ReplicationMode::Async),
+    ] {
+        let g = ReplicatedCache::with_mode(
+            CacheConfig::with_capacity(256 << 20),
+            2,
+            mode,
+        );
+        let t0 = Instant::now();
+        for i in 0..n {
+            g.insert(
+                Key::from(format!("k{i}")),
+                Value::from(vec![b'x'; 100]),
+                false,
+            )
+            .unwrap();
+        }
+        let write_dt = t0.elapsed();
+        let lag = g.replication_lag();
+        let t1 = Instant::now();
+        g.drain_replication(usize::MAX).unwrap();
+        let drain_ms = t1.elapsed().as_millis();
+        rows.push(vec![
+            label.into(),
+            format!("{:.0}", n as f64 / write_dt.as_secs_f64().max(1e-9) / 1000.0),
+            lag.to_string(),
+            format!("{drain_ms}"),
+        ]);
+    }
+    print_table(
+        "Ablation 6: replication protocol (2 replicas)",
+        &["variant", "write kQPS", "lag at ack", "drain ms"],
+        &rows,
+    );
+}
+
+/// 7. Deferred cache-fetching (§4.1.2): reading 1000 cold keys with
+///    per-key gets vs one batched multi_get over a 200us-RTT network.
+fn ablation_deferred_fetch() {
+    let n_cold = 1_000 * scale();
+    let setup = |name: &str| {
+        let dir = bench_dir(name);
+        let tb = TierBase::open(
+            TierBaseConfig::builder(&dir)
+                .cache_capacity(256 << 20)
+                .policy(SyncPolicy::WriteThrough)
+                .storage_rtt_us(200)
+                .build(),
+        )
+        .unwrap();
+        for i in 0..n_cold {
+            tb.put(Key::from(format!("k{i:06}")), Value::from(vec![b'v'; 100]))
+                .unwrap();
+        }
+        drop(tb);
+        // Reopen cold.
+        TierBase::open(
+            TierBaseConfig::builder(&dir)
+                .cache_capacity(256 << 20)
+                .policy(SyncPolicy::WriteThrough)
+                .storage_rtt_us(200)
+                .build(),
+        )
+        .unwrap()
+    };
+    let keys: Vec<Key> = (0..n_cold).map(|i| Key::from(format!("k{i:06}"))).collect();
+
+    let tb1 = setup("abl-defer-single");
+    let t0 = Instant::now();
+    for key in &keys {
+        let _ = tb1.get(key).unwrap();
+    }
+    let single = t0.elapsed();
+
+    let tb2 = setup("abl-defer-batch");
+    let t1 = Instant::now();
+    let got = tb2.multi_get(&keys).unwrap();
+    let batched = t1.elapsed();
+    assert!(got.iter().all(|v| v.is_some()));
+
+    print_table(
+        "Ablation 7: deferred cache-fetching (1000 cold keys, 200us RTT)",
+        &["variant", "wall ms", "kQPS"],
+        &[
+            vec![
+                "per-key get".into(),
+                format!("{:.0}", single.as_millis()),
+                format!("{:.0}", keys.len() as f64 / single.as_secs_f64() / 1000.0),
+            ],
+            vec![
+                "multi_get (one RPC)".into(),
+                format!("{:.0}", batched.as_millis()),
+                format!("{:.0}", keys.len() as f64 / batched.as_secs_f64() / 1000.0),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 10: cost of caching systems on the space/performance plane,
+//! for 50/50 and 95/5 read-write mixes (10 GB / 80 kQPS demand).
+//!
+//! Paper shape to reproduce: Memcached lowest storage cost among the
+//! baselines, Redis/TierBase-Raw higher; single-thread systems share
+//! low performance cost while Dragonfly's per-op messaging costs more;
+//! TierBase-e halves performance cost by using idle cores;
+//! TierBase-PMem cuts storage cost ~60%; compression cuts it further.
+
+use tb_baselines::{DragonflyLike, MemcachedLike, RedisLike};
+use tb_bench::{bench_dir, measure_cost, print_cost_plane, scale, CostPoint};
+use tb_common::KvEngine;
+use tb_costmodel::WorkloadDemand;
+use tb_elastic::ThreadMode;
+use tb_workload::{DatasetKind, Workload, WorkloadSpec};
+use tierbase_core::{CompressionChoice, PmemTuning, TierBase, TierBaseConfig};
+
+fn tb(name: &str, f: impl FnOnce(tierbase_core::TierBaseConfigBuilder) -> tierbase_core::TierBaseConfigBuilder) -> TierBase {
+    let builder = TierBaseConfig::builder(bench_dir(name)).cache_capacity(512 << 20);
+    let store = TierBase::open(f(builder).build()).expect("open");
+    // Pre-train compression offline, as §4.2 prescribes.
+    let dataset = DatasetKind::Cities.build(0x5eed);
+    let samples: Vec<Vec<u8>> = (0..512u64).map(|i| dataset.record(i)).collect();
+    store.train_compression(&samples);
+    store
+}
+
+fn main() {
+    let records = 20_000u64 * scale() as u64;
+    let ops = 40_000u64 * scale() as u64;
+    // The paper's synthetic demand for caching systems.
+    let demand = WorkloadDemand::new(80_000.0, 10.0);
+
+    for (title, spec_fn) in [
+        (
+            "Figure 10(a): 50% write / 50% read",
+            WorkloadSpec::ycsb_a as fn(u64, u64) -> WorkloadSpec,
+        ),
+        ("Figure 10(b): 95% read / 5% write", WorkloadSpec::ycsb_b),
+    ] {
+        let mut points: Vec<CostPoint> = Vec::new();
+        let systems: Vec<(&str, Box<dyn KvEngine>)> = vec![
+            ("Memcached-m", Box::new(MemcachedLike::new(512 << 20, 8))),
+            ("Redis-s", Box::new(RedisLike::new())),
+            ("Dragonfly-m", Box::new(DragonflyLike::new(4))),
+            ("TierBase-s", Box::new(tb("f10-s", |b| b.threading(ThreadMode::Single)))),
+            ("TierBase-e", Box::new(tb("f10-e", |b| b.threading(ThreadMode::Elastic(4))))),
+            (
+                "TierBase-Zstd",
+                Box::new(tb("f10-z", |b| b.compression(CompressionChoice::TzstdDict))),
+            ),
+            (
+                "TierBase-PBC",
+                Box::new(tb("f10-p", |b| b.compression(CompressionChoice::Pbc))),
+            ),
+            (
+                "TierBase-PMem",
+                Box::new(tb("f10-pm", |b| b.pmem(PmemTuning::default()))),
+            ),
+        ];
+        for (name, engine) in systems {
+            let (load, run) = Workload::new(spec_fn(records, ops)).generate();
+            let p = measure_cost(name, engine.as_ref(), &load, &run, 16, &demand, 4.0, 1.0);
+            points.push(p);
+        }
+        print_cost_plane(title, &points);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 2: the Space-Performance Cost Model planes (analytic).
+//!
+//! (a) Single-tier: a non-increasing trade-off frontier
+//! `CPQPS = f(CPGB)`; the cost-optimal configuration sits where
+//! PC = SC (Theorem 2.1).
+//!
+//! (b) Tiered: cache-tier cost as a function of the cache ratio under a
+//! zipfian miss-ratio curve; the optimum is where the performance curve
+//! (with miss penalty) crosses the space line (Theorem 5.1), and the
+//! tiered optimum undercuts both single-tier corners.
+
+use tb_bench::print_table;
+use tb_costmodel::{
+    optimal_config, zipfian_miss_ratio_curve, ConfigCost, TieredCostModel, TieredCostParams,
+    WorkloadDemand,
+};
+use tb_costmodel::optimal::sweep_frontier;
+
+fn main() {
+    // ---- (a) single-tier frontier ------------------------------------
+    let demand = WorkloadDemand::new(100_000.0, 100.0);
+    let cpgb_points: Vec<f64> = (1..=40).map(|i| i as f64 * 0.01).collect();
+    // Hyperbolic trade-off: compressing harder trades CPGB for CPQPS.
+    let frontier = sweep_frontier(&cpgb_points, |cpgb| 2.5e-7 / cpgb, &demand);
+    let rows: Vec<Vec<String>> = frontier
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("{:.2}", c.performance_cost),
+                format!("{:.2}", c.space_cost),
+                format!("{:.2}", c.total()),
+                if c.performance_cost > c.space_cost {
+                    "perf-critical".into()
+                } else {
+                    "space-critical".into()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 2(a): single-tier frontier (PC, SC, C=max, regime)",
+        &["config", "PC", "SC", "C", "regime"],
+        &rows,
+    );
+    let opt = optimal_config(&frontier).expect("non-empty frontier");
+    println!(
+        "--> optimal at {} with C={:.2}, |PC-SC|={:.3} (Theorem 2.1: balance point)",
+        opt.name,
+        opt.total(),
+        opt.imbalance()
+    );
+
+    // ---- (b) tiered cache-ratio curve ---------------------------------
+    let params = TieredCostParams {
+        pc_cache: 1.0,
+        pc_miss: 4.0,
+        sc_cache: 20.0,
+        pc_storage: 30.0,
+        sc_storage: 2.0,
+    };
+    let model = TieredCostModel::new(params, zipfian_miss_ratio_curve(0.99));
+    let mut rows = Vec::new();
+    for i in 1..=20 {
+        let cr = i as f64 * 0.05;
+        let cache = model.cache_tier_cost(cr);
+        rows.push(vec![
+            format!("CR={cr:.2}"),
+            format!("{:.3}", cache.miss_ratio),
+            format!("{:.3}", cache.performance_cost),
+            format!("{:.3}", cache.space_cost),
+            format!("{:.3}", model.total_cost(cr)),
+        ]);
+    }
+    print_table(
+        "Figure 2(b): tiered cost vs cache ratio (zipf 0.99)",
+        &["point", "miss-ratio", "cache-PC", "cache-SC", "tiered-C"],
+        &rows,
+    );
+    let opt = model.optimal_cache_ratio();
+    println!(
+        "--> Theorem 5.1 optimum: CR*={:.3} (MR={:.3}), cache cost {:.3}",
+        opt.cache_ratio,
+        opt.miss_ratio,
+        opt.total()
+    );
+    let cache_only = ConfigCost::new("cache-only", params.pc_cache, params.sc_cache);
+    let storage_only = ConfigCost::new("storage-only", params.pc_storage, params.sc_storage);
+    println!(
+        "tiered C={:.3} vs cache-only C={:.3} vs storage-only C={:.3} -> tiered wins: {}",
+        model.total_cost(opt.cache_ratio),
+        cache_only.total(),
+        storage_only.total(),
+        model.tiered_wins()
+    );
+}

@@ -1,0 +1,140 @@
+//! Figure 9: throughput timeline under a workload burst for
+//! TierBase-s / TierBase-e / TierBase-m and Redis-s / Redis-m.
+//!
+//! Time-compressed replay of the paper's scenario: a calm period at a
+//! throttled request rate, a burst of unthrottled load, then calm
+//! again. Paper shape to reproduce: all systems serve the calm phases;
+//! during the burst the single-thread systems cap near their one-core
+//! limit while TierBase-e boosts to multi-thread throughput and drops
+//! back afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tb_baselines::RedisLike;
+use tb_bench::{bench_dir, print_table};
+use tb_common::{Key, KvEngine, Value};
+use tb_elastic::ThreadMode;
+use tierbase_core::{TierBase, TierBaseConfig};
+
+const CALM_MS: u64 = 1500;
+const BURST_MS: u64 = 3000;
+const TAIL_MS: u64 = 1500;
+const BUCKET_MS: u64 = 500;
+/// Throttled request rate during calm phases (ops/s across clients).
+const CALM_RATE: u64 = 20_000;
+
+fn timeline(engine: Arc<dyn KvEngine>, clients: usize) -> Vec<f64> {
+    // Preload a small hot set.
+    for i in 0..1000 {
+        engine
+            .put(Key::from(format!("hot{i}")), Value::from(vec![b'v'; 100]))
+            .unwrap();
+    }
+    let total_ms = CALM_MS + BURST_MS + TAIL_MS;
+    let done = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    let mut handles = Vec::new();
+    for t in 0..clients {
+        let engine = engine.clone();
+        let done = done.clone();
+        let completed = completed.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = t as u64;
+            while !done.load(Ordering::Relaxed) {
+                let elapsed = started.elapsed().as_millis() as u64;
+                let in_burst = (CALM_MS..CALM_MS + BURST_MS).contains(&elapsed);
+                let key = Key::from(format!("hot{}", i % 1000));
+                if i.is_multiple_of(10) {
+                    let _ = engine.put(key, Value::from(vec![b'v'; 100]));
+                } else {
+                    let _ = engine.get(&key);
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+                if !in_burst {
+                    // Throttle: clients collectively target CALM_RATE.
+                    std::thread::sleep(Duration::from_micros(
+                        1_000_000 * clients as u64 / CALM_RATE,
+                    ));
+                }
+            }
+        }));
+    }
+
+    // Sample per-bucket throughput.
+    let mut series = Vec::new();
+    let mut last = 0u64;
+    for _ in 0..(total_ms / BUCKET_MS) {
+        std::thread::sleep(Duration::from_millis(BUCKET_MS));
+        let now = completed.load(Ordering::Relaxed);
+        series.push((now - last) as f64 / (BUCKET_MS as f64 / 1000.0));
+        last = now;
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    series
+}
+
+fn main() {
+    let systems: Vec<(&str, Arc<dyn KvEngine>)> = vec![
+        (
+            "TierBase-s",
+            Arc::new(
+                TierBase::open(
+                    TierBaseConfig::builder(bench_dir("fig9-tb-s"))
+                        .threading(ThreadMode::Multi(1))
+                        .build(),
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "TierBase-e",
+            Arc::new(
+                TierBase::open(
+                    TierBaseConfig::builder(bench_dir("fig9-tb-e"))
+                        .threading(ThreadMode::Elastic(4))
+                        .build(),
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "TierBase-m",
+            Arc::new(
+                TierBase::open(
+                    TierBaseConfig::builder(bench_dir("fig9-tb-m"))
+                        .threading(ThreadMode::Multi(4))
+                        .build(),
+                )
+                .unwrap(),
+            ),
+        ),
+        ("Redis-s", Arc::new(RedisLike::new())),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, engine) in systems {
+        let series = timeline(engine, 16);
+        let mut row = vec![name.to_string()];
+        row.extend(series.iter().map(|q| format!("{:.0}", q / 1000.0)));
+        rows.push(row);
+    }
+
+    let buckets = (CALM_MS + BURST_MS + TAIL_MS) / BUCKET_MS;
+    let mut header: Vec<String> = vec!["system".into()];
+    for b in 0..buckets {
+        header.push(format!("t{:.1}s", (b + 1) as f64 * BUCKET_MS as f64 / 1000.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 9: throughput timeline under burst (kQPS per 0.5s bucket; burst at 1.5s-4.5s)",
+        &header_refs,
+        &rows,
+    );
+}

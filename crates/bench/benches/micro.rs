@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the hot data-path primitives:
+//! cache shard ops, LSM point ops, compressors, hashing, histograms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tb_cache::{CacheConfig, ShardedCache};
+use tb_common::{fx_hash, Histogram, Key, Value};
+use tb_compress::{
+    train_dictionary, Compressor, Pbc, PbcConfig, Tzstd, TzstdLevel,
+};
+use tb_lsm::{LsmConfig, LsmDb};
+use tb_workload::DatasetKind;
+
+fn bench_cache(c: &mut Criterion) {
+    let cache = ShardedCache::new(CacheConfig::with_capacity(256 << 20));
+    let keys: Vec<Key> = (0..10_000).map(|i| Key::from(format!("key-{i:08}"))).collect();
+    for k in &keys {
+        cache.insert(k.clone(), Value::from(vec![b'v'; 128]), false).unwrap();
+    }
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(cache.get(&keys[i]))
+        })
+    });
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            cache
+                .insert(keys[i].clone(), Value::from(vec![b'v'; 128]), false)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("tb-micro-lsm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = LsmDb::open(LsmConfig::new(dir)).unwrap();
+    let keys: Vec<Key> = (0..10_000).map(|i| Key::from(format!("key-{i:08}"))).collect();
+    for k in &keys {
+        db.put(k.clone(), Value::from(vec![b'v'; 128])).unwrap();
+    }
+    db.flush().unwrap();
+    let mut group = c.benchmark_group("lsm");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(db.get(&keys[i]).unwrap())
+        })
+    });
+    group.bench_function("put", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            db.put(keys[i].clone(), Value::from(vec![b'w'; 128])).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let dataset = DatasetKind::Kv1.build(5);
+    let train: Vec<Vec<u8>> = (0..256u64).map(|i| dataset.record(i)).collect();
+    let record = dataset.record(9999);
+    let tz = Tzstd::new(TzstdLevel(1));
+    let tzd = Tzstd::with_dict(TzstdLevel(1), train_dictionary(&train, 4096));
+    let pbc = Pbc::train(&train, &PbcConfig::default());
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(record.len() as u64));
+    for (name, comp) in [
+        ("tzstd", &tz as &dyn Compressor),
+        ("tzstd_dict", &tzd),
+        ("pbc", &pbc),
+    ] {
+        group.bench_function(format!("{name}/compress"), |b| {
+            b.iter(|| std::hint::black_box(comp.compress(&record)))
+        });
+        let compressed = comp.compress(&record);
+        group.bench_function(format!("{name}/decompress"), |b| {
+            b.iter_batched(
+                || compressed.clone(),
+                |z| std::hint::black_box(comp.decompress(&z).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    let key = b"user:123456789:profile";
+    group.bench_function("fx_hash", |b| b.iter(|| std::hint::black_box(fx_hash(key))));
+    let hist = Histogram::new();
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(v % 1_000_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_lsm,
+    bench_compressors,
+    bench_primitives
+);
+criterion_main!(benches);

@@ -1,0 +1,508 @@
+//! The sharded cache: N [`LruShard`]s behind per-shard locks, with
+//! hit/miss statistics and DRAM/PMem placement.
+
+use crate::lru::{CacheEntry, Evicted, LruShard};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tb_common::{deadline_after, fx_hash, Clock, Key, Result, SystemClock, TtlState, Value};
+use tb_pmem::{LatencyModel, Medium, PlacementPolicy, SplitPlacement};
+
+/// Cache construction options.
+#[derive(Clone)]
+pub struct CacheConfig {
+    /// Total byte budget across shards.
+    pub capacity_bytes: usize,
+    /// Shard count (power of two recommended).
+    pub shards: usize,
+    /// Value placement policy (DRAM vs PMem).
+    pub placement: Arc<dyn PlacementPolicy>,
+    /// Access-latency premium for PMem-resident values (None = no
+    /// simulation; DRAM accesses never pay it).
+    pub pmem_latency: Option<LatencyModel>,
+    /// Time source for TTL expiry (tests inject a `ManualClock`).
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 64 << 20,
+            shards: 16,
+            placement: Arc::new(SplitPlacement::default()),
+            pmem_latency: None,
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
+}
+
+impl CacheConfig {
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregate counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub inserts: AtomicU64,
+    /// Entries reclaimed because their TTL passed (lazy or swept).
+    pub expired: AtomicU64,
+}
+
+impl CacheStats {
+    /// Observed miss ratio (1.0 when no lookups yet).
+    pub fn miss_ratio(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed);
+        let m = self.misses.load(Ordering::Relaxed);
+        if h + m == 0 {
+            1.0
+        } else {
+            m as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// Outcome of [`ShardedCache::lookup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// The key is cached and live.
+    Live(Value),
+    /// The key was cached but its TTL has passed.
+    Expired,
+    /// The key is not cached.
+    Absent,
+}
+
+/// A concurrent, bounded, LRU key-value cache.
+pub struct ShardedCache {
+    shards: Vec<Mutex<LruShard>>,
+    placement: Arc<dyn PlacementPolicy>,
+    pmem_latency: Option<LatencyModel>,
+    clock: Arc<dyn Clock>,
+    pub stats: CacheStats,
+}
+
+impl ShardedCache {
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.shards > 0);
+        let per_shard = (config.capacity_bytes / config.shards).max(1024);
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(LruShard::new(per_shard)))
+            .collect();
+        Self {
+            shards,
+            placement: config.placement,
+            pmem_latency: config.pmem_latency,
+            clock: config.clock,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<LruShard> {
+        let idx = (fx_hash(key.as_slice()) as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// The cache's time source (shared with TTL bookkeeping).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Looks up a value, updating recency and hit/miss stats. Expired
+    /// entries read as misses. PMem-resident values pay the configured
+    /// read-latency premium.
+    pub fn get(&self, key: &Key) -> Option<Value> {
+        match self.lookup(key) {
+            Lookup::Live(v) => Some(v),
+            Lookup::Expired | Lookup::Absent => None,
+        }
+    }
+
+    /// [`get`](Self::get) that distinguishes a key that was present but
+    /// expired from one that was never cached — tiered stores must not
+    /// fall back to the storage tier for expired keys (the storage copy
+    /// is stale by definition).
+    pub fn lookup(&self, key: &Key) -> Lookup {
+        let now = self.clock.now_nanos();
+        let (value, medium, len) = {
+            let mut shard = self.shard(key).lock();
+            let had_key = shard.peek(key).is_some();
+            match shard.get(key, now) {
+                Some(e) => {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    (e.value.clone(), e.medium, e.value.len())
+                }
+                None => {
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    return if had_key {
+                        self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                        Lookup::Expired
+                    } else {
+                        Lookup::Absent
+                    };
+                }
+            }
+        };
+        if medium == Medium::Pmem {
+            if let Some(model) = &self.pmem_latency {
+                model.stall_read(len);
+            }
+        }
+        Lookup::Live(value)
+    }
+
+    /// Looks up the full entry (value + dirty flag) without stats.
+    pub fn peek_entry(&self, key: &Key) -> Option<CacheEntry> {
+        self.shard(key).lock().peek(key).cloned()
+    }
+
+    /// Inserts a value; returns what was evicted.
+    pub fn insert(&self, key: Key, value: Value, dirty: bool) -> Result<Evicted> {
+        self.insert_full(key, value, dirty, None)
+    }
+
+    /// Inserts a value that expires `ttl` from now.
+    pub fn insert_with_ttl(
+        &self,
+        key: Key,
+        value: Value,
+        dirty: bool,
+        ttl: Duration,
+    ) -> Result<Evicted> {
+        let deadline = deadline_after(self.clock.now_nanos(), ttl);
+        self.insert_full(key, value, dirty, Some(deadline))
+    }
+
+    /// Inserts with an explicit absolute expiry deadline (replication
+    /// replay, storage re-population).
+    pub fn insert_full(
+        &self,
+        key: Key,
+        value: Value,
+        dirty: bool,
+        expires_at: Option<u64>,
+    ) -> Result<Evicted> {
+        let medium = self.placement.place_value(value.len());
+        self.insert_placed(key, value, dirty, medium, expires_at)
+    }
+
+    /// Inserts with an explicit medium (tests, replication replay).
+    pub fn insert_placed(
+        &self,
+        key: Key,
+        value: Value,
+        dirty: bool,
+        medium: Medium,
+        expires_at: Option<u64>,
+    ) -> Result<Evicted> {
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        if medium == Medium::Pmem {
+            if let Some(model) = &self.pmem_latency {
+                model.stall_write(value.len());
+            }
+        }
+        let evicted = self
+            .shard(&key)
+            .lock()
+            .insert_full(key, value, dirty, medium, expires_at)?;
+        self.stats
+            .evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        Ok(evicted)
+    }
+
+    /// Sets a key's TTL. Returns `false` when the key is absent
+    /// (Redis `EXPIRE`).
+    pub fn expire(&self, key: &Key, ttl: Duration) -> bool {
+        let deadline = deadline_after(self.clock.now_nanos(), ttl);
+        self.shard(key).lock().set_expiry(key, Some(deadline))
+    }
+
+    /// Clears a key's TTL so it never expires. Returns `false` when the
+    /// key is absent (Redis `PERSIST`).
+    pub fn persist(&self, key: &Key) -> bool {
+        self.shard(key).lock().set_expiry(key, None)
+    }
+
+    /// The key's TTL state (Redis `TTL`). Expired-but-unswept entries
+    /// report [`TtlState::Missing`].
+    pub fn ttl_state(&self, key: &Key) -> TtlState {
+        let now = self.clock.now_nanos();
+        match self.shard(key).lock().expiry_of(key) {
+            None => TtlState::Missing,
+            Some(deadline) => TtlState::from_deadline(deadline, now),
+        }
+    }
+
+    /// Live entries whose key starts with `prefix`, sorted by key.
+    /// Read-only: no recency updates, no stats, no reclamation.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, CacheEntry)> {
+        let now = self.clock.now_nanos();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().scan_prefix(prefix, now));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Active expiration pass over every shard: removes expired clean
+    /// entries, returning their keys so the caller can propagate
+    /// deletes to the storage tier.
+    pub fn sweep_expired(&self) -> Vec<Key> {
+        let now = self.clock.now_nanos();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (key, _) in shard.lock().sweep_expired(now) {
+                out.push(key);
+            }
+        }
+        self.stats
+            .expired
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Removes a key (cache invalidation).
+    pub fn remove(&self, key: &Key) -> Option<Value> {
+        self.shard(key).lock().remove(key).map(|e| e.value)
+    }
+
+    /// Marks an entry clean after its storage write completed.
+    pub fn mark_clean(&self, key: &Key) {
+        self.shard(key).lock().mark_clean(key);
+    }
+
+    /// Collects all dirty entries across shards (write-back flush).
+    pub fn dirty_entries(&self) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().dirty_entries());
+        }
+        out
+    }
+
+    /// Total bytes resident across shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().used_bytes() as u64).sum()
+    }
+
+    /// Bytes held by dirty entries across shards.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().dirty_bytes() as u64).sum()
+    }
+
+    /// Entry count across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes resident per medium `(dram, pmem)` — feeds the blended
+    /// space-cost accounting of the PMem configuration.
+    pub fn bytes_by_medium(&self) -> (u64, u64) {
+        let (mut dram, mut pmem) = (0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.lock();
+            for key in s.keys_mru_first() {
+                let e = s.peek(&key).expect("key just listed");
+                let cost = (key.len() + e.value.len() + 64) as u64;
+                match e.medium {
+                    Medium::Dram => dram += cost,
+                    Medium::Pmem => pmem += cost,
+                }
+            }
+        }
+        (dram, pmem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize) -> ShardedCache {
+        cache_with_clock(capacity, Arc::new(SystemClock::new()))
+    }
+
+    fn cache_with_clock(capacity: usize, clock: Arc<dyn Clock>) -> ShardedCache {
+        ShardedCache::new(CacheConfig {
+            capacity_bytes: capacity,
+            shards: 4,
+            placement: Arc::new(SplitPlacement {
+                value_threshold: 100,
+            }),
+            pmem_latency: None,
+            clock,
+        })
+    }
+
+    fn k(i: usize) -> Key {
+        Key::from(format!("key-{i}"))
+    }
+
+    #[test]
+    fn hit_miss_stats() {
+        let c = cache(1 << 20);
+        c.insert(k(1), Value::from("v"), false).unwrap();
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(2)).is_none());
+        assert_eq!(c.stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats.misses.load(Ordering::Relaxed), 1);
+        assert!((c.stats.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let c = cache(8 << 10);
+        for i in 0..1000 {
+            c.insert(k(i), Value::from(vec![b'x'; 64]), false).unwrap();
+        }
+        assert!(c.used_bytes() <= 8 << 10);
+        assert!(c.stats.evictions.load(Ordering::Relaxed) > 0);
+        assert!(c.len() < 1000);
+    }
+
+    #[test]
+    fn placement_routes_values() {
+        let c = cache(1 << 20);
+        c.insert(k(1), Value::from(vec![0u8; 10]), false).unwrap(); // DRAM
+        c.insert(k(2), Value::from(vec![0u8; 500]), false).unwrap(); // PMem
+        let (dram, pmem) = c.bytes_by_medium();
+        assert!(dram > 0 && pmem > 0);
+        assert!(pmem > dram, "large value should dominate PMem bytes");
+        assert_eq!(c.peek_entry(&k(2)).unwrap().medium, Medium::Pmem);
+    }
+
+    #[test]
+    fn dirty_tracking_across_shards() {
+        let c = cache(1 << 20);
+        for i in 0..20 {
+            c.insert(k(i), Value::from("dirty"), true).unwrap();
+        }
+        assert_eq!(c.dirty_entries().len(), 20);
+        assert!(c.dirty_bytes() > 0);
+        for i in 0..20 {
+            c.mark_clean(&k(i));
+        }
+        assert_eq!(c.dirty_bytes(), 0);
+        assert!(c.dirty_entries().is_empty());
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let c = cache(1 << 20);
+        c.insert(k(1), Value::from("v"), false).unwrap();
+        assert_eq!(c.remove(&k(1)), Some(Value::from("v")));
+        assert!(c.get(&k(1)).is_none());
+        assert_eq!(c.remove(&k(1)), None);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let clock = tb_common::ManualClock::new();
+        let c = cache_with_clock(1 << 20, clock.clone());
+        c.insert_with_ttl(k(1), Value::from("v"), false, Duration::from_secs(10))
+            .unwrap();
+        c.insert(k(2), Value::from("forever"), false).unwrap();
+        assert_eq!(c.get(&k(1)), Some(Value::from("v")));
+        assert!(matches!(c.ttl_state(&k(1)), TtlState::Remaining(_)));
+        assert_eq!(c.ttl_state(&k(2)), TtlState::NoExpiry);
+        assert_eq!(c.ttl_state(&k(3)), TtlState::Missing);
+
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(c.get(&k(1)), None, "entry expired");
+        assert_eq!(c.ttl_state(&k(1)), TtlState::Missing);
+        assert_eq!(c.get(&k(2)), Some(Value::from("forever")));
+        assert_eq!(c.stats.expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn expire_and_persist() {
+        let clock = tb_common::ManualClock::new();
+        let c = cache_with_clock(1 << 20, clock.clone());
+        c.insert(k(1), Value::from("v"), false).unwrap();
+        assert!(c.expire(&k(1), Duration::from_secs(5)));
+        assert!(!c.expire(&k(9), Duration::from_secs(5)), "absent key");
+        assert!(c.persist(&k(1)));
+        clock.advance(Duration::from_secs(6));
+        assert_eq!(c.get(&k(1)), Some(Value::from("v")), "persist cleared TTL");
+    }
+
+    #[test]
+    fn overwrite_resets_ttl() {
+        let clock = tb_common::ManualClock::new();
+        let c = cache_with_clock(1 << 20, clock.clone());
+        c.insert_with_ttl(k(1), Value::from("a"), false, Duration::from_secs(1))
+            .unwrap();
+        // Plain SET replaces the expiry (Redis semantics).
+        c.insert(k(1), Value::from("b"), false).unwrap();
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(c.get(&k(1)), Some(Value::from("b")));
+    }
+
+    #[test]
+    fn sweep_reclaims_expired_clean_entries() {
+        let clock = tb_common::ManualClock::new();
+        let c = cache_with_clock(1 << 20, clock.clone());
+        for i in 0..10 {
+            c.insert_with_ttl(k(i), Value::from("x"), false, Duration::from_secs(1))
+                .unwrap();
+        }
+        for i in 10..15 {
+            c.insert(k(i), Value::from("x"), false).unwrap();
+        }
+        // Dirty entry with TTL: invisible after expiry but not swept.
+        c.insert_with_ttl(k(99), Value::from("dirty"), true, Duration::from_secs(1))
+            .unwrap();
+        clock.advance(Duration::from_secs(2));
+        let swept = c.sweep_expired();
+        assert_eq!(swept.len(), 10);
+        assert_eq!(c.len(), 6, "5 persistent + 1 pinned dirty remain");
+        assert_eq!(c.get(&k(99)), None, "expired dirty entry is invisible");
+        assert!(c.dirty_bytes() > 0, "dirty entry still pinned for flush");
+    }
+
+    #[test]
+    fn lookup_distinguishes_expired_from_absent() {
+        let clock = tb_common::ManualClock::new();
+        let c = cache_with_clock(1 << 20, clock.clone());
+        c.insert_with_ttl(k(1), Value::from("v"), true, Duration::from_secs(1))
+            .unwrap();
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(c.lookup(&k(1)), Lookup::Expired);
+        assert_eq!(c.lookup(&k(2)), Lookup::Absent);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let c = Arc::new(cache(1 << 20));
+        let mut handles = vec![];
+        for t in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let key = k(i * 8 + t);
+                    c.insert(key.clone(), Value::from(format!("v{t}")), false)
+                        .unwrap();
+                    assert!(c.get(&key).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 4000);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-key write queues with write coalescing (§4.1.1).
+//!
+//! Write-through pushes every update to the storage tier. Within one
+//! event-loop turn multiple writes can target the same key; TierBase
+//! coalesces them so storage sees only the final value — the group-commit
+//! analog — while preserving first-arrival ordering *between* keys so
+//! per-key sequential ordering is never violated.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tb_common::hash::FxBuildHasher;
+use tb_common::{Key, Value};
+
+/// A pending storage write: the latest value (or a delete).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PendingWrite {
+    Put(Value),
+    Delete,
+}
+
+struct Inner {
+    /// Latest pending write per key.
+    pending: HashMap<Key, PendingWrite, FxBuildHasher>,
+    /// Keys in first-arrival order.
+    order: Vec<Key>,
+}
+
+/// Collects writes between storage flushes, merging same-key updates.
+pub struct WriteCoalescer {
+    inner: Mutex<Inner>,
+    /// Writes absorbed by coalescing (observability: each one is a
+    /// storage RPC that never had to happen).
+    pub coalesced: AtomicU64,
+    /// Total writes offered.
+    pub offered: AtomicU64,
+}
+
+impl Default for WriteCoalescer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteCoalescer {
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                pending: HashMap::default(),
+                order: Vec::new(),
+            }),
+            coalesced: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues a put, replacing any pending write to the same key.
+    pub fn offer_put(&self, key: Key, value: Value) {
+        self.offer(key, PendingWrite::Put(value));
+    }
+
+    /// Queues a delete, replacing any pending write to the same key.
+    pub fn offer_delete(&self, key: Key) {
+        self.offer(key, PendingWrite::Delete);
+    }
+
+    fn offer(&self, key: Key, write: PendingWrite) {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if inner.pending.insert(key.clone(), write).is_some() {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            inner.order.push(key);
+        }
+    }
+
+    /// Drains up to `max` pending writes in first-arrival key order.
+    pub fn drain(&self, max: usize) -> Vec<(Key, PendingWrite)> {
+        let mut inner = self.inner.lock();
+        let take = max.min(inner.order.len());
+        let keys: Vec<Key> = inner.order.drain(..take).collect();
+        keys.into_iter()
+            .filter_map(|k| {
+                let w = inner.pending.remove(&k)?;
+                Some((k, w))
+            })
+            .collect()
+    }
+
+    /// Pending write count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of offered writes absorbed by coalescing.
+    pub fn coalesce_rate(&self) -> f64 {
+        let offered = self.offered.load(Ordering::Relaxed);
+        if offered == 0 {
+            0.0
+        } else {
+            self.coalesced.load(Ordering::Relaxed) as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn v(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    #[test]
+    fn same_key_writes_coalesce_to_latest() {
+        let c = WriteCoalescer::new();
+        c.offer_put(k("a"), v("1"));
+        c.offer_put(k("a"), v("2"));
+        c.offer_put(k("a"), v("3"));
+        let drained = c.drain(100);
+        assert_eq!(drained, vec![(k("a"), PendingWrite::Put(v("3")))]);
+        assert_eq!(c.coalesced.load(Ordering::Relaxed), 2);
+        assert!((c.coalesce_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_keys_keep_arrival_order() {
+        let c = WriteCoalescer::new();
+        c.offer_put(k("z"), v("1"));
+        c.offer_put(k("a"), v("2"));
+        c.offer_put(k("m"), v("3"));
+        let keys: Vec<Key> = c.drain(100).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![k("z"), k("a"), k("m")]);
+    }
+
+    #[test]
+    fn delete_supersedes_put() {
+        let c = WriteCoalescer::new();
+        c.offer_put(k("a"), v("1"));
+        c.offer_delete(k("a"));
+        assert_eq!(c.drain(10), vec![(k("a"), PendingWrite::Delete)]);
+    }
+
+    #[test]
+    fn put_supersedes_delete() {
+        let c = WriteCoalescer::new();
+        c.offer_delete(k("a"));
+        c.offer_put(k("a"), v("back"));
+        assert_eq!(c.drain(10), vec![(k("a"), PendingWrite::Put(v("back")))]);
+    }
+
+    #[test]
+    fn drain_respects_max() {
+        let c = WriteCoalescer::new();
+        for i in 0..10 {
+            c.offer_put(k(&format!("k{i}")), v("x"));
+        }
+        assert_eq!(c.drain(3).len(), 3);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.drain(100).len(), 7);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn coalescing_after_partial_drain() {
+        let c = WriteCoalescer::new();
+        c.offer_put(k("a"), v("1"));
+        c.drain(10);
+        // "a" drained; a new offer re-enqueues it.
+        c.offer_put(k("a"), v("2"));
+        assert_eq!(c.drain(10), vec![(k("a"), PendingWrite::Put(v("2")))]);
+    }
+}

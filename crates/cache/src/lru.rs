@@ -1,0 +1,579 @@
+//! A single cache shard: hash map + intrusive LRU list + byte budget.
+//!
+//! The LRU list is a slab of nodes linked by indices (no unsafe, no
+//! per-access allocation). Dirty entries — written back to storage
+//! asynchronously — are pinned: eviction walks past them, and when only
+//! dirty entries remain the shard reports backpressure instead of
+//! dropping unsynchronized data.
+
+use std::collections::HashMap;
+use tb_common::hash::FxBuildHasher;
+use tb_common::{Error, Key, Result, Value};
+use tb_pmem::Medium;
+
+const NIL: usize = usize::MAX;
+
+/// One cache entry.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    pub value: Value,
+    pub dirty: bool,
+    /// Where the value bytes notionally live (DRAM or PMem).
+    pub medium: Medium,
+    /// Absolute clock-nanosecond deadline after which the entry is
+    /// logically gone (`None` = never expires).
+    pub expires_at: Option<u64>,
+}
+
+struct Node {
+    key: Key,
+    entry: CacheEntry,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded LRU map of `Key → CacheEntry`.
+pub struct LruShard {
+    map: HashMap<Key, usize, FxBuildHasher>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    used_bytes: usize,
+    budget_bytes: usize,
+    dirty_bytes: usize,
+}
+
+/// What [`LruShard::insert`] evicted to make room.
+pub type Evicted = Vec<(Key, CacheEntry)>;
+
+impl LruShard {
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            map: HashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            used_bytes: 0,
+            budget_bytes,
+            dirty_bytes: 0,
+        }
+    }
+
+    fn entry_cost(key: &Key, value: &Value) -> usize {
+        // Key + value + fixed index overhead per entry.
+        key.len() + value.len() + 64
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes used (entries + overhead).
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Bytes held by dirty (unsynchronized) entries.
+    pub fn dirty_bytes(&self) -> usize {
+        self.dirty_bytes
+    }
+
+    /// Looks up and promotes the entry to most-recently-used.
+    ///
+    /// Lazy expiration: an entry past its deadline reads as absent. If
+    /// it is clean it is removed on the spot; a dirty expired entry is
+    /// retained (invisible) until the write-back flush cleans it, so no
+    /// unsynchronized data is dropped.
+    pub fn get(&mut self, key: &Key, now_nanos: u64) -> Option<&CacheEntry> {
+        let idx = *self.map.get(key)?;
+        if tb_common::is_expired(self.slab[idx].entry.expires_at, now_nanos) {
+            if !self.slab[idx].entry.dirty {
+                let key = self.slab[idx].key.clone();
+                self.remove(&key);
+            }
+            return None;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&self.slab[idx].entry)
+    }
+
+    /// Looks up without touching recency (monitoring paths).
+    pub fn peek(&self, key: &Key) -> Option<&CacheEntry> {
+        self.map.get(key).map(|&i| &self.slab[i].entry)
+    }
+
+    /// Inserts/overwrites; evicts clean LRU entries to fit the budget.
+    ///
+    /// Errors with [`Error::Backpressure`] when the needed space cannot
+    /// be reclaimed because remaining entries are dirty.
+    pub fn insert(
+        &mut self,
+        key: Key,
+        value: Value,
+        dirty: bool,
+        medium: Medium,
+    ) -> Result<Evicted> {
+        self.insert_full(key, value, dirty, medium, None)
+    }
+
+    /// [`insert`](Self::insert) with an expiry deadline. Overwriting a
+    /// key replaces its expiry (Redis `SET` semantics).
+    pub fn insert_full(
+        &mut self,
+        key: Key,
+        value: Value,
+        dirty: bool,
+        medium: Medium,
+        expires_at: Option<u64>,
+    ) -> Result<Evicted> {
+        let cost = Self::entry_cost(&key, &value);
+        if cost > self.budget_bytes {
+            return Err(Error::InvalidArgument(format!(
+                "entry of {cost} bytes exceeds shard budget {}",
+                self.budget_bytes
+            )));
+        }
+
+        // Replace = remove + insert-fresh; when the bigger replacement
+        // cannot fit, the old entry is restored so a failed insert never
+        // leaves the shard over budget or missing the key.
+        if self.map.contains_key(&key) {
+            let old = self.remove(&key).expect("key present");
+            return match self.insert_fresh(key.clone(), value, dirty, medium, expires_at, cost) {
+                Ok(evicted) => Ok(evicted),
+                Err(e) => {
+                    let old_cost = Self::entry_cost(&key, &old.value);
+                    self.insert_fresh(key, old.value, old.dirty, old.medium, old.expires_at, old_cost)
+                        .expect("restoring the previous entry always fits");
+                    Err(e)
+                }
+            };
+        }
+        self.insert_fresh(key, value, dirty, medium, expires_at, cost)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_fresh(
+        &mut self,
+        key: Key,
+        value: Value,
+        dirty: bool,
+        medium: Medium,
+        expires_at: Option<u64>,
+        cost: usize,
+    ) -> Result<Evicted> {
+        // Evict before inserting so the budget holds afterwards.
+        let mut evicted = Vec::new();
+        while self.used_bytes + cost > self.budget_bytes {
+            match self.evict_one() {
+                Some(pair) => evicted.push(pair),
+                None => {
+                    // Undo speculative evictions? They were clean LRU
+                    // entries — dropping them early is harmless, the
+                    // caller treats them as evicted either way.
+                    return Err(Error::Backpressure("cache full of dirty entries".into()));
+                }
+            }
+        }
+
+        let node = Node {
+            key: key.clone(),
+            entry: CacheEntry {
+                value,
+                dirty,
+                medium,
+                expires_at,
+            },
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = node;
+                i
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.used_bytes += cost;
+        if dirty {
+            self.dirty_bytes += cost;
+        }
+        Ok(evicted)
+    }
+
+    /// Evicts the least-recently-used *clean* entry.
+    fn evict_one(&mut self) -> Option<(Key, CacheEntry)> {
+        let mut idx = self.tail;
+        while idx != NIL {
+            if !self.slab[idx].entry.dirty {
+                let key = self.slab[idx].key.clone();
+                return self.remove(&key).map(|e| (key, e));
+            }
+            idx = self.slab[idx].prev;
+        }
+        None
+    }
+
+    /// Removes an entry outright.
+    pub fn remove(&mut self, key: &Key) -> Option<CacheEntry> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let cost = Self::entry_cost(&self.slab[idx].key, &self.slab[idx].entry.value);
+        self.used_bytes -= cost;
+        if self.slab[idx].entry.dirty {
+            self.dirty_bytes -= cost;
+        }
+        self.free.push(idx);
+        Some(self.slab[idx].entry.clone())
+    }
+
+    /// Clears the dirty flag after a successful storage write.
+    pub fn mark_clean(&mut self, key: &Key) {
+        if let Some(&idx) = self.map.get(key) {
+            if self.slab[idx].entry.dirty {
+                let cost = Self::entry_cost(&self.slab[idx].key, &self.slab[idx].entry.value);
+                self.dirty_bytes -= cost;
+                self.slab[idx].entry.dirty = false;
+            }
+        }
+    }
+
+    /// Sets or clears an entry's expiry deadline. Returns `false` when
+    /// the key is absent.
+    pub fn set_expiry(&mut self, key: &Key, expires_at: Option<u64>) -> bool {
+        match self.map.get(key) {
+            Some(&idx) => {
+                self.slab[idx].entry.expires_at = expires_at;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The entry's expiry deadline: `None` = key absent,
+    /// `Some(None)` = present without expiry, `Some(Some(at))` = expires
+    /// at `at`. Does not touch recency.
+    pub fn expiry_of(&self, key: &Key) -> Option<Option<u64>> {
+        self.map.get(key).map(|&idx| self.slab[idx].entry.expires_at)
+    }
+
+    /// Active expiration pass: removes every *clean* entry whose
+    /// deadline has passed and returns them (callers propagate deletes
+    /// to the storage tier). Dirty expired entries stay pinned until
+    /// the write-back flush cleans them.
+    pub fn sweep_expired(&mut self, now_nanos: u64) -> Vec<(Key, CacheEntry)> {
+        let expired: Vec<Key> = {
+            let mut keys = Vec::new();
+            let mut idx = self.head;
+            while idx != NIL {
+                let n = &self.slab[idx];
+                if !n.entry.dirty && tb_common::is_expired(n.entry.expires_at, now_nanos) {
+                    keys.push(n.key.clone());
+                }
+                idx = n.next;
+            }
+            keys
+        };
+        expired
+            .into_iter()
+            .map(|key| {
+                let e = self.remove(&key).expect("key just listed");
+                (key, e)
+            })
+            .collect()
+    }
+
+    /// Snapshot of all dirty entries (batch-flush input).
+    pub fn dirty_entries(&self) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        let mut idx = self.head;
+        while idx != NIL {
+            let n = &self.slab[idx];
+            if n.entry.dirty {
+                out.push((n.key.clone(), n.entry.value.clone()));
+            }
+            idx = n.next;
+        }
+        out
+    }
+
+    /// Entries whose key starts with `prefix` and are live at
+    /// `now_nanos` (expired entries are skipped, not reclaimed — scans
+    /// stay read-only). Does not touch recency.
+    pub fn scan_prefix(&self, prefix: &[u8], now_nanos: u64) -> Vec<(Key, CacheEntry)> {
+        self.map
+            .iter()
+            .filter(|(k, _)| k.as_slice().starts_with(prefix))
+            .filter_map(|(k, &idx)| {
+                let e = &self.slab[idx].entry;
+                if tb_common::is_expired(e.expires_at, now_nanos) {
+                    None
+                } else {
+                    Some((k.clone(), e.clone()))
+                }
+            })
+            .collect()
+    }
+
+    /// Keys in LRU order, most recent first (diagnostics).
+    pub fn keys_mru_first(&self) -> Vec<Key> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.head;
+        while idx != NIL {
+            out.push(self.slab[idx].key.clone());
+            idx = self.slab[idx].next;
+        }
+        out
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn k(i: usize) -> Key {
+        Key::from(format!("k{i}"))
+    }
+
+    fn v(len: usize) -> Value {
+        Value::from(vec![b'v'; len])
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = LruShard::new(10_000);
+        s.insert(k(1), v(10), false, Medium::Dram).unwrap();
+        assert_eq!(s.get(&k(1), 0).unwrap().value, v(10));
+        assert!(s.remove(&k(1)).is_some());
+        assert!(s.get(&k(1), 0).is_none());
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Budget fits ~3 entries of cost (2 + 10 + 64).
+        let mut s = LruShard::new(230);
+        s.insert(k(1), v(10), false, Medium::Dram).unwrap();
+        s.insert(k(2), v(10), false, Medium::Dram).unwrap();
+        s.insert(k(3), v(10), false, Medium::Dram).unwrap();
+        // Touch k1 so k2 becomes LRU.
+        s.get(&k(1), 0);
+        let evicted = s.insert(k(4), v(10), false, Medium::Dram).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, k(2), "k2 was least recently used");
+        assert!(s.get(&k(1), 0).is_some());
+        assert!(s.get(&k(2), 0).is_none());
+    }
+
+    #[test]
+    fn dirty_entries_are_pinned() {
+        let mut s = LruShard::new(230);
+        s.insert(k(1), v(10), true, Medium::Dram).unwrap(); // dirty, LRU
+        s.insert(k(2), v(10), false, Medium::Dram).unwrap();
+        s.insert(k(3), v(10), false, Medium::Dram).unwrap();
+        let evicted = s.insert(k(4), v(10), false, Medium::Dram).unwrap();
+        // k1 is oldest but dirty → k2 goes instead.
+        assert_eq!(evicted[0].0, k(2));
+        assert!(s.peek(&k(1)).is_some());
+    }
+
+    #[test]
+    fn all_dirty_causes_backpressure() {
+        let mut s = LruShard::new(230);
+        s.insert(k(1), v(10), true, Medium::Dram).unwrap();
+        s.insert(k(2), v(10), true, Medium::Dram).unwrap();
+        s.insert(k(3), v(10), true, Medium::Dram).unwrap();
+        let err = s.insert(k(4), v(10), false, Medium::Dram).unwrap_err();
+        assert!(matches!(err, Error::Backpressure(_)));
+        // Cleaning one unblocks the insert.
+        s.mark_clean(&k(1));
+        s.insert(k(4), v(10), false, Medium::Dram).unwrap();
+        assert!(s.peek(&k(1)).is_none(), "cleaned entry became evictable");
+    }
+
+    #[test]
+    fn overwrite_adjusts_sizes_and_dirty() {
+        let mut s = LruShard::new(10_000);
+        s.insert(k(1), v(100), true, Medium::Dram).unwrap();
+        let d1 = s.dirty_bytes();
+        assert!(d1 > 0);
+        s.insert(k(1), v(10), false, Medium::Dram).unwrap();
+        assert_eq!(s.dirty_bytes(), 0);
+        assert_eq!(s.len(), 1);
+        s.mark_clean(&k(1)); // no-op on clean entry
+        assert_eq!(s.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut s = LruShard::new(100);
+        assert!(matches!(
+            s.insert(k(1), v(200), false, Medium::Dram),
+            Err(Error::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn dirty_entries_snapshot() {
+        let mut s = LruShard::new(10_000);
+        s.insert(k(1), v(5), true, Medium::Dram).unwrap();
+        s.insert(k(2), v(5), false, Medium::Dram).unwrap();
+        s.insert(k(3), v(5), true, Medium::Pmem).unwrap();
+        let dirty = s.dirty_entries();
+        let keys: Vec<&Key> = dirty.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&&k(1)) && keys.contains(&&k(3)));
+    }
+
+    #[test]
+    fn mru_ordering_reflects_access() {
+        let mut s = LruShard::new(10_000);
+        for i in 0..4 {
+            s.insert(k(i), v(1), false, Medium::Dram).unwrap();
+        }
+        s.get(&k(0), 0);
+        let order = s.keys_mru_first();
+        assert_eq!(order[0], k(0));
+        assert_eq!(order.last().unwrap(), &k(1));
+    }
+
+    #[test]
+    fn expired_clean_entry_removed_on_get() {
+        let mut s = LruShard::new(10_000);
+        s.insert_full(k(1), v(5), false, Medium::Dram, Some(100)).unwrap();
+        assert!(s.get(&k(1), 99).is_some());
+        assert!(s.get(&k(1), 100).is_none(), "deadline == now expires");
+        assert_eq!(s.len(), 0, "clean expired entry removed eagerly");
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn expired_dirty_entry_pinned_but_invisible() {
+        let mut s = LruShard::new(10_000);
+        s.insert_full(k(1), v(5), true, Medium::Dram, Some(100)).unwrap();
+        assert!(s.get(&k(1), 200).is_none());
+        assert_eq!(s.len(), 1, "dirty entry survives until flushed");
+        assert_eq!(s.sweep_expired(200).len(), 0, "sweep skips dirty");
+        s.mark_clean(&k(1));
+        let swept = s.sweep_expired(200);
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].0, k(1));
+    }
+
+    #[test]
+    fn set_expiry_roundtrip() {
+        let mut s = LruShard::new(10_000);
+        s.insert(k(1), v(5), false, Medium::Dram).unwrap();
+        assert_eq!(s.expiry_of(&k(1)), Some(None));
+        assert!(s.set_expiry(&k(1), Some(42)));
+        assert_eq!(s.expiry_of(&k(1)), Some(Some(42)));
+        assert!(s.set_expiry(&k(1), None));
+        assert_eq!(s.expiry_of(&k(1)), Some(None));
+        assert!(!s.set_expiry(&k(2), Some(1)), "absent key");
+        assert_eq!(s.expiry_of(&k(2)), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Budget is never exceeded and the map/list stay consistent
+        /// Expiry invariants under arbitrary interleavings of inserts
+        /// (with and without deadlines), clock advances, and sweeps: a
+        /// live read never returns an expired entry, and sweeping never
+        /// touches unexpired or dirty entries.
+        #[test]
+        fn prop_expiry_never_leaks(
+            ops in proptest::collection::vec((0usize..20, proptest::option::of(1u64..100), any::<bool>()), 1..200),
+            advances in proptest::collection::vec(1u64..50, 1..20)
+        ) {
+            let mut s = LruShard::new(1 << 20);
+            let mut now = 0u64;
+            let mut ai = 0;
+            for (i, (ki, ttl, dirty)) in ops.into_iter().enumerate() {
+                let deadline = ttl.map(|t| now + t);
+                s.insert_full(k(ki), v(8), dirty, Medium::Dram, deadline).unwrap();
+                if i % 3 == 0 {
+                    now += advances[ai % advances.len()];
+                    ai += 1;
+                }
+                // A successful read is never of an expired entry.
+                if let Some(e) = s.get(&k(ki), now) {
+                    prop_assert!(e.expires_at.is_none_or(|at| at > now));
+                }
+            }
+            let before = s.len();
+            let swept = s.sweep_expired(now);
+            for (_, e) in &swept {
+                prop_assert!(!e.dirty);
+                prop_assert!(e.expires_at.is_some_and(|at| at <= now));
+            }
+            prop_assert_eq!(s.len(), before - swept.len());
+            // Everything left is live or dirty.
+            for key in s.keys_mru_first() {
+                let e = s.peek(&key).unwrap();
+                prop_assert!(e.dirty || e.expires_at.is_none_or(|at| at > now));
+            }
+        }
+
+        /// under arbitrary operation sequences.
+        #[test]
+        fn prop_budget_invariant(ops in proptest::collection::vec((0usize..50, 0usize..200, any::<bool>()), 1..300)) {
+            let mut s = LruShard::new(2000);
+            for (ki, vlen, dirty) in ops {
+                // Dirty inserts may hit backpressure; that's fine.
+                let _ = s.insert(k(ki), v(vlen.min(1800)), dirty, Medium::Dram);
+                prop_assert!(s.used_bytes() <= 2000);
+                prop_assert_eq!(s.keys_mru_first().len(), s.len());
+            }
+            // Sum of entry costs equals used_bytes.
+            let keys = s.keys_mru_first();
+            let sum: usize = keys.iter().map(|key| {
+                let e = s.peek(key).unwrap();
+                key.len() + e.value.len() + 64
+            }).sum();
+            prop_assert_eq!(sum, s.used_bytes());
+        }
+    }
+}

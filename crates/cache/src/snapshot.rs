@@ -1,0 +1,252 @@
+//! Point-in-time cache snapshots (the RDB role in Redis).
+//!
+//! WAL persistence replays every write; a snapshot instead captures the
+//! cache's current contents in one sequential file, which makes warm
+//! restarts cheap: load the snapshot, start serving, and let the
+//! storage tier backfill anything written after the snapshot. The file
+//! is CRC-framed and written atomically (tmp + rename), so a crash
+//! mid-snapshot leaves the previous snapshot intact.
+//!
+//! Format:
+//! ```text
+//! magic:u32 | version:u8 | count:varint
+//! per record: flags:u8 | [expires_at:varint] | klen:varint | key
+//!             | vlen:varint | value
+//! trailer: crc32 of everything after the magic
+//! ```
+
+use crate::cache::ShardedCache;
+use std::io::Write;
+use std::path::Path;
+use tb_common::{crc32, read_varint, write_varint, Error, Key, Result, Value};
+
+const SNAPSHOT_MAGIC: u32 = 0x5442_5244; // "TBRD"
+const SNAPSHOT_VERSION: u8 = 1;
+
+const FLAG_DIRTY: u8 = 0b01;
+const FLAG_HAS_EXPIRY: u8 = 0b10;
+
+/// Serializes every live cache entry to `path`. Returns the number of
+/// entries written. Expired entries are omitted; dirty flags and expiry
+/// deadlines are preserved.
+pub fn write_snapshot(cache: &ShardedCache, path: &Path) -> Result<usize> {
+    let entries = cache.scan_prefix(b"");
+    let mut body = Vec::with_capacity(entries.len() * 64 + 16);
+    body.push(SNAPSHOT_VERSION);
+    write_varint(&mut body, entries.len() as u64);
+    for (key, entry) in &entries {
+        let mut flags = 0u8;
+        if entry.dirty {
+            flags |= FLAG_DIRTY;
+        }
+        if entry.expires_at.is_some() {
+            flags |= FLAG_HAS_EXPIRY;
+        }
+        body.push(flags);
+        if let Some(deadline) = entry.expires_at {
+            write_varint(&mut body, deadline);
+        }
+        write_varint(&mut body, key.len() as u64);
+        body.extend_from_slice(key.as_slice());
+        write_varint(&mut body, entry.value.len() as u64);
+        body.extend_from_slice(entry.value.as_slice());
+    }
+
+    let tmp = path.with_extension("rdb-tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&SNAPSHOT_MAGIC.to_le_bytes())?;
+        f.write_all(&body)?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(entries.len())
+}
+
+/// Loads a snapshot written by [`write_snapshot`] into `cache`.
+/// Returns the number of entries restored. Entries whose deadline has
+/// already passed at load time are skipped.
+pub fn load_snapshot(cache: &ShardedCache, path: &Path) -> Result<usize> {
+    let raw = std::fs::read(path)?;
+    if raw.len() < 9 {
+        return Err(Error::Corruption("snapshot too short".into()));
+    }
+    let magic = u32::from_le_bytes(raw[0..4].try_into().expect("sized"));
+    if magic != SNAPSHOT_MAGIC {
+        return Err(Error::Corruption(format!("bad snapshot magic {magic:#x}")));
+    }
+    let body = &raw[4..raw.len() - 4];
+    let stored_crc = u32::from_le_bytes(raw[raw.len() - 4..].try_into().expect("sized"));
+    if crc32(body) != stored_crc {
+        return Err(Error::Corruption("snapshot checksum mismatch".into()));
+    }
+    let (&version, rest) = body
+        .split_first()
+        .ok_or_else(|| Error::Corruption("empty snapshot body".into()))?;
+    if version != SNAPSHOT_VERSION {
+        return Err(Error::Corruption(format!("unknown snapshot version {version}")));
+    }
+
+    let now = cache.clock().now_nanos();
+    let mut pos = 0usize;
+    let count = read_varint(rest, &mut pos)? as usize;
+    let mut restored = 0usize;
+    for _ in 0..count {
+        if pos >= rest.len() {
+            return Err(Error::Corruption("snapshot truncated".into()));
+        }
+        let flags = rest[pos];
+        pos += 1;
+        if flags & !(FLAG_DIRTY | FLAG_HAS_EXPIRY) != 0 {
+            return Err(Error::Corruption(format!("bad snapshot flags {flags}")));
+        }
+        let expires_at = if flags & FLAG_HAS_EXPIRY != 0 {
+            Some(read_varint(rest, &mut pos)?)
+        } else {
+            None
+        };
+        let klen = read_varint(rest, &mut pos)? as usize;
+        if pos + klen > rest.len() {
+            return Err(Error::Corruption("snapshot key overflow".into()));
+        }
+        let key = Key::copy_from(&rest[pos..pos + klen]);
+        pos += klen;
+        let vlen = read_varint(rest, &mut pos)? as usize;
+        if pos + vlen > rest.len() {
+            return Err(Error::Corruption("snapshot value overflow".into()));
+        }
+        let value = Value::copy_from(&rest[pos..pos + vlen]);
+        pos += vlen;
+
+        if tb_common::is_expired(expires_at, now) {
+            continue;
+        }
+        cache.insert_full(key, value, flags & FLAG_DIRTY != 0, expires_at)?;
+        restored += 1;
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tb_common::ManualClock;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tb-rdb-{name}-{}.rdb", std::process::id()))
+    }
+
+    fn cache_with_clock(clock: Arc<ManualClock>) -> ShardedCache {
+        ShardedCache::new(CacheConfig {
+            clock,
+            ..CacheConfig::with_capacity(1 << 20)
+        })
+    }
+
+    fn k(i: usize) -> Key {
+        Key::from(format!("k{i:04}"))
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let clock = ManualClock::new();
+        let src = cache_with_clock(clock.clone());
+        for i in 0..100 {
+            src.insert(k(i), Value::from(format!("v{i}")), i % 3 == 0)
+                .unwrap();
+        }
+        src.insert_with_ttl(k(500), Value::from("ttl"), false, Duration::from_secs(60))
+            .unwrap();
+
+        let path = tmpfile("roundtrip");
+        let written = write_snapshot(&src, &path).unwrap();
+        assert_eq!(written, 101);
+
+        let dst = cache_with_clock(clock.clone());
+        let restored = load_snapshot(&dst, &path).unwrap();
+        assert_eq!(restored, 101);
+        for i in 0..100 {
+            let e = dst.peek_entry(&k(i)).unwrap();
+            assert_eq!(e.value, Value::from(format!("v{i}")));
+            assert_eq!(e.dirty, i % 3 == 0, "dirty flag preserved");
+        }
+        // TTL preserved: advance past the deadline and it is gone.
+        assert_eq!(dst.get(&k(500)), Some(Value::from("ttl")));
+        clock.advance(Duration::from_secs(61));
+        assert_eq!(dst.get(&k(500)), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn expired_entries_skipped_at_load() {
+        let clock = ManualClock::new();
+        let src = cache_with_clock(clock.clone());
+        src.insert_with_ttl(k(1), Value::from("dies"), false, Duration::from_secs(5))
+            .unwrap();
+        src.insert(k(2), Value::from("lives"), false).unwrap();
+        let path = tmpfile("expired");
+        write_snapshot(&src, &path).unwrap();
+
+        clock.advance(Duration::from_secs(10));
+        let dst = cache_with_clock(clock.clone());
+        let restored = load_snapshot(&dst, &path).unwrap();
+        assert_eq!(restored, 1);
+        assert!(dst.peek_entry(&k(1)).is_none());
+        assert!(dst.peek_entry(&k(2)).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_error_not_panic() {
+        let clock = ManualClock::new();
+        let src = cache_with_clock(clock.clone());
+        for i in 0..20 {
+            src.insert(k(i), Value::from("x"), false).unwrap();
+        }
+        let path = tmpfile("corrupt");
+        write_snapshot(&src, &path).unwrap();
+
+        // Flip a byte in the middle.
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+
+        let dst = cache_with_clock(clock);
+        assert!(matches!(
+            load_snapshot(&dst, &path),
+            Err(Error::Corruption(_))
+        ));
+        assert!(dst.is_empty(), "nothing restored from a bad snapshot");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_error() {
+        let clock = ManualClock::new();
+        let src = cache_with_clock(clock.clone());
+        src.insert(k(1), Value::from("x"), false).unwrap();
+        let path = tmpfile("trunc");
+        write_snapshot(&src, &path).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let dst = cache_with_clock(clock);
+        assert!(load_snapshot(&dst, &path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_cache_snapshot() {
+        let clock = ManualClock::new();
+        let src = cache_with_clock(clock.clone());
+        let path = tmpfile("empty");
+        assert_eq!(write_snapshot(&src, &path).unwrap(), 0);
+        let dst = cache_with_clock(clock);
+        assert_eq!(load_snapshot(&dst, &path).unwrap(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

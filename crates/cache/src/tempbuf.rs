@@ -1,0 +1,159 @@
+//! Temporary update buffer (§4.1.1).
+//!
+//! In write-through mode each connection stages its updates in a
+//! private buffer. The update executes against the buffer first; only
+//! when the synchronous storage write succeeds does the result transfer
+//! into the main cache. On storage failure the buffered update is
+//! discarded *and the main-cache entry is invalidated*, so subsequent
+//! reads refetch from storage — the cache can never serve a value the
+//! storage tier refused.
+
+use crate::cache::ShardedCache;
+use std::collections::HashMap;
+use tb_common::{Key, Result, Value};
+
+/// Staged outcome of one update against the connection buffer.
+#[derive(Debug, Clone, PartialEq)]
+enum Staged {
+    Put(Value),
+    Delete,
+}
+
+/// A per-connection staging area for write-through updates.
+pub struct TempUpdateBuffer<'c> {
+    cache: &'c ShardedCache,
+    staged: HashMap<Key, Staged>,
+}
+
+impl<'c> TempUpdateBuffer<'c> {
+    pub fn new(cache: &'c ShardedCache) -> Self {
+        Self {
+            cache,
+            staged: HashMap::new(),
+        }
+    }
+
+    /// Stages a put. Reads through the buffer see it immediately;
+    /// the main cache does not.
+    pub fn stage_put(&mut self, key: Key, value: Value) {
+        self.staged.insert(key, Staged::Put(value));
+    }
+
+    /// Stages a delete.
+    pub fn stage_delete(&mut self, key: Key) {
+        self.staged.insert(key, Staged::Delete);
+    }
+
+    /// Read-your-writes lookup: staged value first, then main cache.
+    pub fn get(&self, key: &Key) -> Option<Value> {
+        match self.staged.get(key) {
+            Some(Staged::Put(v)) => Some(v.clone()),
+            Some(Staged::Delete) => None,
+            None => self.cache.get(key),
+        }
+    }
+
+    /// Number of staged updates.
+    pub fn staged_count(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Storage write succeeded: transfer staged updates into the main
+    /// cache (clean — storage already has them).
+    pub fn commit(&mut self) -> Result<()> {
+        for (key, staged) in self.staged.drain() {
+            match staged {
+                Staged::Put(v) => {
+                    self.cache.insert(key, v, false)?;
+                }
+                Staged::Delete => {
+                    self.cache.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Storage write failed: drop staged updates and invalidate the
+    /// touched main-cache entries so reads refetch from storage.
+    pub fn rollback_and_invalidate(&mut self) {
+        for (key, _) in self.staged.drain() {
+            self.cache.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn cache() -> ShardedCache {
+        ShardedCache::new(CacheConfig::with_capacity(1 << 20))
+    }
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn v(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    #[test]
+    fn staged_updates_invisible_until_commit() {
+        let c = cache();
+        let mut buf = TempUpdateBuffer::new(&c);
+        buf.stage_put(k("a"), v("staged"));
+        // Buffer sees it; main cache does not.
+        assert_eq!(buf.get(&k("a")), Some(v("staged")));
+        assert_eq!(c.get(&k("a")), None);
+        buf.commit().unwrap();
+        assert_eq!(c.get(&k("a")), Some(v("staged")));
+        // Committed entries are clean.
+        assert!(!c.peek_entry(&k("a")).unwrap().dirty);
+    }
+
+    #[test]
+    fn rollback_discards_and_invalidates() {
+        let c = cache();
+        c.insert(k("a"), v("old"), false).unwrap();
+        let mut buf = TempUpdateBuffer::new(&c);
+        buf.stage_put(k("a"), v("new"));
+        buf.rollback_and_invalidate();
+        // The old value is gone too: reads must refetch from storage.
+        assert_eq!(c.get(&k("a")), None);
+        assert_eq!(buf.staged_count(), 0);
+    }
+
+    #[test]
+    fn staged_delete_shadows_cache() {
+        let c = cache();
+        c.insert(k("a"), v("live"), false).unwrap();
+        let mut buf = TempUpdateBuffer::new(&c);
+        buf.stage_delete(k("a"));
+        assert_eq!(buf.get(&k("a")), None);
+        assert_eq!(c.get(&k("a")), Some(v("live")), "main cache untouched");
+        buf.commit().unwrap();
+        assert_eq!(c.get(&k("a")), None);
+    }
+
+    #[test]
+    fn read_your_writes_within_buffer() {
+        let c = cache();
+        let mut buf = TempUpdateBuffer::new(&c);
+        buf.stage_put(k("x"), v("1"));
+        buf.stage_put(k("x"), v("2"));
+        assert_eq!(buf.get(&k("x")), Some(v("2")));
+        assert_eq!(buf.staged_count(), 1, "same key stages once");
+    }
+
+    #[test]
+    fn fallthrough_to_main_cache() {
+        let c = cache();
+        c.insert(k("main"), v("mv"), false).unwrap();
+        let buf = TempUpdateBuffer::new(&c);
+        assert_eq!(buf.get(&k("main")), Some(v("mv")));
+        assert_eq!(buf.get(&k("absent")), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Data nodes: an engine plus replication and the key inventory needed
+//! for slot migration.
+
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tb_common::{slot_for_key, Error, Key, KvEngine, Result, Value};
+
+/// Cluster-unique node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A data node: primary engine, optional replica engine, liveness flag,
+/// and a key inventory (engines expose no scan; the inventory is what a
+/// real node's keyspace iterator provides, needed to migrate slots).
+pub struct NodeStore {
+    pub id: NodeId,
+    primary: Arc<dyn KvEngine>,
+    replica: Option<Arc<dyn KvEngine>>,
+    alive: AtomicBool,
+    keys: RwLock<HashSet<Key>>,
+}
+
+impl NodeStore {
+    pub fn new(id: NodeId, primary: Arc<dyn KvEngine>) -> Self {
+        Self {
+            id,
+            primary,
+            replica: None,
+            alive: AtomicBool::new(true),
+            keys: RwLock::new(HashSet::new()),
+        }
+    }
+
+    /// Attaches a synchronous replica.
+    pub fn with_replica(mut self, replica: Arc<dyn KvEngine>) -> Self {
+        self.replica = Some(replica);
+        self
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Simulates a crash: the primary stops serving. Replica state is
+    /// retained for promotion.
+    pub fn crash(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Promotes the replica into the primary role; the node serves
+    /// again. Errors when no replica exists.
+    pub fn promote_replica(&mut self) -> Result<()> {
+        let replica = self
+            .replica
+            .take()
+            .ok_or_else(|| Error::Unavailable(format!("node {:?} has no replica", self.id)))?;
+        self.primary = replica;
+        self.alive.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(Error::Unavailable(format!("node {:?} is down", self.id)))
+        }
+    }
+
+    pub fn get(&self, key: &Key) -> Result<Option<Value>> {
+        self.check_alive()?;
+        self.primary.get(key)
+    }
+
+    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.check_alive()?;
+        self.primary.put(key.clone(), value.clone())?;
+        if let Some(r) = &self.replica {
+            r.put(key.clone(), value)?;
+        }
+        self.keys.write().insert(key);
+        Ok(())
+    }
+
+    pub fn delete(&self, key: &Key) -> Result<()> {
+        self.check_alive()?;
+        self.primary.delete(key)?;
+        if let Some(r) = &self.replica {
+            r.delete(key)?;
+        }
+        self.keys.write().remove(key);
+        Ok(())
+    }
+
+    /// Keys whose slot is in `slots` (migration source scan).
+    pub fn keys_in_slots(&self, slots: &HashSet<u16>) -> Vec<Key> {
+        self.keys
+            .read()
+            .iter()
+            .filter(|k| slots.contains(&slot_for_key(k.as_slice())))
+            .cloned()
+            .collect()
+    }
+
+    /// Removes a key from the inventory and engine without liveness
+    /// checks (migration cleanup on the source).
+    pub fn evict_migrated(&self, key: &Key) -> Result<()> {
+        self.primary.delete(key)?;
+        if let Some(r) = &self.replica {
+            r.delete(key)?;
+        }
+        self.keys.write().remove(key);
+        Ok(())
+    }
+
+    /// Number of keys resident.
+    pub fn key_count(&self) -> usize {
+        self.keys.read().len()
+    }
+
+    /// Engine bytes (space accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        let mut total = self.primary.resident_bytes();
+        if let Some(r) = &self.replica {
+            total += r.resident_bytes();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+
+    pub(crate) struct MapEngine(Mutex<BTreeMap<Key, Value>>);
+
+    impl MapEngine {
+        pub(crate) fn shared() -> Arc<dyn KvEngine> {
+            Arc::new(Self(Mutex::new(BTreeMap::new())))
+        }
+    }
+
+    impl KvEngine for MapEngine {
+        fn get(&self, key: &Key) -> Result<Option<Value>> {
+            Ok(self.0.lock().get(key).cloned())
+        }
+        fn put(&self, key: Key, value: Value) -> Result<()> {
+            self.0.lock().insert(key, value);
+            Ok(())
+        }
+        fn delete(&self, key: &Key) -> Result<()> {
+            self.0.lock().remove(key);
+            Ok(())
+        }
+        fn resident_bytes(&self) -> u64 {
+            self.0.lock().iter().map(|(k, v)| (k.len() + v.len()) as u64).sum()
+        }
+        fn label(&self) -> String {
+            "map".into()
+        }
+    }
+
+    #[test]
+    fn crash_blocks_access() {
+        let n = NodeStore::new(NodeId(1), MapEngine::shared());
+        n.put(Key::from("a"), Value::from("1")).unwrap();
+        n.crash();
+        assert!(matches!(n.get(&Key::from("a")), Err(Error::Unavailable(_))));
+        assert!(matches!(
+            n.put(Key::from("b"), Value::from("2")),
+            Err(Error::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn replica_promotion_restores_data() {
+        let mut n =
+            NodeStore::new(NodeId(1), MapEngine::shared()).with_replica(MapEngine::shared());
+        n.put(Key::from("a"), Value::from("1")).unwrap();
+        n.crash();
+        n.promote_replica().unwrap();
+        assert_eq!(n.get(&Key::from("a")).unwrap(), Some(Value::from("1")));
+    }
+
+    #[test]
+    fn promotion_without_replica_fails() {
+        let mut n = NodeStore::new(NodeId(1), MapEngine::shared());
+        n.crash();
+        assert!(matches!(n.promote_replica(), Err(Error::Unavailable(_))));
+    }
+
+    #[test]
+    fn slot_scan_finds_keys() {
+        let n = NodeStore::new(NodeId(1), MapEngine::shared());
+        let keys: Vec<Key> = (0..50).map(|i| Key::from(format!("k{i}"))).collect();
+        for k in &keys {
+            n.put(k.clone(), Value::from("v")).unwrap();
+        }
+        let all_slots: HashSet<u16> = keys.iter().map(|k| slot_for_key(k.as_slice())).collect();
+        assert_eq!(n.keys_in_slots(&all_slots).len(), 50);
+        let none: HashSet<u16> = HashSet::new();
+        assert!(n.keys_in_slots(&none).is_empty());
+    }
+}

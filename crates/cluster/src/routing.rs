@@ -1,0 +1,130 @@
+//! Slot → node routing table with epochs.
+
+use crate::node::NodeId;
+use tb_common::{slot_for_key, SLOT_COUNT};
+
+/// Immutable snapshot of slot ownership at one epoch. Clients cache a
+/// snapshot and refresh when a node reports a newer epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    /// Monotonic version; bumps on any ownership change.
+    pub epoch: u64,
+    /// Owner of each slot.
+    slots: Vec<NodeId>,
+}
+
+impl RoutingTable {
+    /// Assigns slots round-robin across `nodes` (even sharding, the
+    /// cost model's baseline assumption).
+    pub fn even(epoch: u64, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "routing table needs at least one node");
+        let slots = (0..SLOT_COUNT as usize)
+            .map(|s| nodes[s % nodes.len()])
+            .collect();
+        Self { epoch, slots }
+    }
+
+    /// Owner of a slot.
+    pub fn owner_of_slot(&self, slot: u16) -> NodeId {
+        self.slots[slot as usize]
+    }
+
+    /// Owner of a key.
+    pub fn owner_of_key(&self, key: &[u8]) -> NodeId {
+        self.owner_of_slot(slot_for_key(key))
+    }
+
+    /// Slots owned by `node`.
+    pub fn slots_of(&self, node: NodeId) -> Vec<u16> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == node)
+            .map(|(s, _)| s as u16)
+            .collect()
+    }
+
+    /// New table with every slot of `from` handed to `to` (failover or
+    /// decommission), epoch bumped.
+    pub fn reassign_all(&self, from: NodeId, to: NodeId) -> Self {
+        let slots = self
+            .slots
+            .iter()
+            .map(|&n| if n == from { to } else { n })
+            .collect();
+        Self {
+            epoch: self.epoch + 1,
+            slots,
+        }
+    }
+
+    /// New table with an explicit set of slots moved to `to` (scaling /
+    /// rebalancing), epoch bumped.
+    pub fn reassign_slots(&self, moved: &[u16], to: NodeId) -> Self {
+        let mut slots = self.slots.clone();
+        for &s in moved {
+            slots[s as usize] = to;
+        }
+        Self {
+            epoch: self.epoch + 1,
+            slots,
+        }
+    }
+
+    /// Per-node slot counts (balance diagnostics).
+    pub fn distribution(&self) -> Vec<(NodeId, usize)> {
+        let mut counts: std::collections::BTreeMap<NodeId, usize> = Default::default();
+        for &n in &self.slots {
+            *counts.entry(n).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn even_assignment_is_balanced() {
+        let t = RoutingTable::even(1, &nodes(4));
+        for (_, count) in t.distribution() {
+            assert_eq!(count, SLOT_COUNT as usize / 4);
+        }
+    }
+
+    #[test]
+    fn key_routing_is_deterministic() {
+        let t = RoutingTable::even(1, &nodes(3));
+        assert_eq!(t.owner_of_key(b"user:1"), t.owner_of_key(b"user:1"));
+        // Hash tags land together.
+        assert_eq!(
+            t.owner_of_key(b"user:{42}:a"),
+            t.owner_of_key(b"user:{42}:b")
+        );
+    }
+
+    #[test]
+    fn reassign_all_moves_everything_and_bumps_epoch() {
+        let t = RoutingTable::even(1, &nodes(2));
+        let t2 = t.reassign_all(NodeId(0), NodeId(1));
+        assert_eq!(t2.epoch, 2);
+        assert!(t2.slots_of(NodeId(0)).is_empty());
+        assert_eq!(t2.slots_of(NodeId(1)).len(), SLOT_COUNT as usize);
+    }
+
+    #[test]
+    fn reassign_slots_moves_subset() {
+        let t = RoutingTable::even(1, &nodes(2));
+        let moved: Vec<u16> = t.slots_of(NodeId(0)).into_iter().take(100).collect();
+        let t2 = t.reassign_slots(&moved, NodeId(1));
+        assert_eq!(t2.slots_of(NodeId(0)).len(), SLOT_COUNT as usize / 2 - 100);
+        for s in moved {
+            assert_eq!(t2.owner_of_slot(s), NodeId(1));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Real and virtual clocks.
+//!
+//! Components take a [`Clock`] so tests and simulations can drive time
+//! deterministically (e.g. write-back flush intervals, break-even access
+//! intervals, elastic-threading watermark windows) while production code
+//! uses [`SystemClock`].
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync + 'static {
+    /// Nanoseconds since an arbitrary epoch. Monotonic, non-decreasing.
+    fn now_nanos(&self) -> u64;
+
+    /// Convenience: current time as a [`Duration`] since the epoch.
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos())
+    }
+}
+
+/// Wall-clock-backed monotonic clock.
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Manually-advanced clock for deterministic tests and simulations.
+#[derive(Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+    // Serializes compound advance operations observed by multiple threads.
+    advance_lock: Mutex<()>,
+}
+
+impl ManualClock {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Starts at the given nanosecond timestamp.
+    pub fn starting_at(nanos: u64) -> Arc<Self> {
+        let c = Self::default();
+        c.nanos.store(nanos, Ordering::SeqCst);
+        Arc::new(c)
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        let _g = self.advance_lock.lock();
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute nanosecond value (must not go back).
+    pub fn set_nanos(&self, nanos: u64) {
+        let _g = self.advance_lock.lock();
+        let cur = self.nanos.load(Ordering::SeqCst);
+        assert!(nanos >= cur, "ManualClock must not move backwards");
+        self.nanos.store(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now_nanos(), 5_000_000);
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_nanos(1_005_000_000));
+    }
+
+    #[test]
+    fn manual_clock_set_absolute() {
+        let c = ManualClock::starting_at(100);
+        c.set_nanos(200);
+        assert_eq!(c.now_nanos(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not move backwards")]
+    fn manual_clock_rejects_backwards() {
+        let c = ManualClock::starting_at(100);
+        c.set_nanos(50);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let c: Arc<dyn Clock> = ManualClock::starting_at(42);
+        assert_eq!(c.now_nanos(), 42);
+    }
+}

@@ -1,0 +1,84 @@
+//! CRC-32 (IEEE 802.3) for persistent-record integrity checks.
+
+/// Lookup table for the reflected IEEE polynomial 0xEDB88320.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Incremental CRC-32 builder for multi-part records.
+#[derive(Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Self { state: 0xffff_ffff }
+    }
+
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        for &b in data {
+            self.state = TABLE[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        }
+        self
+    }
+
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut c = Crc32::new();
+        c.update(b"hello ").update(b"world");
+        assert_eq!(c.finalize(), crc32(b"hello world"));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let a = crc32(b"payload-data-here");
+        let b = crc32(b"payload-dAta-here");
+        assert_ne!(a, b);
+    }
+}

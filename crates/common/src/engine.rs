@@ -1,0 +1,126 @@
+//! The engine abstraction every storage system in the workspace
+//! implements — TierBase itself, the baseline comparators, and the bare
+//! cache/LSM tiers. One trait lets a single replay/measurement harness
+//! drive every system in the paper's evaluation.
+
+use crate::{Key, Result, Value};
+
+/// A key-value engine under test.
+pub trait KvEngine: Send + Sync {
+    /// Point lookup.
+    fn get(&self, key: &Key) -> Result<Option<Value>>;
+
+    /// Insert or overwrite.
+    fn put(&self, key: Key, value: Value) -> Result<()>;
+
+    /// Delete (absent keys are not an error).
+    fn delete(&self, key: &Key) -> Result<()>;
+
+    /// Bytes of the *expensive* resource this engine consumes for data at
+    /// rest — memory for caching systems, memory + amortized disk for
+    /// persistent ones. Drives `MaxSpace` measurement in the cost model.
+    fn resident_bytes(&self) -> u64;
+
+    /// Engine label used in reports ("tierbase-s", "redis-like", ...).
+    fn label(&self) -> String;
+
+    /// Forces any buffered state down to its durable tier (WAL fsync,
+    /// write-back dirty flush, ...). Default: nothing buffered.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Batched point lookups; `result[i]` answers `keys[i]`. The default
+    /// is a `get` loop; engines with a remote tier override it to
+    /// amortize round-trips (deferred cache-fetching, TierBase §4.1.2).
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Batched writes. The default is a `put` loop; engines with a
+    /// remote tier override it to batch the storage round-trip.
+    fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
+        for (k, v) in pairs {
+            self.put(k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Compare-and-set: writes `new` only when the current value equals
+    /// `expected` (`None` = key must be absent). Default implementation
+    /// is unsynchronized read-then-write; engines with concurrency
+    /// override it with an atomic version.
+    fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        let current = self.get(&key)?;
+        let matches = match (current.as_ref(), expected) {
+            (Some(c), Some(e)) => c == e,
+            (None, None) => true,
+            _ => false,
+        };
+        if matches {
+            self.put(key, new)
+        } else {
+            Err(crate::Error::CasMismatch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+
+    struct MapEngine(Mutex<BTreeMap<Key, Value>>);
+
+    impl KvEngine for MapEngine {
+        fn get(&self, key: &Key) -> Result<Option<Value>> {
+            Ok(self.0.lock().get(key).cloned())
+        }
+        fn put(&self, key: Key, value: Value) -> Result<()> {
+            self.0.lock().insert(key, value);
+            Ok(())
+        }
+        fn delete(&self, key: &Key) -> Result<()> {
+            self.0.lock().remove(key);
+            Ok(())
+        }
+        fn resident_bytes(&self) -> u64 {
+            self.0
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum()
+        }
+        fn label(&self) -> String {
+            "map".into()
+        }
+    }
+
+    #[test]
+    fn default_cas_success_and_mismatch() {
+        let e = MapEngine(Mutex::new(BTreeMap::new()));
+        let k = Key::from("k");
+        // Absent key, expected None → ok.
+        e.cas(k.clone(), None, Value::from("v1")).unwrap();
+        // Wrong expectation → mismatch.
+        let err = e
+            .cas(k.clone(), Some(&Value::from("nope")), Value::from("v2"))
+            .unwrap_err();
+        assert_eq!(err, crate::Error::CasMismatch);
+        // Right expectation → ok.
+        e.cas(k.clone(), Some(&Value::from("v1")), Value::from("v2"))
+            .unwrap();
+        assert_eq!(e.get(&k).unwrap(), Some(Value::from("v2")));
+    }
+
+    #[test]
+    fn resident_bytes_tracks_content() {
+        let e = MapEngine(Mutex::new(BTreeMap::new()));
+        assert_eq!(e.resident_bytes(), 0);
+        e.put(Key::from("ab"), Value::from("cdef")).unwrap();
+        assert_eq!(e.resident_bytes(), 6);
+        e.delete(&Key::from("ab")).unwrap();
+        assert_eq!(e.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared across the TierBase workspace.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by TierBase components.
+///
+/// The variants are deliberately coarse: callers branch on the *kind* of
+/// failure (not found, corruption, backpressure, ...) rather than on the
+/// precise internal cause, which is carried in the message payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The requested key does not exist.
+    NotFound,
+    /// A compare-and-set failed because the expected value did not match.
+    CasMismatch,
+    /// Persistent state failed an integrity check (bad checksum, truncated
+    /// record, malformed block, ...).
+    Corruption(String),
+    /// An I/O operation on the backing medium failed.
+    Io(String),
+    /// The caller supplied an invalid argument or configuration.
+    InvalidArgument(String),
+    /// The component is shedding load (e.g. write-back dirty-data threshold
+    /// exceeded); the caller should retry later.
+    Backpressure(String),
+    /// A write to the storage tier failed; in write-through mode the cache
+    /// entry has been invalidated.
+    StorageWriteFailed(String),
+    /// The target node/shard is unavailable (crashed or failing over).
+    Unavailable(String),
+    /// A simulated fault was injected by a test harness.
+    FaultInjected(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound => write!(f, "key not found"),
+            Error::CasMismatch => write!(f, "compare-and-set mismatch"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Backpressure(m) => write!(f, "backpressure: {m}"),
+            Error::StorageWriteFailed(m) => write!(f, "storage write failed: {m}"),
+            Error::Unavailable(m) => write!(f, "unavailable: {m}"),
+            Error::FaultInjected(m) => write!(f, "fault injected: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+impl Error {
+    /// True when retrying the operation later may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Backpressure(_) | Error::Unavailable(_) | Error::StorageWriteFailed(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_stable() {
+        assert_eq!(Error::NotFound.to_string(), "key not found");
+        assert_eq!(
+            Error::Corruption("bad crc".into()).to_string(),
+            "corruption: bad crc"
+        );
+        assert_eq!(Error::CasMismatch.to_string(), "compare-and-set mismatch");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(ref m) if m.contains("disk gone")));
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(Error::Backpressure("full".into()).is_retryable());
+        assert!(Error::Unavailable("node down".into()).is_retryable());
+        assert!(!Error::NotFound.is_retryable());
+        assert!(!Error::Corruption("x".into()).is_retryable());
+    }
+}

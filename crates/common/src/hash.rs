@@ -1,0 +1,167 @@
+//! Fast non-cryptographic hashing and hash-slot routing.
+//!
+//! TierBase shards keys across instances with Redis-style *hash slots*:
+//! each key hashes to one of [`SLOT_COUNT`] slots and slot ranges are
+//! assigned to data nodes. Within a node, the cache tier uses the same hash
+//! to pick an internal shard. The hash is an FxHash-style multiply-xor
+//! hash: low quality by cryptographic standards, extremely fast, and more
+//! than uniform enough for slot routing (HashDoS is not a concern for an
+//! internal store behind authenticated clients).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Number of hash slots in the cluster keyspace (matches Redis Cluster).
+pub const SLOT_COUNT: u16 = 16384;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style streaming hasher.
+#[derive(Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        // Nonzero start so all-zero inputs do not hash to zero.
+        Self {
+            state: 0x2545_f491_4f6c_dd1d,
+        }
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche: plain multiply-xor leaves the low bits weakly
+        // mixed, and slot routing takes the value modulo a power of two.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+            // Mix in the length so "a" and "a\0" differ.
+            self.add(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable with `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hashes a byte string with the workspace-standard fast hash.
+#[inline]
+pub fn fx_hash(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Maps a key to its cluster hash slot in `0..SLOT_COUNT`.
+///
+/// Honors Redis-style *hash tags*: if the key contains a non-empty
+/// `{...}` segment, only the tagged substring is hashed, letting callers
+/// force related keys onto the same slot (e.g. `user:{42}:profile` and
+/// `user:{42}:settings`).
+#[inline]
+pub fn slot_for_key(key: &[u8]) -> u16 {
+    let hashed = match hash_tag(key) {
+        Some(tag) => fx_hash(tag),
+        None => fx_hash(key),
+    };
+    (hashed % SLOT_COUNT as u64) as u16
+}
+
+fn hash_tag(key: &[u8]) -> Option<&[u8]> {
+    let open = key.iter().position(|&b| b == b'{')?;
+    let close = key[open + 1..].iter().position(|&b| b == b'}')?;
+    if close == 0 {
+        return None; // "{}" — empty tag hashes the whole key, like Redis.
+    }
+    Some(&key[open + 1..open + 1 + close])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_is_deterministic_and_length_sensitive() {
+        assert_eq!(fx_hash(b"hello"), fx_hash(b"hello"));
+        assert_ne!(fx_hash(b"a"), fx_hash(b"a\0"));
+        assert_ne!(fx_hash(b""), fx_hash(b"\0"));
+    }
+
+    #[test]
+    fn slots_in_range_and_spread() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u32 {
+            let key = format!("key:{i}");
+            let s = slot_for_key(key.as_bytes());
+            assert!(s < SLOT_COUNT);
+            seen.insert(s);
+        }
+        // 10k keys should hit a large fraction of 16384 slots.
+        assert!(seen.len() > 6000, "poor slot spread: {}", seen.len());
+    }
+
+    #[test]
+    fn hash_tags_pin_related_keys() {
+        let a = slot_for_key(b"user:{42}:profile");
+        let b = slot_for_key(b"user:{42}:settings");
+        assert_eq!(a, b);
+        let c = slot_for_key(b"user:{43}:profile");
+        // Overwhelmingly likely to differ.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_tag_hashes_whole_key() {
+        assert_ne!(slot_for_key(b"a{}x"), slot_for_key(b"b{}x"));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut counts = vec![0u32; 16];
+        for i in 0..160_000u32 {
+            let key = format!("k{i}");
+            counts[(fx_hash(key.as_bytes()) % 16) as usize] += 1;
+        }
+        let expect = 10_000.0;
+        for &c in &counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.1, "bucket deviation {dev} too high: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared substrate for the TierBase workspace.
+//!
+//! This crate holds the small, dependency-light pieces every other crate
+//! needs: byte-string key/value types, the common error enum, real and
+//! virtual clocks, latency histograms, and the hashing utilities used for
+//! sharding and hash-slot routing.
+
+pub mod clock;
+pub mod crc;
+pub mod engine;
+pub mod error;
+pub mod hash;
+pub mod histogram;
+pub mod ttl;
+pub mod types;
+pub mod varint;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use crc::{crc32, Crc32};
+pub use engine::KvEngine;
+pub use error::{Error, Result};
+pub use hash::{fx_hash, slot_for_key, FxBuildHasher, SLOT_COUNT};
+pub use histogram::Histogram;
+pub use ttl::{deadline_after, is_expired, TtlState};
+pub use types::{Key, Value};
+pub use varint::{read_varint, write_varint};

@@ -1,0 +1,90 @@
+//! Key time-to-live state, shared by the cache tier and the tiered
+//! store.
+//!
+//! Semantics follow Redis: a key either does not exist, exists without
+//! an expiry, or exists with a remaining lifetime. Expiry timestamps
+//! are absolute [`Clock`](crate::Clock) nanoseconds, so deterministic
+//! tests drive them with a `ManualClock`.
+
+use std::time::Duration;
+
+/// The TTL of a key, as reported by `ttl`-style queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtlState {
+    /// The key does not exist (or has already expired). Redis `TTL` -2.
+    Missing,
+    /// The key exists and never expires. Redis `TTL` -1.
+    NoExpiry,
+    /// The key exists and expires after this much more time.
+    Remaining(Duration),
+}
+
+impl TtlState {
+    /// Classifies an expiry timestamp against the current time.
+    /// `expires_at` is absolute clock nanoseconds; `None` means the key
+    /// has no expiry set.
+    pub fn from_deadline(expires_at: Option<u64>, now_nanos: u64) -> Self {
+        match expires_at {
+            None => TtlState::NoExpiry,
+            Some(at) if at <= now_nanos => TtlState::Missing,
+            Some(at) => TtlState::Remaining(Duration::from_nanos(at - now_nanos)),
+        }
+    }
+
+    /// True when the key exists (with or without an expiry).
+    pub fn exists(&self) -> bool {
+        !matches!(self, TtlState::Missing)
+    }
+}
+
+/// True when a deadline has passed. `None` never expires.
+#[inline]
+pub fn is_expired(expires_at: Option<u64>, now_nanos: u64) -> bool {
+    matches!(expires_at, Some(at) if at <= now_nanos)
+}
+
+/// Converts a relative TTL into an absolute deadline on the caller's
+/// clock, saturating instead of overflowing for very long TTLs.
+#[inline]
+pub fn deadline_after(now_nanos: u64, ttl: Duration) -> u64 {
+    now_nanos.saturating_add(ttl.as_nanos().min(u64::MAX as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_deadline_classifies() {
+        assert_eq!(TtlState::from_deadline(None, 100), TtlState::NoExpiry);
+        assert_eq!(TtlState::from_deadline(Some(50), 100), TtlState::Missing);
+        assert_eq!(TtlState::from_deadline(Some(100), 100), TtlState::Missing);
+        assert_eq!(
+            TtlState::from_deadline(Some(150), 100),
+            TtlState::Remaining(Duration::from_nanos(50))
+        );
+    }
+
+    #[test]
+    fn exists_matches_variants() {
+        assert!(!TtlState::Missing.exists());
+        assert!(TtlState::NoExpiry.exists());
+        assert!(TtlState::Remaining(Duration::from_secs(1)).exists());
+    }
+
+    #[test]
+    fn is_expired_boundary() {
+        assert!(!is_expired(None, u64::MAX));
+        assert!(is_expired(Some(10), 10), "deadline == now counts as expired");
+        assert!(!is_expired(Some(11), 10));
+    }
+
+    #[test]
+    fn deadline_saturates() {
+        assert_eq!(deadline_after(u64::MAX - 1, Duration::from_secs(5)), u64::MAX);
+        assert_eq!(
+            deadline_after(0, Duration::from_nanos(42)),
+            42
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! The pre-trained-compression production framework (§4.2, Figure 5).
+//!
+//! * [`PretrainedCompression`] — sampling + training + hot-swappable
+//!   compressor, the unit TierBase instances embed.
+//! * [`CompressionMonitor`] — tracks compression ratio and pattern-miss
+//!   rate; fires a retrain trigger when either degrades past its
+//!   threshold (the paper's monitoring service).
+//! * [`CompressorRecommender`] — the Insight-service component that
+//!   evaluates candidate compressors on a sample and recommends one.
+
+use crate::dict::train_dictionary;
+use crate::lz::{Tzstd, TzstdLevel};
+use crate::pbc::{Pbc, PbcConfig};
+use crate::{measure_ratio, Compressor, RawCompressor};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monitor thresholds.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Retrain when the observed ratio exceeds baseline × this factor
+    /// (ratio is compressed/original — growth means degradation).
+    pub ratio_degradation_factor: f64,
+    /// Retrain when PBC's unmatched-record rate exceeds this.
+    pub max_unmatched_rate: f64,
+    /// Minimum records observed before triggers are considered.
+    pub min_observations: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            ratio_degradation_factor: 1.2,
+            max_unmatched_rate: 0.15,
+            min_observations: 256,
+        }
+    }
+}
+
+/// Running compression-efficiency statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompressionStats {
+    pub records: u64,
+    pub original_bytes: u64,
+    pub compressed_bytes: u64,
+}
+
+impl CompressionStats {
+    /// Observed ratio (compressed/original); 1.0 when nothing recorded.
+    pub fn ratio(&self) -> f64 {
+        if self.original_bytes == 0 {
+            1.0
+        } else {
+            self.compressed_bytes as f64 / self.original_bytes as f64
+        }
+    }
+}
+
+/// Tracks live compression efficiency and decides when to retrain.
+pub struct CompressionMonitor {
+    config: MonitorConfig,
+    /// Ratio measured right after (re)training; the degradation baseline.
+    baseline_ratio: RwLock<f64>,
+    records: AtomicU64,
+    original: AtomicU64,
+    compressed: AtomicU64,
+}
+
+impl CompressionMonitor {
+    pub fn new(config: MonitorConfig, baseline_ratio: f64) -> Self {
+        Self {
+            config,
+            baseline_ratio: RwLock::new(baseline_ratio),
+            records: AtomicU64::new(0),
+            original: AtomicU64::new(0),
+            compressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one compressed record's sizes.
+    pub fn observe(&self, original: usize, compressed: usize) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.original.fetch_add(original as u64, Ordering::Relaxed);
+        self.compressed
+            .fetch_add(compressed as u64, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> CompressionStats {
+        CompressionStats {
+            records: self.records.load(Ordering::Relaxed),
+            original_bytes: self.original.load(Ordering::Relaxed),
+            compressed_bytes: self.compressed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True when ratio degradation or pattern misses warrant retraining.
+    /// `unmatched_rate` comes from [`Pbc::unmatched_rate`] (0 for non-PBC).
+    pub fn should_retrain(&self, unmatched_rate: f64) -> bool {
+        let s = self.stats();
+        if s.records < self.config.min_observations {
+            return false;
+        }
+        if unmatched_rate > self.config.max_unmatched_rate {
+            return true;
+        }
+        s.ratio() > *self.baseline_ratio.read() * self.config.ratio_degradation_factor
+    }
+
+    /// Resets counters and re-baselines after retraining.
+    pub fn rebaseline(&self, new_baseline: f64) {
+        *self.baseline_ratio.write() = new_baseline;
+        self.records.store(0, Ordering::Relaxed);
+        self.original.store(0, Ordering::Relaxed);
+        self.compressed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Which compressor the recommender selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressorChoice {
+    Raw,
+    Tzstd,
+    TzstdDict,
+    Pbc,
+}
+
+/// The Insight-service compressor recommender: benchmarks candidates on a
+/// sample and picks by ratio subject to a SET-throughput floor.
+pub struct CompressorRecommender {
+    /// Reject candidates whose compression throughput falls below this
+    /// fraction of raw memcpy throughput (performance-requirement knob).
+    pub min_speed_fraction: f64,
+}
+
+impl Default for CompressorRecommender {
+    fn default() -> Self {
+        Self {
+            min_speed_fraction: 0.0, // by default pick purely on ratio
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    pub choice: CompressorChoice,
+    pub ratio: f64,
+    /// Compression throughput relative to raw copy (1.0 = memcpy speed).
+    pub speed_fraction: f64,
+}
+
+impl CompressorRecommender {
+    /// Evaluates Raw, Tzstd, Tzstd+dict and PBC on the samples and
+    /// returns per-candidate reports plus the recommendation.
+    pub fn recommend(&self, samples: &[Vec<u8>]) -> (CompressorChoice, Vec<CandidateReport>) {
+        let half = samples.len() / 2;
+        let (train, test) = samples.split_at(half.max(1).min(samples.len()));
+        let test = if test.is_empty() { train } else { test };
+
+        let raw = RawCompressor;
+        let tz = Tzstd::new(TzstdLevel(1));
+        let tzd = Tzstd::with_dict(TzstdLevel(1), train_dictionary(train, 4096));
+        let pbc = Pbc::train(train, &PbcConfig::default());
+
+        let raw_speed = throughput(&raw, test);
+        let report = |choice, c: &dyn Compressor| CandidateReport {
+            choice,
+            ratio: measure_ratio(c, test),
+            speed_fraction: throughput(c, test) / raw_speed.max(1e-9),
+        };
+        let reports = vec![
+            report(CompressorChoice::Raw, &raw),
+            report(CompressorChoice::Tzstd, &tz),
+            report(CompressorChoice::TzstdDict, &tzd),
+            report(CompressorChoice::Pbc, &pbc),
+        ];
+
+        let best = reports
+            .iter()
+            .filter(|r| r.choice == CompressorChoice::Raw || r.speed_fraction >= self.min_speed_fraction)
+            .min_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("ratio is finite"))
+            .map(|r| r.choice)
+            .unwrap_or(CompressorChoice::Raw);
+        (best, reports)
+    }
+}
+
+fn throughput(c: &dyn Compressor, samples: &[Vec<u8>]) -> f64 {
+    let bytes: usize = samples.iter().map(|s| s.len()).sum();
+    if bytes == 0 {
+        return 1.0;
+    }
+    let start = Instant::now();
+    for s in samples {
+        std::hint::black_box(c.compress(s));
+    }
+    bytes as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// A trained, hot-swappable compression unit: choice + compressor +
+/// monitor, with a retrain path.
+pub struct PretrainedCompression {
+    choice: CompressorChoice,
+    compressor: RwLock<Built>,
+    monitor: CompressionMonitor,
+    pbc_config: PbcConfig,
+    dict_budget: usize,
+    level: TzstdLevel,
+}
+
+/// A built compressor, kept concretely for PBC so its live match
+/// statistics stay reachable.
+#[derive(Clone)]
+enum Built {
+    Generic(Arc<dyn Compressor>),
+    Pbc(Arc<Pbc>),
+}
+
+impl Built {
+    fn as_compressor(&self) -> &dyn Compressor {
+        match self {
+            Built::Generic(c) => c.as_ref(),
+            Built::Pbc(p) => p.as_ref(),
+        }
+    }
+}
+
+impl PretrainedCompression {
+    /// Trains the chosen compressor kind on `samples`.
+    pub fn train(choice: CompressorChoice, samples: &[Vec<u8>], level: TzstdLevel) -> Self {
+        let pbc_config = PbcConfig {
+            fallback_level: level,
+            ..PbcConfig::default()
+        };
+        let dict_budget = 4096;
+        let compressor = build(choice, samples, level, &pbc_config, dict_budget);
+        let baseline = measure_ratio(compressor.as_compressor(), samples);
+        Self {
+            choice,
+            compressor: RwLock::new(compressor),
+            monitor: CompressionMonitor::new(MonitorConfig::default(), baseline),
+            pbc_config,
+            dict_budget,
+            level,
+        }
+    }
+
+    pub fn choice(&self) -> CompressorChoice {
+        self.choice
+    }
+
+    pub fn monitor(&self) -> &CompressionMonitor {
+        &self.monitor
+    }
+
+    /// Compresses and feeds the monitor.
+    pub fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let out = self.compressor.read().as_compressor().compress(input);
+        self.monitor.observe(input.len(), out.len());
+        out
+    }
+
+    pub fn decompress(&self, input: &[u8]) -> tb_common::Result<Vec<u8>> {
+        self.compressor.read().as_compressor().decompress(input)
+    }
+
+    /// Current PBC pattern-miss rate (0 for non-PBC choices).
+    pub fn unmatched_rate(&self) -> f64 {
+        match &*self.compressor.read() {
+            Built::Pbc(p) => p.unmatched_rate(),
+            Built::Generic(_) => 0.0,
+        }
+    }
+
+    /// True when the monitor's degradation triggers have fired.
+    pub fn should_retrain(&self) -> bool {
+        self.monitor.should_retrain(self.unmatched_rate())
+    }
+
+    /// Re-samples and retrains the same compressor kind, re-baselining
+    /// the monitor (the §4.2 re-train path).
+    pub fn retrain(&self, samples: &[Vec<u8>]) {
+        let compressor = build(self.choice, samples, self.level, &self.pbc_config, self.dict_budget);
+        let baseline = measure_ratio(compressor.as_compressor(), samples);
+        *self.compressor.write() = compressor;
+        self.monitor.rebaseline(baseline);
+    }
+}
+
+fn build(
+    choice: CompressorChoice,
+    samples: &[Vec<u8>],
+    level: TzstdLevel,
+    pbc_config: &PbcConfig,
+    dict_budget: usize,
+) -> Built {
+    match choice {
+        CompressorChoice::Raw => Built::Generic(Arc::new(RawCompressor)),
+        CompressorChoice::Tzstd => Built::Generic(Arc::new(Tzstd::new(level))),
+        CompressorChoice::TzstdDict => Built::Generic(Arc::new(Tzstd::with_dict(
+            level,
+            train_dictionary(samples, dict_budget),
+        ))),
+        CompressorChoice::Pbc => Built::Pbc(Arc::new(Pbc::train(samples, pbc_config))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn templated(n: usize, salt: u64) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "EVT|user={:016x}|act=click|page=/home|ts={}|END",
+                    (i as u64).wrapping_mul(salt | 1),
+                    1_700_000_000 + i
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn monitor_requires_min_observations() {
+        let m = CompressionMonitor::new(MonitorConfig::default(), 0.5);
+        m.observe(100, 99);
+        assert!(!m.should_retrain(1.0), "too few observations to trigger");
+    }
+
+    #[test]
+    fn monitor_triggers_on_ratio_degradation() {
+        let cfg = MonitorConfig {
+            min_observations: 10,
+            ..MonitorConfig::default()
+        };
+        let m = CompressionMonitor::new(cfg, 0.5);
+        for _ in 0..20 {
+            m.observe(100, 90); // ratio 0.9 > 0.5 * 1.2
+        }
+        assert!(m.should_retrain(0.0));
+    }
+
+    #[test]
+    fn monitor_triggers_on_unmatched_rate() {
+        let cfg = MonitorConfig {
+            min_observations: 1,
+            ..MonitorConfig::default()
+        };
+        let m = CompressionMonitor::new(cfg, 0.5);
+        m.observe(100, 40); // healthy ratio
+        assert!(!m.should_retrain(0.05));
+        assert!(m.should_retrain(0.5));
+    }
+
+    #[test]
+    fn monitor_rebaseline_resets() {
+        let cfg = MonitorConfig {
+            min_observations: 1,
+            ..MonitorConfig::default()
+        };
+        let m = CompressionMonitor::new(cfg, 0.5);
+        for _ in 0..5 {
+            m.observe(100, 95);
+        }
+        assert!(m.should_retrain(0.0));
+        m.rebaseline(0.95);
+        assert_eq!(m.stats().records, 0);
+        assert!(!m.should_retrain(0.0));
+    }
+
+    #[test]
+    fn recommender_prefers_trained_compressors_on_templated_data() {
+        let samples = templated(120, 0x9e3779b9);
+        let (choice, reports) = CompressorRecommender::default().recommend(&samples);
+        assert!(
+            matches!(choice, CompressorChoice::Pbc | CompressorChoice::TzstdDict),
+            "expected a pre-trained choice, got {choice:?}: {reports:?}"
+        );
+        // Raw must report ratio 1.0.
+        let raw = reports.iter().find(|r| r.choice == CompressorChoice::Raw).unwrap();
+        assert_eq!(raw.ratio, 1.0);
+    }
+
+    #[test]
+    fn pretrained_unit_roundtrips_and_monitors() {
+        let samples = templated(80, 0x1234_5678);
+        let unit = PretrainedCompression::train(CompressorChoice::TzstdDict, &samples, TzstdLevel(1));
+        let rec = &samples[40];
+        let z = unit.compress(rec);
+        assert_eq!(&unit.decompress(&z).unwrap(), rec);
+        assert!(z.len() < rec.len());
+        let s = unit.monitor().stats();
+        assert_eq!(s.records, 1);
+        assert!(s.ratio() < 1.0);
+    }
+
+    #[test]
+    fn retrain_swaps_compressor_and_rebaselines() {
+        let old = templated(60, 0x1111);
+        let unit = PretrainedCompression::train(CompressorChoice::TzstdDict, &old, TzstdLevel(1));
+        for rec in &old {
+            unit.compress(rec);
+        }
+        let before = unit.monitor().stats();
+        assert!(before.records > 0);
+
+        // Shifted data distribution; retrain on it.
+        let new: Vec<Vec<u8>> = (0..60)
+            .map(|i| format!("LOG|{i:08}|level=WARN|svc=pay|trace={i:024x}").into_bytes())
+            .collect();
+        unit.retrain(&new);
+        assert_eq!(unit.monitor().stats().records, 0);
+        let z = unit.compress(&new[10]);
+        assert_eq!(&unit.decompress(&z).unwrap(), &new[10]);
+        assert!(z.len() < new[10].len());
+    }
+
+    #[test]
+    fn pretrained_raw_choice_is_identity() {
+        let unit = PretrainedCompression::train(CompressorChoice::Raw, &[], TzstdLevel(1));
+        let z = unit.compress(b"abc");
+        assert_eq!(z, b"abc");
+        assert_eq!(unit.choice(), CompressorChoice::Raw);
+    }
+}

@@ -1,0 +1,607 @@
+//! `tzstd`: an LZ77 hash-chain compressor with levels and dictionaries.
+//!
+//! Stand-in for Zstandard (see the crate docs for the substitution
+//! rationale). The wire format is a token stream:
+//!
+//! ```text
+//! record := ( literal_run match )* literal_run end
+//! literal_run := varint(len) byte*
+//! match := varint(len - MIN_MATCH + 1)  varint(distance)   // len >= MIN_MATCH
+//! end := varint(0)
+//! ```
+//!
+//! A trained dictionary acts as virtual history preceding the input:
+//! match distances may reach past the start of the record into the
+//! dictionary, which is what makes small templated records compress well.
+//! The dictionary is indexed once at construction, so per-record
+//! compression does no dictionary-sized work.
+
+use crate::Compressor;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tb_common::{Error, Result};
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum match length (keeps varints short; matches may be split).
+const MAX_MATCH: usize = 1 << 16;
+/// Max candidate positions stored per 4-gram in the dictionary index.
+const DICT_POSTINGS_CAP: usize = 16;
+
+/// Compression level, mirroring zstd's level semantics: negative levels
+/// trade ratio for speed, higher positive levels search harder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TzstdLevel(pub i32);
+
+impl Default for TzstdLevel {
+    fn default() -> Self {
+        TzstdLevel(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LevelParams {
+    /// Max hash-chain candidates examined per position.
+    chain_len: usize,
+    /// Max dictionary candidates examined per position.
+    dict_probe: usize,
+    /// Greedy-vs-lazy parsing: lazy re-checks the next position before
+    /// committing to a match.
+    lazy: bool,
+    /// Acceleration: after this many consecutive literal misses, start
+    /// skipping positions (fast negative levels).
+    skip_trigger: u32,
+}
+
+impl TzstdLevel {
+    fn params(self) -> LevelParams {
+        match self.0 {
+            i32::MIN..=-21 => LevelParams { chain_len: 1, dict_probe: 1, lazy: false, skip_trigger: 4 },
+            -20..=-1 => LevelParams { chain_len: 2, dict_probe: 2, lazy: false, skip_trigger: 6 },
+            0..=3 => LevelParams { chain_len: 8, dict_probe: 4, lazy: false, skip_trigger: u32::MAX },
+            4..=12 => LevelParams { chain_len: 32, dict_probe: 8, lazy: true, skip_trigger: u32::MAX },
+            13..=18 => LevelParams { chain_len: 64, dict_probe: 12, lazy: true, skip_trigger: u32::MAX },
+            _ => LevelParams { chain_len: 256, dict_probe: 16, lazy: true, skip_trigger: u32::MAX },
+        }
+    }
+}
+
+/// Pre-indexed dictionary shared across compressor instances.
+pub struct TrainedDict {
+    bytes: Vec<u8>,
+    /// 4-gram hash → positions in `bytes` (most recent first, capped).
+    index: HashMap<u32, Vec<u32>>,
+}
+
+impl TrainedDict {
+    pub fn new(bytes: Vec<u8>) -> Self {
+        let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+        if bytes.len() >= MIN_MATCH {
+            for i in 0..=(bytes.len() - MIN_MATCH) {
+                let h = gram_hash(&bytes[i..i + 4]);
+                let posts = index.entry(h).or_default();
+                if posts.len() < DICT_POSTINGS_CAP {
+                    posts.push(i as u32);
+                }
+            }
+        }
+        Self { bytes, index }
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[inline]
+fn gram_hash(b: &[u8]) -> u32 {
+    let w = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    w.wrapping_mul(0x9e37_79b1)
+}
+
+/// The tzstd compressor: a level plus an optional trained dictionary.
+pub struct Tzstd {
+    level: TzstdLevel,
+    dict: Option<Arc<TrainedDict>>,
+}
+
+impl Tzstd {
+    /// Dictionary-less compressor (the paper's "Zstd-b").
+    pub fn new(level: TzstdLevel) -> Self {
+        Self { level, dict: None }
+    }
+
+    /// Dictionary-trained compressor (the paper's "Zstd-d").
+    pub fn with_dict(level: TzstdLevel, dict: Arc<TrainedDict>) -> Self {
+        Self {
+            level,
+            dict: Some(dict),
+        }
+    }
+
+    pub fn level(&self) -> TzstdLevel {
+        self.level
+    }
+
+    pub fn dictionary(&self) -> Option<&Arc<TrainedDict>> {
+        self.dict.as_ref()
+    }
+
+    /// Longest match for `input[i..]` among dictionary candidates.
+    /// Returns `(length, distance)` in combined-history coordinates.
+    fn best_dict_match(
+        &self,
+        input: &[u8],
+        i: usize,
+        probe: usize,
+    ) -> Option<(usize, usize)> {
+        let dict = self.dict.as_ref()?;
+        if input.len() - i < MIN_MATCH {
+            return None;
+        }
+        let h = gram_hash(&input[i..i + 4]);
+        let posts = dict.index.get(&h)?;
+        let dbytes = &dict.bytes;
+        let dlen = dbytes.len();
+        let mut best: Option<(usize, usize)> = None;
+        for &dj in posts.iter().take(probe) {
+            let dj = dj as usize;
+            // Match may run off the end of the dictionary and continue at
+            // the start of the input (history is dict ++ input).
+            let mut l = 0usize;
+            while i + l < input.len() && l < MAX_MATCH {
+                let src = dj + l;
+                let b = if src < dlen {
+                    dbytes[src]
+                } else {
+                    let k = src - dlen;
+                    if k >= i {
+                        break; // would read unproduced output
+                    }
+                    input[k]
+                };
+                if b != input[i + l] {
+                    break;
+                }
+                l += 1;
+            }
+            if l >= MIN_MATCH && best.map(|(bl, _)| l > bl).unwrap_or(true) {
+                let dist = (i + dlen) - dj;
+                best = Some((l, dist));
+            }
+        }
+        best
+    }
+}
+
+impl Tzstd {
+    /// Raw LZ token stream (no framing, no entropy stage).
+    fn lz_compress(&self, input: &[u8]) -> Vec<u8> {
+        let p = self.level.params();
+        let n = input.len();
+        let mut out = Vec::with_capacity(n / 2 + 16);
+
+        // Local hash chains over the input itself.
+        let table_bits = usize::BITS - n.next_power_of_two().leading_zeros();
+        let table_size = (1usize << table_bits.clamp(8, 16)).max(256);
+        let mask = (table_size - 1) as u32;
+        let mut head = vec![u32::MAX; table_size];
+        let mut prev = vec![u32::MAX; n];
+
+        let mut lit_start = 0usize;
+        let mut i = 0usize;
+        let mut misses = 0u32;
+
+        let find_best = |head: &[u32], prev: &[u32], i: usize| -> Option<(usize, usize)> {
+            if n - i < MIN_MATCH {
+                return None;
+            }
+            let h = (gram_hash(&input[i..i + 4]) & mask) as usize;
+            let mut cand = head[h];
+            let mut best: Option<(usize, usize)> = None;
+            let mut steps = 0usize;
+            while cand != u32::MAX && steps < p.chain_len {
+                let j = cand as usize;
+                debug_assert!(j < i);
+                let mut l = 0usize;
+                while i + l < n && l < MAX_MATCH && input[j + l] == input[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH && best.map(|(bl, _)| l > bl).unwrap_or(true) {
+                    best = Some((l, i - j));
+                }
+                cand = prev[j];
+                steps += 1;
+            }
+            // Dictionary candidates compete with in-record candidates.
+            if let Some((dl, dd)) = self.best_dict_match(input, i, p.dict_probe) {
+                if best.map(|(bl, _)| dl > bl).unwrap_or(true) {
+                    best = Some((dl, dd));
+                }
+            }
+            best
+        };
+
+        let insert = |head: &mut [u32], prev: &mut [u32], pos: usize| {
+            if n - pos >= MIN_MATCH {
+                let h = (gram_hash(&input[pos..pos + 4]) & mask) as usize;
+                prev[pos] = head[h];
+                head[h] = pos as u32;
+            }
+        };
+
+        while i < n {
+            let m = find_best(&head, &prev, i);
+            match m {
+                Some((len0, dist0)) => {
+                    insert(&mut head, &mut prev, i);
+                    let (mut len, mut dist) = (len0, dist0);
+                    if p.lazy && i + 1 < n {
+                        // Peek one position ahead; prefer a strictly
+                        // longer match (one literal byte is the price).
+                        if let Some((l1, d1)) = find_best(&head, &prev, i + 1) {
+                            if l1 > len + 1 {
+                                i += 1;
+                                insert(&mut head, &mut prev, i);
+                                len = l1;
+                                dist = d1;
+                            }
+                        }
+                    }
+                    // Flush pending literals, then the match.
+                    write_varint(&mut out, (i - lit_start) as u64);
+                    out.extend_from_slice(&input[lit_start..i]);
+                    write_varint(&mut out, (len - MIN_MATCH + 1) as u64);
+                    write_varint(&mut out, dist as u64);
+                    // Index the covered positions (sparsely for speed).
+                    let stride = if len > 64 { 8 } else { 1 };
+                    let mut pos = i + 1;
+                    while pos < i + len && pos < n {
+                        if (pos - i).is_multiple_of(stride) {
+                            insert(&mut head, &mut prev, pos);
+                        }
+                        pos += 1;
+                    }
+                    i += len;
+                    lit_start = i;
+                    misses = 0;
+                }
+                None => {
+                    insert(&mut head, &mut prev, i);
+                    misses += 1;
+                    // Acceleration for fast levels: skip ahead on repeated misses.
+                    let step = if misses > p.skip_trigger {
+                        1 + ((misses - p.skip_trigger) / 4) as usize
+                    } else {
+                        1
+                    };
+                    i += step;
+                }
+            }
+        }
+        // Trailing literals + end marker.
+        write_varint(&mut out, (n - lit_start) as u64);
+        out.extend_from_slice(&input[lit_start..n]);
+        write_varint(&mut out, 0);
+        out
+    }
+
+    /// Decodes a raw LZ token stream.
+    fn lz_decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let dict_bytes: &[u8] = self.dict.as_ref().map(|d| d.bytes.as_slice()).unwrap_or(&[]);
+        let dlen = dict_bytes.len();
+        let mut out: Vec<u8> = Vec::with_capacity(input.len() * 3);
+        let mut pos = 0usize;
+        loop {
+            let lit_len = read_varint(input, &mut pos)? as usize;
+            if pos + lit_len > input.len() {
+                return Err(Error::Corruption("literal run overflows buffer".into()));
+            }
+            out.extend_from_slice(&input[pos..pos + lit_len]);
+            pos += lit_len;
+            if pos >= input.len() {
+                // Stream must end with the 0 end-marker; tolerate exactly-consumed
+                // buffers only when the marker was the last byte read.
+                return Err(Error::Corruption("missing end marker".into()));
+            }
+            let len_code = read_varint(input, &mut pos)? as usize;
+            if len_code == 0 {
+                if pos != input.len() {
+                    return Err(Error::Corruption("trailing garbage after end marker".into()));
+                }
+                return Ok(out);
+            }
+            let mlen = len_code + MIN_MATCH - 1;
+            let dist = read_varint(input, &mut pos)? as usize;
+            if dist == 0 || dist > out.len() + dlen {
+                return Err(Error::Corruption(format!(
+                    "bad match distance {dist} at output {}",
+                    out.len()
+                )));
+            }
+            if dist <= out.len() {
+                // Entirely within produced output (may overlap itself).
+                let start = out.len() - dist;
+                for k in 0..mlen {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                // Starts in the dictionary; may cross into produced output.
+                // Copy from the combined history (dict ++ out), whose window
+                // grows as bytes are appended — overlap is fine.
+                let start = dlen + out.len() - dist;
+                for k in 0..mlen {
+                    let src = start + k;
+                    let b = if src < dlen {
+                        dict_bytes[src]
+                    } else {
+                        out[src - dlen]
+                    };
+                    out.push(b);
+                }
+            }
+        }
+    }
+
+}
+
+/// Frame modes: how the payload after the mode byte is encoded.
+const MODE_STORED: u8 = 0;
+const MODE_LZ: u8 = 1;
+const MODE_LZ_RC: u8 = 2;
+
+impl Compressor for Tzstd {
+    /// Framed pipeline: LZ parse, then the adaptive range coder when it
+    /// pays, with a stored fallback so output never exceeds input + 1.
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let lz = self.lz_compress(input);
+        let rc = crate::rangecoder::rc_encode(&lz);
+        let mut rc_framed_len = 1 + rc.len();
+        let mut lz_len_varint = Vec::new();
+        write_varint(&mut lz_len_varint, lz.len() as u64);
+        rc_framed_len += lz_len_varint.len();
+
+        if rc_framed_len < lz.len() + 1 && rc_framed_len < input.len() + 1 {
+            let mut out = Vec::with_capacity(rc_framed_len);
+            out.push(MODE_LZ_RC);
+            out.extend_from_slice(&lz_len_varint);
+            out.extend_from_slice(&rc);
+            out
+        } else if lz.len() < input.len() {
+            let mut out = Vec::with_capacity(lz.len() + 1);
+            out.push(MODE_LZ);
+            out.extend_from_slice(&lz);
+            out
+        } else {
+            let mut out = Vec::with_capacity(input.len() + 1);
+            out.push(MODE_STORED);
+            out.extend_from_slice(input);
+            out
+        }
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let (&mode, rest) = input
+            .split_first()
+            .ok_or_else(|| Error::Corruption("empty tzstd frame".into()))?;
+        match mode {
+            MODE_STORED => Ok(rest.to_vec()),
+            MODE_LZ => self.lz_decompress(rest),
+            MODE_LZ_RC => {
+                let mut pos = 0usize;
+                let lz_len = read_varint(rest, &mut pos)? as usize;
+                if lz_len > rest.len().saturating_mul(512) + (1 << 20) {
+                    return Err(Error::Corruption("implausible LZ length".into()));
+                }
+                let lz = crate::rangecoder::rc_decode(&rest[pos..], lz_len)?;
+                self.lz_decompress(&lz)
+            }
+            other => Err(Error::Corruption(format!("bad tzstd frame mode {other}"))),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.dict.is_some() {
+            "tzstd-d"
+        } else {
+            "tzstd"
+        }
+    }
+}
+
+/// LEB128 varint encode.
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// LEB128 varint decode.
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| Error::Corruption("varint truncated".into()))?;
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Corruption("varint too long".into()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(c: &Tzstd, data: &[u8]) {
+        let z = c.compress(data);
+        let back = c.decompress(&z).expect("decompress");
+        assert_eq!(back, data, "roundtrip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = vec![];
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(&Tzstd::new(TzstdLevel(1)), b"");
+    }
+
+    #[test]
+    fn short_input() {
+        roundtrip(&Tzstd::new(TzstdLevel(1)), b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let c = Tzstd::new(TzstdLevel(1));
+        let data = b"abcabcabcabcabcabcabcabcabcabcabcabc".to_vec();
+        let z = c.compress(&data);
+        assert!(z.len() < data.len(), "{} !< {}", z.len(), data.len());
+        roundtrip(&c, &data);
+    }
+
+    #[test]
+    fn overlapping_match_roundtrips() {
+        // "aaaa..." forces dist=1, len>dist overlapping copies.
+        let c = Tzstd::new(TzstdLevel(1));
+        roundtrip(&c, &vec![b'a'; 1000]);
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        for lvl in [-50, -10, 1, 15, 22] {
+            roundtrip(&Tzstd::new(TzstdLevel(lvl)), &data);
+        }
+    }
+
+    #[test]
+    fn higher_level_not_worse_on_text() {
+        let text: Vec<u8> = std::iter::repeat_n(&b"the quick brown fox jumps over the lazy dog and then the dog chases the fox "[..], 50)
+        .flatten()
+        .copied()
+        .collect();
+        let fast = Tzstd::new(TzstdLevel(-10)).compress(&text).len();
+        let slow = Tzstd::new(TzstdLevel(22)).compress(&text).len();
+        // The adaptive entropy stage adds a little noise; allow it,
+        // but a higher level must never be much worse.
+        assert!(
+            slow <= fast + fast / 10 + 4,
+            "level 22 ({slow}) much worse than -10 ({fast})"
+        );
+    }
+
+    #[test]
+    fn dictionary_improves_small_records() {
+        let dict = Arc::new(TrainedDict::new(
+            b"{\"uid\":\"0000000000000000\",\"sess\":\"\",\"dev\":\"android\",\"ts\":1700000000}".to_vec(),
+        ));
+        let record = b"{\"uid\":\"ab34cd9821fe4411\",\"sess\":\"x\",\"dev\":\"android\",\"ts\":1712345678}";
+        let plain = Tzstd::new(TzstdLevel(1)).compress(record).len();
+        let with_dict = Tzstd::with_dict(TzstdLevel(1), dict.clone()).compress(record).len();
+        assert!(
+            with_dict < plain,
+            "dict ({with_dict}) should beat plain ({plain})"
+        );
+        roundtrip(&Tzstd::with_dict(TzstdLevel(1), dict), record);
+    }
+
+    #[test]
+    fn dict_boundary_crossing_match() {
+        // Dictionary ends with a prefix of the record so a match can start
+        // in the dictionary and continue into produced output.
+        let dict = Arc::new(TrainedDict::new(b"prefix-common-".to_vec()));
+        let c = Tzstd::with_dict(TzstdLevel(22), dict);
+        roundtrip(&c, b"prefix-common-prefix-common-prefix-common-tail");
+    }
+
+    #[test]
+    fn wrong_dict_fails_or_differs() {
+        let d1 = Arc::new(TrainedDict::new(b"AAAABBBBCCCCDDDD".to_vec()));
+        let c1 = Tzstd::with_dict(TzstdLevel(1), d1);
+        let data = b"AAAABBBBCCCCDDDDxyz";
+        let z = c1.compress(data);
+        let c2 = Tzstd::new(TzstdLevel(1));
+        // Decompressing without the dictionary must not silently succeed
+        // with the right data.
+        if let Ok(got) = c2.decompress(&z) { assert_ne!(got, data) }
+    }
+
+    #[test]
+    fn corrupted_stream_is_an_error_not_a_panic() {
+        let c = Tzstd::new(TzstdLevel(1));
+        let z = c.compress(b"hello hello hello hello");
+        for i in 0..z.len() {
+            let mut bad = z.clone();
+            bad[i] ^= 0xff;
+            let _ = c.decompress(&bad); // must not panic
+        }
+        assert!(c.decompress(&[]).is_err());
+        assert!(c.decompress(&[0x80]).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_roundtrip_any_bytes(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            roundtrip(&Tzstd::new(TzstdLevel(1)), &data);
+        }
+
+        #[test]
+        fn prop_roundtrip_fast_level(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            roundtrip(&Tzstd::new(TzstdLevel(-50)), &data);
+        }
+
+        #[test]
+        fn prop_roundtrip_with_dict(
+            data in proptest::collection::vec(any::<u8>(), 0..800),
+            dict in proptest::collection::vec(any::<u8>(), 0..800),
+        ) {
+            let d = Arc::new(TrainedDict::new(dict));
+            roundtrip(&Tzstd::with_dict(TzstdLevel(15), d), &data);
+        }
+
+        #[test]
+        fn prop_compressible_data_shrinks(seed in 0u8..=255) {
+            let unit = [seed, seed.wrapping_add(1), seed.wrapping_add(2), b'-'];
+            let data: Vec<u8> = unit.iter().cycle().take(400).copied().collect();
+            let c = Tzstd::new(TzstdLevel(1));
+            prop_assert!(c.compress(&data).len() < data.len());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! TierBase — a workload-driven, cost-optimized key-value store.
+//!
+//! Reproduction of *"TierBase: A Workload-Driven Cost-Optimized
+//! Key-Value Store"* (Shen et al., ICDE 2025). The store combines:
+//!
+//! * a **cache tier** of sharded in-memory hash tables (DRAM and/or
+//!   simulated PMem) with LRU eviction and optional replication,
+//! * a **storage tier** (a disaggregated LSM engine) synchronized by
+//!   **write-through** or **write-back** policies (§4.1),
+//! * **persistence modes** for cache-resident deployments: WAL on disk
+//!   or WAL on a persistent-memory ring buffer (§4.3),
+//! * **pre-trained compression** (dictionary LZ or pattern-based PBC)
+//!   of values (§4.2),
+//! * **elastic threading** between single- and multi-thread modes
+//!   (§4.4),
+//! * Redis-style data types, CAS, wide-column access and vector search
+//!   on top of the byte-string core (§3).
+//!
+//! ```no_run
+//! use tierbase_core::{TierBase, TierBaseConfig, SyncPolicy};
+//! use tb_common::{Key, Value, KvEngine};
+//!
+//! let tb = TierBase::open(
+//!     TierBaseConfig::builder("/tmp/tierbase-demo")
+//!         .cache_capacity(64 << 20)
+//!         .policy(SyncPolicy::WriteThrough)
+//!         .build(),
+//! ).unwrap();
+//! tb.put(Key::from("user:1"), Value::from("alice")).unwrap();
+//! assert_eq!(tb.get(&Key::from("user:1")).unwrap(), Some(Value::from("alice")));
+//! ```
+
+pub mod config;
+pub mod insight;
+pub mod interval;
+pub mod store;
+pub mod types;
+pub mod vector;
+pub mod wide;
+
+pub use config::{
+    CompressionChoice, PersistenceMode, PmemTuning, SyncPolicy, TierBaseConfig,
+    TierBaseConfigBuilder, WriteBackTuning,
+};
+pub use insight::{Action, Insight, InsightSnapshot, Suggestion};
+pub use interval::AccessIntervalTracker;
+pub use store::{TierBase, TierBaseStats};
+pub use types::{DataTypes, ListEnd};
+pub use vector::{HnswConfig, HnswIndex};
+pub use wide::WideColumn;

@@ -1,0 +1,381 @@
+//! In-memory approximate-nearest-neighbor index (the VSAG role, §3).
+//!
+//! A compact HNSW (hierarchical navigable small world) graph supporting
+//! real-time insertion and deletion. Deletions are tombstoned: the node
+//! keeps routing (its edges stay useful) but never appears in results —
+//! the standard approach for dynamic HNSW.
+
+use parking_lot::RwLock;
+use std::collections::{BinaryHeap, HashSet};
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswConfig {
+    /// Max neighbors per node per layer.
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search.
+    pub ef_search: usize,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+        }
+    }
+}
+
+struct Node {
+    vector: Vec<f32>,
+    /// Neighbor lists, one per layer (index 0 = base layer).
+    neighbors: Vec<Vec<usize>>,
+    deleted: bool,
+    /// External identifier.
+    id: u64,
+}
+
+struct Graph {
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+    max_layer: usize,
+    live_count: usize,
+}
+
+/// A thread-safe HNSW index over f32 vectors (L2 distance).
+pub struct HnswIndex {
+    config: HnswConfig,
+    dim: usize,
+    graph: RwLock<Graph>,
+    /// Deterministic level generator state.
+    rng_state: RwLock<u64>,
+}
+
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Max-heap entry by distance (for result pruning).
+#[derive(PartialEq)]
+struct Candidate {
+    dist: f32,
+    idx: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("distances are finite")
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl HnswIndex {
+    pub fn new(dim: usize, config: HnswConfig) -> Self {
+        Self {
+            config,
+            dim,
+            graph: RwLock::new(Graph {
+                nodes: Vec::new(),
+                entry: None,
+                max_layer: 0,
+                live_count: 0,
+            }),
+            rng_state: RwLock::new(0x853c_49e6_748f_ea9b),
+        }
+    }
+
+    /// Number of live (non-deleted) vectors.
+    pub fn len(&self) -> usize {
+        self.graph.read().live_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn random_level(&self) -> usize {
+        // xorshift + geometric level distribution with p = 1/e.
+        let mut s = self.rng_state.write();
+        let mut x = *s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *s = x;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        (-(u.max(1e-12)).ln() * 0.36) as usize
+    }
+
+    /// Inserts a vector under an external id.
+    pub fn insert(&self, id: u64, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let level = self.random_level();
+        let mut g = self.graph.write();
+        let idx = g.nodes.len();
+        g.nodes.push(Node {
+            vector,
+            neighbors: vec![Vec::new(); level + 1],
+            deleted: false,
+            id,
+        });
+        g.live_count += 1;
+
+        let Some(mut cur) = g.entry else {
+            g.entry = Some(idx);
+            g.max_layer = level;
+            return;
+        };
+
+        let query = g.nodes[idx].vector.clone();
+        // Greedy descent through layers above the new node's level.
+        let top = g.max_layer;
+        for layer in ((level + 1)..=top).rev() {
+            cur = greedy_closest(&g, &query, cur, layer);
+        }
+        // Connect on each layer from min(level, top) down.
+        for layer in (0..=level.min(top)).rev() {
+            let found = beam_search(&g, &query, cur, layer, self.config.ef_construction);
+            let m = if layer == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
+            let selected: Vec<usize> = found.iter().take(m).map(|c| c.idx).collect();
+            for &n in &selected {
+                g.nodes[idx].neighbors[layer].push(n);
+                g.nodes[n].neighbors[layer].push(idx);
+                // Prune over-full neighbor lists.
+                if g.nodes[n].neighbors[layer].len() > m * 2 {
+                    let nv = g.nodes[n].vector.clone();
+                    let mut neigh = std::mem::take(&mut g.nodes[n].neighbors[layer]);
+                    neigh.sort_by(|&a, &b| {
+                        l2(&g.nodes[a].vector, &nv)
+                            .partial_cmp(&l2(&g.nodes[b].vector, &nv))
+                            .expect("finite")
+                    });
+                    neigh.truncate(m);
+                    g.nodes[n].neighbors[layer] = neigh;
+                }
+            }
+            if let Some(best) = selected.first() {
+                cur = *best;
+            }
+        }
+        if level > g.max_layer {
+            g.max_layer = level;
+            g.entry = Some(idx);
+        }
+    }
+
+    /// Tombstones a vector by external id; true when found live.
+    pub fn delete(&self, id: u64) -> bool {
+        let mut g = self.graph.write();
+        for node in g.nodes.iter_mut() {
+            if node.id == id && !node.deleted {
+                node.deleted = true;
+                g.live_count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns the `k` nearest live vectors as `(id, distance²)`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let g = self.graph.read();
+        let Some(mut cur) = g.entry else {
+            return vec![];
+        };
+        for layer in (1..=g.max_layer).rev() {
+            cur = greedy_closest(&g, query, cur, layer);
+        }
+        let ef = self.config.ef_search.max(k);
+        let found = beam_search(&g, query, cur, 0, ef);
+        found
+            .into_iter()
+            .filter(|c| !g.nodes[c.idx].deleted)
+            .take(k)
+            .map(|c| (g.nodes[c.idx].id, c.dist))
+            .collect()
+    }
+}
+
+fn greedy_closest(g: &Graph, query: &[f32], start: usize, layer: usize) -> usize {
+    let mut cur = start;
+    let mut cur_dist = l2(&g.nodes[cur].vector, query);
+    loop {
+        let mut improved = false;
+        if layer < g.nodes[cur].neighbors.len() {
+            for &n in &g.nodes[cur].neighbors[layer] {
+                let d = l2(&g.nodes[n].vector, query);
+                if d < cur_dist {
+                    cur = n;
+                    cur_dist = d;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// Beam search on one layer; returns candidates sorted by distance.
+fn beam_search(g: &Graph, query: &[f32], start: usize, layer: usize, ef: usize) -> Vec<Candidate> {
+    let mut visited = HashSet::new();
+    visited.insert(start);
+    let start_dist = l2(&g.nodes[start].vector, query);
+    // `results` is a max-heap (worst at top); `frontier` explores closest-first.
+    let mut results: BinaryHeap<Candidate> = BinaryHeap::new();
+    results.push(Candidate {
+        dist: start_dist,
+        idx: start,
+    });
+    let mut frontier: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+    frontier.push(std::cmp::Reverse(Candidate {
+        dist: start_dist,
+        idx: start,
+    }));
+
+    while let Some(std::cmp::Reverse(cand)) = frontier.pop() {
+        let worst = results.peek().map(|c| c.dist).unwrap_or(f32::INFINITY);
+        if cand.dist > worst && results.len() >= ef {
+            break;
+        }
+        if layer < g.nodes[cand.idx].neighbors.len() {
+            for &n in &g.nodes[cand.idx].neighbors[layer] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let d = l2(&g.nodes[n].vector, query);
+                let worst = results.peek().map(|c| c.dist).unwrap_or(f32::INFINITY);
+                if results.len() < ef || d < worst {
+                    results.push(Candidate { dist: d, idx: n });
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                    frontier.push(std::cmp::Reverse(Candidate { dist: d, idx: n }));
+                }
+            }
+        }
+    }
+    let mut out: Vec<Candidate> = results.into_vec();
+    out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    fn brute_force(vectors: &[Vec<f32>], query: &[f32], k: usize) -> Vec<u64> {
+        let mut scored: Vec<(u64, f32)> = vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64, l2(v, query)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        scored.into_iter().take(k).map(|(i, _)| i).collect()
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = HnswIndex::new(8, HnswConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 8], 5).is_empty());
+    }
+
+    #[test]
+    fn exact_match_found() {
+        let idx = HnswIndex::new(4, HnswConfig::default());
+        let vecs = random_vectors(100, 4, 1);
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(i as u64, v.clone());
+        }
+        let hits = idx.search(&vecs[42], 1);
+        assert_eq!(hits[0].0, 42);
+        assert!(hits[0].1 < 1e-9);
+    }
+
+    #[test]
+    fn recall_against_brute_force() {
+        let dim = 16;
+        let vecs = random_vectors(1000, dim, 7);
+        let idx = HnswIndex::new(dim, HnswConfig::default());
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(i as u64, v.clone());
+        }
+        let queries = random_vectors(20, dim, 99);
+        let mut recall_sum = 0.0;
+        for q in &queries {
+            let truth: HashSet<u64> = brute_force(&vecs, q, 10).into_iter().collect();
+            let got: HashSet<u64> = idx.search(q, 10).into_iter().map(|(i, _)| i).collect();
+            recall_sum += truth.intersection(&got).count() as f64 / 10.0;
+        }
+        let recall = recall_sum / queries.len() as f64;
+        assert!(recall > 0.8, "recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn deletion_hides_vectors() {
+        let idx = HnswIndex::new(4, HnswConfig::default());
+        let vecs = random_vectors(50, 4, 3);
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(i as u64, v.clone());
+        }
+        assert_eq!(idx.len(), 50);
+        assert!(idx.delete(10));
+        assert!(!idx.delete(10), "double delete");
+        assert_eq!(idx.len(), 49);
+        let hits = idx.search(&vecs[10], 5);
+        assert!(hits.iter().all(|(id, _)| *id != 10), "deleted id surfaced");
+    }
+
+    #[test]
+    fn results_are_distance_sorted() {
+        let idx = HnswIndex::new(8, HnswConfig::default());
+        for (i, v) in random_vectors(300, 8, 5).iter().enumerate() {
+            idx.insert(i as u64, v.clone());
+        }
+        let hits = idx.search(&random_vectors(1, 8, 17)[0], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let idx = HnswIndex::new(4, HnswConfig::default());
+        idx.insert(0, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Core cost definitions (paper §2.1–§2.2).
+
+/// A resource instance: the unit of allocation in the data center
+/// (a container with fixed CPU and memory and a monetary price).
+///
+/// The paper's standard container is 1 CPU core + 4 GB at relative cost
+/// 1.0; multi-thread experiments use 4 cores + 16 GB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSpec {
+    /// Monetary cost of one instance per unit time (relative units).
+    pub cost: f64,
+    /// CPU cores in the instance.
+    pub cpu_cores: u32,
+    /// Memory capacity in GB.
+    pub memory_gb: f64,
+    /// Human-readable label.
+    pub name: String,
+}
+
+impl InstanceSpec {
+    /// The paper's standard container: 1 core, 4 GB, relative cost 1.
+    pub fn standard() -> Self {
+        Self {
+            cost: 1.0,
+            cpu_cores: 1,
+            memory_gb: 4.0,
+            name: "standard-1c4g".into(),
+        }
+    }
+
+    /// The paper's multi-thread/persistent-database container: 4 cores,
+    /// 16 GB, relative cost 4 (prices scale linearly with allocation).
+    pub fn large() -> Self {
+        Self {
+            cost: 4.0,
+            cpu_cores: 4,
+            memory_gb: 16.0,
+            name: "large-4c16g".into(),
+        }
+    }
+}
+
+/// A workload's resource demands: `QPS(w)` and `DataSize(w)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadDemand {
+    pub qps: f64,
+    pub data_size_gb: f64,
+}
+
+impl WorkloadDemand {
+    pub fn new(qps: f64, data_size_gb: f64) -> Self {
+        assert!(qps >= 0.0 && data_size_gb >= 0.0);
+        Self { qps, data_size_gb }
+    }
+}
+
+/// Measured capability of one (instance, configuration) pair, plus the
+/// derived cost metrics of Definition 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMetrics {
+    /// `MaxPerf(w, i, s)` — sustainable queries/second on one instance.
+    pub max_perf_qps: f64,
+    /// `MaxSpace(w, i, s)` — storable data in GB on one instance.
+    pub max_space_gb: f64,
+    /// `Cost(i)` — the instance's price.
+    pub instance_cost: f64,
+    /// Tolerance ratio reserved against performance variance (≥ 1);
+    /// effective capability is divided by it (§2.1 "tolerance ratios").
+    pub perf_tolerance: f64,
+    /// Tolerance ratio reserved against uneven sharding (≥ 1).
+    pub space_tolerance: f64,
+}
+
+impl CostMetrics {
+    /// Metrics with no redundancy headroom.
+    pub fn new(max_perf_qps: f64, max_space_gb: f64, instance_cost: f64) -> Self {
+        assert!(max_perf_qps > 0.0, "MaxPerf must be positive");
+        assert!(max_space_gb > 0.0, "MaxSpace must be positive");
+        Self {
+            max_perf_qps,
+            max_space_gb,
+            instance_cost,
+            perf_tolerance: 1.0,
+            space_tolerance: 1.0,
+        }
+    }
+
+    /// Applies tolerance ratios (both ≥ 1).
+    pub fn with_tolerance(mut self, perf: f64, space: f64) -> Self {
+        assert!(perf >= 1.0 && space >= 1.0, "tolerances must be >= 1");
+        self.perf_tolerance = perf;
+        self.space_tolerance = space;
+        self
+    }
+
+    /// Effective per-instance QPS after tolerance.
+    fn effective_perf(&self) -> f64 {
+        self.max_perf_qps / self.perf_tolerance
+    }
+
+    /// Effective per-instance GB after tolerance.
+    fn effective_space(&self) -> f64 {
+        self.max_space_gb / self.space_tolerance
+    }
+
+    /// `CPQPS = Cost(i) / MaxPerf` — cost of each query/second served.
+    pub fn cpqps(&self) -> f64 {
+        self.instance_cost / self.effective_perf()
+    }
+
+    /// `CPGB = Cost(i) / MaxSpace` — cost of each GB stored.
+    pub fn cpgb(&self) -> f64 {
+        self.instance_cost / self.effective_space()
+    }
+
+    /// Performance cost of a workload: `Cost(i) × ceil(QPS / MaxPerf)`
+    /// (Definition 1, with the ceiling — whole instances are rented).
+    pub fn performance_cost_ceil(&self, w: &WorkloadDemand) -> f64 {
+        self.instance_cost * (w.qps / self.effective_perf()).ceil()
+    }
+
+    /// Space cost of a workload with the instance-count ceiling.
+    pub fn space_cost_ceil(&self, w: &WorkloadDemand) -> f64 {
+        self.instance_cost * (w.data_size_gb / self.effective_space()).ceil()
+    }
+
+    /// Fluid performance cost `CPQPS × QPS` (Definition 2 / Eq. 2 —
+    /// ceiling dropped for workloads spanning many instances).
+    pub fn performance_cost(&self, w: &WorkloadDemand) -> f64 {
+        self.cpqps() * w.qps
+    }
+
+    /// Fluid space cost `CPGB × DataSize`.
+    pub fn space_cost(&self, w: &WorkloadDemand) -> f64 {
+        self.cpgb() * w.data_size_gb
+    }
+
+    /// Total workload cost `C = max(PC, SC)` (Eq. 2).
+    pub fn total_cost(&self, w: &WorkloadDemand) -> f64 {
+        self.performance_cost(w).max(self.space_cost(w))
+    }
+
+    /// Total cost with instance-count ceilings (Definition 1 / Eq. 1).
+    pub fn total_cost_ceil(&self, w: &WorkloadDemand) -> f64 {
+        self.performance_cost_ceil(w).max(self.space_cost_ceil(w))
+    }
+
+    /// True when the workload is performance-critical under this
+    /// configuration (PC > SC; Figure 2a's upper region).
+    pub fn is_performance_critical(&self, w: &WorkloadDemand) -> bool {
+        self.performance_cost(w) > self.space_cost(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> CostMetrics {
+        // 1-cost instance serving 100k QPS or holding 4 GB.
+        CostMetrics::new(100_000.0, 4.0, 1.0)
+    }
+
+    #[test]
+    fn cpqps_and_cpgb() {
+        let m = metrics();
+        assert!((m.cpqps() - 1.0 / 100_000.0).abs() < 1e-12);
+        assert!((m.cpgb() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluid_costs_scale_linearly() {
+        let m = metrics();
+        let w = WorkloadDemand::new(200_000.0, 10.0);
+        assert!((m.performance_cost(&w) - 2.0).abs() < 1e-12);
+        assert!((m.space_cost(&w) - 2.5).abs() < 1e-12);
+        assert!((m.total_cost(&w) - 2.5).abs() < 1e-12);
+        assert!(!m.is_performance_critical(&w));
+    }
+
+    #[test]
+    fn ceiling_rounds_up_instances() {
+        let m = metrics();
+        // 150k QPS needs 2 instances; 9 GB needs 3 instances.
+        let w = WorkloadDemand::new(150_000.0, 9.0);
+        assert_eq!(m.performance_cost_ceil(&w), 2.0);
+        assert_eq!(m.space_cost_ceil(&w), 3.0);
+        assert_eq!(m.total_cost_ceil(&w), 3.0);
+    }
+
+    #[test]
+    fn ceil_cost_dominates_fluid_cost() {
+        let m = metrics();
+        for (qps, gb) in [(1.0, 0.1), (99_999.0, 3.9), (100_001.0, 4.1), (1e6, 40.0)] {
+            let w = WorkloadDemand::new(qps, gb);
+            assert!(
+                m.total_cost_ceil(&w) >= m.total_cost(&w) - 1e-9,
+                "ceil < fluid at qps={qps} gb={gb}"
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_raises_costs() {
+        let m = metrics();
+        let t = metrics().with_tolerance(1.25, 1.5);
+        let w = WorkloadDemand::new(100_000.0, 4.0);
+        assert!(t.performance_cost(&w) > m.performance_cost(&w));
+        assert!(t.space_cost(&w) > m.space_cost(&w));
+        assert!((t.performance_cost(&w) - 1.25).abs() < 1e-12);
+        assert!((t.space_cost(&w) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn performance_critical_classification() {
+        let m = metrics();
+        let perf_heavy = WorkloadDemand::new(1_000_000.0, 1.0);
+        let space_heavy = WorkloadDemand::new(1_000.0, 100.0);
+        assert!(m.is_performance_critical(&perf_heavy));
+        assert!(!m.is_performance_critical(&space_heavy));
+    }
+
+    #[test]
+    fn instance_presets() {
+        let s = InstanceSpec::standard();
+        let l = InstanceSpec::large();
+        assert_eq!(s.cpu_cores, 1);
+        assert_eq!(l.cpu_cores, 4);
+        assert!((l.cost / s.cost - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "MaxPerf must be positive")]
+    fn zero_maxperf_rejected() {
+        CostMetrics::new(0.0, 1.0, 1.0);
+    }
+}

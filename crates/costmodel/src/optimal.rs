@@ -1,0 +1,185 @@
+//! Theorem 2.1 — the Optimal Cost Theorem.
+//!
+//! Over a set of storage configurations `S`, the optimal cost is
+//! `C* = min_s max(PC_s, SC_s)`, and along a space-performance trade-off
+//! frontier it is achieved where `PC = SC`. [`optimal_config`] performs
+//! the discrete selection; [`ConfigCost`] carries the per-configuration
+//! breakdown the figures plot.
+
+use crate::model::{CostMetrics, WorkloadDemand};
+
+/// Cost breakdown of one candidate configuration for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigCost {
+    pub name: String,
+    pub performance_cost: f64,
+    pub space_cost: f64,
+}
+
+impl ConfigCost {
+    pub fn new(name: impl Into<String>, pc: f64, sc: f64) -> Self {
+        Self {
+            name: name.into(),
+            performance_cost: pc,
+            space_cost: sc,
+        }
+    }
+
+    /// Evaluates a configuration's metrics against a workload.
+    pub fn from_metrics(name: impl Into<String>, m: &CostMetrics, w: &WorkloadDemand) -> Self {
+        Self::new(name, m.performance_cost(w), m.space_cost(w))
+    }
+
+    /// `max(PC, SC)` — what the deployment actually pays.
+    pub fn total(&self) -> f64 {
+        self.performance_cost.max(self.space_cost)
+    }
+
+    /// `|PC − SC|` — distance from the theorem's balance point.
+    pub fn imbalance(&self) -> f64 {
+        (self.performance_cost - self.space_cost).abs()
+    }
+}
+
+/// Selects the cost-optimal configuration: `argmin_s max(PC_s, SC_s)`.
+/// Returns `None` for an empty candidate set.
+pub fn optimal_config(candidates: &[ConfigCost]) -> Option<&ConfigCost> {
+    candidates.iter().min_by(|a, b| {
+        a.total()
+            .partial_cmp(&b.total())
+            .expect("costs must be finite")
+    })
+}
+
+/// Selects the most *balanced* configuration: `argmin_s |PC_s − SC_s|`.
+/// Along a dense trade-off frontier this coincides with
+/// [`optimal_config`] (the theorem); on sparse candidate sets they can
+/// differ, which is why both selectors exist.
+pub fn most_balanced_config(candidates: &[ConfigCost]) -> Option<&ConfigCost> {
+    candidates.iter().min_by(|a, b| {
+        a.imbalance()
+            .partial_cmp(&b.imbalance())
+            .expect("costs must be finite")
+    })
+}
+
+/// Generates the cost frontier of Figure 2(a): sweeps a parametric
+/// trade-off `CPQPS = f(CPGB)` and reports each point's costs. `f` must
+/// be non-increasing (Definition 3).
+pub fn sweep_frontier(
+    cpgb_points: &[f64],
+    f: impl Fn(f64) -> f64,
+    w: &WorkloadDemand,
+) -> Vec<ConfigCost> {
+    cpgb_points
+        .iter()
+        .map(|&cpgb| {
+            let cpqps = f(cpgb);
+            ConfigCost::new(
+                format!("cpgb={cpgb:.4}"),
+                cpqps * w.qps,
+                cpgb * w.data_size_gb,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn optimal_picks_min_total() {
+        let cands = vec![
+            ConfigCost::new("a", 4.0, 1.0), // total 4
+            ConfigCost::new("b", 2.0, 2.5), // total 2.5  ← optimal
+            ConfigCost::new("c", 1.0, 3.0), // total 3
+        ];
+        assert_eq!(optimal_config(&cands).unwrap().name, "b");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert!(optimal_config(&[]).is_none());
+        assert!(most_balanced_config(&[]).is_none());
+    }
+
+    #[test]
+    fn balanced_picks_min_imbalance() {
+        let cands = vec![
+            ConfigCost::new("a", 4.0, 1.0),
+            ConfigCost::new("b", 2.0, 2.1),
+            ConfigCost::new("c", 1.0, 3.0),
+        ];
+        assert_eq!(most_balanced_config(&cands).unwrap().name, "b");
+    }
+
+    #[test]
+    fn theorem_on_dense_frontier() {
+        // Trade-off: CPQPS = k / CPGB (hyperbolic frontier), workload with
+        // equal demands. The theorem says the optimum sits at PC = SC.
+        let w = WorkloadDemand::new(100.0, 100.0);
+        let points: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.001).collect();
+        let cands = sweep_frontier(&points, |cpgb| 0.0001 / cpgb, &w);
+        let opt = optimal_config(&cands).unwrap();
+        let bal = most_balanced_config(&cands).unwrap();
+        // Dense frontier ⇒ the two selectors agree (within grid step).
+        assert!(
+            (opt.total() - bal.total()).abs() / opt.total() < 0.05,
+            "optimal {} vs balanced {}",
+            opt.total(),
+            bal.total()
+        );
+        // And the optimum is near-balanced.
+        assert!(
+            opt.imbalance() / opt.total() < 0.1,
+            "imbalance {} of total {}",
+            opt.imbalance(),
+            opt.total()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Theorem invariant: on any non-increasing frontier the minimal
+        /// max(PC, SC) point has |PC − SC| no larger than the frontier's
+        /// granularity allows — i.e. no candidate strictly dominates it.
+        #[test]
+        fn prop_no_candidate_beats_optimal(
+            seed_costs in proptest::collection::vec((0.01f64..10.0, 0.01f64..10.0), 1..40)
+        ) {
+            let cands: Vec<ConfigCost> = seed_costs
+                .iter()
+                .enumerate()
+                .map(|(i, &(pc, sc))| ConfigCost::new(format!("c{i}"), pc, sc))
+                .collect();
+            let opt = optimal_config(&cands).unwrap();
+            for c in &cands {
+                prop_assert!(c.total() >= opt.total() - 1e-12);
+            }
+        }
+
+        /// On a hyperbolic frontier with positive demands, the optimum's
+        /// relative imbalance shrinks as the grid refines — sanity check
+        /// of the continuous theorem's discrete analog.
+        #[test]
+        fn prop_dense_frontier_balances(k in 0.0001f64..0.1, qps in 10.0f64..10_000.0, gb in 10.0f64..10_000.0) {
+            // The continuous balance point solves k*qps/cpgb = cpgb*gb;
+            // the theorem's PC = SC claim only applies when that point
+            // lies inside the swept configuration set (Theorem 2.1
+            // assumes the trade-off can actually be made in both
+            // directions). Skip boundary-optimum draws.
+            let balance_cpgb = (k * qps / gb).sqrt();
+            prop_assume!((0.01..=3.5).contains(&balance_cpgb));
+            let w = WorkloadDemand::new(qps, gb);
+            let points: Vec<f64> = (1..=2000).map(|i| i as f64 * 0.002).collect();
+            let cands = sweep_frontier(&points, |cpgb| k / cpgb, &w);
+            let opt = optimal_config(&cands).unwrap();
+            // The grid optimum should be within a few steps of balance.
+            prop_assert!(opt.imbalance() / opt.total() < 0.25,
+                "imbalance {} total {}", opt.imbalance(), opt.total());
+        }
+    }
+}

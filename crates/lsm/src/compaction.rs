@@ -1,0 +1,103 @@
+//! Merging logic for flush and leveled compaction.
+//!
+//! Inputs are ordered **newest first**; the first occurrence of a key
+//! wins. Tombstones survive the merge unless the output lands in the
+//! bottom level (nothing older can exist below it), where they are
+//! dropped for good.
+
+use crate::memtable::Entry;
+use std::collections::BTreeMap;
+use tb_common::Key;
+
+/// Merges entry runs (newest first) into one sorted, deduplicated run.
+pub fn merge_runs(inputs: Vec<Vec<(Key, Entry)>>, drop_tombstones: bool) -> Vec<(Key, Entry)> {
+    let mut merged: BTreeMap<Key, Entry> = BTreeMap::new();
+    for run in inputs {
+        for (k, e) in run {
+            merged.entry(k).or_insert(e); // first (newest) wins
+        }
+    }
+    merged
+        .into_iter()
+        .filter(|(_, e)| !(drop_tombstones && *e == Entry::Tombstone))
+        .collect()
+}
+
+/// Size of one level in bytes given per-table file sizes.
+pub fn level_bytes(file_sizes: &[u64]) -> u64 {
+    file_sizes.iter().sum()
+}
+
+/// Max bytes allowed in level `n` (1-based beyond L0) with the classic
+/// 10× fanout.
+pub fn level_limit(level: usize, base_bytes: u64) -> u64 {
+    base_bytes * 10u64.pow(level.saturating_sub(1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_common::Value;
+
+    fn put(k: &str, v: &str) -> (Key, Entry) {
+        (Key::from(k), Entry::Put(Value::from(v)))
+    }
+
+    fn del(k: &str) -> (Key, Entry) {
+        (Key::from(k), Entry::Tombstone)
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let newest = vec![put("a", "new")];
+        let oldest = vec![put("a", "old"), put("b", "keep")];
+        let out = merge_runs(vec![newest, oldest], false);
+        assert_eq!(out, vec![put("a", "new"), put("b", "keep")]);
+    }
+
+    #[test]
+    fn tombstone_shadows_older_put() {
+        let newest = vec![del("a")];
+        let oldest = vec![put("a", "old")];
+        let kept = merge_runs(vec![newest.clone(), oldest.clone()], false);
+        assert_eq!(kept, vec![del("a")]);
+        let dropped = merge_runs(vec![newest, oldest], true);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn older_tombstone_does_not_hide_newer_put() {
+        let newest = vec![put("a", "resurrected")];
+        let oldest = vec![del("a")];
+        let out = merge_runs(vec![newest, oldest], true);
+        assert_eq!(out, vec![put("a", "resurrected")]);
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let r1 = vec![put("m", "1"), put("z", "1")];
+        let r2 = vec![put("a", "2"), put("q", "2")];
+        let out = merge_runs(vec![r1, r2], false);
+        let keys: Vec<&Key> = out.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn three_way_merge_respects_order() {
+        let l0_new = vec![put("k", "v3")];
+        let l0_old = vec![put("k", "v2")];
+        let l1 = vec![put("k", "v1")];
+        let out = merge_runs(vec![l0_new, l0_old, l1], false);
+        assert_eq!(out, vec![put("k", "v3")]);
+    }
+
+    #[test]
+    fn level_limits_fan_out() {
+        assert_eq!(level_limit(1, 1000), 1000);
+        assert_eq!(level_limit(2, 1000), 10_000);
+        assert_eq!(level_limit(3, 1000), 100_000);
+    }
+}

@@ -1,0 +1,711 @@
+//! The LSM database: WAL + memtable + leveled SSTables + manifest.
+//!
+//! Durability contract: every mutation is WAL-appended before it is
+//! visible; the WAL resets only after its contents are safely inside an
+//! SSTable named by a durably-written manifest. Recovery = load
+//! manifest, open tables, replay WAL.
+//!
+//! Concurrency: one `RwLock` around the whole tree. Reads share the
+//! lock (including their block I/O); writes serialize. This favors
+//! simplicity — the engine's role in TierBase is the *storage tier*,
+//! whose throughput the paper models as RPC-bounded anyway.
+
+use crate::compaction::{level_bytes, level_limit, merge_runs};
+use crate::memtable::{Entry, Memtable};
+use crate::sstable::{write_sstable, SstConfig, SstMeta, SstReader};
+use crate::wal::{SyncPolicy, Wal};
+use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tb_common::{
+    crc32, read_varint, write_varint, Error, Key, KvEngine, Result, Value,
+};
+
+const MANIFEST_MAGIC: u32 = 0x7b4d_414e;
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Data directory (created if absent).
+    pub dir: PathBuf,
+    /// Memtable flush threshold in bytes.
+    pub memtable_bytes: usize,
+    /// Number of L0 tables that triggers an L0→L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Byte budget of L1; level N holds 10^(N-1) × this.
+    pub level_base_bytes: u64,
+    /// Deepest level index (levels are 0..=max_level).
+    pub max_level: usize,
+    /// SSTable block/bloom parameters.
+    pub sst: SstConfig,
+    /// WAL sync policy.
+    pub wal_sync: SyncPolicy,
+}
+
+impl LsmConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            memtable_bytes: 4 << 20,
+            l0_compaction_trigger: 4,
+            level_base_bytes: 16 << 20,
+            max_level: 4,
+            sst: SstConfig::default(),
+            wal_sync: SyncPolicy::OsBuffer,
+        }
+    }
+
+    /// Small thresholds for tests: flush/compact often.
+    pub fn small_for_tests(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            memtable_bytes: 4 << 10,
+            l0_compaction_trigger: 2,
+            level_base_bytes: 32 << 10,
+            max_level: 3,
+            ..Self::new(dir)
+        }
+    }
+}
+
+/// Operational counters.
+#[derive(Debug, Default)]
+pub struct LsmStats {
+    pub flushes: AtomicU64,
+    pub compactions: AtomicU64,
+    pub gets: AtomicU64,
+    pub puts: AtomicU64,
+}
+
+struct Inner {
+    memtable: Memtable,
+    wal: Wal,
+    /// `levels[0]` newest-first and overlapping; deeper levels are each
+    /// one sorted run (possibly several non-overlapping tables).
+    levels: Vec<Vec<Arc<SstReader>>>,
+}
+
+/// The LSM storage engine.
+pub struct LsmDb {
+    inner: RwLock<Inner>,
+    config: LsmConfig,
+    next_file_id: AtomicU64,
+    pub stats: LsmStats,
+}
+
+impl LsmDb {
+    /// Opens (or creates) a database in `config.dir`, running recovery.
+    pub fn open(config: LsmConfig) -> Result<Self> {
+        std::fs::create_dir_all(&config.dir)?;
+        let manifest_path = config.dir.join("MANIFEST");
+        let metas = read_manifest(&manifest_path)?;
+        let mut max_id = 0u64;
+        let mut levels: Vec<Vec<Arc<SstReader>>> = vec![Vec::new(); config.max_level + 1];
+        for (level, meta) in metas {
+            max_id = max_id.max(meta.id);
+            if level >= levels.len() {
+                return Err(Error::Corruption(format!("manifest level {level} out of range")));
+            }
+            levels[level].push(Arc::new(SstReader::open(meta)?));
+        }
+
+        // Replay the WAL into a fresh memtable.
+        let wal_path = config.dir.join("WAL");
+        let mut memtable = Memtable::new();
+        for rec in Wal::replay(&wal_path)? {
+            let (key, entry) = decode_wal_record(&rec)?;
+            match entry {
+                Entry::Put(v) => memtable.put(key, v),
+                Entry::Tombstone => memtable.delete(key),
+            };
+        }
+        let wal = Wal::open(&wal_path, config.wal_sync)?;
+
+        Ok(Self {
+            inner: RwLock::new(Inner {
+                memtable,
+                wal,
+                levels,
+            }),
+            next_file_id: AtomicU64::new(max_id + 1),
+            config,
+            stats: LsmStats::default(),
+        })
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.write(key, Entry::Put(value))
+    }
+
+    /// Deletes a key (tombstone).
+    pub fn delete(&self, key: Key) -> Result<()> {
+        self.write(key, Entry::Tombstone)
+    }
+
+    fn write(&self, key: Key, entry: Entry) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner.wal.append(&encode_wal_record(&key, &entry))?;
+        let size = match entry {
+            Entry::Put(v) => inner.memtable.put(key, v),
+            Entry::Tombstone => inner.memtable.delete(key),
+        };
+        if size >= self.config.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup through memtable and levels.
+    pub fn get(&self, key: &Key) -> Result<Option<Value>> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read();
+        if let Some(entry) = inner.memtable.get(key) {
+            return Ok(entry.as_option().cloned());
+        }
+        for level in &inner.levels {
+            for table in level {
+                if let Some(entry) = table.get(key)? {
+                    return Ok(match entry {
+                        Entry::Put(v) => Some(v),
+                        Entry::Tombstone => None,
+                    });
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Ordered scan of all live keys starting with `prefix`, merging
+    /// the memtable and every level with newest-wins semantics.
+    /// Tombstones shadow older versions and are dropped from the
+    /// result. SSTables whose `[min_key, max_key]` range cannot contain
+    /// the prefix are skipped without touching disk.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Key, Value)>> {
+        let inner = self.inner.read();
+        // Highest priority first: memtable, then L0 newest-first, then
+        // deeper levels. `or_insert` keeps the freshest version.
+        let mut merged: std::collections::BTreeMap<Key, Entry> = std::collections::BTreeMap::new();
+        for (k, e) in inner.memtable.scan_prefix(prefix) {
+            merged.entry(k.clone()).or_insert_with(|| e.clone());
+        }
+        for level in &inner.levels {
+            for table in level {
+                let overlaps = table.meta.max_key.as_slice() >= prefix
+                    && match prefix_successor(prefix) {
+                        Some(ref up) => table.meta.min_key.as_slice() < up.as_slice(),
+                        None => true,
+                    };
+                if !overlaps {
+                    continue;
+                }
+                for (k, e) in table.scan()? {
+                    if k.as_slice().starts_with(prefix) {
+                        merged.entry(k).or_insert(e);
+                    }
+                }
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Put(v) => Some((k, v)),
+                Entry::Tombstone => None,
+            })
+            .collect())
+    }
+
+    /// Forces the memtable to disk (no-op when empty).
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        let memtable = std::mem::take(&mut inner.memtable);
+        if memtable.is_empty() {
+            return Ok(());
+        }
+        let id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
+        let path = self.config.dir.join(format!("{id:010}.sst"));
+        let meta = write_sstable(id, &path, memtable.into_entries().into_iter(), &self.config.sst)?;
+        // Newest L0 table goes first.
+        inner.levels[0].insert(0, Arc::new(SstReader::open(meta)?));
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.write_manifest(inner)?;
+        inner.wal.reset()?;
+        self.maybe_compact(inner)
+    }
+
+    fn maybe_compact(&self, inner: &mut Inner) -> Result<()> {
+        // L0 → L1 when too many overlapping tables accumulate.
+        if inner.levels[0].len() > self.config.l0_compaction_trigger {
+            self.compact_into(inner, 0)?;
+        }
+        // Size-triggered push-downs.
+        for level in 1..self.config.max_level {
+            let sizes: Vec<u64> = inner.levels[level].iter().map(|t| t.meta.file_size).collect();
+            if level_bytes(&sizes) > level_limit(level, self.config.level_base_bytes) {
+                self.compact_into(inner, level)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges level `src` and `src + 1` into `src + 1`.
+    fn compact_into(&self, inner: &mut Inner, src: usize) -> Result<()> {
+        let dst = src + 1;
+        let mut runs: Vec<Vec<(Key, Entry)>> = Vec::new();
+        // L0 tables are newest-first already; deeper levels hold one run.
+        for table in &inner.levels[src] {
+            runs.push(table.scan()?);
+        }
+        for table in &inner.levels[dst] {
+            runs.push(table.scan()?);
+        }
+        // Tombstones can drop only when nothing lives below dst.
+        let nothing_below = inner.levels[dst + 1..].iter().all(|l| l.is_empty());
+        let merged = merge_runs(runs, nothing_below);
+
+        let obsolete: Vec<PathBuf> = inner.levels[src]
+            .iter()
+            .chain(inner.levels[dst].iter())
+            .map(|t| t.meta.path.clone())
+            .collect();
+
+        inner.levels[src].clear();
+        inner.levels[dst].clear();
+        if !merged.is_empty() {
+            let id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
+            let path = self.config.dir.join(format!("{id:010}.sst"));
+            let meta = write_sstable(id, &path, merged.into_iter(), &self.config.sst)?;
+            inner.levels[dst].push(Arc::new(SstReader::open(meta)?));
+        }
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.write_manifest(inner)?;
+        for path in obsolete {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    fn write_manifest(&self, inner: &Inner) -> Result<()> {
+        let manifest_path = self.config.dir.join("MANIFEST");
+        let mut body = Vec::new();
+        let tables: Vec<(usize, &SstMeta)> = inner
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(lvl, tables)| tables.iter().map(move |t| (lvl, &t.meta)))
+            .collect();
+        write_varint(&mut body, tables.len() as u64);
+        for (lvl, meta) in tables {
+            write_varint(&mut body, lvl as u64);
+            write_varint(&mut body, meta.id);
+            write_varint(&mut body, meta.entry_count as u64);
+            write_varint(&mut body, meta.file_size);
+            write_varint(&mut body, meta.min_key.len() as u64);
+            body.extend_from_slice(meta.min_key.as_slice());
+            write_varint(&mut body, meta.max_key.len() as u64);
+            body.extend_from_slice(meta.max_key.as_slice());
+        }
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        let tmp = manifest_path.with_extension("tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &manifest_path)?;
+        Ok(())
+    }
+
+    /// Total bytes in SSTables plus the live memtable.
+    pub fn disk_bytes(&self) -> u64 {
+        let inner = self.inner.read();
+        let sst: u64 = inner
+            .levels
+            .iter()
+            .flatten()
+            .map(|t| t.meta.file_size)
+            .sum();
+        sst + inner.memtable.approx_bytes() as u64
+    }
+
+    /// Tables per level (diagnostics).
+    pub fn level_table_counts(&self) -> Vec<usize> {
+        self.inner.read().levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// Directory this database lives in.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+}
+
+impl KvEngine for LsmDb {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        LsmDb::get(self, key)
+    }
+
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        LsmDb::put(self, key, value)
+    }
+
+    fn delete(&self, key: &Key) -> Result<()> {
+        LsmDb::delete(self, key.clone())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.disk_bytes()
+    }
+
+    fn label(&self) -> String {
+        "lsm".into()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.write().wal.sync()
+    }
+}
+
+/// Reads `(level, meta)` rows from a manifest file; absent file = empty DB.
+fn read_manifest(path: &Path) -> Result<Vec<(usize, SstMeta)>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(vec![]),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 8 {
+        return Err(Error::Corruption("manifest truncated".into()));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MANIFEST_MAGIC {
+        return Err(Error::Corruption("bad manifest magic".into()));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let body = &bytes[8..];
+    if crc32(body) != stored_crc {
+        return Err(Error::Corruption("manifest crc mismatch".into()));
+    }
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut pos = 0usize;
+    let count = read_varint(body, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let level = read_varint(body, &mut pos)? as usize;
+        let id = read_varint(body, &mut pos)?;
+        let entry_count = read_varint(body, &mut pos)? as u32;
+        let file_size = read_varint(body, &mut pos)?;
+        let min_len = read_varint(body, &mut pos)? as usize;
+        if pos + min_len > body.len() {
+            return Err(Error::Corruption("manifest key truncated".into()));
+        }
+        let min_key = Key::copy_from(&body[pos..pos + min_len]);
+        pos += min_len;
+        let max_len = read_varint(body, &mut pos)? as usize;
+        if pos + max_len > body.len() {
+            return Err(Error::Corruption("manifest key truncated".into()));
+        }
+        let max_key = Key::copy_from(&body[pos..pos + max_len]);
+        pos += max_len;
+        out.push((
+            level,
+            SstMeta {
+                id,
+                path: dir.join(format!("{id:010}.sst")),
+                min_key,
+                max_key,
+                entry_count,
+                file_size,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+fn encode_wal_record(key: &Key, entry: &Entry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + 16);
+    match entry {
+        Entry::Put(v) => {
+            out.push(0);
+            write_varint(&mut out, key.len() as u64);
+            out.extend_from_slice(key.as_slice());
+            out.extend_from_slice(v.as_slice());
+        }
+        Entry::Tombstone => {
+            out.push(1);
+            write_varint(&mut out, key.len() as u64);
+            out.extend_from_slice(key.as_slice());
+        }
+    }
+    out
+}
+
+/// Smallest byte string strictly greater than every key starting with
+/// `prefix`, or `None` when no such bound exists (empty prefix or all
+/// `0xff` bytes).
+fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut up = prefix.to_vec();
+    while let Some(&last) = up.last() {
+        if last == 0xff {
+            up.pop();
+        } else {
+            *up.last_mut().expect("non-empty") = last + 1;
+            return Some(up);
+        }
+    }
+    None
+}
+
+fn decode_wal_record(rec: &[u8]) -> Result<(Key, Entry)> {
+    let (&flag, rest) = rec
+        .split_first()
+        .ok_or_else(|| Error::Corruption("empty WAL record".into()))?;
+    let mut pos = 0usize;
+    let klen = read_varint(rest, &mut pos)? as usize;
+    if pos + klen > rest.len() {
+        return Err(Error::Corruption("WAL key overflows record".into()));
+    }
+    let key = Key::copy_from(&rest[pos..pos + klen]);
+    let value_bytes = &rest[pos + klen..];
+    match flag {
+        0 => Ok((key, Entry::Put(Value::copy_from(value_bytes)))),
+        1 => Ok((key, Entry::Tombstone)),
+        other => Err(Error::Corruption(format!("bad WAL flag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tb-lsm-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn k(i: usize) -> Key {
+        Key::from(format!("key-{i:06}"))
+    }
+
+    fn v(i: usize, tag: &str) -> Value {
+        Value::from(format!("value-{tag}-{i}-{}", "p".repeat(i % 37)))
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("basic"))).unwrap();
+        db.put(k(1), v(1, "a")).unwrap();
+        assert_eq!(db.get(&k(1)).unwrap(), Some(v(1, "a")));
+        db.delete(k(1)).unwrap();
+        assert_eq!(db.get(&k(1)).unwrap(), None);
+        assert_eq!(db.get(&k(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn survives_flush_and_compaction() {
+        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("compact"))).unwrap();
+        let n = 2000;
+        for i in 0..n {
+            db.put(k(i), v(i, "gen1")).unwrap();
+        }
+        // Overwrite half, delete a quarter.
+        for i in 0..n / 2 {
+            db.put(k(i), v(i, "gen2")).unwrap();
+        }
+        for i in (0..n).step_by(4) {
+            db.delete(k(i)).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.stats.flushes.load(Ordering::Relaxed) > 0);
+        assert!(db.stats.compactions.load(Ordering::Relaxed) > 0);
+
+        for i in 0..n {
+            let got = db.get(&k(i)).unwrap();
+            if i % 4 == 0 {
+                assert_eq!(got, None, "key {i} should be deleted");
+            } else if i < n / 2 {
+                assert_eq!(got, Some(v(i, "gen2")), "key {i} should be gen2");
+            } else {
+                assert_eq!(got, Some(v(i, "gen1")), "key {i} should be gen1");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_from_wal_without_flush() {
+        let dir = tmpdir("walrec");
+        {
+            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            db.put(k(1), v(1, "x")).unwrap();
+            db.put(k(2), v(2, "x")).unwrap();
+            db.delete(k(1)).unwrap();
+            // Drop without flush: WAL is the only durable copy.
+        }
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        assert_eq!(db.get(&k(1)).unwrap(), None);
+        assert_eq!(db.get(&k(2)).unwrap(), Some(v(2, "x")));
+    }
+
+    #[test]
+    fn recovery_from_manifest_after_flush() {
+        let dir = tmpdir("manifest");
+        {
+            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            for i in 0..500 {
+                db.put(k(i), v(i, "m")).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        for i in 0..500 {
+            assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "m")), "key {i}");
+        }
+    }
+
+    #[test]
+    fn recovery_combines_manifest_and_wal() {
+        let dir = tmpdir("mixed");
+        {
+            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            for i in 0..300 {
+                db.put(k(i), v(i, "old")).unwrap();
+            }
+            db.flush().unwrap();
+            // Post-flush writes live only in the WAL.
+            for i in 0..50 {
+                db.put(k(i), v(i, "new")).unwrap();
+            }
+        }
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        assert_eq!(db.get(&k(0)).unwrap(), Some(v(0, "new")));
+        assert_eq!(db.get(&k(100)).unwrap(), Some(v(100, "old")));
+    }
+
+    #[test]
+    fn tombstones_dropped_at_bottom() {
+        let dir = tmpdir("tomb");
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        for i in 0..1000 {
+            db.put(k(i), v(i, "t")).unwrap();
+        }
+        for i in 0..1000 {
+            db.delete(k(i)).unwrap();
+        }
+        db.flush().unwrap();
+        // Force compaction all the way down by flushing repeatedly.
+        for round in 0..6 {
+            db.put(Key::from(format!("pad-{round}")), v(round, "pad")).unwrap();
+            db.flush().unwrap();
+        }
+        for i in 0..1000 {
+            assert_eq!(db.get(&k(i)).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn overwrites_visible_across_flush_boundary() {
+        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("over"))).unwrap();
+        db.put(k(7), v(7, "first")).unwrap();
+        db.flush().unwrap();
+        db.put(k(7), v(7, "second")).unwrap();
+        assert_eq!(db.get(&k(7)).unwrap(), Some(v(7, "second")));
+        db.flush().unwrap();
+        assert_eq!(db.get(&k(7)).unwrap(), Some(v(7, "second")));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("conc"))).unwrap());
+        for i in 0..200 {
+            db.put(k(i), v(i, "c")).unwrap();
+        }
+        let mut handles = vec![];
+        for t in 0..4 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let _ = db.get(&k((i + t * 13) % 200)).unwrap();
+                }
+            }));
+        }
+        for i in 200..400 {
+            db.put(k(i), v(i, "c")).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.get(&k(399)).unwrap(), Some(v(399, "c")));
+    }
+
+    #[test]
+    fn scan_prefix_merges_all_tiers() {
+        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("scan"))).unwrap();
+        // Old versions land in SSTables...
+        for i in 0..50 {
+            db.put(Key::from(format!("user:{i:03}")), v(i, "old")).unwrap();
+        }
+        for i in 0..50 {
+            db.put(Key::from(format!("item:{i:03}")), v(i, "x")).unwrap();
+        }
+        db.flush().unwrap();
+        // ...then fresher versions and a delete stay in the memtable.
+        for i in 0..10 {
+            db.put(Key::from(format!("user:{i:03}")), v(i, "new")).unwrap();
+        }
+        db.delete(Key::from("user:020")).unwrap();
+
+        let got = db.scan_prefix(b"user:").unwrap();
+        assert_eq!(got.len(), 49, "50 users minus one tombstone");
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(got[0].1, v(0, "new"), "memtable version wins");
+        assert_eq!(got[15].1, v(15, "old"), "unchanged keys from SSTable");
+        assert!(!got.iter().any(|(k, _)| k == &Key::from("user:020")));
+
+        // Prefix isolation.
+        assert_eq!(db.scan_prefix(b"item:").unwrap().len(), 50);
+        assert_eq!(db.scan_prefix(b"nope:").unwrap().len(), 0);
+        // Empty prefix = full scan.
+        assert_eq!(db.scan_prefix(b"").unwrap().len(), 99);
+    }
+
+    #[test]
+    fn scan_prefix_survives_compaction_and_reopen() {
+        let dir = tmpdir("scanreopen");
+        {
+            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            for i in 0..300 {
+                db.put(Key::from(format!("p:{i:04}")), v(i, "a")).unwrap();
+            }
+            db.delete(Key::from("p:0100")).unwrap();
+            KvEngine::sync(&db).unwrap();
+        }
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let got = db.scan_prefix(b"p:").unwrap();
+        assert_eq!(got.len(), 299);
+    }
+
+    #[test]
+    fn prefix_successor_edge_cases() {
+        assert_eq!(prefix_successor(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_successor(b"a\xff"), Some(b"b".to_vec()));
+        assert_eq!(prefix_successor(b"\xff\xff"), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn disk_bytes_grows_with_data() {
+        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("bytes"))).unwrap();
+        let before = db.disk_bytes();
+        for i in 0..500 {
+            db.put(k(i), v(i, "b")).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.disk_bytes() > before);
+    }
+}

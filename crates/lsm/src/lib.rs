@@ -1,0 +1,25 @@
+//! `tb-lsm`: a from-scratch log-structured merge-tree storage engine.
+//!
+//! This is the workspace's stand-in for UCS, the internal Ant Group
+//! storage engine TierBase uses as its storage tier (§3): an LSM tree
+//! with a write-ahead log, block-based SSTables with bloom filters and
+//! sparse indexes, leveled compaction, and manifest-based recovery.
+//! [`remote::DisaggregatedStore`] wraps the engine in the
+//! remote-storage façade the cache tier talks to (simulated network
+//! round-trips, batch read/write APIs).
+//!
+//! Write path: WAL append → memtable insert → (on threshold) flush to an
+//! L0 SSTable → leveled compaction toward L_max.
+//! Read path: memtable → immutable memtables → L0 (newest first) → L1+
+//! (one table per level can contain the key).
+
+pub mod bloom;
+pub mod compaction;
+pub mod db;
+pub mod memtable;
+pub mod remote;
+pub mod sstable;
+pub mod wal;
+
+pub use db::{LsmConfig, LsmDb};
+pub use remote::{DisaggregatedStore, NetworkModel};

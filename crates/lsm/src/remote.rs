@@ -1,0 +1,265 @@
+//! Disaggregated-storage façade (the UCS role in §3).
+//!
+//! TierBase's cache tier reaches the storage tier over the network, so
+//! every call pays a round-trip in addition to the engine's own work —
+//! and batch APIs amortize that round-trip, which is precisely why the
+//! write-back policy's batched flushes beat per-key write-through on
+//! write-heavy workloads. [`NetworkModel`] injects the round-trip;
+//! latency is simulated with a busy-wait so it shows up in measured
+//! throughput the same way a real RPC stall would.
+
+use crate::db::LsmDb;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tb_common::{Key, KvEngine, Result, Value};
+
+/// Round-trip cost model for cache-tier → storage-tier calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed round-trip latency per call.
+    pub rtt_us: u64,
+    /// Additional cost per KiB transferred.
+    pub per_kib_us: u64,
+}
+
+impl NetworkModel {
+    /// Typical same-datacenter RPC: ~200 µs RTT, ~2 µs/KiB.
+    pub fn datacenter() -> Self {
+        Self {
+            rtt_us: 200,
+            per_kib_us: 2,
+        }
+    }
+
+    /// No simulated network (unit tests).
+    pub fn none() -> Self {
+        Self {
+            rtt_us: 0,
+            per_kib_us: 0,
+        }
+    }
+
+    fn stall(&self, payload_bytes: usize) {
+        let us = self.rtt_us + self.per_kib_us * (payload_bytes as u64).div_ceil(1024);
+        if us == 0 {
+            return;
+        }
+        // A network round-trip blocks the caller but must not occupy a
+        // core. thread::sleep overshoots badly at sub-millisecond scale
+        // under load, so wait in a yield loop: accurate to ~the scheduler
+        // quantum while ceding the CPU to runnable threads.
+        let deadline = Instant::now() + Duration::from_micros(us);
+        if us >= 20 {
+            while Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            return;
+        }
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Remote-call counters (observability + cost attribution).
+#[derive(Debug, Default)]
+pub struct RemoteStats {
+    pub calls: AtomicU64,
+    pub batched_ops: AtomicU64,
+}
+
+/// An [`LsmDb`] behind a simulated network: the storage tier.
+pub struct DisaggregatedStore {
+    db: Arc<LsmDb>,
+    network: NetworkModel,
+    pub stats: RemoteStats,
+}
+
+impl DisaggregatedStore {
+    pub fn new(db: Arc<LsmDb>, network: NetworkModel) -> Self {
+        Self {
+            db,
+            network,
+            stats: RemoteStats::default(),
+        }
+    }
+
+    fn call<T>(&self, payload: usize, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        self.network.stall(payload);
+        f()
+    }
+
+    /// Remote point read (one round-trip).
+    pub fn get(&self, key: &Key) -> Result<Option<Value>> {
+        self.call(key.len(), || self.db.get(key))
+    }
+
+    /// Remote single put (one round-trip).
+    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+        let payload = key.len() + value.len();
+        self.call(payload, || self.db.put(key, value))
+    }
+
+    /// Remote delete (one round-trip).
+    pub fn delete(&self, key: &Key) -> Result<()> {
+        self.call(key.len(), || self.db.delete(key.clone()))
+    }
+
+    /// Batched write: one round-trip for the whole batch — the
+    /// write-back flush path.
+    pub fn batch_put(&self, items: Vec<(Key, Value)>) -> Result<()> {
+        let payload: usize = items.iter().map(|(k, v)| k.len() + v.len()).sum();
+        self.stats
+            .batched_ops
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        self.call(payload, || {
+            for (k, v) in items {
+                self.db.put(k, v)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Batched read: one round-trip fetching many keys — the deferred
+    /// cache-fetching path (§4.1.2).
+    pub fn batch_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        let payload: usize = keys.iter().map(|k| k.len()).sum();
+        self.stats
+            .batched_ops
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.call(payload, || keys.iter().map(|k| self.db.get(k)).collect())
+    }
+
+    /// Remote prefix scan: one round-trip returning every live key
+    /// under `prefix` (payload cost charged on the result size).
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Key, Value)>> {
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let rows = self.db.scan_prefix(prefix)?;
+        let payload: usize = rows.iter().map(|(k, v)| k.len() + v.len()).sum();
+        self.network.stall(payload);
+        self.stats
+            .batched_ops
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        Ok(rows)
+    }
+
+    /// The wrapped engine (test access).
+    pub fn db(&self) -> &Arc<LsmDb> {
+        &self.db
+    }
+}
+
+impl KvEngine for DisaggregatedStore {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        DisaggregatedStore::get(self, key)
+    }
+
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        DisaggregatedStore::put(self, key, value)
+    }
+
+    fn delete(&self, key: &Key) -> Result<()> {
+        DisaggregatedStore::delete(self, key)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.db.disk_bytes()
+    }
+
+    fn label(&self) -> String {
+        "disaggregated-lsm".into()
+    }
+
+    fn sync(&self) -> Result<()> {
+        KvEngine::sync(self.db.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::LsmConfig;
+
+    fn store(name: &str, network: NetworkModel) -> DisaggregatedStore {
+        let dir = std::env::temp_dir().join(format!("tb-remote-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir)).unwrap());
+        DisaggregatedStore::new(db, network)
+    }
+
+    #[test]
+    fn remote_roundtrip() {
+        let s = store("rt", NetworkModel::none());
+        s.put(Key::from("a"), Value::from("1")).unwrap();
+        assert_eq!(s.get(&Key::from("a")).unwrap(), Some(Value::from("1")));
+        s.delete(&Key::from("a")).unwrap();
+        assert_eq!(s.get(&Key::from("a")).unwrap(), None);
+        assert_eq!(s.stats.calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn batch_apis_count_one_call() {
+        let s = store("batch", NetworkModel::none());
+        let items: Vec<(Key, Value)> = (0..50)
+            .map(|i| (Key::from(format!("k{i}")), Value::from(format!("v{i}"))))
+            .collect();
+        s.batch_put(items).unwrap();
+        assert_eq!(s.stats.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats.batched_ops.load(Ordering::Relaxed), 50);
+
+        let keys: Vec<Key> = (0..50).map(|i| Key::from(format!("k{i}"))).collect();
+        let got = s.batch_get(&keys).unwrap();
+        assert_eq!(s.stats.calls.load(Ordering::Relaxed), 2);
+        assert!(got.iter().all(|v| v.is_some()));
+    }
+
+    #[test]
+    fn network_latency_slows_calls() {
+        let s = store(
+            "slow",
+            NetworkModel {
+                rtt_us: 2000,
+                per_kib_us: 0,
+            },
+        );
+        let t0 = Instant::now();
+        for i in 0..10 {
+            s.put(Key::from(format!("k{i}")), Value::from("v")).unwrap();
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "network stall missing: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_latency() {
+        let net = NetworkModel {
+            rtt_us: 1000,
+            per_kib_us: 0,
+        };
+        let s1 = store("amort1", net);
+        let s2 = store("amort2", net);
+        let items: Vec<(Key, Value)> = (0..20)
+            .map(|i| (Key::from(format!("k{i}")), Value::from("v")))
+            .collect();
+
+        let t0 = Instant::now();
+        for (k, v) in items.clone() {
+            s1.put(k, v).unwrap();
+        }
+        let individual = t0.elapsed();
+
+        let t1 = Instant::now();
+        s2.batch_put(items).unwrap();
+        let batched = t1.elapsed();
+
+        assert!(
+            batched < individual / 5,
+            "batching should amortize RTTs: {batched:?} vs {individual:?}"
+        );
+    }
+}

@@ -1,0 +1,465 @@
+//! Block-based sorted string tables.
+//!
+//! File layout:
+//!
+//! ```text
+//! [data block]* [filter block] [index block] [footer]
+//! data entry  := flag u8 | varint(klen) | varint(vlen) | key | value
+//! index entry := varint(klen) | first_key | off u64 | len u32
+//! footer      := index_off u64 | index_len u32 | filter_off u64 |
+//!                filter_len u32 | entry_count u32 | crc u32 | MAGIC u32
+//! ```
+//!
+//! Readers keep the sparse index and bloom filter in memory and read one
+//! data block per point lookup.
+
+use crate::bloom::BloomFilter;
+use crate::memtable::Entry;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use tb_common::{crc32, read_varint, write_varint, Error, Key, Result, Value};
+
+const MAGIC: u32 = 0x7b5d_57a1;
+const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 4 + 4 + 4;
+const FLAG_PUT: u8 = 0;
+const FLAG_TOMBSTONE: u8 = 1;
+
+/// Build-time options.
+#[derive(Debug, Clone, Copy)]
+pub struct SstConfig {
+    /// Target uncompressed data-block size.
+    pub block_size: usize,
+    /// Bloom filter bits per key.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for SstConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+/// Metadata of one table, kept in the manifest and in memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstMeta {
+    pub id: u64,
+    pub path: PathBuf,
+    pub min_key: Key,
+    pub max_key: Key,
+    pub entry_count: u32,
+    pub file_size: u64,
+}
+
+/// Writes a sorted entry stream into an SSTable file.
+pub fn write_sstable(
+    id: u64,
+    path: &Path,
+    entries: impl Iterator<Item = (Key, Entry)>,
+    config: &SstConfig,
+) -> Result<SstMeta> {
+    let mut data = Vec::new();
+    let mut index = Vec::new();
+    let mut filter_items: Vec<Key> = Vec::new();
+    let mut block_start = 0usize;
+    let mut block_first_key: Option<Key> = None;
+    let mut min_key: Option<Key> = None;
+    let mut max_key: Option<Key> = None;
+    let mut entry_count = 0u32;
+    let mut prev_key: Option<Key> = None;
+
+    let finish_block =
+        |index: &mut Vec<u8>, first: &Key, start: usize, end: usize| {
+            write_varint(index, first.len() as u64);
+            index.extend_from_slice(first.as_slice());
+            index.extend_from_slice(&(start as u64).to_le_bytes());
+            index.extend_from_slice(&((end - start) as u32).to_le_bytes());
+        };
+
+    for (key, entry) in entries {
+        if let Some(prev) = &prev_key {
+            if *prev >= key {
+                return Err(Error::InvalidArgument(format!(
+                    "entries must be strictly sorted: {prev:?} >= {key:?}"
+                )));
+            }
+        }
+        prev_key = Some(key.clone());
+        if block_first_key.is_none() {
+            block_first_key = Some(key.clone());
+        }
+        match &entry {
+            Entry::Put(v) => {
+                data.push(FLAG_PUT);
+                write_varint(&mut data, key.len() as u64);
+                write_varint(&mut data, v.len() as u64);
+                data.extend_from_slice(key.as_slice());
+                data.extend_from_slice(v.as_slice());
+            }
+            Entry::Tombstone => {
+                data.push(FLAG_TOMBSTONE);
+                write_varint(&mut data, key.len() as u64);
+                write_varint(&mut data, 0);
+                data.extend_from_slice(key.as_slice());
+            }
+        }
+        filter_items.push(key.clone());
+        min_key.get_or_insert_with(|| key.clone());
+        max_key = Some(key.clone());
+        entry_count += 1;
+
+        if data.len() - block_start >= config.block_size {
+            let first = block_first_key.take().expect("block has a first key");
+            finish_block(&mut index, &first, block_start, data.len());
+            block_start = data.len();
+        }
+    }
+    if let Some(first) = block_first_key.take() {
+        finish_block(&mut index, &first, block_start, data.len());
+    }
+    if entry_count == 0 {
+        return Err(Error::InvalidArgument("refusing to write empty sstable".into()));
+    }
+
+    let mut bloom = BloomFilter::new(filter_items.len(), config.bloom_bits_per_key);
+    for k in &filter_items {
+        bloom.insert(k.as_slice());
+    }
+    let filter = bloom.to_bytes();
+
+    let filter_off = data.len() as u64;
+    let index_off = filter_off + filter.len() as u64;
+
+    let mut footer = Vec::with_capacity(FOOTER_LEN);
+    footer.extend_from_slice(&index_off.to_le_bytes());
+    footer.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    footer.extend_from_slice(&filter_off.to_le_bytes());
+    footer.extend_from_slice(&(filter.len() as u32).to_le_bytes());
+    footer.extend_from_slice(&entry_count.to_le_bytes());
+    let crc = crc32(&footer);
+    footer.extend_from_slice(&crc.to_le_bytes());
+    footer.extend_from_slice(&MAGIC.to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&data)?;
+        f.write_all(&filter)?;
+        f.write_all(&index)?;
+        f.write_all(&footer)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+
+    let file_size = (data.len() + filter.len() + index.len() + FOOTER_LEN) as u64;
+    Ok(SstMeta {
+        id,
+        path: path.to_path_buf(),
+        min_key: min_key.expect("non-empty"),
+        max_key: max_key.expect("non-empty"),
+        entry_count,
+        file_size,
+    })
+}
+
+struct IndexEntry {
+    first_key: Key,
+    offset: u64,
+    len: u32,
+}
+
+/// An open SSTable: sparse index + bloom filter in memory, data on disk.
+pub struct SstReader {
+    file: parking_lot::Mutex<File>,
+    index: Vec<IndexEntry>,
+    bloom: BloomFilter,
+    pub meta: SstMeta,
+}
+
+impl SstReader {
+    /// Opens and validates a table written by [`write_sstable`].
+    pub fn open(meta: SstMeta) -> Result<Self> {
+        let mut file = File::open(&meta.path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < FOOTER_LEN as u64 {
+            return Err(Error::Corruption("sstable shorter than footer".into()));
+        }
+        let mut footer = vec![0u8; FOOTER_LEN];
+        file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        file.read_exact(&mut footer)?;
+        let magic = u32::from_le_bytes(footer[FOOTER_LEN - 4..].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(Error::Corruption("bad sstable magic".into()));
+        }
+        let stored_crc =
+            u32::from_le_bytes(footer[FOOTER_LEN - 8..FOOTER_LEN - 4].try_into().unwrap());
+        if crc32(&footer[..FOOTER_LEN - 8]) != stored_crc {
+            return Err(Error::Corruption("sstable footer crc mismatch".into()));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+        let filter_off = u64::from_le_bytes(footer[12..20].try_into().unwrap());
+        let filter_len = u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
+
+        if index_off + index_len as u64 + FOOTER_LEN as u64 != file_len {
+            return Err(Error::Corruption("sstable section offsets inconsistent".into()));
+        }
+
+        let mut filter_bytes = vec![0u8; filter_len];
+        file.seek(SeekFrom::Start(filter_off))?;
+        file.read_exact(&mut filter_bytes)?;
+        let bloom = BloomFilter::from_bytes(&filter_bytes)
+            .ok_or_else(|| Error::Corruption("bad bloom filter block".into()))?;
+
+        let mut index_bytes = vec![0u8; index_len];
+        file.seek(SeekFrom::Start(index_off))?;
+        file.read_exact(&mut index_bytes)?;
+        let mut index = Vec::new();
+        let mut pos = 0usize;
+        while pos < index_bytes.len() {
+            let klen = read_varint(&index_bytes, &mut pos)? as usize;
+            if pos + klen + 12 > index_bytes.len() {
+                return Err(Error::Corruption("index entry truncated".into()));
+            }
+            let first_key = Key::copy_from(&index_bytes[pos..pos + klen]);
+            pos += klen;
+            let offset = u64::from_le_bytes(index_bytes[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            let len = u32::from_le_bytes(index_bytes[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            index.push(IndexEntry {
+                first_key,
+                offset,
+                len,
+            });
+        }
+
+        Ok(Self {
+            file: parking_lot::Mutex::new(file),
+            index,
+            bloom,
+            meta,
+        })
+    }
+
+    /// Point lookup. `None` means "not in this table"; a tombstone is
+    /// reported as `Some(Entry::Tombstone)` so callers stop searching
+    /// older tables.
+    pub fn get(&self, key: &Key) -> Result<Option<Entry>> {
+        if key < &self.meta.min_key || key > &self.meta.max_key {
+            return Ok(None);
+        }
+        if !self.bloom.may_contain(key.as_slice()) {
+            return Ok(None);
+        }
+        // Last block whose first key <= key.
+        let block_idx = match self
+            .index
+            .binary_search_by(|e| e.first_key.cmp(key))
+        {
+            Ok(i) => i,
+            Err(0) => return Ok(None),
+            Err(i) => i - 1,
+        };
+        let block = self.read_block(block_idx)?;
+        let mut pos = 0usize;
+        while pos < block.len() {
+            let (k, entry, next) = decode_entry(&block, pos)?;
+            if &k == key {
+                return Ok(Some(entry));
+            }
+            if k > *key {
+                return Ok(None); // entries sorted within block
+            }
+            pos = next;
+        }
+        Ok(None)
+    }
+
+    /// Streams every entry in key order (compaction input).
+    pub fn scan(&self) -> Result<Vec<(Key, Entry)>> {
+        let mut out = Vec::with_capacity(self.meta.entry_count as usize);
+        for i in 0..self.index.len() {
+            let block = self.read_block(i)?;
+            let mut pos = 0usize;
+            while pos < block.len() {
+                let (k, entry, next) = decode_entry(&block, pos)?;
+                out.push((k, entry));
+                pos = next;
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_block(&self, idx: usize) -> Result<Vec<u8>> {
+        let e = &self.index[idx];
+        let mut buf = vec![0u8; e.len as usize];
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(e.offset))?;
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+fn decode_entry(block: &[u8], mut pos: usize) -> Result<(Key, Entry, usize)> {
+    let flag = *block
+        .get(pos)
+        .ok_or_else(|| Error::Corruption("entry flag missing".into()))?;
+    pos += 1;
+    let klen = read_varint(block, &mut pos)? as usize;
+    let vlen = read_varint(block, &mut pos)? as usize;
+    if pos + klen + vlen > block.len() {
+        return Err(Error::Corruption("entry overflows block".into()));
+    }
+    let key = Key::copy_from(&block[pos..pos + klen]);
+    pos += klen;
+    let entry = match flag {
+        FLAG_PUT => {
+            let v = Value::copy_from(&block[pos..pos + vlen]);
+            pos += vlen;
+            Entry::Put(v)
+        }
+        FLAG_TOMBSTONE => Entry::Tombstone,
+        other => return Err(Error::Corruption(format!("bad entry flag {other}"))),
+    };
+    Ok((key, entry, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tb-sst-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_entries(n: usize) -> Vec<(Key, Entry)> {
+        (0..n)
+            .map(|i| {
+                let key = Key::from(format!("key-{i:06}"));
+                if i % 7 == 3 {
+                    (key, Entry::Tombstone)
+                } else {
+                    (key, Entry::Put(Value::from(format!("value-{i}-{}", "x".repeat(i % 50)))))
+                }
+            })
+            .collect()
+    }
+
+    fn build(name: &str, entries: Vec<(Key, Entry)>) -> SstReader {
+        let path = tmpdir().join(name);
+        let meta = write_sstable(1, &path, entries.into_iter(), &SstConfig::default()).unwrap();
+        SstReader::open(meta).unwrap()
+    }
+
+    #[test]
+    fn write_open_get_all() {
+        let entries = sample_entries(500);
+        let r = build("basic.sst", entries.clone());
+        assert_eq!(r.meta.entry_count, 500);
+        for (k, e) in &entries {
+            let got = r.get(k).unwrap();
+            assert_eq!(got.as_ref(), Some(e), "key {k:?}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let r = build("absent.sst", sample_entries(100));
+        assert_eq!(r.get(&Key::from("nope")).unwrap(), None);
+        assert_eq!(r.get(&Key::from("key-000000a")).unwrap(), None);
+        assert_eq!(r.get(&Key::from("zzz")).unwrap(), None);
+        assert_eq!(r.get(&Key::from("")).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_returns_sorted_everything() {
+        let entries = sample_entries(300);
+        let r = build("scan.sst", entries.clone());
+        let scanned = r.scan().unwrap();
+        assert_eq!(scanned, entries);
+    }
+
+    #[test]
+    fn unsorted_input_rejected() {
+        let path = tmpdir().join("unsorted.sst");
+        let entries = vec![
+            (Key::from("b"), Entry::Put(Value::from("1"))),
+            (Key::from("a"), Entry::Put(Value::from("2"))),
+        ];
+        assert!(write_sstable(1, &path, entries.into_iter(), &SstConfig::default()).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let path = tmpdir().join("dup.sst");
+        let entries = vec![
+            (Key::from("a"), Entry::Put(Value::from("1"))),
+            (Key::from("a"), Entry::Put(Value::from("2"))),
+        ];
+        assert!(write_sstable(1, &path, entries.into_iter(), &SstConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let path = tmpdir().join("empty.sst");
+        assert!(write_sstable(1, &path, std::iter::empty(), &SstConfig::default()).is_err());
+    }
+
+    #[test]
+    fn corrupted_footer_detected() {
+        let path = tmpdir().join("corrupt.sst");
+        let meta =
+            write_sstable(1, &path, sample_entries(50).into_iter(), &SstConfig::default()).unwrap();
+        // Flip a footer byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SstReader::open(meta).is_err());
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let path = tmpdir().join("trunc.sst");
+        let meta =
+            write_sstable(1, &path, sample_entries(50).into_iter(), &SstConfig::default()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(SstReader::open(meta).is_err());
+    }
+
+    #[test]
+    fn small_blocks_force_multiple_index_entries() {
+        let path = tmpdir().join("blocks.sst");
+        let cfg = SstConfig {
+            block_size: 64,
+            bloom_bits_per_key: 10,
+        };
+        let entries = sample_entries(200);
+        let meta = write_sstable(1, &path, entries.clone().into_iter(), &cfg).unwrap();
+        let r = SstReader::open(meta).unwrap();
+        assert!(r.index.len() > 5, "expected many blocks, got {}", r.index.len());
+        for (k, e) in &entries {
+            assert_eq!(r.get(k).unwrap().as_ref(), Some(e));
+        }
+    }
+
+    #[test]
+    fn single_entry_table() {
+        let r = build(
+            "single.sst",
+            vec![(Key::from("only"), Entry::Put(Value::from("one")))],
+        );
+        assert_eq!(
+            r.get(&Key::from("only")).unwrap(),
+            Some(Entry::Put(Value::from("one")))
+        );
+        assert_eq!(r.meta.min_key, r.meta.max_key);
+    }
+}

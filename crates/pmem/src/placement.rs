@@ -1,0 +1,200 @@
+//! DRAM/PMem placement policy and hybrid capacity accounting (§4.3).
+//!
+//! TierBase keeps small, frequently-touched data — keys and index
+//! entries — in DRAM and places large values in PMem, where the latency
+//! premium is amortized over the value size. [`HybridCapacity`] accounts
+//! for both media and computes the blended space cost the cost model
+//! consumes (PMem's lower $/GB is exactly why TierBase-PMem drops SC by
+//! ~60% in Figure 10).
+
+use parking_lot::Mutex;
+use tb_common::{Error, Result};
+
+/// Storage medium for one piece of data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Medium {
+    Dram,
+    Pmem,
+}
+
+/// Decides where a cache entry's value lives.
+pub trait PlacementPolicy: Send + Sync {
+    /// Chooses the medium for a value of `value_len` bytes. Keys and
+    /// index metadata are always DRAM-resident by design.
+    fn place_value(&self, value_len: usize) -> Medium;
+}
+
+/// The paper's split policy: values at or above the threshold go to
+/// PMem, small values stay in DRAM next to their keys.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitPlacement {
+    pub value_threshold: usize,
+}
+
+impl Default for SplitPlacement {
+    fn default() -> Self {
+        // Small enough that typical serialized records (100–1000 B) land
+        // in PMem while tiny counters stay in DRAM.
+        Self {
+            value_threshold: 64,
+        }
+    }
+}
+
+impl PlacementPolicy for SplitPlacement {
+    fn place_value(&self, value_len: usize) -> Medium {
+        if value_len >= self.value_threshold {
+            Medium::Pmem
+        } else {
+            Medium::Dram
+        }
+    }
+}
+
+/// Pin-everything-to-DRAM policy (TierBase without PMem).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DramOnly;
+
+impl PlacementPolicy for DramOnly {
+    fn place_value(&self, _value_len: usize) -> Medium {
+        Medium::Dram
+    }
+}
+
+#[derive(Debug, Default)]
+struct Usage {
+    dram: u64,
+    pmem: u64,
+}
+
+/// Tracks bytes resident in each medium against capacities and prices.
+pub struct HybridCapacity {
+    usage: Mutex<Usage>,
+    pub dram_capacity: u64,
+    pub pmem_capacity: u64,
+    /// Relative cost per byte of PMem vs. DRAM (< 1; Optane street price
+    /// ran ~0.3–0.5× DRAM per GB).
+    pub pmem_cost_factor: f64,
+}
+
+impl HybridCapacity {
+    pub fn new(dram_capacity: u64, pmem_capacity: u64, pmem_cost_factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&pmem_cost_factor));
+        Self {
+            usage: Mutex::new(Usage::default()),
+            dram_capacity,
+            pmem_capacity,
+            pmem_cost_factor,
+        }
+    }
+
+    /// Reserves `len` bytes on `medium`; fails when the medium is full.
+    pub fn alloc(&self, medium: Medium, len: usize) -> Result<()> {
+        let mut u = self.usage.lock();
+        match medium {
+            Medium::Dram => {
+                if u.dram + len as u64 > self.dram_capacity {
+                    return Err(Error::Backpressure("DRAM capacity exhausted".into()));
+                }
+                u.dram += len as u64;
+            }
+            Medium::Pmem => {
+                if u.pmem + len as u64 > self.pmem_capacity {
+                    return Err(Error::Backpressure("PMem capacity exhausted".into()));
+                }
+                u.pmem += len as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases `len` bytes on `medium`.
+    pub fn free(&self, medium: Medium, len: usize) {
+        let mut u = self.usage.lock();
+        match medium {
+            Medium::Dram => u.dram = u.dram.saturating_sub(len as u64),
+            Medium::Pmem => u.pmem = u.pmem.saturating_sub(len as u64),
+        }
+    }
+
+    pub fn dram_used(&self) -> u64 {
+        self.usage.lock().dram
+    }
+
+    pub fn pmem_used(&self) -> u64 {
+        self.usage.lock().pmem
+    }
+
+    /// Resident bytes normalized to DRAM-cost-equivalents: what the
+    /// cost model should charge. PMem bytes count at the discounted
+    /// factor, which is how the PMem configuration lowers `SC`.
+    pub fn cost_equivalent_bytes(&self) -> u64 {
+        let u = self.usage.lock();
+        u.dram + (u.pmem as f64 * self.pmem_cost_factor) as u64
+    }
+
+    /// Total bytes resident across both media.
+    pub fn total_used(&self) -> u64 {
+        let u = self.usage.lock();
+        u.dram + u.pmem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_policy_routes_by_size() {
+        let p = SplitPlacement {
+            value_threshold: 100,
+        };
+        assert_eq!(p.place_value(10), Medium::Dram);
+        assert_eq!(p.place_value(99), Medium::Dram);
+        assert_eq!(p.place_value(100), Medium::Pmem);
+        assert_eq!(p.place_value(10_000), Medium::Pmem);
+    }
+
+    #[test]
+    fn dram_only_never_uses_pmem() {
+        assert_eq!(DramOnly.place_value(1 << 20), Medium::Dram);
+    }
+
+    #[test]
+    fn capacity_enforced_per_medium() {
+        let c = HybridCapacity::new(100, 1000, 0.4);
+        c.alloc(Medium::Dram, 80).unwrap();
+        assert!(c.alloc(Medium::Dram, 30).is_err());
+        c.alloc(Medium::Pmem, 900).unwrap();
+        assert!(c.alloc(Medium::Pmem, 200).is_err());
+        assert_eq!(c.dram_used(), 80);
+        assert_eq!(c.pmem_used(), 900);
+    }
+
+    #[test]
+    fn free_releases() {
+        let c = HybridCapacity::new(100, 100, 0.4);
+        c.alloc(Medium::Dram, 100).unwrap();
+        c.free(Medium::Dram, 60);
+        c.alloc(Medium::Dram, 50).unwrap();
+        assert_eq!(c.dram_used(), 90);
+    }
+
+    #[test]
+    fn cost_equivalent_discounts_pmem() {
+        let c = HybridCapacity::new(1000, 1000, 0.4);
+        c.alloc(Medium::Dram, 100).unwrap();
+        c.alloc(Medium::Pmem, 500).unwrap();
+        // 100 + 0.4*500 = 300 cost-equivalent bytes vs 600 total.
+        assert_eq!(c.cost_equivalent_bytes(), 300);
+        assert_eq!(c.total_used(), 600);
+    }
+
+    #[test]
+    fn over_free_saturates() {
+        let c = HybridCapacity::new(100, 100, 0.5);
+        c.alloc(Medium::Pmem, 10).unwrap();
+        c.free(Medium::Pmem, 50);
+        assert_eq!(c.pmem_used(), 0);
+    }
+}

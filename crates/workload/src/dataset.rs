@@ -1,0 +1,338 @@
+//! Synthetic datasets standing in for the paper's evaluation data.
+//!
+//! The paper inserts values drawn from the geonames *Cities* dataset and
+//! two internal machine-generated datasets (KV1, KV2). None are shipped
+//! here, so deterministic generators reproduce their load-bearing
+//! properties instead:
+//!
+//! * **Cities**: semi-structured text records — templated fields (name,
+//!   country code, coordinates, population, feature class) with shared
+//!   vocabulary, moderately compressible.
+//! * **KV1/KV2**: machine-generated serialized records sharing a small
+//!   number of rigid templates with high-entropy residual fields — exactly
+//!   the shape where pattern-based compression (PBC) shines (§6.3.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible record source.
+pub trait Dataset: Send {
+    /// Deterministically generates the record with ordinal `i`.
+    fn record(&self, i: u64) -> Vec<u8>;
+
+    /// Human-readable dataset name.
+    fn name(&self) -> &'static str;
+
+    /// Average record size in bytes (measured over a sample).
+    fn avg_record_size(&self) -> usize {
+        let n = 256;
+        let total: usize = (0..n).map(|i| self.record(i * 31).len()).sum();
+        total / n as usize
+    }
+}
+
+/// Which built-in dataset to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    Cities,
+    Kv1,
+    Kv2,
+}
+
+impl DatasetKind {
+    pub fn build(self, seed: u64) -> Box<dyn Dataset> {
+        match self {
+            DatasetKind::Cities => Box::new(CitiesDataset::new(seed)),
+            DatasetKind::Kv1 => Box::new(MachineDataset::kv1(seed)),
+            DatasetKind::Kv2 => Box::new(MachineDataset::kv2(seed)),
+        }
+    }
+}
+
+const COUNTRY_CODES: &[&str] = &[
+    "CN", "US", "IN", "ID", "BR", "PK", "NG", "BD", "RU", "MX", "JP", "ET", "PH", "EG", "VN",
+    "DE", "IR", "TR", "FR", "TH", "GB", "IT", "ZA", "KR", "CO", "ES", "AR", "DZ", "SD", "UA",
+];
+
+const NAME_STEMS: &[&str] = &[
+    "San", "Santa", "New", "Port", "Lake", "Mount", "North", "South", "East", "West", "Fort",
+    "Saint", "Grand", "Little", "Upper", "Lower", "Old", "Great", "Villa", "El",
+];
+
+const NAME_BODIES: &[&str] = &[
+    "ville", "burg", "ton", "field", "ford", "haven", "wood", "bridge", "mouth", "stad",
+    "grad", "pur", "abad", "shire", "minster", "chester", "borough", "polis", "ham", "dale",
+];
+
+const FEATURE_CLASSES: &[&str] = &["PPL", "PPLA", "PPLA2", "PPLA3", "PPLC", "PPLX"];
+
+const TIMEZONES: &[&str] = &[
+    "Asia/Shanghai",
+    "America/New_York",
+    "Asia/Kolkata",
+    "Asia/Jakarta",
+    "America/Sao_Paulo",
+    "Europe/Moscow",
+    "Europe/Berlin",
+    "Asia/Tokyo",
+    "Africa/Lagos",
+    "Europe/London",
+];
+
+/// Geonames-style city records: tab-separated templated text.
+pub struct CitiesDataset {
+    seed: u64,
+}
+
+impl CitiesDataset {
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Dataset for CitiesDataset {
+    fn record(&self, i: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let stem = NAME_STEMS[rng.gen_range(0..NAME_STEMS.len())];
+        let body = NAME_BODIES[rng.gen_range(0..NAME_BODIES.len())];
+        let mid: String = (0..rng.gen_range(2..6))
+            .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+            .collect();
+        let name = format!("{stem} {}{}{body}", mid.to_uppercase().chars().next().unwrap(), &mid[1..]);
+        let ascii_name = name.replace(' ', "-").to_lowercase();
+        let lat = rng.gen_range(-90.0..90.0f64);
+        let lon = rng.gen_range(-180.0..180.0f64);
+        let country = COUNTRY_CODES[rng.gen_range(0..COUNTRY_CODES.len())];
+        let feature = FEATURE_CLASSES[rng.gen_range(0..FEATURE_CLASSES.len())];
+        let population: u64 = 10u64.pow(rng.gen_range(2..7)) + rng.gen_range(0..9999);
+        let elevation: i32 = rng.gen_range(-50..4500);
+        let tz = TIMEZONES[rng.gen_range(0..TIMEZONES.len())];
+        format!(
+            "{id}\t{name}\t{ascii_name}\t{lat:.5}\t{lon:.5}\t{feature}\t{country}\t{population}\t{elevation}\t{tz}\t2024-{month:02}-{day:02}",
+            id = 1_000_000 + i,
+            month = rng.gen_range(1..=12),
+            day = rng.gen_range(1..=28),
+        )
+        .into_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "cities"
+    }
+}
+
+/// Machine-generated serialized records: a few rigid templates with
+/// high-entropy identifiers in fixed slots.
+pub struct MachineDataset {
+    seed: u64,
+    which: &'static str,
+    templates: Vec<MachineTemplate>,
+}
+
+struct MachineTemplate {
+    /// Literal segments; between each pair a variable field is emitted.
+    segments: Vec<&'static str>,
+    /// Per-gap field kind.
+    fields: Vec<FieldKind>,
+}
+
+#[derive(Clone, Copy)]
+enum FieldKind {
+    /// Fixed-width lowercase hex token.
+    Hex(usize),
+    /// Decimal number up to the given magnitude.
+    Number(u64),
+    /// Small categorical vocabulary.
+    Enum(&'static [&'static str]),
+    /// Unix-ish timestamp in a narrow window.
+    Timestamp,
+}
+
+impl MachineDataset {
+    /// KV1: session-/user-state style records (JSON-ish).
+    pub fn kv1(seed: u64) -> Self {
+        let templates = vec![
+            MachineTemplate {
+                segments: vec![
+                    "{\"uid\":\"",
+                    "\",\"sess\":\"",
+                    "\",\"dev\":\"",
+                    "\",\"ts\":",
+                    ",\"geo\":\"",
+                    "\",\"score\":",
+                    ",\"flags\":[\"login\",\"mobile\"]}",
+                ],
+                fields: vec![
+                    FieldKind::Hex(16),
+                    FieldKind::Hex(24),
+                    FieldKind::Enum(&["ios", "android", "web", "mini"]),
+                    FieldKind::Timestamp,
+                    FieldKind::Enum(&["CN-ZJ", "CN-SH", "CN-BJ", "CN-GD", "SG", "US-CA"]),
+                    FieldKind::Number(1000),
+                ],
+            },
+            MachineTemplate {
+                segments: vec![
+                    "{\"uid\":\"",
+                    "\",\"risk\":{\"level\":\"",
+                    "\",\"rule\":\"R-",
+                    "\",\"hit\":",
+                    "},\"ver\":\"2.3.1\"}",
+                ],
+                fields: vec![
+                    FieldKind::Hex(16),
+                    FieldKind::Enum(&["low", "mid", "high"]),
+                    FieldKind::Number(9999),
+                    FieldKind::Number(100),
+                ],
+            },
+        ];
+        Self {
+            seed,
+            which: "kv1",
+            templates,
+        }
+    }
+
+    /// KV2: transaction-/ledger-style records (positional wire format).
+    pub fn kv2(seed: u64) -> Self {
+        let templates = vec![
+            MachineTemplate {
+                segments: vec![
+                    "TXN|v3|",
+                    "|AMT:",
+                    "|CUR:CNY|CH:",
+                    "|ST:",
+                    "|SIG:",
+                    "|END",
+                ],
+                fields: vec![
+                    FieldKind::Hex(32),
+                    FieldKind::Number(10_000_000),
+                    FieldKind::Enum(&["alipay", "bank", "card", "hb", "yeb"]),
+                    FieldKind::Enum(&["OK", "PENDING", "REFUND"]),
+                    FieldKind::Hex(40),
+                ],
+            },
+            MachineTemplate {
+                segments: vec!["RCN|v3|", "|LEG:", "|BAL:", "|TS:", "|CRC:", "|END"],
+                fields: vec![
+                    FieldKind::Hex(32),
+                    FieldKind::Number(99),
+                    FieldKind::Number(100_000_000),
+                    FieldKind::Timestamp,
+                    FieldKind::Hex(8),
+                ],
+            },
+        ];
+        Self {
+            seed,
+            which: "kv2",
+            templates,
+        }
+    }
+}
+
+impl Dataset for MachineDataset {
+    fn record(&self, i: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ i.wrapping_mul(0xa24b_aed4_963e_e407));
+        let t = &self.templates[(i % self.templates.len() as u64) as usize];
+        let mut out = Vec::with_capacity(160);
+        for (j, seg) in t.segments.iter().enumerate() {
+            out.extend_from_slice(seg.as_bytes());
+            if j < t.fields.len() {
+                emit_field(&mut out, t.fields[j], &mut rng);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        self.which
+    }
+}
+
+fn emit_field(out: &mut Vec<u8>, kind: FieldKind, rng: &mut StdRng) {
+    match kind {
+        FieldKind::Hex(width) => {
+            const HEX: &[u8; 16] = b"0123456789abcdef";
+            for _ in 0..width {
+                out.push(HEX[rng.gen_range(0..16usize)]);
+            }
+        }
+        FieldKind::Number(max) => {
+            let n: u64 = rng.gen_range(0..=max);
+            out.extend_from_slice(n.to_string().as_bytes());
+        }
+        FieldKind::Enum(options) => {
+            out.extend_from_slice(options[rng.gen_range(0..options.len())].as_bytes());
+        }
+        FieldKind::Timestamp => {
+            let ts: u64 = 1_700_000_000 + rng.gen_range(0..30_000_000);
+            out.extend_from_slice(ts.to_string().as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_deterministic() {
+        let d1 = CitiesDataset::new(42);
+        let d2 = CitiesDataset::new(42);
+        for i in [0u64, 1, 1000, 999_999] {
+            assert_eq!(d1.record(i), d2.record(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d1 = CitiesDataset::new(1);
+        let d2 = CitiesDataset::new(2);
+        assert_ne!(d1.record(7), d2.record(7));
+    }
+
+    #[test]
+    fn cities_are_tab_separated_utf8() {
+        let d = CitiesDataset::new(9);
+        for i in 0..100 {
+            let r = d.record(i);
+            let s = String::from_utf8(r).expect("utf8");
+            assert_eq!(s.split('\t').count(), 11, "record: {s}");
+        }
+    }
+
+    #[test]
+    fn machine_records_share_templates() {
+        let d = MachineDataset::kv2(5);
+        let a = d.record(0);
+        let b = d.record(2); // same template (templates.len() == 2)
+        assert!(a.starts_with(b"TXN|v3|"));
+        assert!(b.starts_with(b"TXN|v3|"));
+        let c = d.record(1);
+        assert!(c.starts_with(b"RCN|v3|"));
+    }
+
+    #[test]
+    fn avg_sizes_are_plausible() {
+        for kind in [DatasetKind::Cities, DatasetKind::Kv1, DatasetKind::Kv2] {
+            let d = kind.build(3);
+            let avg = d.avg_record_size();
+            assert!(
+                (40..400).contains(&avg),
+                "{}: avg {avg} outside sanity range",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kv_records_differ_in_residuals() {
+        let d = MachineDataset::kv1(11);
+        let a = d.record(0);
+        let b = d.record(2);
+        assert_ne!(a, b, "residual fields must vary across records");
+    }
+}

@@ -1,0 +1,299 @@
+//! Key-choosing distributions (YCSB generators).
+//!
+//! The zipfian generator follows Gray et al.'s rejection-free method as
+//! used by YCSB's `ZipfianGenerator`, including the incremental-item-count
+//! recomputation and the *scrambled* variant that hashes ranks so hot keys
+//! are spread across the keyspace instead of clustered at low ids.
+
+use rand::Rng;
+use tb_common::fx_hash;
+
+/// Chooses an item index in `0..n` according to some popularity law.
+pub trait KeyChooser: Send {
+    /// Draws the next item index using the supplied RNG.
+    fn next_index(&mut self, rng: &mut dyn rand::RngCore) -> u64;
+
+    /// Number of items currently addressable.
+    fn item_count(&self) -> u64;
+}
+
+/// Uniform choice over `0..n`.
+pub struct UniformChooser {
+    n: u64,
+}
+
+impl UniformChooser {
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "item count must be positive");
+        Self { n }
+    }
+}
+
+impl KeyChooser for UniformChooser {
+    fn next_index(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        rng.gen_range(0..self.n)
+    }
+
+    fn item_count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Zipfian generator over ranks `0..n` with parameter `theta`.
+///
+/// Rank 0 is the most popular item. YCSB default `theta = 0.99`.
+pub struct ZipfianGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl ZipfianGen {
+    /// Creates a generator for `n` items with the YCSB-default skew 0.99.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99)
+    }
+
+    /// Creates a generator with an explicit skew parameter `theta < 1`.
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "item count must be positive");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation; fine for the item counts used in experiments.
+        // For very large n, sample-extrapolate to keep setup fast.
+        if n <= 10_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            // Integral approximation with a correction from the first terms.
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Grows the addressable item count (used after inserts), recomputing
+    /// constants incrementally like YCSB does.
+    pub fn set_item_count(&mut self, n: u64) {
+        assert!(n >= self.n, "item count must not shrink");
+        if n == self.n {
+            return;
+        }
+        // Incremental zeta update.
+        self.zetan += ((self.n + 1)..=n)
+            .map(|i| 1.0 / (i as f64).powf(self.theta))
+            .sum::<f64>();
+        self.n = n;
+        self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2theta / self.zetan);
+    }
+
+    /// Draws a zipfian *rank* (0 = hottest).
+    pub fn next_rank(&self, rng: &mut dyn rand::RngCore) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
+impl KeyChooser for ZipfianGen {
+    fn next_index(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        self.next_rank(rng)
+    }
+
+    fn item_count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Scrambled zipfian: zipfian ranks hashed over the item space so the hot
+/// set is scattered (YCSB `ScrambledZipfianGenerator`).
+pub struct ScrambledZipfian {
+    inner: ZipfianGen,
+}
+
+impl ScrambledZipfian {
+    pub fn new(n: u64) -> Self {
+        Self {
+            inner: ZipfianGen::new(n),
+        }
+    }
+
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        Self {
+            inner: ZipfianGen::with_theta(n, theta),
+        }
+    }
+
+    /// Grows the addressable item count after inserts.
+    pub fn set_item_count(&mut self, n: u64) {
+        self.inner.set_item_count(n);
+    }
+}
+
+impl KeyChooser for ScrambledZipfian {
+    fn next_index(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        let rank = self.inner.next_rank(rng);
+        fx_hash(&rank.to_le_bytes()) % self.inner.item_count()
+    }
+
+    fn item_count(&self) -> u64 {
+        self.inner.item_count()
+    }
+}
+
+/// "Latest" distribution: recency-skewed — most requests target recently
+/// inserted items (YCSB `SkewedLatestGenerator`).
+pub struct LatestChooser {
+    zipf: ZipfianGen,
+}
+
+impl LatestChooser {
+    pub fn new(n: u64) -> Self {
+        Self {
+            zipf: ZipfianGen::new(n),
+        }
+    }
+
+    /// Grows the item count after an insert so the newest item is hottest.
+    pub fn set_item_count(&mut self, n: u64) {
+        self.zipf.set_item_count(n);
+    }
+}
+
+impl KeyChooser for LatestChooser {
+    fn next_index(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        let rank = self.zipf.next_rank(rng);
+        self.zipf.item_count() - 1 - rank
+    }
+
+    fn item_count(&self) -> u64 {
+        self.zipf.item_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw_freqs(chooser: &mut dyn KeyChooser, draws: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; chooser.item_count() as usize];
+        for _ in 0..draws {
+            counts[chooser.next_index(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut c = UniformChooser::new(100);
+        let counts = draw_freqs(&mut c, 100_000);
+        for &n in &counts {
+            assert!((n as f64 - 1000.0).abs() < 250.0, "count {n} deviates");
+        }
+    }
+
+    #[test]
+    fn zipfian_rank0_dominates() {
+        let mut z = ZipfianGen::new(1000);
+        let counts = draw_freqs(&mut z, 100_000);
+        assert!(counts[0] > counts[10] && counts[10] > counts[100]);
+        // Rank 0 of a 1000-item zipf(0.99) should take ~13% of draws.
+        let share = counts[0] as f64 / 100_000.0;
+        assert!(share > 0.08 && share < 0.20, "rank0 share {share}");
+    }
+
+    #[test]
+    fn zipfian_higher_theta_is_more_skewed() {
+        let mut lo = ZipfianGen::with_theta(1000, 0.5);
+        let mut hi = ZipfianGen::with_theta(1000, 0.99);
+        let c_lo = draw_freqs(&mut lo, 100_000);
+        let c_hi = draw_freqs(&mut hi, 100_000);
+        assert!(c_hi[0] > c_lo[0] * 2);
+    }
+
+    #[test]
+    fn zipfian_all_in_range() {
+        let mut z = ZipfianGen::new(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.next_index(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn incremental_item_count_matches_fresh() {
+        let mut grown = ZipfianGen::new(100);
+        grown.set_item_count(500);
+        let fresh = ZipfianGen::new(500);
+        assert!((grown.zetan - fresh.zetan).abs() < 1e-9);
+        assert!((grown.eta - fresh.eta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_keys() {
+        let mut s = ScrambledZipfian::new(1000);
+        let counts = draw_freqs(&mut s, 200_000);
+        // The single hottest item keeps its zipfian share...
+        let max = *counts.iter().max().unwrap();
+        assert!(max as f64 / 200_000.0 > 0.08);
+        // ...but is not at index 0 with overwhelming probability.
+        let argmax = counts.iter().position(|&c| c == max).unwrap();
+        assert_ne!(argmax, 0);
+    }
+
+    #[test]
+    fn latest_prefers_newest() {
+        let mut l = LatestChooser::new(1000);
+        let counts = draw_freqs(&mut l, 100_000);
+        assert!(counts[999] > counts[500]);
+        assert!(counts[999] > counts[0]);
+    }
+
+    #[test]
+    fn latest_tracks_inserts() {
+        let mut l = LatestChooser::new(10);
+        l.set_item_count(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut newest = 0;
+        for _ in 0..1000 {
+            if l.next_index(&mut rng) == 19 {
+                newest += 1;
+            }
+        }
+        assert!(newest > 50, "newest item drawn only {newest} times");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not shrink")]
+    fn item_count_cannot_shrink() {
+        let mut z = ZipfianGen::new(100);
+        z.set_item_count(50);
+    }
+}

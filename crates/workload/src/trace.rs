@@ -1,0 +1,251 @@
+//! Operation traces: the record/replay substrate of the cost-optimization
+//! framework (§5.3) — sample a workload once, then replay it against many
+//! candidate configurations.
+
+use std::collections::HashMap;
+use tb_common::{Key, Value};
+
+/// A single key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    Read { key: Key },
+    Update { key: Key, value: Value },
+    Insert { key: Key, value: Value },
+    Delete { key: Key },
+    ReadModifyWrite { key: Key, value: Value },
+}
+
+impl Op {
+    pub fn key(&self) -> &Key {
+        match self {
+            Op::Read { key }
+            | Op::Update { key, .. }
+            | Op::Insert { key, .. }
+            | Op::Delete { key }
+            | Op::ReadModifyWrite { key, .. } => key,
+        }
+    }
+
+    /// True for operations that write.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Op::Read { .. })
+    }
+
+    /// Payload size contributed to stored data (0 for reads/deletes).
+    pub fn value_len(&self) -> usize {
+        match self {
+            Op::Update { value, .. }
+            | Op::Insert { value, .. }
+            | Op::ReadModifyWrite { value, .. } => value.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// A recorded sequence of operations.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+/// Aggregate statistics over a trace, feeding the cost model's workload
+/// parameters (`QPS(w)`, `DataSize(w)`, skew, access intervals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    pub op_count: usize,
+    pub read_count: usize,
+    pub write_count: usize,
+    pub unique_keys: usize,
+    /// Total bytes across final values per key (approximates DataSize(w)).
+    pub resident_bytes: u64,
+    /// Mean bytes per stored value.
+    pub avg_value_size: f64,
+    /// Fraction of accesses hitting the hottest 1% of keys.
+    pub top1pct_share: f64,
+    /// Mean number of operations between successive accesses to the same
+    /// key (the paper's "average access interval", in op-stream positions;
+    /// multiply by mean inter-arrival time to get seconds).
+    pub mean_access_interval_ops: f64,
+}
+
+impl Trace {
+    pub fn new(ops: Vec<Op>) -> Self {
+        Self { ops }
+    }
+
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Concatenates another trace after this one.
+    pub fn extend(&mut self, other: Trace) {
+        self.ops.extend(other.ops);
+    }
+
+    /// Computes aggregate workload statistics in one pass.
+    pub fn stats(&self) -> TraceStats {
+        let mut reads = 0usize;
+        let mut writes = 0usize;
+        let mut last_value_len: HashMap<Key, usize> = HashMap::new();
+        let mut access_counts: HashMap<Key, u64> = HashMap::new();
+        let mut last_seen: HashMap<Key, usize> = HashMap::new();
+        let mut interval_sum = 0u64;
+        let mut interval_n = 0u64;
+
+        for (pos, op) in self.ops.iter().enumerate() {
+            if op.is_write() {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+            match op {
+                Op::Insert { key, value }
+                | Op::Update { key, value }
+                | Op::ReadModifyWrite { key, value } => {
+                    last_value_len.insert(key.clone(), value.len());
+                }
+                Op::Delete { key } => {
+                    last_value_len.remove(key);
+                }
+                Op::Read { .. } => {}
+            }
+            let key = op.key().clone();
+            *access_counts.entry(key.clone()).or_insert(0) += 1;
+            if let Some(prev) = last_seen.insert(key, pos) {
+                interval_sum += (pos - prev) as u64;
+                interval_n += 1;
+            }
+        }
+
+        let resident_bytes: u64 = last_value_len.values().map(|&v| v as u64).sum();
+        let stored = last_value_len.len().max(1);
+        let mut freqs: Vec<u64> = access_counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top_n = (freqs.len() / 100).max(1);
+        let top_share = if self.ops.is_empty() {
+            0.0
+        } else {
+            freqs.iter().take(top_n).sum::<u64>() as f64 / self.ops.len() as f64
+        };
+
+        TraceStats {
+            op_count: self.ops.len(),
+            read_count: reads,
+            write_count: writes,
+            unique_keys: access_counts.len(),
+            resident_bytes,
+            avg_value_size: resident_bytes as f64 / stored as f64,
+            top1pct_share: top_share,
+            mean_access_interval_ops: if interval_n == 0 {
+                f64::INFINITY
+            } else {
+                interval_sum as f64 / interval_n as f64
+            },
+        }
+    }
+}
+
+impl FromIterator<Op> for Trace {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn v(n: usize) -> Value {
+        Value::from(vec![b'x'; n])
+    }
+
+    #[test]
+    fn stats_counts_reads_and_writes() {
+        let t = Trace::new(vec![
+            Op::Insert { key: k("a"), value: v(10) },
+            Op::Read { key: k("a") },
+            Op::Update { key: k("a"), value: v(20) },
+            Op::Read { key: k("b") },
+        ]);
+        let s = t.stats();
+        assert_eq!(s.op_count, 4);
+        assert_eq!(s.read_count, 2);
+        assert_eq!(s.write_count, 2);
+        assert_eq!(s.unique_keys, 2);
+        // Final value of "a" is 20 bytes; "b" never written.
+        assert_eq!(s.resident_bytes, 20);
+    }
+
+    #[test]
+    fn delete_removes_resident_bytes() {
+        let t = Trace::new(vec![
+            Op::Insert { key: k("a"), value: v(100) },
+            Op::Delete { key: k("a") },
+        ]);
+        assert_eq!(t.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn access_interval_measures_reuse_distance() {
+        // "a" accessed at positions 0, 2, 4 → intervals 2 and 2.
+        let t = Trace::new(vec![
+            Op::Read { key: k("a") },
+            Op::Read { key: k("b") },
+            Op::Read { key: k("a") },
+            Op::Read { key: k("c") },
+            Op::Read { key: k("a") },
+        ]);
+        let s = t.stats();
+        assert_eq!(s.mean_access_interval_ops, 2.0);
+    }
+
+    #[test]
+    fn no_reaccess_means_infinite_interval() {
+        let t = Trace::new(vec![Op::Read { key: k("a") }, Op::Read { key: k("b") }]);
+        assert!(t.stats().mean_access_interval_ops.is_infinite());
+    }
+
+    #[test]
+    fn skew_detected_in_top1pct() {
+        // 200 keys; key "hot" takes half of all accesses.
+        let mut ops = vec![];
+        for i in 0..200 {
+            ops.push(Op::Read { key: k(&format!("k{i}")) });
+            ops.push(Op::Read { key: k("hot") });
+        }
+        let s = Trace::new(ops).stats();
+        // top 1% of 201 keys = 2 keys; "hot" alone serves 50%.
+        assert!(s.top1pct_share >= 0.5, "share {}", s.top1pct_share);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Trace::new(vec![Op::Read { key: k("x") }]);
+        let b = Trace::new(vec![Op::Read { key: k("y") }]);
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn rmw_counts_as_write() {
+        let op = Op::ReadModifyWrite { key: k("a"), value: v(5) };
+        assert!(op.is_write());
+        assert_eq!(op.value_len(), 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Case study 2 (§6.5): Capital Reconciliation.
+//!
+//! A cost-sensitive risk-control workload: ~1:1 read:write with strong
+//! temporal skew — recent transactions are verified shortly after being
+//! written, old ones almost never. This example shows why the tiered
+//! write-back configuration wins: the small cache absorbs the hot
+//! recent window while the LSM storage tier holds the long tail, and
+//! batched dirty flushes amortize the storage round-trips.
+//!
+//! ```sh
+//! cargo run --release --example capital_reconciliation
+//! ```
+
+use std::sync::atomic::Ordering;
+use tierbase::costmodel::{CostEvaluator, InstanceSpec, WorkloadDemand};
+use tierbase::prelude::*;
+
+fn open_variant(
+    name: &str,
+    f: impl FnOnce(tierbase::store::TierBaseConfigBuilder) -> tierbase::store::TierBaseConfigBuilder,
+) -> TierBase {
+    let dir = std::env::temp_dir().join(format!("tb-example-recon-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    TierBase::open(f(TierBaseConfig::builder(dir)).build()).expect("open store")
+}
+
+fn main() -> Result<()> {
+    let records = 10_000u64;
+    let ops = 30_000u64;
+    let logical_estimate = records as usize * 120;
+
+    let mut workload = Workload::new(WorkloadSpec::case2_reconciliation(records, ops));
+    let load = Trace::new(workload.load_ops());
+    let run = workload.run_trace();
+    let stats = run.stats();
+    println!(
+        "trace: {} ops, reads {} / writes {}, mean re-access distance {:.0} ops",
+        stats.op_count, stats.read_count, stats.write_count, stats.mean_access_interval_ops
+    );
+
+    // Candidates: everything in memory vs. tiered at a 4X cache ratio
+    // with each synchronization policy.
+    let in_mem = open_variant("mem", |b| b.cache_capacity(256 << 20));
+    let wt = open_variant("wt", |b| {
+        b.cache_capacity(logical_estimate / 4)
+            .policy(SyncPolicy::WriteThrough)
+            .storage_rtt_us(200)
+    });
+    let wb = open_variant("wb", |b| {
+        b.cache_capacity(logical_estimate / 4)
+            .policy(SyncPolicy::WriteBack)
+            .storage_rtt_us(200)
+    });
+
+    let demand = WorkloadDemand::new(40_000.0, 10.0);
+    let evaluator = CostEvaluator::new(InstanceSpec::standard(), demand);
+    let measured = vec![
+        evaluator.measure("TierBase-InMem", &in_mem, &load, &run)?,
+        evaluator.measure("TierBase-wt-4X", &wt, &load, &run)?,
+        evaluator.measure("TierBase-wb-4X", &wb, &load, &run)?,
+    ];
+
+    let report = evaluator.report(measured);
+    println!("\ncost report (1:1 read/write, temporal skew):");
+    for c in &report.costs {
+        println!(
+            "  {:>15}  PC={:<8.3} SC={:<8.3} C={:.3}",
+            c.name,
+            c.performance_cost,
+            c.space_cost,
+            c.total()
+        );
+    }
+    println!(
+        "cost-optimal: {}",
+        report.optimal.as_deref().unwrap_or("n/a")
+    );
+
+    // The §6.5 observation: the cache absorbs most reads even at a
+    // small cache ratio because access is temporally skewed.
+    println!(
+        "\nwrite-back cache hit rate: {:.0}% (paper observed ~80% with 1% of data cached)",
+        (1.0 - wb.stats().miss_ratio()) * 100.0
+    );
+    println!(
+        "write-back dirty flushes: {} batches for {} flushed entries",
+        wb.stats().dirty_flushes.load(Ordering::Relaxed),
+        wb.stats().flushed_entries.load(Ordering::Relaxed),
+    );
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Session store: TTLs, batch reads, prefix scans, and snapshot warm
+//! restarts on a tiered TierBase deployment.
+//!
+//! The scenario is the bread-and-butter workload of an online platform:
+//! login sessions that must expire, profile lookups that arrive in
+//! bursts (batched by the API gateway), operational scans over a key
+//! namespace, and rolling restarts that must not stampede the storage
+//! tier with a cold cache.
+//!
+//! ```sh
+//! cargo run --release --example session_store
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tierbase::common::ManualClock;
+use tierbase::prelude::*;
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join(format!("tb-example-session-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A manual clock makes the TTL walkthrough deterministic; drop the
+    // `.clock(...)` line to run on wall time.
+    let clock = ManualClock::new();
+    let open = |clock: Arc<ManualClock>| {
+        TierBase::open(
+            TierBaseConfig::builder(&dir)
+                .cache_capacity(64 << 20)
+                .policy(SyncPolicy::WriteThrough)
+                .clock(clock)
+                .build(),
+        )
+    };
+    let store = open(clock.clone())?;
+
+    // --- 1. Sessions with TTLs -----------------------------------------
+    println!("== sessions with TTLs ==");
+    for user in 0..1000 {
+        // 30-minute sessions; profile records live forever.
+        store.put_with_ttl(
+            Key::from(format!("sess:{user:04}")),
+            Value::from(format!("token-{user:08x}")),
+            Duration::from_secs(30 * 60),
+        )?;
+        store.put(
+            Key::from(format!("prof:{user:04}")),
+            Value::from(format!("{{\"user\":{user},\"plan\":\"premium\"}}")),
+        )?;
+    }
+    println!(
+        "  session TTL state: {:?}",
+        store.ttl(&Key::from("sess:0000"))?
+    );
+    println!(
+        "  profile TTL state: {:?}",
+        store.ttl(&Key::from("prof:0000"))?
+    );
+
+    // A privileged session gets extended; a compromised one is killed
+    // by expiring it immediately-ish.
+    store.expire(&Key::from("sess:0001"), Duration::from_secs(24 * 3600))?;
+    store.expire(&Key::from("sess:0002"), Duration::from_secs(1))?;
+
+    // --- 2. Time passes -------------------------------------------------
+    clock.advance(Duration::from_secs(31 * 60));
+    println!("\n== 31 minutes later ==");
+    println!(
+        "  sess:0000 -> {:?} (expired)",
+        store.get(&Key::from("sess:0000"))?
+    );
+    println!(
+        "  sess:0001 -> {} (extended, still live)",
+        store.get(&Key::from("sess:0001"))?.is_some()
+    );
+    println!(
+        "  prof:0000 -> {} (no TTL)",
+        store.get(&Key::from("prof:0000"))?.is_some()
+    );
+
+    // Active expiration reclaims the rest without waiting for reads.
+    let swept = store.sweep_expired()?;
+    println!("  sweep reclaimed {swept} expired sessions");
+
+    // --- 3. Batched reads (deferred cache-fetching, §4.1.2) ------------
+    println!("\n== batched profile reads ==");
+    let keys: Vec<Key> = (0..64).map(|u| Key::from(format!("prof:{u:04}"))).collect();
+    let fetched = store.multi_get(&keys)?;
+    println!(
+        "  multi_get(64 keys) -> {} hits (one storage round-trip for all misses)",
+        fetched.iter().filter(|v| v.is_some()).count()
+    );
+
+    // --- 4. Prefix scan --------------------------------------------------
+    let live_sessions = store.scan_prefix(b"sess:")?;
+    println!("\n== namespace scan ==");
+    println!(
+        "  scan_prefix(\"sess:\") -> {} live sessions (was 1000)",
+        live_sessions.len()
+    );
+
+    // --- 5. Snapshot + warm restart --------------------------------------
+    let entries = store.save_cache_snapshot()?;
+    println!("\n== rolling restart ==");
+    println!("  snapshot wrote {entries} cache entries");
+    drop(store);
+
+    let store = open(clock.clone())?;
+    let before = store.stats().storage_fetches.load(std::sync::atomic::Ordering::Relaxed);
+    for u in 0..1000 {
+        store.get(&Key::from(format!("prof:{u:04}")))?;
+    }
+    let after = store.stats().storage_fetches.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "  1000 profile reads after restart -> {} storage fetches (warm cache)",
+        after - before
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Vector search (§3): ANN queries next to key-value data.
+//!
+//! TierBase integrates a vector index (VSAG in the paper; an HNSW graph
+//! here) so applications can store items in the KV tiers and retrieve
+//! them by embedding similarity — with real-time inserts and deletes.
+//!
+//! ```sh
+//! cargo run --release --example vector_search
+//! ```
+
+use tierbase::prelude::*;
+use tierbase::store::{HnswConfig, HnswIndex};
+
+/// Toy deterministic "embedding" of a text: byte histogram projected to
+/// a few dimensions. Stands in for a real model's output.
+fn embed(text: &str, dim: usize) -> Vec<f32> {
+    let mut v = vec![0f32; dim];
+    for (i, b) in text.bytes().enumerate() {
+        v[i % dim] += (b as f32 - 96.0) / 32.0;
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+    v.iter_mut().for_each(|x| *x /= norm);
+    v
+}
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("tierbase-example-vector");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TierBase::open(TierBaseConfig::builder(dir).build())?;
+
+    const DIM: usize = 16;
+    let index = HnswIndex::new(DIM, HnswConfig::default());
+
+    // Store documents in the KV store; index their embeddings.
+    let docs = [
+        "tiered storage balances performance and capacity",
+        "write back caching defers storage updates in batches",
+        "write through caching synchronizes storage before acking",
+        "persistent memory extends dram at lower cost",
+        "pattern based compression extracts templates from records",
+        "elastic threading boosts hot shards with idle cores",
+        "zipfian workloads concentrate accesses on hot keys",
+        "bloom filters skip sstables that cannot hold a key",
+        "the five minute rule prices memory against disk accesses",
+        "cost optimal configurations balance space and performance",
+    ];
+    for (i, doc) in docs.iter().enumerate() {
+        store.put(Key::from(format!("doc:{i}")), Value::from(*doc))?;
+        index.insert(i as u64, embed(doc, DIM));
+    }
+    println!("indexed {} documents", index.len());
+
+    // Similarity query.
+    let query = "how does caching defer writes to storage";
+    let hits = index.search(&embed(query, DIM), 3);
+    println!("\nquery: {query:?}");
+    for (id, dist) in &hits {
+        let doc = store.get(&Key::from(format!("doc:{id}")))?.expect("doc exists");
+        println!("  d2={dist:.3}  {}", String::from_utf8_lossy(doc.as_slice()));
+    }
+
+    // Real-time deletion: remove the top hit and re-query.
+    let top = hits[0].0;
+    index.delete(top);
+    store.delete(&Key::from(format!("doc:{top}")))?;
+    let hits = index.search(&embed(query, DIM), 3);
+    println!("\nafter deleting doc {top}:");
+    for (id, dist) in &hits {
+        assert_ne!(*id, top, "deleted vector must not surface");
+        let doc = store.get(&Key::from(format!("doc:{id}")))?.expect("doc exists");
+        println!("  d2={dist:.3}  {}", String::from_utf8_lossy(doc.as_slice()));
+    }
+
+    // Real-time insertion.
+    let new_doc = "deferred batched updates amortize remote round trips";
+    store.put(Key::from("doc:new"), Value::from(new_doc))?;
+    index.insert(999, embed(new_doc, DIM));
+    println!("\nindex now holds {} live vectors", index.len());
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! # TierBase
+//!
+//! A workload-driven, cost-optimized key-value store — a from-scratch
+//! Rust reproduction of *"TierBase: A Workload-Driven Cost-Optimized
+//! Key-Value Store"* (Shen et al., ICDE 2025, Ant Group).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | what it is |
+//! |---|---|---|
+//! | [`store`] | `tierbase-core` | the TierBase store: tiered cache+storage, write-through/write-back, persistence modes, compression, elastic threading, data types, vector search |
+//! | [`costmodel`] | `tb-costmodel` | the Space-Performance Cost Model, Optimal Cost Theorem, tiered cost, Five-Minute-Rule break-even, evaluation framework |
+//! | [`cache`] | `tb-cache` | the cache tier: sharded LRU tables, dirty tracking, write coalescing, replication |
+//! | [`lsm`] | `tb-lsm` | the storage tier: WAL, SSTables, bloom filters, leveled compaction, disaggregated façade |
+//! | [`pmem`] | `tb-pmem` | simulated persistent memory: latency-modeled device, persistent ring buffer, DRAM/PMem placement |
+//! | [`compress`] | `tb-compress` | pre-trained compression: tzstd (dictionary LZ) and PBC (pattern-based) |
+//! | [`elastic`] | `tb-elastic` | elastic threading runtime |
+//! | [`workload`] | `tb-workload` | YCSB-style generators, datasets, trace record/replay |
+//! | [`cluster`] | `tb-cluster` | hash-slot sharding, coordinators, failover, smart client, proxy |
+//! | [`baselines`] | `tb-baselines` | redis-/memcached-/dragonfly-/cassandra-/hbase-like comparators |
+//! | [`common`] | `tb-common` | shared types, errors, clocks, histograms, hashing, `KvEngine` |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use tierbase::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join("tierbase-quickstart");
+//! let store = TierBase::open(
+//!     TierBaseConfig::builder(dir)
+//!         .cache_capacity(64 << 20)
+//!         .policy(SyncPolicy::WriteThrough)
+//!         .build(),
+//! )?;
+//! store.put(Key::from("greeting"), Value::from("hello"))?;
+//! assert_eq!(store.get(&Key::from("greeting"))?, Some(Value::from("hello")));
+//! # Ok::<(), tierbase::common::Error>(())
+//! ```
+
+pub use tb_baselines as baselines;
+pub use tb_cache as cache;
+pub use tb_cluster as cluster;
+pub use tb_common as common;
+pub use tb_compress as compress;
+pub use tb_costmodel as costmodel;
+pub use tb_elastic as elastic;
+pub use tb_lsm as lsm;
+pub use tb_pmem as pmem;
+pub use tb_workload as workload;
+pub use tierbase_core as store;
+
+/// The items most applications need.
+pub mod prelude {
+    pub use tb_cache::ReplicationMode;
+    pub use tb_common::{Error, Key, KvEngine, Result, TtlState, Value};
+    pub use tb_costmodel::{CostMetrics, InstanceSpec, WorkloadDemand};
+    pub use tb_workload::{Op, Trace, Workload, WorkloadSpec};
+    pub use tierbase_core::{
+        CompressionChoice, DataTypes, PersistenceMode, PmemTuning, SyncPolicy, TierBase,
+        TierBaseConfig, WideColumn,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn umbrella_reexports_work() {
+        let dir = std::env::temp_dir().join(format!("tb-umbrella-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TierBase::open(TierBaseConfig::builder(dir).build()).unwrap();
+        store.put(Key::from("k"), Value::from("v")).unwrap();
+        assert_eq!(store.get(&Key::from("k")).unwrap(), Some(Value::from("v")));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the distributed layer's invariants: routing
+//! tables always cover the slot space, rebalancing conserves keys, and
+//! replication keeps replicas substitutable for their primary.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tierbase::cluster::{CoordinatorGroup, NodeId, NodeStore, RoutingTable};
+use tierbase::common::SLOT_COUNT;
+use tierbase::prelude::*;
+
+// A tiny engine for cluster property tests (fast, deterministic).
+struct MapEngine(std::sync::Mutex<BTreeMap<Key, Value>>);
+
+impl MapEngine {
+    fn shared() -> Arc<dyn KvEngine> {
+        Arc::new(Self(std::sync::Mutex::new(BTreeMap::new())))
+    }
+}
+
+impl KvEngine for MapEngine {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        Ok(self.0.lock().unwrap().get(key).cloned())
+    }
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.0.lock().unwrap().insert(key, value);
+        Ok(())
+    }
+    fn delete(&self, key: &Key) -> Result<()> {
+        self.0.lock().unwrap().remove(key);
+        Ok(())
+    }
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+    fn label(&self) -> String {
+        "map".into()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every slot always has exactly one owner, under any sequence of
+    /// reassignments; epochs strictly increase.
+    #[test]
+    fn routing_covers_all_slots(
+        node_count in 1u32..12,
+        moves in proptest::collection::vec((any::<u16>(), any::<u32>()), 0..20)
+    ) {
+        let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
+        let mut table = RoutingTable::even(1, &nodes);
+        let mut last_epoch = table.epoch;
+        for (slot_seed, to_seed) in moves {
+            let to = NodeId(to_seed % node_count);
+            let slots: Vec<u16> = (0..4)
+                .map(|i| (slot_seed.wrapping_add(i * 1000)) % SLOT_COUNT)
+                .collect();
+            table = table.reassign_slots(&slots, to);
+            prop_assert!(table.epoch > last_epoch);
+            last_epoch = table.epoch;
+        }
+        // Coverage: every slot owned by a known node; totals add up.
+        let total: usize = table.distribution().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, SLOT_COUNT as usize);
+        for (owner, _) in table.distribution() {
+            prop_assert!(owner.0 < node_count);
+        }
+    }
+
+    /// Scale-out rebalancing conserves every key and leaves all keys
+    /// readable through fresh routing.
+    #[test]
+    fn rebalance_conserves_keys(
+        initial_nodes in 1u32..5,
+        key_count in 1usize..150,
+        added in 1u32..3,
+    ) {
+        let nodes = (0..initial_nodes)
+            .map(|i| NodeStore::new(NodeId(i), MapEngine::shared()))
+            .collect();
+        let group = CoordinatorGroup::bootstrap(1, nodes).unwrap();
+        // Load through routing so inventories match ownership.
+        for i in 0..key_count {
+            let key = Key::from(format!("pk-{i}"));
+            let owner = group.routing().owner_of_key(key.as_slice());
+            group.node(owner).unwrap().read().put(key, Value::from(format!("v{i}"))).unwrap();
+        }
+        prop_assert_eq!(group.total_keys(), key_count);
+
+        for a in 0..added {
+            let new = NodeStore::new(NodeId(100 + a), MapEngine::shared());
+            group.add_node_and_rebalance(new).unwrap();
+            prop_assert_eq!(group.total_keys(), key_count, "keys lost at add #{}", a);
+        }
+        // All keys readable at their (new) owners.
+        let table = group.routing();
+        for i in 0..key_count {
+            let key = Key::from(format!("pk-{i}"));
+            let owner = table.owner_of_key(key.as_slice());
+            let got = group.node(owner).unwrap().read().get(&key).unwrap();
+            prop_assert_eq!(got, Some(Value::from(format!("v{i}"))), "key pk-{} unreadable", i);
+        }
+    }
+
+    /// A promoted replica serves exactly what its primary served.
+    #[test]
+    fn replica_promotion_is_transparent(
+        writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60)
+    ) {
+        let mut node = NodeStore::new(NodeId(0), MapEngine::shared())
+            .with_replica(MapEngine::shared());
+        let mut model: BTreeMap<Key, Value> = BTreeMap::new();
+        for (k, v) in writes {
+            let key = Key::from(format!("rk-{k}"));
+            let value = Value::from(format!("rv-{v}"));
+            if v % 5 == 0 {
+                node.delete(&key).unwrap();
+                model.remove(&key);
+            } else {
+                node.put(key.clone(), value.clone()).unwrap();
+                model.insert(key, value);
+            }
+        }
+        node.crash();
+        node.promote_replica().unwrap();
+        for (k, v) in &model {
+            let got = node.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        // Deleted keys stayed deleted through promotion.
+        for id in 0..=255u8 {
+            let key = Key::from(format!("rk-{id}"));
+            if !model.contains_key(&key) {
+                prop_assert_eq!(node.get(&key).unwrap(), None);
+            }
+        }
+    }
+}

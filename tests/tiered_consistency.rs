@@ -1,0 +1,182 @@
+//! Cross-crate integration: the tiered store must behave exactly like a
+//! model map under randomized operation sequences, for every sync
+//! policy, including across flushes and reopen.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use tierbase::prelude::*;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tb-it-consist-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn random_ops(seed: u64, n: usize, keyspace: usize) -> Vec<(u8, Key, Value)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let key = Key::from(format!("key-{:04}", rng.gen_range(0..keyspace)));
+            let kind = rng.gen_range(0..10u8);
+            let value = Value::from(format!("v{i}-{}", "x".repeat(rng.gen_range(0..120))));
+            (kind, key, value)
+        })
+        .collect()
+}
+
+fn check_against_model(policy: SyncPolicy, name: &str, seed: u64) {
+    let dir = tmpdir(name);
+    let store = TierBase::open(
+        TierBaseConfig::builder(&dir)
+            .cache_capacity(64 << 10) // tiny: force heavy eviction/missing
+            .cache_shards(4)
+            .policy(policy)
+            .build(),
+    )
+    .unwrap();
+    let mut model: BTreeMap<Key, Value> = BTreeMap::new();
+
+    for (kind, key, value) in random_ops(seed, 3000, 200) {
+        match kind {
+            0..=5 => {
+                store.put(key.clone(), value.clone()).unwrap();
+                model.insert(key, value);
+            }
+            6..=7 => {
+                store.delete(&key).unwrap();
+                model.remove(&key);
+            }
+            _ => {
+                let got = store.get(&key).unwrap();
+                assert_eq!(got.as_ref(), model.get(&key), "divergence at {key:?}");
+            }
+        }
+    }
+    // Full final scan.
+    for (key, value) in &model {
+        assert_eq!(
+            store.get(key).unwrap().as_ref(),
+            Some(value),
+            "final state diverged at {key:?} under {policy:?}"
+        );
+    }
+    store.sync().unwrap();
+
+    // Tiered policies must also survive a restart.
+    if matches!(policy, SyncPolicy::WriteThrough | SyncPolicy::WriteBack) {
+        drop(store);
+        let reopened = TierBase::open(
+            TierBaseConfig::builder(&dir)
+                .cache_capacity(64 << 10)
+                .cache_shards(4)
+                .policy(policy)
+                .build(),
+        )
+        .unwrap();
+        for (key, value) in &model {
+            assert_eq!(
+                reopened.get(key).unwrap().as_ref(),
+                Some(value),
+                "post-restart divergence at {key:?} under {policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn in_memory_matches_model() {
+    // In-memory with a tiny cache evicts, so only a large-cache variant
+    // can promise full fidelity.
+    let store = TierBase::open(
+        TierBaseConfig::builder(tmpdir("mem"))
+            .cache_capacity(64 << 20)
+            .build(),
+    )
+    .unwrap();
+    let mut model: BTreeMap<Key, Value> = BTreeMap::new();
+    for (kind, key, value) in random_ops(7, 5000, 300) {
+        match kind {
+            0..=5 => {
+                store.put(key.clone(), value.clone()).unwrap();
+                model.insert(key, value);
+            }
+            6..=7 => {
+                store.delete(&key).unwrap();
+                model.remove(&key);
+            }
+            _ => {
+                assert_eq!(store.get(&key).unwrap().as_ref(), model.get(&key));
+            }
+        }
+    }
+    for (key, value) in &model {
+        assert_eq!(store.get(key).unwrap().as_ref(), Some(value));
+    }
+}
+
+#[test]
+fn write_through_matches_model() {
+    check_against_model(SyncPolicy::WriteThrough, "wt", 11);
+}
+
+#[test]
+fn write_back_matches_model() {
+    check_against_model(SyncPolicy::WriteBack, "wb", 13);
+}
+
+#[test]
+fn write_back_with_replicas_matches_model() {
+    let store = TierBase::open(
+        TierBaseConfig::builder(tmpdir("wbrep"))
+            .cache_capacity(1 << 20)
+            .policy(SyncPolicy::WriteBack)
+            .replicas(1)
+            .build(),
+    )
+    .unwrap();
+    let mut model: BTreeMap<Key, Value> = BTreeMap::new();
+    for (kind, key, value) in random_ops(17, 2000, 150) {
+        if kind <= 6 {
+            store.put(key.clone(), value.clone()).unwrap();
+            model.insert(key, value);
+        } else {
+            assert_eq!(store.get(&key).unwrap().as_ref(), model.get(&key));
+        }
+    }
+    // Replication doubles the cache-tier footprint.
+    assert!(store.resident_bytes() > 0);
+}
+
+#[test]
+fn compressed_store_matches_model() {
+    let store = TierBase::open(
+        TierBaseConfig::builder(tmpdir("comp"))
+            .cache_capacity(64 << 20)
+            .compression(CompressionChoice::TzstdDict)
+            .build(),
+    )
+    .unwrap();
+    // Train on representative records, then verify fidelity on a
+    // mixture of matching and alien values.
+    let samples: Vec<Vec<u8>> = (0..300)
+        .map(|i| format!("REC|{i:08}|status=OK|region=CN|padpadpad").into_bytes())
+        .collect();
+    store.train_compression(&samples);
+    let mut model: BTreeMap<Key, Value> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(23);
+    for i in 0..2000 {
+        let key = Key::from(format!("k{:03}", rng.gen_range(0..400)));
+        let value = if i % 3 == 0 {
+            // Alien (incompressible) bytes.
+            Value::from((0..rng.gen_range(1..200)).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>())
+        } else {
+            Value::from(format!("REC|{i:08}|status=OK|region=CN|padpadpad"))
+        };
+        store.put(key.clone(), value.clone()).unwrap();
+        model.insert(key, value);
+    }
+    for (key, value) in &model {
+        assert_eq!(store.get(key).unwrap().as_ref(), Some(value));
+    }
+}
