@@ -121,16 +121,16 @@ mod tests {
     fn disk_cost_factor_discounts_space() {
         let e = HBaseLike::open(&tmpdir("hb")).unwrap();
         for i in 0..500 {
-            e.put(
-                Key::from(format!("k{i}")),
-                Value::from(vec![b'x'; 200]),
-            )
-            .unwrap();
+            e.put(Key::from(format!("k{i}")), Value::from(vec![b'x'; 200]))
+                .unwrap();
         }
         e.sync().unwrap();
         let disk = e.db().disk_bytes();
         let charged = e.resident_bytes();
-        assert!(charged < disk / 10, "disk must be charged cheap: {charged} vs {disk}");
+        assert!(
+            charged < disk / 10,
+            "disk must be charged cheap: {charged} vs {disk}"
+        );
     }
 
     #[test]

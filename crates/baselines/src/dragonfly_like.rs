@@ -67,7 +67,8 @@ impl DragonflyLike {
                                     bytes.fetch_add(vlen, Ordering::Relaxed);
                                 }
                                 None => {
-                                    bytes.fetch_add(klen + vlen + ENTRY_OVERHEAD, Ordering::Relaxed);
+                                    bytes
+                                        .fetch_add(klen + vlen + ENTRY_OVERHEAD, Ordering::Relaxed);
                                 }
                             }
                             let _ = reply.send(None);
@@ -100,7 +101,11 @@ impl DragonflyLike {
 }
 
 impl DragonflyLike {
-    fn roundtrip(&self, key_shard: &Key, make: impl FnOnce(Sender<Option<Value>>) -> Request) -> Result<Option<Value>> {
+    fn roundtrip(
+        &self,
+        key_shard: &Key,
+        make: impl FnOnce(Sender<Option<Value>>) -> Request,
+    ) -> Result<Option<Value>> {
         REPLY.with(|(tx, rx)| {
             self.shard(key_shard)
                 .send(make(tx.clone()))
@@ -205,6 +210,9 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(d.get(&Key::from("t3-k499")).unwrap(), Some(Value::from("v")));
+        assert_eq!(
+            d.get(&Key::from("t3-k499")).unwrap(),
+            Some(Value::from("v"))
+        );
     }
 }

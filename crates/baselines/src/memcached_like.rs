@@ -35,7 +35,9 @@ impl MemcachedLike {
     pub fn new(capacity_bytes: usize, shards: usize) -> Self {
         let per = (capacity_bytes / shards.max(1)).max(1024);
         Self {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(LruShard::new(per))).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(LruShard::new(per)))
+                .collect(),
         }
     }
 
@@ -70,7 +72,10 @@ impl KvEngine for MemcachedLike {
         buf.extend_from_slice(value.as_slice());
         buf.resize(class, 0);
         // Cache semantics: eviction is expected, never an error.
-        let _ = self.shard(&key).lock().insert(key, Value::from(buf), false, Medium::Dram);
+        let _ = self
+            .shard(&key)
+            .lock()
+            .insert(key, Value::from(buf), false, Medium::Dram);
         Ok(())
     }
 
@@ -80,7 +85,10 @@ impl KvEngine for MemcachedLike {
     }
 
     fn resident_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().used_bytes() as u64).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().used_bytes() as u64)
+            .sum()
     }
 
     fn label(&self) -> String {

@@ -213,7 +213,10 @@ mod tests {
             r.sync().unwrap();
         }
         let r = RedisLike::with_aof(&dir).unwrap();
-        assert_eq!(r.get(&Key::from("persist")).unwrap(), Some(Value::from("me")));
+        assert_eq!(
+            r.get(&Key::from("persist")).unwrap(),
+            Some(Value::from("me"))
+        );
         assert_eq!(r.get(&Key::from("gone")).unwrap(), None);
         assert_eq!(r.label(), "redis-aof");
     }

@@ -17,8 +17,8 @@ use tb_bench::{bench_dir, print_table, scale};
 use tb_cache::{CacheConfig, ReplicatedCache, ReplicationMode, WriteCoalescer};
 use tb_common::{Key, KvEngine, Value};
 use tb_costmodel::{
-    lru_miss_ratio_curve, shards_miss_ratio_curve, MissRatioCurve, ShardsConfig,
-    TieredCostModel, TieredCostParams,
+    lru_miss_ratio_curve, shards_miss_ratio_curve, MissRatioCurve, ShardsConfig, TieredCostModel,
+    TieredCostParams,
 };
 use tb_lsm::{sstable::SstConfig, DisaggregatedStore, LsmConfig, LsmDb, NetworkModel};
 use tb_workload::{DatasetKind, KeyChooser, Op, ScrambledZipfian, Trace};
@@ -53,7 +53,13 @@ fn ablation_coalescing() {
 
     let store = |name: &str| {
         let db = Arc::new(LsmDb::open(LsmConfig::new(bench_dir(name))).unwrap());
-        DisaggregatedStore::new(db, NetworkModel { rtt_us: 100, per_kib_us: 0 })
+        DisaggregatedStore::new(
+            db,
+            NetworkModel {
+                rtt_us: 100,
+                per_kib_us: 0,
+            },
+        )
     };
 
     // Without coalescing: every update is a storage write.
@@ -177,15 +183,16 @@ fn ablation_bloom() {
             // Absent keys *inside* the table key range, so the min/max
             // range check cannot reject them — only the bloom filter
             // (or a block read) can.
-            let _ = db
-                .get(&Key::from(format!("present{:08}x", i % n)))
-                .unwrap();
+            let _ = db.get(&Key::from(format!("present{:08}x", i % n))).unwrap();
         }
         let dt = t0.elapsed();
         rows.push(vec![
             label.into(),
             tables.to_string(),
-            format!("{:.0}", lookups as f64 / dt.as_secs_f64().max(1e-9) / 1000.0),
+            format!(
+                "{:.0}",
+                lookups as f64 / dt.as_secs_f64().max(1e-9) / 1000.0
+            ),
         ]);
     }
     print_table(
@@ -272,7 +279,12 @@ fn ablation_shards_sampling() {
 
     for rate in [0.5, 0.1, 0.02] {
         let t0 = Instant::now();
-        let approx = shards_miss_ratio_curve(&trace, ShardsConfig { sampling_rate: rate });
+        let approx = shards_miss_ratio_curve(
+            &trace,
+            ShardsConfig {
+                sampling_rate: rate,
+            },
+        );
         let build_ms = t0.elapsed().as_millis();
         // Mean absolute error against the exact curve.
         let exact = lru_miss_ratio_curve(&trace);
@@ -308,11 +320,7 @@ fn ablation_replication_mode() {
         ("quorum", ReplicationMode::Quorum),
         ("async", ReplicationMode::Async),
     ] {
-        let g = ReplicatedCache::with_mode(
-            CacheConfig::with_capacity(256 << 20),
-            2,
-            mode,
-        );
+        let g = ReplicatedCache::with_mode(CacheConfig::with_capacity(256 << 20), 2, mode);
         let t0 = Instant::now();
         for i in 0..n {
             g.insert(
@@ -329,7 +337,10 @@ fn ablation_replication_mode() {
         let drain_ms = t1.elapsed().as_millis();
         rows.push(vec![
             label.into(),
-            format!("{:.0}", n as f64 / write_dt.as_secs_f64().max(1e-9) / 1000.0),
+            format!(
+                "{:.0}",
+                n as f64 / write_dt.as_secs_f64().max(1e-9) / 1000.0
+            ),
             lag.to_string(),
             format!("{drain_ms}"),
         ]);

@@ -15,7 +15,10 @@ use tb_elastic::ThreadMode;
 use tb_workload::{DatasetKind, Workload, WorkloadSpec};
 use tierbase_core::{CompressionChoice, PmemTuning, TierBase, TierBaseConfig};
 
-fn tb(name: &str, f: impl FnOnce(tierbase_core::TierBaseConfigBuilder) -> tierbase_core::TierBaseConfigBuilder) -> TierBase {
+fn tb(
+    name: &str,
+    f: impl FnOnce(tierbase_core::TierBaseConfigBuilder) -> tierbase_core::TierBaseConfigBuilder,
+) -> TierBase {
     let builder = TierBaseConfig::builder(bench_dir(name)).cache_capacity(512 << 20);
     let store = TierBase::open(f(builder).build()).expect("open");
     // Pre-train compression offline, as §4.2 prescribes.
@@ -43,8 +46,14 @@ fn main() {
             ("Memcached-m", Box::new(MemcachedLike::new(512 << 20, 8))),
             ("Redis-s", Box::new(RedisLike::new())),
             ("Dragonfly-m", Box::new(DragonflyLike::new(4))),
-            ("TierBase-s", Box::new(tb("f10-s", |b| b.threading(ThreadMode::Single)))),
-            ("TierBase-e", Box::new(tb("f10-e", |b| b.threading(ThreadMode::Elastic(4))))),
+            (
+                "TierBase-s",
+                Box::new(tb("f10-s", |b| b.threading(ThreadMode::Single))),
+            ),
+            (
+                "TierBase-e",
+                Box::new(tb("f10-e", |b| b.threading(ThreadMode::Elastic(4)))),
+            ),
             (
                 "TierBase-Zstd",
                 Box::new(tb("f10-z", |b| b.compression(CompressionChoice::TzstdDict))),

@@ -58,23 +58,52 @@ fn main() {
         {
             let e = CassandraLike::open(&bench_dir("f11-cas")).unwrap();
             let (load, run) = Workload::new(spec_fn(records, ops)).generate();
-            points.push(measure_cost("Cassandra", &e, &load, &run, 16, &demand, 4.0, 1.0));
+            points.push(measure_cost(
+                "Cassandra",
+                &e,
+                &load,
+                &run,
+                16,
+                &demand,
+                4.0,
+                1.0,
+            ));
         }
         {
             let e = HBaseLike::open(&bench_dir("f11-hb")).unwrap();
             let (load, run) = Workload::new(spec_fn(records, ops)).generate();
-            points.push(measure_cost("HBase", &e, &load, &run, 16, &demand, 4.0, 1.0));
+            points.push(measure_cost(
+                "HBase", &e, &load, &run, 16, &demand, 4.0, 1.0,
+            ));
         }
         // Memory-resident persistent stores: dual-replica → space ×2.
         {
             let e = RedisLike::with_aof(&bench_dir("f11-raof")).unwrap();
             let (load, run) = Workload::new(spec_fn(records, ops)).generate();
-            points.push(measure_cost("Redis-AOF", &e, &load, &run, 16, &demand, 4.0, 2.0));
+            points.push(measure_cost(
+                "Redis-AOF",
+                &e,
+                &load,
+                &run,
+                16,
+                &demand,
+                4.0,
+                2.0,
+            ));
         }
         {
             let e = cache_resident("f11-wal", PersistenceMode::Wal);
             let (load, run) = Workload::new(spec_fn(records, ops)).generate();
-            points.push(measure_cost("TierBase-WAL", &e, &load, &run, 16, &demand, 4.0, 2.0));
+            points.push(measure_cost(
+                "TierBase-WAL",
+                &e,
+                &load,
+                &run,
+                16,
+                &demand,
+                4.0,
+                2.0,
+            ));
         }
         {
             let e = cache_resident("f11-walpmem", PersistenceMode::WalPmem);
@@ -95,12 +124,30 @@ fn main() {
         {
             let e = tiered("f11-wt", SyncPolicy::WriteThrough, logical_estimate);
             let (load, run) = Workload::new(spec_fn(records, ops)).generate();
-            points.push(measure_cost("TierBase-wt-10X", &e, &load, &run, 16, &demand, 4.0, 1.0));
+            points.push(measure_cost(
+                "TierBase-wt-10X",
+                &e,
+                &load,
+                &run,
+                16,
+                &demand,
+                4.0,
+                1.0,
+            ));
         }
         {
             let e = tiered("f11-wb", SyncPolicy::WriteBack, logical_estimate);
             let (load, run) = Workload::new(spec_fn(records, ops)).generate();
-            points.push(measure_cost("TierBase-wb-10X", &e, &load, &run, 16, &demand, 4.0, 2.0));
+            points.push(measure_cost(
+                "TierBase-wb-10X",
+                &e,
+                &load,
+                &run,
+                16,
+                &demand,
+                4.0,
+                2.0,
+            ));
         }
 
         print_cost_plane(title, &points);

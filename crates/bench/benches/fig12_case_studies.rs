@@ -17,9 +17,7 @@ use tb_common::KvEngine;
 use tb_costmodel::WorkloadDemand;
 use tb_elastic::ThreadMode;
 use tb_workload::{DatasetKind, Workload, WorkloadSpec};
-use tierbase_core::{
-    CompressionChoice, PmemTuning, SyncPolicy, TierBase, TierBaseConfig,
-};
+use tierbase_core::{CompressionChoice, PmemTuning, SyncPolicy, TierBase, TierBaseConfig};
 
 fn tb(
     name: &str,
@@ -59,14 +57,12 @@ fn run_case(
         ("Redis", Box::new(RedisLike::new()), 2.0),
         ("Memcached", Box::new(MemcachedLike::new(512 << 20, 8)), 2.0),
         ("Dragonfly", Box::new(DragonflyLike::new(4)), 2.0),
-        (
-            "TierBase-Raw",
-            Box::new(tb("f12-raw", dataset, |b| b)),
-            2.0,
-        ),
+        ("TierBase-Raw", Box::new(tb("f12-raw", dataset, |b| b)), 2.0),
         (
             "TierBase-e",
-            Box::new(tb("f12-e", dataset, |b| b.threading(ThreadMode::Elastic(4)))),
+            Box::new(tb("f12-e", dataset, |b| {
+                b.threading(ThreadMode::Elastic(4))
+            })),
             2.0,
         ),
         (
@@ -90,7 +86,9 @@ fn run_case(
         ),
         (
             "TierBase-PBC",
-            Box::new(tb("f12-pbc", dataset, |b| b.compression(CompressionChoice::Pbc))),
+            Box::new(tb("f12-pbc", dataset, |b| {
+                b.compression(CompressionChoice::Pbc)
+            })),
             2.0,
         ),
     ];

@@ -23,7 +23,12 @@ use tierbase_core::{SyncPolicy, TierBase, TierBaseConfig};
 /// Compressor-level cost point: performance cost from measured
 /// records/s through compress+decompress at the workload mix,
 /// space cost from the ratio.
-fn compressor_point(name: &str, c: &dyn Compressor, test: &[Vec<u8>], demand: &WorkloadDemand) -> CostPoint {
+fn compressor_point(
+    name: &str,
+    c: &dyn Compressor,
+    test: &[Vec<u8>],
+    demand: &WorkloadDemand,
+) -> CostPoint {
     let ratio = measure_ratio(c, test);
     let compressed: Vec<Vec<u8>> = test.iter().map(|r| c.compress(r)).collect();
     // Case-1 mix: ~97% reads (decompress) / 3% writes (compress).
@@ -66,7 +71,12 @@ fn main() {
     points.push(compressor_point("Raw", &RawCompressor, &test, &demand));
     for level in [-50, -10, 1, 15, 22] {
         let plain = Tzstd::new(TzstdLevel(level));
-        points.push(compressor_point(&format!("Zstd(l={level})"), &plain, &test, &demand));
+        points.push(compressor_point(
+            &format!("Zstd(l={level})"),
+            &plain,
+            &test,
+            &demand,
+        ));
         let with_dict = Tzstd::with_dict(TzstdLevel(level), dict.clone());
         points.push(compressor_point(
             &format!("Zstd-dict(l={level})"),
@@ -77,7 +87,10 @@ fn main() {
     }
     let pbc = Pbc::train(&train, &PbcConfig::default());
     points.push(compressor_point("PBC", &pbc, &test, &demand));
-    print_cost_plane("Figure 13(a): compression-level trade-offs (Case 1)", &points);
+    print_cost_plane(
+        "Figure 13(a): compression-level trade-offs (Case 1)",
+        &points,
+    );
 
     // ---- (b) cache-ratio sweep ---------------------------------------
     let records = 15_000u64 * scale() as u64;
@@ -94,7 +107,9 @@ fn main() {
         )
         .unwrap();
         let (load, run) = Workload::new(WorkloadSpec::case1_user_info(records, ops)).generate();
-        points.push(measure_cost("In-mem", &e, &load, &run, 16, &demand, 4.0, 2.0));
+        points.push(measure_cost(
+            "In-mem", &e, &load, &run, 16, &demand, 4.0, 2.0,
+        ));
     }
     for ratio in [2usize, 3, 4, 5] {
         let e = TierBase::open(

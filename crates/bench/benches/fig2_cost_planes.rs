@@ -10,11 +10,11 @@
 //! tiered optimum undercuts both single-tier corners.
 
 use tb_bench::print_table;
+use tb_costmodel::optimal::sweep_frontier;
 use tb_costmodel::{
     optimal_config, zipfian_miss_ratio_curve, ConfigCost, TieredCostModel, TieredCostParams,
     WorkloadDemand,
 };
-use tb_costmodel::optimal::sweep_frontier;
 
 fn main() {
     // ---- (a) single-tier frontier ------------------------------------

@@ -121,9 +121,8 @@ fn main() {
         let load = tb_workload::Trace::new(w.load_ops());
         let run = w.run_trace();
         // Shard the streams across instances by key hash.
-        let pick = |key: &tb_common::Key| {
-            (tb_common::fx_hash(key.as_slice()) as usize) % instances.len()
-        };
+        let pick =
+            |key: &tb_common::Key| (tb_common::fx_hash(key.as_slice()) as usize) % instances.len();
         let mut per_load: Vec<Vec<tb_workload::Op>> = vec![vec![]; 4];
         for op in load.ops() {
             per_load[pick(op.key())].push(op.clone());

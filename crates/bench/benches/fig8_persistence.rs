@@ -34,7 +34,11 @@ fn main() {
         ("WAL", SyncPolicy::InMemory, PersistenceMode::Wal),
         ("WAL-PMem", SyncPolicy::InMemory, PersistenceMode::WalPmem),
         ("write-back", SyncPolicy::WriteBack, PersistenceMode::None),
-        ("write-through", SyncPolicy::WriteThrough, PersistenceMode::None),
+        (
+            "write-through",
+            SyncPolicy::WriteThrough,
+            PersistenceMode::None,
+        ),
     ];
 
     for (label, policy, persistence) in configs {

@@ -129,7 +129,10 @@ fn main() {
     let buckets = (CALM_MS + BURST_MS + TAIL_MS) / BUCKET_MS;
     let mut header: Vec<String> = vec!["system".into()];
     for b in 0..buckets {
-        header.push(format!("t{:.1}s", (b + 1) as f64 * BUCKET_MS as f64 / 1000.0));
+        header.push(format!(
+            "t{:.1}s",
+            (b + 1) as f64 * BUCKET_MS as f64 / 1000.0
+        ));
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     print_table(

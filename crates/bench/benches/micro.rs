@@ -4,17 +4,19 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use tb_cache::{CacheConfig, ShardedCache};
 use tb_common::{fx_hash, Histogram, Key, Value};
-use tb_compress::{
-    train_dictionary, Compressor, Pbc, PbcConfig, Tzstd, TzstdLevel,
-};
+use tb_compress::{train_dictionary, Compressor, Pbc, PbcConfig, Tzstd, TzstdLevel};
 use tb_lsm::{LsmConfig, LsmDb};
 use tb_workload::DatasetKind;
 
 fn bench_cache(c: &mut Criterion) {
     let cache = ShardedCache::new(CacheConfig::with_capacity(256 << 20));
-    let keys: Vec<Key> = (0..10_000).map(|i| Key::from(format!("key-{i:08}"))).collect();
+    let keys: Vec<Key> = (0..10_000)
+        .map(|i| Key::from(format!("key-{i:08}")))
+        .collect();
     for k in &keys {
-        cache.insert(k.clone(), Value::from(vec![b'v'; 128]), false).unwrap();
+        cache
+            .insert(k.clone(), Value::from(vec![b'v'; 128]), false)
+            .unwrap();
     }
     let mut group = c.benchmark_group("cache");
     group.throughput(Throughput::Elements(1));
@@ -40,7 +42,9 @@ fn bench_lsm(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("tb-micro-lsm-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let db = LsmDb::open(LsmConfig::new(dir)).unwrap();
-    let keys: Vec<Key> = (0..10_000).map(|i| Key::from(format!("key-{i:08}"))).collect();
+    let keys: Vec<Key> = (0..10_000)
+        .map(|i| Key::from(format!("key-{i:08}")))
+        .collect();
     for k in &keys {
         db.put(k.clone(), Value::from(vec![b'v'; 128])).unwrap();
     }
@@ -57,7 +61,8 @@ fn bench_lsm(c: &mut Criterion) {
     group.bench_function("put", |b| {
         b.iter(|| {
             i = (i + 1) % keys.len();
-            db.put(keys[i].clone(), Value::from(vec![b'w'; 128])).unwrap()
+            db.put(keys[i].clone(), Value::from(vec![b'w'; 128]))
+                .unwrap()
         })
     });
     group.finish();

@@ -56,8 +56,7 @@ fn main() {
             // Overall ratio includes the (incompressible) key bytes.
             let avg_val: f64 =
                 test.iter().map(|t| t.len()).sum::<usize>() as f64 / test.len() as f64;
-            let overall =
-                (avg_key_len as f64 + ratio * avg_val) / (avg_key_len as f64 + avg_val);
+            let overall = (avg_key_len as f64 + ratio * avg_val) / (avg_key_len as f64 + avg_val);
             let (set_ops, get_ops) = throughput_ops(c, &test);
             rows.push(vec![
                 dataset.name().into(),
@@ -72,7 +71,14 @@ fn main() {
 
     print_table(
         "Table 2: compression techniques",
-        &["dataset", "method", "comp_ratio", "overall_ratio", "SET ops/s", "GET ops/s"],
+        &[
+            "dataset",
+            "method",
+            "comp_ratio",
+            "overall_ratio",
+            "SET ops/s",
+            "GET ops/s",
+        ],
         &rows,
     );
 }

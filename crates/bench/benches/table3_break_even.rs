@@ -42,7 +42,10 @@ fn main() {
     let pmem = TierBase::open(
         TierBaseConfig::builder(bench_dir("t3-pmem"))
             .cache_capacity(512 << 20)
-            .pmem(PmemTuning { value_threshold: 64, cost_factor: 0.5 })
+            .pmem(PmemTuning {
+                value_threshold: 64,
+                cost_factor: 0.5,
+            })
             .build(),
     )
     .unwrap();

@@ -152,7 +152,9 @@ pub fn logical_bytes(load: &Trace) -> u64 {
     let mut last: HashMap<&tb_common::Key, usize> = HashMap::new();
     for op in load.ops() {
         match op {
-            Op::Insert { key, value } | Op::Update { key, value } | Op::ReadModifyWrite { key, value } => {
+            Op::Insert { key, value }
+            | Op::Update { key, value }
+            | Op::ReadModifyWrite { key, value } => {
                 last.insert(key, key.len() + value.len());
             }
             Op::Delete { key } => {
@@ -214,7 +216,11 @@ pub fn print_cost_plane(title: &str, points: &[CostPoint]) {
         .iter()
         .min_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite"))
     {
-        println!("--> cost-optimal: {} (total {:.3})", best.name, best.total());
+        println!(
+            "--> cost-optimal: {} (total {:.3})",
+            best.name,
+            best.total()
+        );
     }
 }
 
@@ -285,7 +291,11 @@ mod tests {
             Ok(())
         }
         fn resident_bytes(&self) -> u64 {
-            self.0.lock().iter().map(|(k, v)| (k.len() + v.len()) as u64).sum()
+            self.0
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum()
         }
         fn label(&self) -> String {
             "map".into()
@@ -323,10 +333,21 @@ mod tests {
     #[test]
     fn logical_bytes_counts_final_state() {
         let load = Trace::new(vec![
-            Op::Insert { key: Key::from("a"), value: Value::from("12345") },
-            Op::Update { key: Key::from("a"), value: Value::from("1") },
-            Op::Insert { key: Key::from("b"), value: Value::from("22") },
-            Op::Delete { key: Key::from("b") },
+            Op::Insert {
+                key: Key::from("a"),
+                value: Value::from("12345"),
+            },
+            Op::Update {
+                key: Key::from("a"),
+                value: Value::from("1"),
+            },
+            Op::Insert {
+                key: Key::from("b"),
+                value: Value::from("22"),
+            },
+            Op::Delete {
+                key: Key::from("b"),
+            },
         ]);
         assert_eq!(logical_bytes(&load), 2); // "a" + "1"
     }

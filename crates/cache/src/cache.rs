@@ -292,12 +292,18 @@ impl ShardedCache {
 
     /// Total bytes resident across shards.
     pub fn used_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().used_bytes() as u64).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().used_bytes() as u64)
+            .sum()
     }
 
     /// Bytes held by dirty entries across shards.
     pub fn dirty_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().dirty_bytes() as u64).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().dirty_bytes() as u64)
+            .sum()
     }
 
     /// Entry count across shards.

@@ -151,8 +151,15 @@ impl LruShard {
                 Ok(evicted) => Ok(evicted),
                 Err(e) => {
                     let old_cost = Self::entry_cost(&key, &old.value);
-                    self.insert_fresh(key, old.value, old.dirty, old.medium, old.expires_at, old_cost)
-                        .expect("restoring the previous entry always fits");
+                    self.insert_fresh(
+                        key,
+                        old.value,
+                        old.dirty,
+                        old.medium,
+                        old.expires_at,
+                        old_cost,
+                    )
+                    .expect("restoring the previous entry always fits");
                     Err(e)
                 }
             };
@@ -267,7 +274,9 @@ impl LruShard {
     /// `Some(None)` = present without expiry, `Some(Some(at))` = expires
     /// at `at`. Does not touch recency.
     pub fn expiry_of(&self, key: &Key) -> Option<Option<u64>> {
-        self.map.get(key).map(|&idx| self.slab[idx].entry.expires_at)
+        self.map
+            .get(key)
+            .map(|&idx| self.slab[idx].entry.expires_at)
     }
 
     /// Active expiration pass: removes every *clean* entry whose
@@ -482,7 +491,8 @@ mod tests {
     #[test]
     fn expired_clean_entry_removed_on_get() {
         let mut s = LruShard::new(10_000);
-        s.insert_full(k(1), v(5), false, Medium::Dram, Some(100)).unwrap();
+        s.insert_full(k(1), v(5), false, Medium::Dram, Some(100))
+            .unwrap();
         assert!(s.get(&k(1), 99).is_some());
         assert!(s.get(&k(1), 100).is_none(), "deadline == now expires");
         assert_eq!(s.len(), 0, "clean expired entry removed eagerly");
@@ -492,7 +502,8 @@ mod tests {
     #[test]
     fn expired_dirty_entry_pinned_but_invisible() {
         let mut s = LruShard::new(10_000);
-        s.insert_full(k(1), v(5), true, Medium::Dram, Some(100)).unwrap();
+        s.insert_full(k(1), v(5), true, Medium::Dram, Some(100))
+            .unwrap();
         assert!(s.get(&k(1), 200).is_none());
         assert_eq!(s.len(), 1, "dirty entry survives until flushed");
         assert_eq!(s.sweep_expired(200).len(), 0, "sweep skips dirty");

@@ -379,10 +379,7 @@ mod tests {
     fn promote_dead_replica_fails() {
         let mut g = group(1);
         g.kill_replica(0).unwrap();
-        assert!(matches!(
-            g.promote_replica(0),
-            Err(Error::Unavailable(_))
-        ));
+        assert!(matches!(g.promote_replica(0), Err(Error::Unavailable(_))));
         assert!(matches!(
             g.promote_replica(5),
             Err(Error::InvalidArgument(_))
@@ -419,7 +416,8 @@ mod tests {
         };
         let mut g = ReplicatedCache::new(mk(), 1);
         let deadline = Some(5_000_000_000); // t = 5 s
-        g.insert_full(k("session"), v("tok"), false, deadline).unwrap();
+        g.insert_full(k("session"), v("tok"), false, deadline)
+            .unwrap();
         g.promote_replica(0).unwrap();
         assert_eq!(g.get(&k("session")), Some(v("tok")));
         clock.advance(std::time::Duration::from_secs(5));

@@ -85,7 +85,9 @@ pub fn load_snapshot(cache: &ShardedCache, path: &Path) -> Result<usize> {
         .split_first()
         .ok_or_else(|| Error::Corruption("empty snapshot body".into()))?;
     if version != SNAPSHOT_VERSION {
-        return Err(Error::Corruption(format!("unknown snapshot version {version}")));
+        return Err(Error::Corruption(format!(
+            "unknown snapshot version {version}"
+        )));
     }
 
     let now = cache.clock().now_nanos();

@@ -43,7 +43,12 @@ impl CoordinatorGroup {
                     alive: AtomicBool::new(true),
                 })
                 .collect(),
-            nodes: RwLock::new(nodes.into_iter().map(|n| Arc::new(RwLock::new(n))).collect()),
+            nodes: RwLock::new(
+                nodes
+                    .into_iter()
+                    .map(|n| Arc::new(RwLock::new(n)))
+                    .collect(),
+            ),
             table: RwLock::new(Arc::new(table)),
         })
     }
@@ -261,7 +266,11 @@ mod tests {
         for i in 0..300 {
             let key = Key::from(format!("k{i}"));
             let owner = table.owner_of_key(key.as_slice());
-            c.node(owner).unwrap().read().put(key, Value::from("v")).unwrap();
+            c.node(owner)
+                .unwrap()
+                .read()
+                .put(key, Value::from("v"))
+                .unwrap();
         }
         assert_eq!(c.total_keys(), 300);
 

@@ -157,7 +157,11 @@ mod tests {
             Ok(())
         }
         fn resident_bytes(&self) -> u64 {
-            self.0.lock().iter().map(|(k, v)| (k.len() + v.len()) as u64).sum()
+            self.0
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum()
         }
         fn label(&self) -> String {
             "map".into()

@@ -31,7 +31,8 @@ impl Histogram {
     pub fn new() -> Self {
         // Avoid a huge stack temporary: build on the heap.
         let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let boxed: Box<[AtomicU64; BUCKETS]> = v.into_boxed_slice().try_into().map_err(|_| ()).unwrap();
+        let boxed: Box<[AtomicU64; BUCKETS]> =
+            v.into_boxed_slice().try_into().map_err(|_| ()).unwrap();
         Self {
             counts: boxed,
             total: AtomicU64::new(0),

@@ -75,16 +75,19 @@ mod tests {
     #[test]
     fn is_expired_boundary() {
         assert!(!is_expired(None, u64::MAX));
-        assert!(is_expired(Some(10), 10), "deadline == now counts as expired");
+        assert!(
+            is_expired(Some(10), 10),
+            "deadline == now counts as expired"
+        );
         assert!(!is_expired(Some(11), 10));
     }
 
     #[test]
     fn deadline_saturates() {
-        assert_eq!(deadline_after(u64::MAX - 1, Duration::from_secs(5)), u64::MAX);
         assert_eq!(
-            deadline_after(0, Duration::from_nanos(42)),
-            42
+            deadline_after(u64::MAX - 1, Duration::from_secs(5)),
+            u64::MAX
         );
+        assert_eq!(deadline_after(0, Duration::from_nanos(42)), 42);
     }
 }

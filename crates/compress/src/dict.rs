@@ -74,9 +74,7 @@ fn contains(haystack: &[u8], needle: &[u8]) -> bool {
     if needle.len() > haystack.len() {
         return false;
     }
-    haystack
-        .windows(needle.len())
-        .any(|w| w == needle)
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 #[cfg(test)]
@@ -104,7 +102,9 @@ mod tests {
     #[test]
     fn trained_dict_contains_shared_template() {
         let samples: Vec<Vec<u8>> = (0..50)
-            .map(|i| format!("{{\"type\":\"order\",\"status\":\"completed\",\"id\":{i}}}").into_bytes())
+            .map(|i| {
+                format!("{{\"type\":\"order\",\"status\":\"completed\",\"id\":{i}}}").into_bytes()
+            })
             .collect();
         let d = train_dictionary(&samples, 1024);
         let dict_str = String::from_utf8_lossy(d.as_bytes()).into_owned();

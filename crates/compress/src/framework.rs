@@ -179,7 +179,9 @@ impl CompressorRecommender {
 
         let best = reports
             .iter()
-            .filter(|r| r.choice == CompressorChoice::Raw || r.speed_fraction >= self.min_speed_fraction)
+            .filter(|r| {
+                r.choice == CompressorChoice::Raw || r.speed_fraction >= self.min_speed_fraction
+            })
             .min_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("ratio is finite"))
             .map(|r| r.choice)
             .unwrap_or(CompressorChoice::Raw);
@@ -282,7 +284,13 @@ impl PretrainedCompression {
     /// Re-samples and retrains the same compressor kind, re-baselining
     /// the monitor (the §4.2 re-train path).
     pub fn retrain(&self, samples: &[Vec<u8>]) {
-        let compressor = build(self.choice, samples, self.level, &self.pbc_config, self.dict_budget);
+        let compressor = build(
+            self.choice,
+            samples,
+            self.level,
+            &self.pbc_config,
+            self.dict_budget,
+        );
         let baseline = measure_ratio(compressor.as_compressor(), samples);
         *self.compressor.write() = compressor;
         self.monitor.rebaseline(baseline);
@@ -381,14 +389,18 @@ mod tests {
             "expected a pre-trained choice, got {choice:?}: {reports:?}"
         );
         // Raw must report ratio 1.0.
-        let raw = reports.iter().find(|r| r.choice == CompressorChoice::Raw).unwrap();
+        let raw = reports
+            .iter()
+            .find(|r| r.choice == CompressorChoice::Raw)
+            .unwrap();
         assert_eq!(raw.ratio, 1.0);
     }
 
     #[test]
     fn pretrained_unit_roundtrips_and_monitors() {
         let samples = templated(80, 0x1234_5678);
-        let unit = PretrainedCompression::train(CompressorChoice::TzstdDict, &samples, TzstdLevel(1));
+        let unit =
+            PretrainedCompression::train(CompressorChoice::TzstdDict, &samples, TzstdLevel(1));
         let rec = &samples[40];
         let z = unit.compress(rec);
         assert_eq!(&unit.decompress(&z).unwrap(), rec);

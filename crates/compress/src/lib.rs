@@ -21,10 +21,10 @@
 //! compressor recommender surfaced by TierBase's Insight service.
 
 pub mod dict;
-pub mod rangecoder;
 pub mod framework;
 pub mod lz;
 pub mod pbc;
+pub mod rangecoder;
 
 pub use dict::train_dictionary;
 pub use framework::{

@@ -56,12 +56,42 @@ struct LevelParams {
 impl TzstdLevel {
     fn params(self) -> LevelParams {
         match self.0 {
-            i32::MIN..=-21 => LevelParams { chain_len: 1, dict_probe: 1, lazy: false, skip_trigger: 4 },
-            -20..=-1 => LevelParams { chain_len: 2, dict_probe: 2, lazy: false, skip_trigger: 6 },
-            0..=3 => LevelParams { chain_len: 8, dict_probe: 4, lazy: false, skip_trigger: u32::MAX },
-            4..=12 => LevelParams { chain_len: 32, dict_probe: 8, lazy: true, skip_trigger: u32::MAX },
-            13..=18 => LevelParams { chain_len: 64, dict_probe: 12, lazy: true, skip_trigger: u32::MAX },
-            _ => LevelParams { chain_len: 256, dict_probe: 16, lazy: true, skip_trigger: u32::MAX },
+            i32::MIN..=-21 => LevelParams {
+                chain_len: 1,
+                dict_probe: 1,
+                lazy: false,
+                skip_trigger: 4,
+            },
+            -20..=-1 => LevelParams {
+                chain_len: 2,
+                dict_probe: 2,
+                lazy: false,
+                skip_trigger: 6,
+            },
+            0..=3 => LevelParams {
+                chain_len: 8,
+                dict_probe: 4,
+                lazy: false,
+                skip_trigger: u32::MAX,
+            },
+            4..=12 => LevelParams {
+                chain_len: 32,
+                dict_probe: 8,
+                lazy: true,
+                skip_trigger: u32::MAX,
+            },
+            13..=18 => LevelParams {
+                chain_len: 64,
+                dict_probe: 12,
+                lazy: true,
+                skip_trigger: u32::MAX,
+            },
+            _ => LevelParams {
+                chain_len: 256,
+                dict_probe: 16,
+                lazy: true,
+                skip_trigger: u32::MAX,
+            },
         }
     }
 }
@@ -137,12 +167,7 @@ impl Tzstd {
 
     /// Longest match for `input[i..]` among dictionary candidates.
     /// Returns `(length, distance)` in combined-history coordinates.
-    fn best_dict_match(
-        &self,
-        input: &[u8],
-        i: usize,
-        probe: usize,
-    ) -> Option<(usize, usize)> {
+    fn best_dict_match(&self, input: &[u8], i: usize, probe: usize) -> Option<(usize, usize)> {
         let dict = self.dict.as_ref()?;
         if input.len() - i < MIN_MATCH {
             return None;
@@ -296,7 +321,11 @@ impl Tzstd {
 
     /// Decodes a raw LZ token stream.
     fn lz_decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
-        let dict_bytes: &[u8] = self.dict.as_ref().map(|d| d.bytes.as_slice()).unwrap_or(&[]);
+        let dict_bytes: &[u8] = self
+            .dict
+            .as_ref()
+            .map(|d| d.bytes.as_slice())
+            .unwrap_or(&[]);
         let dlen = dict_bytes.len();
         let mut out: Vec<u8> = Vec::with_capacity(input.len() * 3);
         let mut pos = 0usize;
@@ -315,7 +344,9 @@ impl Tzstd {
             let len_code = read_varint(input, &mut pos)? as usize;
             if len_code == 0 {
                 if pos != input.len() {
-                    return Err(Error::Corruption("trailing garbage after end marker".into()));
+                    return Err(Error::Corruption(
+                        "trailing garbage after end marker".into(),
+                    ));
                 }
                 return Ok(out);
             }
@@ -351,7 +382,6 @@ impl Tzstd {
             }
         }
     }
-
 }
 
 /// Frame modes: how the payload after the mode byte is encoded.
@@ -511,7 +541,10 @@ mod tests {
 
     #[test]
     fn higher_level_not_worse_on_text() {
-        let text: Vec<u8> = std::iter::repeat_n(&b"the quick brown fox jumps over the lazy dog and then the dog chases the fox "[..], 50)
+        let text: Vec<u8> = std::iter::repeat_n(
+            &b"the quick brown fox jumps over the lazy dog and then the dog chases the fox "[..],
+            50,
+        )
         .flatten()
         .copied()
         .collect();
@@ -528,11 +561,15 @@ mod tests {
     #[test]
     fn dictionary_improves_small_records() {
         let dict = Arc::new(TrainedDict::new(
-            b"{\"uid\":\"0000000000000000\",\"sess\":\"\",\"dev\":\"android\",\"ts\":1700000000}".to_vec(),
+            b"{\"uid\":\"0000000000000000\",\"sess\":\"\",\"dev\":\"android\",\"ts\":1700000000}"
+                .to_vec(),
         ));
-        let record = b"{\"uid\":\"ab34cd9821fe4411\",\"sess\":\"x\",\"dev\":\"android\",\"ts\":1712345678}";
+        let record =
+            b"{\"uid\":\"ab34cd9821fe4411\",\"sess\":\"x\",\"dev\":\"android\",\"ts\":1712345678}";
         let plain = Tzstd::new(TzstdLevel(1)).compress(record).len();
-        let with_dict = Tzstd::with_dict(TzstdLevel(1), dict.clone()).compress(record).len();
+        let with_dict = Tzstd::with_dict(TzstdLevel(1), dict.clone())
+            .compress(record)
+            .len();
         assert!(
             with_dict < plain,
             "dict ({with_dict}) should beat plain ({plain})"
@@ -558,7 +595,9 @@ mod tests {
         let c2 = Tzstd::new(TzstdLevel(1));
         // Decompressing without the dictionary must not silently succeed
         // with the right data.
-        if let Ok(got) = c2.decompress(&z) { assert_ne!(got, data) }
+        if let Ok(got) = c2.decompress(&z) {
+            assert_ne!(got, data)
+        }
     }
 
     #[test]

@@ -94,8 +94,7 @@ impl Pattern {
 
     /// Reassembles a record from gap residuals.
     fn reconstruct(&self, gaps: &[Vec<u8>]) -> Vec<u8> {
-        let total: usize =
-            self.literal_bytes() + gaps.iter().map(|g| g.len()).sum::<usize>();
+        let total: usize = self.literal_bytes() + gaps.iter().map(|g| g.len()).sum::<usize>();
         let mut out = Vec::with_capacity(total);
         for (i, lit) in self.literals.iter().enumerate() {
             out.extend_from_slice(&gaps[i]);
@@ -586,7 +585,11 @@ mod tests {
             r_pbc < r_lz,
             "PBC {r_pbc:.3} should beat plain LZ {r_lz:.3} on templated data"
         );
-        assert!(pbc.unmatched_rate() < 0.2, "unmatched {}", pbc.unmatched_rate());
+        assert!(
+            pbc.unmatched_rate() < 0.2,
+            "unmatched {}",
+            pbc.unmatched_rate()
+        );
     }
 
     #[test]

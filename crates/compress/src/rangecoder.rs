@@ -210,7 +210,11 @@ mod tests {
     fn repeated_bytes_compress_hard() {
         let data = vec![b'z'; 4000];
         let enc = rc_encode(&data);
-        assert!(enc.len() < 400, "constant input should crush: {}", enc.len());
+        assert!(
+            enc.len() < 400,
+            "constant input should crush: {}",
+            enc.len()
+        );
         roundtrip(&data);
     }
 

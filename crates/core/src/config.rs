@@ -165,7 +165,10 @@ impl TierBaseConfig {
 
     /// True when a storage tier must be opened.
     pub fn needs_storage_tier(&self) -> bool {
-        matches!(self.policy, SyncPolicy::WriteThrough | SyncPolicy::WriteBack)
+        matches!(
+            self.policy,
+            SyncPolicy::WriteThrough | SyncPolicy::WriteBack
+        )
     }
 }
 

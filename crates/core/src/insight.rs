@@ -88,8 +88,7 @@ impl<'s> Insight<'s> {
         if snap.compression_should_retrain {
             out.push(Suggestion {
                 action: Action::RetrainCompression,
-                reason: "compression ratio degraded or pattern-miss rate exceeded threshold"
-                    .into(),
+                reason: "compression ratio degraded or pattern-miss rate exceeded threshold".into(),
             });
         }
 
@@ -207,11 +206,16 @@ mod tests {
 
     #[test]
     fn read_heavy_in_memory_suggests_compression_and_pmem() {
-        let store =
-            TierBase::open(TierBaseConfig::builder(tmpdir("rh")).cache_capacity(16 << 20).build())
-                .unwrap();
+        let store = TierBase::open(
+            TierBaseConfig::builder(tmpdir("rh"))
+                .cache_capacity(16 << 20)
+                .build(),
+        )
+        .unwrap();
         for i in 0..100 {
-            store.put(Key::from(format!("k{i}")), Value::from("v")).unwrap();
+            store
+                .put(Key::from(format!("k{i}")), Value::from("v"))
+                .unwrap();
         }
         for _ in 0..15 {
             for i in 0..100 {
@@ -222,7 +226,10 @@ mod tests {
         let snap = insight.snapshot();
         assert!(snap.read_write_ratio > 5.0);
         let suggestions = insight.suggest();
-        assert!(has(&suggestions, Action::EnableCompression), "{suggestions:?}");
+        assert!(
+            has(&suggestions, Action::EnableCompression),
+            "{suggestions:?}"
+        );
         assert!(has(&suggestions, Action::EnablePmem));
         assert!(has(&suggestions, Action::EnableTieredStorage));
     }
@@ -237,10 +244,15 @@ mod tests {
         )
         .unwrap();
         for i in 0..2000 {
-            store.put(Key::from(format!("k{i}")), Value::from("v")).unwrap();
+            store
+                .put(Key::from(format!("k{i}")), Value::from("v"))
+                .unwrap();
         }
         let suggestions = Insight::new(&store).suggest();
-        assert!(has(&suggestions, Action::SwitchToWriteBack), "{suggestions:?}");
+        assert!(
+            has(&suggestions, Action::SwitchToWriteBack),
+            "{suggestions:?}"
+        );
     }
 
     #[test]

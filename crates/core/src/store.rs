@@ -1,9 +1,7 @@
 //! The tiered store: cache tier + storage tier + synchronization
 //! policies + persistence + compression + elastic threading.
 
-use crate::config::{
-    CompressionChoice, PersistenceMode, SyncPolicy, TierBaseConfig,
-};
+use crate::config::{CompressionChoice, PersistenceMode, SyncPolicy, TierBaseConfig};
 use crate::interval::AccessIntervalTracker;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -11,8 +9,8 @@ use std::sync::Arc;
 use std::time::Duration;
 use tb_cache::{CacheConfig, Lookup, ReplicatedCache};
 use tb_common::{
-    deadline_after, is_expired, read_varint, write_varint, Error, Key, KvEngine, Result,
-    TtlState, Value,
+    deadline_after, is_expired, read_varint, write_varint, Error, Key, KvEngine, Result, TtlState,
+    Value,
 };
 use tb_compress::{CompressorChoice, PretrainedCompression, TzstdLevel};
 use tb_elastic::ElasticGate;
@@ -187,16 +185,15 @@ impl TierBase {
                     )?)
                 };
                 let rb = if path.exists() {
-                    PersistentRingBuffer::recover(device, RingConfig::default())
-                        .or_else(|_| {
-                            // Fresh device: format it.
-                            let d = Arc::new(PmemDevice::create(
-                                &config.dir.join("cache.pmem"),
-                                config.pmem_ring_bytes,
-                                LatencyModel::optane(),
-                            )?);
-                            PersistentRingBuffer::create(d, RingConfig::default())
-                        })?
+                    PersistentRingBuffer::recover(device, RingConfig::default()).or_else(|_| {
+                        // Fresh device: format it.
+                        let d = Arc::new(PmemDevice::create(
+                            &config.dir.join("cache.pmem"),
+                            config.pmem_ring_bytes,
+                            LatencyModel::optane(),
+                        )?);
+                        PersistentRingBuffer::create(d, RingConfig::default())
+                    })?
                 } else {
                     PersistentRingBuffer::create(device, RingConfig::default())?
                 };
@@ -269,7 +266,9 @@ impl TierBase {
 
     /// Fails the next `n` storage-tier writes (failure injection).
     pub fn inject_storage_write_failures(&self, n: u64) {
-        self.inner.inject_storage_failures.store(n, Ordering::SeqCst);
+        self.inner
+            .inject_storage_failures
+            .store(n, Ordering::SeqCst);
     }
 
     /// Flushes write-back dirty data to the storage tier now.
@@ -372,10 +371,7 @@ impl TierBase {
         &self.inner.intervals
     }
 
-    fn dispatch<T: Send + 'static>(
-        &self,
-        f: impl FnOnce(&Inner) -> T + Send + 'static,
-    ) -> T {
+    fn dispatch<T: Send + 'static>(&self, f: impl FnOnce(&Inner) -> T + Send + 'static) -> T {
         self.gate.run(|| f(&self.inner))
     }
 }
@@ -577,7 +573,9 @@ impl Inner {
                         }
                         // Populate the cache (clean — storage already
                         // has it), carrying the expiry deadline.
-                        let _ = self.cache.insert_full(key.clone(), stored, false, expires_at);
+                        let _ = self
+                            .cache
+                            .insert_full(key.clone(), stored, false, expires_at);
                         Ok(Some(value))
                     }
                     None => Ok(None),
@@ -645,7 +643,9 @@ impl Inner {
     /// storage-tier `batch_get`, paying one round-trip instead of one
     /// per missing key.
     fn do_multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-        self.stats.gets.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.stats
+            .gets
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
         let mut out: Vec<Option<Value>> = vec![None; keys.len()];
         let mut missing: Vec<(usize, Key)> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
@@ -700,7 +700,9 @@ impl Inner {
             }
             return Ok(());
         }
-        self.stats.puts.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        self.stats
+            .puts
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
         let encoded: Vec<(Key, Value)> = pairs
             .into_iter()
             .map(|(k, v)| (k, self.encode_value(&v, None)))
@@ -1061,7 +1063,10 @@ mod tests {
         // Second read hits cache.
         let misses_before = tb.stats().cache_misses.load(Ordering::Relaxed);
         tb.get(&k(0)).unwrap();
-        assert_eq!(tb.stats().cache_misses.load(Ordering::Relaxed), misses_before);
+        assert_eq!(
+            tb.stats().cache_misses.load(Ordering::Relaxed),
+            misses_before
+        );
     }
 
     #[test]
@@ -1232,7 +1237,9 @@ mod tests {
 
         let open = |name: &str, comp: CompressionChoice| {
             let tb = TierBase::open(
-                TierBaseConfig::builder(tmpdir(name)).compression(comp).build(),
+                TierBaseConfig::builder(tmpdir(name))
+                    .compression(comp)
+                    .build(),
             )
             .unwrap();
             tb.train_compression(&samples);
@@ -1310,7 +1317,9 @@ mod tests {
     fn replicas_multiply_resident_bytes() {
         let build = |name: &str, replicas: usize| {
             let tb = TierBase::open(
-                TierBaseConfig::builder(tmpdir(name)).replicas(replicas).build(),
+                TierBaseConfig::builder(tmpdir(name))
+                    .replicas(replicas)
+                    .build(),
             )
             .unwrap();
             for i in 0..50 {
@@ -1466,7 +1475,10 @@ mod tests {
         // Re-arm and let it die.
         assert!(tb.expire(&k(1), std::time::Duration::from_secs(1)).unwrap());
         clock.advance(std::time::Duration::from_secs(2));
-        assert!(!tb.persist(&k(1)).unwrap(), "expired key can't be persisted");
+        assert!(
+            !tb.persist(&k(1)).unwrap(),
+            "expired key can't be persisted"
+        );
     }
 
     #[test]
@@ -1709,7 +1721,13 @@ mod tests {
         let got = tb.multi_get(&keys).unwrap();
         assert!(got.iter().all(|v| v.is_some()));
         assert_eq!(
-            tb.inner.storage.as_ref().unwrap().stats.calls.load(Ordering::Relaxed),
+            tb.inner
+                .storage
+                .as_ref()
+                .unwrap()
+                .stats
+                .calls
+                .load(Ordering::Relaxed),
             calls_after
         );
     }
@@ -1729,9 +1747,7 @@ mod tests {
         tb.put_with_ttl(k(1), v(1), std::time::Duration::from_secs(1))
             .unwrap(); // will expire
         clock.advance(std::time::Duration::from_secs(2));
-        let got = tb
-            .multi_get(&[k(0), k(1), k(2)])
-            .unwrap();
+        let got = tb.multi_get(&[k(0), k(1), k(2)]).unwrap();
         assert_eq!(got[0], Some(v(0)));
         assert_eq!(got[1], None, "expired key");
         assert_eq!(got[2], None, "never written");
@@ -1821,7 +1837,8 @@ mod tests {
         }
         tb.flush_dirty().unwrap();
         // Fresh unflushed updates + an unrelated prefix.
-        tb.put(Key::from("acct:005"), Value::from("updated")).unwrap();
+        tb.put(Key::from("acct:005"), Value::from("updated"))
+            .unwrap();
         tb.put(Key::from("sess:001"), Value::from("x")).unwrap();
         tb.delete(&Key::from("acct:010")).unwrap();
 
@@ -1867,10 +1884,7 @@ mod tests {
             cases: 16,
             ..Config::default()
         });
-        let ops = proptest::collection::vec(
-            (0usize..30, 0usize..8, any::<bool>()),
-            1..120,
-        );
+        let ops = proptest::collection::vec((0usize..30, 0usize..8, any::<bool>()), 1..120);
         runner
             .run(&ops, |ops| {
                 let dir = std::env::temp_dir().join(format!(

@@ -39,7 +39,10 @@ impl<'e, E: KvEngine + ?Sized> DataTypes<'e, E> {
                         return Ok(out); // deleting an absent structure
                     }
                     // Represent deletion as CAS to empty, then delete.
-                    match self.engine.cas(key.clone(), current.as_ref(), Value::default()) {
+                    match self
+                        .engine
+                        .cas(key.clone(), current.as_ref(), Value::default())
+                    {
                         Ok(()) => {
                             self.engine.delete(key)?;
                             Ok(())
@@ -224,7 +227,10 @@ impl<'e, E: KvEngine + ?Sized> DataTypes<'e, E> {
     /// Score of a member.
     pub fn zset_score(&self, key: &Key, member: &[u8]) -> Result<Option<f64>> {
         let entries = decode_scored(self.engine.get(key)?.as_ref())?;
-        Ok(entries.into_iter().find(|(_, m)| m == member).map(|(s, _)| s))
+        Ok(entries
+            .into_iter()
+            .find(|(_, m)| m == member)
+            .map(|(s, _)| s))
     }
 
     /// Members with rank in `[start, stop)`, ascending by score.
@@ -384,8 +390,14 @@ mod tests {
             t.list_range(&k("l"), 0, 10).unwrap(),
             vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
         );
-        assert_eq!(t.list_pop(&k("l"), ListEnd::Head).unwrap(), Some(b"a".to_vec()));
-        assert_eq!(t.list_pop(&k("l"), ListEnd::Tail).unwrap(), Some(b"c".to_vec()));
+        assert_eq!(
+            t.list_pop(&k("l"), ListEnd::Head).unwrap(),
+            Some(b"a".to_vec())
+        );
+        assert_eq!(
+            t.list_pop(&k("l"), ListEnd::Tail).unwrap(),
+            Some(b"c".to_vec())
+        );
         assert_eq!(t.list_len(&k("l")).unwrap(), 1);
         t.list_pop(&k("l"), ListEnd::Head).unwrap();
         assert_eq!(t.list_pop(&k("l"), ListEnd::Head).unwrap(), None);
@@ -467,7 +479,8 @@ mod tests {
         let tb = store("corrupt");
         let t = DataTypes::new(&tb);
         // A varint promising more items than bytes exist.
-        tb.put(k("bad"), Value::from(vec![200u8, 200, 1, 5])).unwrap();
+        tb.put(k("bad"), Value::from(vec![200u8, 200, 1, 5]))
+            .unwrap();
         assert!(t.list_len(&k("bad")).is_err() || t.list_len(&k("bad")).is_ok());
         // Must not panic either way (count may decode but items overflow).
         let _ = t.set_members(&k("bad"));

@@ -90,7 +90,11 @@ mod tests {
         let wc = WideColumn::new(&tb, "orders");
         wc.put_row(
             b"o-42",
-            &[(b"amount".as_slice(), b"100".as_slice()), (b"cur", b"CNY"), (b"status", b"OK")],
+            &[
+                (b"amount".as_slice(), b"100".as_slice()),
+                (b"cur", b"CNY"),
+                (b"status", b"OK"),
+            ],
         )
         .unwrap();
         let row = wc.get_row(b"o-42").unwrap();

@@ -308,7 +308,9 @@ mod tests {
             .find(|a| a.feature == WorkloadFeature::PerformanceCritical)
             .unwrap();
         assert!(row.options.contains(&OptimizationOption::InMemoryMode));
-        assert!(row.options.contains(&OptimizationOption::PmemForPersistence));
+        assert!(row
+            .options
+            .contains(&OptimizationOption::PmemForPersistence));
     }
 
     #[test]
@@ -364,10 +366,7 @@ mod tests {
             },
         ];
         let shortlist = option_shortlist(&advice);
-        assert_eq!(
-            shortlist[0],
-            (OptimizationOption::PretrainedCompression, 2)
-        );
+        assert_eq!(shortlist[0], (OptimizationOption::PretrainedCompression, 2));
         assert_eq!(shortlist[1], (OptimizationOption::TieredStorage, 1));
     }
 }

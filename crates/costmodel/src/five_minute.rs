@@ -29,11 +29,7 @@ pub fn classic_five_minute_rule(
 
 /// Adapted rule (Eq. 5). `record_size_gb` is the average record size in
 /// GB (bytes / 2^30) so units cancel: seconds per access.
-pub fn break_even_interval(
-    cpqps_slow: f64,
-    cpgb_fast: f64,
-    avg_record_size_bytes: f64,
-) -> f64 {
+pub fn break_even_interval(cpqps_slow: f64, cpgb_fast: f64, avg_record_size_bytes: f64) -> f64 {
     let record_gb = avg_record_size_bytes / (1u64 << 30) as f64;
     cpqps_slow / (cpgb_fast * record_gb)
 }
@@ -157,8 +153,11 @@ mod tests {
     #[test]
     fn table_has_expected_pairs() {
         let t = BreakEvenTable::build(&three_configs(), 200.0);
-        let pairs: Vec<(String, String)> =
-            t.rows.iter().map(|r| (r.fast.clone(), r.slow.clone())).collect();
+        let pairs: Vec<(String, String)> = t
+            .rows
+            .iter()
+            .map(|r| (r.fast.clone(), r.slow.clone()))
+            .collect();
         assert!(pairs.contains(&("raw".into(), "pmem".into())));
         assert!(pairs.contains(&("raw".into(), "pbc".into())));
         assert!(pairs.contains(&("pmem".into(), "pbc".into())));

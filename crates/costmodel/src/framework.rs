@@ -98,7 +98,9 @@ fn apply(engine: &dyn KvEngine, op: &Op) -> Result<()> {
 
 fn track_logical(map: &mut std::collections::HashMap<tb_common::Key, u64>, op: &Op) {
     match op {
-        Op::Insert { key, value } | Op::Update { key, value } | Op::ReadModifyWrite { key, value } => {
+        Op::Insert { key, value }
+        | Op::Update { key, value }
+        | Op::ReadModifyWrite { key, value } => {
             map.insert(key.clone(), (key.len() + value.len()) as u64);
         }
         Op::Delete { key } => {
@@ -258,7 +260,11 @@ mod tests {
         let m = evaluate_engine(&e, &load, &run).unwrap();
         assert!(m.achieved_qps > 0.0);
         assert!(m.logical_bytes > 0);
-        assert!((m.expansion_factor() - 2.0).abs() < 0.01, "{}", m.expansion_factor());
+        assert!(
+            (m.expansion_factor() - 2.0).abs() < 0.01,
+            "{}",
+            m.expansion_factor()
+        );
         assert!(m.p99_latency_ns > 0);
         assert_eq!(m.error_count, 0);
     }

@@ -26,9 +26,14 @@ pub mod optimal;
 pub mod shards;
 pub mod tiered;
 
-pub use advisor::{advise, classify, option_shortlist, options_for, Advice, AdvisorThresholds, OptimizationOption, WorkloadFeature, WorkloadProfile};
+pub use advisor::{
+    advise, classify, option_shortlist, options_for, Advice, AdvisorThresholds, OptimizationOption,
+    WorkloadFeature, WorkloadProfile,
+};
 pub use five_minute::{break_even_interval, classic_five_minute_rule, BreakEvenTable};
-pub use framework::{evaluate_engine, CostEvaluator, EvaluationReport, MeasuredConfig, ReplayMeasurement};
+pub use framework::{
+    evaluate_engine, CostEvaluator, EvaluationReport, MeasuredConfig, ReplayMeasurement,
+};
 pub use model::{CostMetrics, InstanceSpec, WorkloadDemand};
 pub use optimal::{most_balanced_config, optimal_config, sweep_frontier, ConfigCost};
 pub use shards::{shards_miss_ratio_curve, ShardsConfig};

@@ -79,7 +79,8 @@ pub fn shards_miss_ratio_curve(trace: &Trace, config: ShardsConfig) -> MeasuredM
             next_id
         });
         if let Some(pos) = stack.iter().rposition(|&x| x == id) {
-            let depth = stack.len() - pos; // 1-based among sampled keys
+            // 1-based among sampled keys.
+            let depth = stack.len() - pos;
             // Rescale: a sampled-set reuse distance d estimates a true
             // distance d / R.
             let scaled = ((depth as f64 / rate).ceil() as usize).max(1);
@@ -146,7 +147,9 @@ mod tests {
         let mut ops = Vec::with_capacity(refs);
         let mut state = 0x9E3779B97F4A7C15u64;
         for _ in 0..refs {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Square the uniform draw to skew toward low ranks.
             let u = (state >> 11) as f64 / (1u64 << 53) as f64;
             let rank = ((u * u) * keys as f64) as usize;
@@ -161,10 +164,7 @@ mod tests {
     fn rate_one_matches_exact_curve() {
         let trace = skewed_trace(200, 5_000);
         let exact = lru_miss_ratio_curve(&trace);
-        let full = shards_miss_ratio_curve(
-            &trace,
-            ShardsConfig { sampling_rate: 1.0 },
-        );
+        let full = shards_miss_ratio_curve(&trace, ShardsConfig { sampling_rate: 1.0 });
         for i in 0..=20 {
             let cr = i as f64 / 20.0;
             assert!(
@@ -180,10 +180,7 @@ mod tests {
     fn sampled_curve_approximates_exact() {
         let trace = skewed_trace(2_000, 60_000);
         let exact = lru_miss_ratio_curve(&trace);
-        let approx = shards_miss_ratio_curve(
-            &trace,
-            ShardsConfig { sampling_rate: 0.1 },
-        );
+        let approx = shards_miss_ratio_curve(&trace, ShardsConfig { sampling_rate: 0.1 });
         // Mean absolute error over the CR grid — SHARDS reports ~0.01
         // at R=0.01 on real traces; our synthetic traces are small, so
         // allow a looser (but still meaningful) bound.
@@ -201,10 +198,7 @@ mod tests {
     #[test]
     fn sampled_curve_is_monotone() {
         let trace = skewed_trace(1_000, 20_000);
-        let m = shards_miss_ratio_curve(
-            &trace,
-            ShardsConfig { sampling_rate: 0.2 },
-        );
+        let m = shards_miss_ratio_curve(&trace, ShardsConfig { sampling_rate: 0.2 });
         let mut prev = 1.0;
         for i in 0..=100 {
             let mr = m.miss_ratio(i as f64 / 100.0);
@@ -244,10 +238,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sampling rate")]
     fn zero_rate_rejected() {
-        let _ = shards_miss_ratio_curve(
-            &Trace::default(),
-            ShardsConfig { sampling_rate: 0.0 },
-        );
+        let _ = shards_miss_ratio_curve(&Trace::default(), ShardsConfig { sampling_rate: 0.0 });
     }
 
     proptest! {

@@ -539,7 +539,11 @@ mod gate_tests {
                 });
             }
         });
-        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
         assert_eq!(gate.stats.processed.load(Ordering::Relaxed), 400);
     }
 
@@ -606,8 +610,7 @@ mod gate_tests {
             1
         );
         assert_eq!(
-            ElasticGate::for_mode(ThreadMode::Multi(3), ElasticConfig::default())
-                .current_permits(),
+            ElasticGate::for_mode(ThreadMode::Multi(3), ElasticConfig::default()).current_permits(),
             3
         );
         let e = ElasticGate::for_mode(ThreadMode::Elastic(4), ElasticConfig::default());
@@ -720,9 +723,10 @@ mod scaleout_tests {
     #[test]
     fn streak_resets_on_relief() {
         let busy = ElasticGate::fixed(1);
-        let det = ScaleOutDetector::new(100); // never fires in this test
-        // Simulate saturation manually by holding the permit in another
-        // thread while a second one waits.
+        // Detector threshold never fires in this test; simulate saturation
+        // manually by holding the permit in another thread while a second
+        // one waits.
+        let det = ScaleOutDetector::new(100);
         std::thread::scope(|s| {
             let g = busy.clone();
             s.spawn(move || {

@@ -4,8 +4,8 @@
 //! probe positions, which preserves the asymptotic false-positive rate
 //! of k independent hashes at a fraction of the cost.
 
-use tb_common::hash::FxHasher;
 use std::hash::Hasher;
+use tb_common::hash::FxHasher;
 
 /// A fixed-size bloom filter.
 #[derive(Clone)]

@@ -18,9 +18,7 @@ use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tb_common::{
-    crc32, read_varint, write_varint, Error, Key, KvEngine, Result, Value,
-};
+use tb_common::{crc32, read_varint, write_varint, Error, Key, KvEngine, Result, Value};
 
 const MANIFEST_MAGIC: u32 = 0x7b4d_414e;
 
@@ -104,7 +102,9 @@ impl LsmDb {
         for (level, meta) in metas {
             max_id = max_id.max(meta.id);
             if level >= levels.len() {
-                return Err(Error::Corruption(format!("manifest level {level} out of range")));
+                return Err(Error::Corruption(format!(
+                    "manifest level {level} out of range"
+                )));
             }
             levels[level].push(Arc::new(SstReader::open(meta)?));
         }
@@ -232,7 +232,12 @@ impl LsmDb {
         }
         let id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
         let path = self.config.dir.join(format!("{id:010}.sst"));
-        let meta = write_sstable(id, &path, memtable.into_entries().into_iter(), &self.config.sst)?;
+        let meta = write_sstable(
+            id,
+            &path,
+            memtable.into_entries().into_iter(),
+            &self.config.sst,
+        )?;
         // Newest L0 table goes first.
         inner.levels[0].insert(0, Arc::new(SstReader::open(meta)?));
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
@@ -248,7 +253,10 @@ impl LsmDb {
         }
         // Size-triggered push-downs.
         for level in 1..self.config.max_level {
-            let sizes: Vec<u64> = inner.levels[level].iter().map(|t| t.meta.file_size).collect();
+            let sizes: Vec<u64> = inner.levels[level]
+                .iter()
+                .map(|t| t.meta.file_size)
+                .collect();
             if level_bytes(&sizes) > level_limit(level, self.config.level_base_bytes) {
                 self.compact_into(inner, level)?;
             }
@@ -600,7 +608,8 @@ mod tests {
         db.flush().unwrap();
         // Force compaction all the way down by flushing repeatedly.
         for round in 0..6 {
-            db.put(Key::from(format!("pad-{round}")), v(round, "pad")).unwrap();
+            db.put(Key::from(format!("pad-{round}")), v(round, "pad"))
+                .unwrap();
             db.flush().unwrap();
         }
         for i in 0..1000 {
@@ -648,15 +657,18 @@ mod tests {
         let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("scan"))).unwrap();
         // Old versions land in SSTables...
         for i in 0..50 {
-            db.put(Key::from(format!("user:{i:03}")), v(i, "old")).unwrap();
+            db.put(Key::from(format!("user:{i:03}")), v(i, "old"))
+                .unwrap();
         }
         for i in 0..50 {
-            db.put(Key::from(format!("item:{i:03}")), v(i, "x")).unwrap();
+            db.put(Key::from(format!("item:{i:03}")), v(i, "x"))
+                .unwrap();
         }
         db.flush().unwrap();
         // ...then fresher versions and a delete stay in the memtable.
         for i in 0..10 {
-            db.put(Key::from(format!("user:{i:03}")), v(i, "new")).unwrap();
+            db.put(Key::from(format!("user:{i:03}")), v(i, "new"))
+                .unwrap();
         }
         db.delete(Key::from("user:020")).unwrap();
 

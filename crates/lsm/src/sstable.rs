@@ -71,13 +71,12 @@ pub fn write_sstable(
     let mut entry_count = 0u32;
     let mut prev_key: Option<Key> = None;
 
-    let finish_block =
-        |index: &mut Vec<u8>, first: &Key, start: usize, end: usize| {
-            write_varint(index, first.len() as u64);
-            index.extend_from_slice(first.as_slice());
-            index.extend_from_slice(&(start as u64).to_le_bytes());
-            index.extend_from_slice(&((end - start) as u32).to_le_bytes());
-        };
+    let finish_block = |index: &mut Vec<u8>, first: &Key, start: usize, end: usize| {
+        write_varint(index, first.len() as u64);
+        index.extend_from_slice(first.as_slice());
+        index.extend_from_slice(&(start as u64).to_le_bytes());
+        index.extend_from_slice(&((end - start) as u32).to_le_bytes());
+    };
 
     for (key, entry) in entries {
         if let Some(prev) = &prev_key {
@@ -121,7 +120,9 @@ pub fn write_sstable(
         finish_block(&mut index, &first, block_start, data.len());
     }
     if entry_count == 0 {
-        return Err(Error::InvalidArgument("refusing to write empty sstable".into()));
+        return Err(Error::InvalidArgument(
+            "refusing to write empty sstable".into(),
+        ));
     }
 
     let mut bloom = BloomFilter::new(filter_items.len(), config.bloom_bits_per_key);
@@ -205,7 +206,9 @@ impl SstReader {
         let filter_len = u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
 
         if index_off + index_len as u64 + FOOTER_LEN as u64 != file_len {
-            return Err(Error::Corruption("sstable section offsets inconsistent".into()));
+            return Err(Error::Corruption(
+                "sstable section offsets inconsistent".into(),
+            ));
         }
 
         let mut filter_bytes = vec![0u8; filter_len];
@@ -256,10 +259,7 @@ impl SstReader {
             return Ok(None);
         }
         // Last block whose first key <= key.
-        let block_idx = match self
-            .index
-            .binary_search_by(|e| e.first_key.cmp(key))
-        {
+        let block_idx = match self.index.binary_search_by(|e| e.first_key.cmp(key)) {
             Ok(i) => i,
             Err(0) => return Ok(None),
             Err(i) => i - 1,
@@ -345,7 +345,10 @@ mod tests {
                 if i % 7 == 3 {
                     (key, Entry::Tombstone)
                 } else {
-                    (key, Entry::Put(Value::from(format!("value-{i}-{}", "x".repeat(i % 50)))))
+                    (
+                        key,
+                        Entry::Put(Value::from(format!("value-{i}-{}", "x".repeat(i % 50)))),
+                    )
                 }
             })
             .collect()
@@ -414,8 +417,13 @@ mod tests {
     #[test]
     fn corrupted_footer_detected() {
         let path = tmpdir().join("corrupt.sst");
-        let meta =
-            write_sstable(1, &path, sample_entries(50).into_iter(), &SstConfig::default()).unwrap();
+        let meta = write_sstable(
+            1,
+            &path,
+            sample_entries(50).into_iter(),
+            &SstConfig::default(),
+        )
+        .unwrap();
         // Flip a footer byte.
         let mut bytes = std::fs::read(&path).unwrap();
         let n = bytes.len();
@@ -427,8 +435,13 @@ mod tests {
     #[test]
     fn truncated_file_detected() {
         let path = tmpdir().join("trunc.sst");
-        let meta =
-            write_sstable(1, &path, sample_entries(50).into_iter(), &SstConfig::default()).unwrap();
+        let meta = write_sstable(
+            1,
+            &path,
+            sample_entries(50).into_iter(),
+            &SstConfig::default(),
+        )
+        .unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(SstReader::open(meta).is_err());
@@ -444,7 +457,11 @@ mod tests {
         let entries = sample_entries(200);
         let meta = write_sstable(1, &path, entries.clone().into_iter(), &cfg).unwrap();
         let r = SstReader::open(meta).unwrap();
-        assert!(r.index.len() > 5, "expected many blocks, got {}", r.index.len());
+        assert!(
+            r.index.len() > 5,
+            "expected many blocks, got {}",
+            r.index.len()
+        );
         for (k, e) in &entries {
             assert_eq!(r.get(k).unwrap().as_ref(), Some(e));
         }

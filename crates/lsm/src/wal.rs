@@ -47,7 +47,8 @@ impl Wal {
 
     /// Appends one record.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
-        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&crc32(payload).to_le_bytes())?;
         self.writer.write_all(payload)?;
         self.len += 8 + payload.len() as u64;

@@ -337,7 +337,11 @@ mod tests {
         let d = Arc::new(PmemDevice::open(&p, LatencyModel::none()).unwrap());
         let ring = PersistentRingBuffer::recover(d, RingConfig::default()).unwrap();
         let recs = ring.peek_all().unwrap();
-        assert_eq!(recs, vec![b"good-record".to_vec()], "torn tail must be dropped");
+        assert_eq!(
+            recs,
+            vec![b"good-record".to_vec()],
+            "torn tail must be dropped"
+        );
     }
 
     #[test]

@@ -50,8 +50,8 @@ impl DatasetKind {
 }
 
 const COUNTRY_CODES: &[&str] = &[
-    "CN", "US", "IN", "ID", "BR", "PK", "NG", "BD", "RU", "MX", "JP", "ET", "PH", "EG", "VN",
-    "DE", "IR", "TR", "FR", "TH", "GB", "IT", "ZA", "KR", "CO", "ES", "AR", "DZ", "SD", "UA",
+    "CN", "US", "IN", "ID", "BR", "PK", "NG", "BD", "RU", "MX", "JP", "ET", "PH", "EG", "VN", "DE",
+    "IR", "TR", "FR", "TH", "GB", "IT", "ZA", "KR", "CO", "ES", "AR", "DZ", "SD", "UA",
 ];
 
 const NAME_STEMS: &[&str] = &[
@@ -60,8 +60,8 @@ const NAME_STEMS: &[&str] = &[
 ];
 
 const NAME_BODIES: &[&str] = &[
-    "ville", "burg", "ton", "field", "ford", "haven", "wood", "bridge", "mouth", "stad",
-    "grad", "pur", "abad", "shire", "minster", "chester", "borough", "polis", "ham", "dale",
+    "ville", "burg", "ton", "field", "ford", "haven", "wood", "bridge", "mouth", "stad", "grad",
+    "pur", "abad", "shire", "minster", "chester", "borough", "polis", "ham", "dale",
 ];
 
 const FEATURE_CLASSES: &[&str] = &["PPL", "PPLA", "PPLA2", "PPLA3", "PPLC", "PPLX"];
@@ -98,13 +98,17 @@ impl Dataset for CitiesDataset {
         let mid: String = (0..rng.gen_range(2..6))
             .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
             .collect();
-        let name = format!("{stem} {}{}{body}", mid.to_uppercase().chars().next().unwrap(), &mid[1..]);
+        let name = format!(
+            "{stem} {}{}{body}",
+            mid.to_uppercase().chars().next().unwrap(),
+            &mid[1..]
+        );
         let ascii_name = name.replace(' ', "-").to_lowercase();
         let lat = rng.gen_range(-90.0..90.0f64);
         let lon = rng.gen_range(-180.0..180.0f64);
         let country = COUNTRY_CODES[rng.gen_range(0..COUNTRY_CODES.len())];
         let feature = FEATURE_CLASSES[rng.gen_range(0..FEATURE_CLASSES.len())];
-        let population: u64 = 10u64.pow(rng.gen_range(2..7)) + rng.gen_range(0..9999);
+        let population: u64 = 10u64.pow(rng.gen_range(2..7)) + rng.gen_range(0..9999u64);
         let elevation: i32 = rng.gen_range(-50..4500);
         let tz = TIMEZONES[rng.gen_range(0..TIMEZONES.len())];
         format!(
@@ -198,14 +202,7 @@ impl MachineDataset {
     pub fn kv2(seed: u64) -> Self {
         let templates = vec![
             MachineTemplate {
-                segments: vec![
-                    "TXN|v3|",
-                    "|AMT:",
-                    "|CUR:CNY|CH:",
-                    "|ST:",
-                    "|SIG:",
-                    "|END",
-                ],
+                segments: vec!["TXN|v3|", "|AMT:", "|CUR:CNY|CH:", "|ST:", "|SIG:", "|END"],
                 fields: vec![
                     FieldKind::Hex(32),
                     FieldKind::Number(10_000_000),
@@ -268,7 +265,7 @@ fn emit_field(out: &mut Vec<u8>, kind: FieldKind, rng: &mut StdRng) {
             out.extend_from_slice(options[rng.gen_range(0..options.len())].as_bytes());
         }
         FieldKind::Timestamp => {
-            let ts: u64 = 1_700_000_000 + rng.gen_range(0..30_000_000);
+            let ts: u64 = 1_700_000_000 + rng.gen_range(0..30_000_000u64);
             out.extend_from_slice(ts.to_string().as_bytes());
         }
     }

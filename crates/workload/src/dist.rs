@@ -100,8 +100,8 @@ impl ZipfianGen {
             .map(|i| 1.0 / (i as f64).powf(self.theta))
             .sum::<f64>();
         self.n = n;
-        self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta))
-            / (1.0 - self.zeta2theta / self.zetan);
+        self.eta =
+            (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2theta / self.zetan);
     }
 
     /// Draws a zipfian *rank* (0 = hottest).

@@ -178,9 +178,15 @@ mod tests {
     #[test]
     fn stats_counts_reads_and_writes() {
         let t = Trace::new(vec![
-            Op::Insert { key: k("a"), value: v(10) },
+            Op::Insert {
+                key: k("a"),
+                value: v(10),
+            },
             Op::Read { key: k("a") },
-            Op::Update { key: k("a"), value: v(20) },
+            Op::Update {
+                key: k("a"),
+                value: v(20),
+            },
             Op::Read { key: k("b") },
         ]);
         let s = t.stats();
@@ -195,7 +201,10 @@ mod tests {
     #[test]
     fn delete_removes_resident_bytes() {
         let t = Trace::new(vec![
-            Op::Insert { key: k("a"), value: v(100) },
+            Op::Insert {
+                key: k("a"),
+                value: v(100),
+            },
             Op::Delete { key: k("a") },
         ]);
         assert_eq!(t.stats().resident_bytes, 0);
@@ -226,7 +235,9 @@ mod tests {
         // 200 keys; key "hot" takes half of all accesses.
         let mut ops = vec![];
         for i in 0..200 {
-            ops.push(Op::Read { key: k(&format!("k{i}")) });
+            ops.push(Op::Read {
+                key: k(&format!("k{i}")),
+            });
             ops.push(Op::Read { key: k("hot") });
         }
         let s = Trace::new(ops).stats();
@@ -244,7 +255,10 @@ mod tests {
 
     #[test]
     fn rmw_counts_as_write() {
-        let op = Op::ReadModifyWrite { key: k("a"), value: v(5) };
+        let op = Op::ReadModifyWrite {
+            key: k("a"),
+            value: v(5),
+        };
         assert!(op.is_write());
         assert_eq!(op.value_len(), 5);
     }

@@ -13,8 +13,12 @@ fn tierbase_node(name: &str) -> Arc<dyn KvEngine> {
     let dir = std::env::temp_dir().join(format!("tb-example-cluster-{name}"));
     let _ = std::fs::remove_dir_all(&dir);
     Arc::new(
-        TierBase::open(TierBaseConfig::builder(dir).cache_capacity(64 << 20).build())
-            .expect("open node"),
+        TierBase::open(
+            TierBaseConfig::builder(dir)
+                .cache_capacity(64 << 20)
+                .build(),
+        )
+        .expect("open node"),
     )
 }
 
@@ -63,7 +67,10 @@ fn main() -> Result<()> {
 
     // Coordinator leader failure: the group re-elects.
     coordinators.kill_coordinator(0);
-    println!("coordinator 0 killed; new leader = c{}", coordinators.leader()?);
+    println!(
+        "coordinator 0 killed; new leader = c{}",
+        coordinators.leader()?
+    );
 
     // Scale out: add a node, migrate slots + data.
     let new_node = NodeStore::new(NodeId(3), tierbase_node("n3-primary"))

@@ -108,7 +108,10 @@ fn main() -> Result<()> {
     let load = Trace::new(w.load_ops());
     let run = w.run_trace();
 
-    let open = |name: &str, f: &dyn Fn(tierbase::store::TierBaseConfigBuilder) -> tierbase::store::TierBaseConfigBuilder| {
+    let open = |name: &str,
+                f: &dyn Fn(
+        tierbase::store::TierBaseConfigBuilder,
+    ) -> tierbase::store::TierBaseConfigBuilder| {
         let dir = std::env::temp_dir().join(format!("tb-example-advisor-{name}"));
         let _ = std::fs::remove_dir_all(&dir);
         TierBase::open(f(TierBaseConfig::builder(dir).cache_capacity(128 << 20)).build()).unwrap()

@@ -39,7 +39,12 @@ fn main() -> Result<()> {
     let exact = lru_miss_ratio_curve(&trace);
     let exact_ms = t0.elapsed().as_millis();
     let t1 = std::time::Instant::now();
-    let sampled = shards_miss_ratio_curve(&trace, ShardsConfig { sampling_rate: 0.05 });
+    let sampled = shards_miss_ratio_curve(
+        &trace,
+        ShardsConfig {
+            sampling_rate: 0.05,
+        },
+    );
     let sampled_ms = t1.elapsed().as_millis();
     println!("\nMRC construction: exact {exact_ms} ms, SHARDS(R=0.05) {sampled_ms} ms");
     println!("  CR    exact MR   sampled MR");
@@ -97,15 +102,27 @@ fn main() -> Result<()> {
             store.get(key)?;
         }
     }
-    let h0 = store.stats().cache_hits.load(std::sync::atomic::Ordering::Relaxed);
-    let m0 = store.stats().cache_misses.load(std::sync::atomic::Ordering::Relaxed);
+    let h0 = store
+        .stats()
+        .cache_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let m0 = store
+        .stats()
+        .cache_misses
+        .load(std::sync::atomic::Ordering::Relaxed);
     for op in &ops[n_refs / 2..] {
         if let Op::Read { key } = op {
             store.get(key)?;
         }
     }
-    let h1 = store.stats().cache_hits.load(std::sync::atomic::Ordering::Relaxed);
-    let m1 = store.stats().cache_misses.load(std::sync::atomic::Ordering::Relaxed);
+    let h1 = store
+        .stats()
+        .cache_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let m1 = store
+        .stats()
+        .cache_misses
+        .load(std::sync::atomic::Ordering::Relaxed);
     let measured_mr = (m1 - m0) as f64 / ((h1 - h0) + (m1 - m0)) as f64;
     println!(
         "\nreal store at CR*: measured MR {:.4} vs predicted {:.4}",

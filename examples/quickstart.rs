@@ -24,10 +24,7 @@ fn main() -> Result<()> {
     // --- strings -------------------------------------------------------
     store.put(Key::from("user:1:name"), Value::from("alice"))?;
     store.put(Key::from("user:1:city"), Value::from("hangzhou"))?;
-    println!(
-        "user:1:name = {:?}",
-        store.get(&Key::from("user:1:name"))?
-    );
+    println!("user:1:name = {:?}", store.get(&Key::from("user:1:name"))?);
 
     // --- compare-and-set ------------------------------------------------
     store.put(Key::from("counter"), Value::from("41"))?;
@@ -41,7 +38,10 @@ fn main() -> Result<()> {
         Some(&Value::from("41")), // stale expectation
         Value::from("43"),
     );
-    println!("counter = {:?}, stale CAS -> {stale:?}", store.get(&Key::from("counter"))?);
+    println!(
+        "counter = {:?}, stale CAS -> {stale:?}",
+        store.get(&Key::from("counter"))?
+    );
 
     // --- Redis-style data types -----------------------------------------
     let types = DataTypes::new(&store);

@@ -106,11 +106,17 @@ fn main() -> Result<()> {
     drop(store);
 
     let store = open(clock.clone())?;
-    let before = store.stats().storage_fetches.load(std::sync::atomic::Ordering::Relaxed);
+    let before = store
+        .stats()
+        .storage_fetches
+        .load(std::sync::atomic::Ordering::Relaxed);
     for u in 0..1000 {
         store.get(&Key::from(format!("prof:{u:04}")))?;
     }
-    let after = store.stats().storage_fetches.load(std::sync::atomic::Ordering::Relaxed);
+    let after = store
+        .stats()
+        .storage_fetches
+        .load(std::sync::atomic::Ordering::Relaxed);
     println!(
         "  1000 profile reads after restart -> {} storage fetches (warm cache)",
         after - before

@@ -19,13 +19,14 @@ use tierbase::costmodel::{BreakEvenTable, CostEvaluator, InstanceSpec, WorkloadD
 use tierbase::prelude::*;
 use tierbase::workload::DatasetKind;
 
-fn open_variant(name: &str, f: impl FnOnce(tierbase::store::TierBaseConfigBuilder) -> tierbase::store::TierBaseConfigBuilder) -> TierBase {
+fn open_variant(
+    name: &str,
+    f: impl FnOnce(tierbase::store::TierBaseConfigBuilder) -> tierbase::store::TierBaseConfigBuilder,
+) -> TierBase {
     let dir = std::env::temp_dir().join(format!("tb-example-uis-{name}"));
     let _ = std::fs::remove_dir_all(&dir);
-    TierBase::open(
-        f(TierBaseConfig::builder(dir).cache_capacity(256 << 20)).build(),
-    )
-    .expect("open store")
+    TierBase::open(f(TierBaseConfig::builder(dir).cache_capacity(256 << 20)).build())
+        .expect("open store")
 }
 
 fn main() -> Result<()> {
@@ -63,8 +64,7 @@ fn main() -> Result<()> {
     ];
 
     // 4. Break-even intervals between the configurations (Table 3).
-    let avg_record =
-        samples.iter().map(|s| s.len()).sum::<usize>() as f64 / samples.len() as f64;
+    let avg_record = samples.iter().map(|s| s.len()).sum::<usize>() as f64 / samples.len() as f64;
     let configs: Vec<(String, _)> = measured
         .iter()
         .map(|m| (m.name.clone(), m.metrics.clone()))

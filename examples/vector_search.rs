@@ -55,8 +55,13 @@ fn main() -> Result<()> {
     let hits = index.search(&embed(query, DIM), 3);
     println!("\nquery: {query:?}");
     for (id, dist) in &hits {
-        let doc = store.get(&Key::from(format!("doc:{id}")))?.expect("doc exists");
-        println!("  d2={dist:.3}  {}", String::from_utf8_lossy(doc.as_slice()));
+        let doc = store
+            .get(&Key::from(format!("doc:{id}")))?
+            .expect("doc exists");
+        println!(
+            "  d2={dist:.3}  {}",
+            String::from_utf8_lossy(doc.as_slice())
+        );
     }
 
     // Real-time deletion: remove the top hit and re-query.
@@ -67,8 +72,13 @@ fn main() -> Result<()> {
     println!("\nafter deleting doc {top}:");
     for (id, dist) in &hits {
         assert_ne!(*id, top, "deleted vector must not surface");
-        let doc = store.get(&Key::from(format!("doc:{id}")))?.expect("doc exists");
-        println!("  d2={dist:.3}  {}", String::from_utf8_lossy(doc.as_slice()));
+        let doc = store
+            .get(&Key::from(format!("doc:{id}")))?
+            .expect("doc exists");
+        println!(
+            "  d2={dist:.3}  {}",
+            String::from_utf8_lossy(doc.as_slice())
+        );
     }
 
     // Real-time insertion.

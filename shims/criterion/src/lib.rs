@@ -1,0 +1,268 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the API subset the `tb-bench` micro benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize` — with a simple calibrated wall-clock measurement and a
+//! text report instead of criterion's statistical machinery. Good
+//! enough to rank implementations and spot order-of-magnitude
+//! regressions; not a replacement for real criterion statistics.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Per-iteration work amount, for deriving rate units in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    /// Target wall-clock time per benchmark measurement.
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // TB_BENCH_MS overrides the per-benchmark measurement window.
+        let ms = std::env::var("TB_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Self {
+            measurement_time: Duration::from_millis(ms),
+            warm_up_time: Duration::from_millis(ms / 4 + 1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI args cargo passes (`--bench`, filters); this shim
+    /// ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let report = run_bench(self.warm_up_time, self.measurement_time, &mut f);
+        print_line(&id, &report, None);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override, like real criterion — it must not leak
+    /// into later groups.
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let measure = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let report = run_bench(self.criterion.warm_up_time, measure, &mut f);
+        print_line(&id, &report, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+struct Report {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+fn run_bench(warm_up: Duration, measure: Duration, f: &mut impl FnMut(&mut Bencher)) -> Report {
+    // Warm-up pass: also calibrates how many iterations fit the window.
+    let mut b = Bencher {
+        mode: Mode::Timed(warm_up),
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut b = Bencher {
+        mode: Mode::Timed(measure),
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    Report {
+        ns_per_iter: if b.iters == 0 {
+            f64::NAN
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        },
+        iters: b.iters,
+    }
+}
+
+fn print_line(id: &str, report: &Report, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            let per_sec = n as f64 * 1e9 / report.ns_per_iter;
+            format!("  {:>12.0} elem/s", per_sec)
+        }
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            let per_sec = n as f64 * 1e9 / report.ns_per_iter;
+            format!("  {:>12.1} MiB/s", per_sec / (1 << 20) as f64)
+        }
+    });
+    println!(
+        "{id:<40} {:>12.1} ns/iter  ({} iters){}",
+        report.ns_per_iter,
+        report.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+enum Mode {
+    Timed(Duration),
+}
+
+/// Handed to each benchmark closure; measures the routine it is given.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the measurement window closes.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let Mode::Timed(window) = self.mode;
+        let start = Instant::now();
+        black_box(routine());
+        let mut iters = 1u64;
+        // Batch clock checks only when the first iteration proves the
+        // routine cheap; slow routines check every iteration so they
+        // never overshoot the window by more than ~one iteration.
+        let batch = if start.elapsed() * 64 >= window {
+            1
+        } else {
+            64
+        };
+        while start.elapsed() < window {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let Mode::Timed(window) = self.mode;
+        let begin = Instant::now();
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        while begin.elapsed() < window {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = timed;
+        self.iters = iters;
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a set of [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("TB_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        let mut total = 0u64;
+        group.bench_function("add", |b| b.iter(|| total = total.wrapping_add(1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+}

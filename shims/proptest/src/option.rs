@@ -1,0 +1,27 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Yields `None` about a quarter of the time, `Some` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// [`of`]'s return type.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest implements `Strategy` for `&str` by interpreting the
+//! string as a regex and generating matching strings. This shim
+//! supports the pragmatic subset used in practice: literal characters,
+//! character classes (`[a-z0-9|:=/ ]`, with `-` ranges, a leading `^`
+//! is rejected), `.`, and the repetitions `{m,n}`, `{m,}`, `{m}`, `*`,
+//! `+`, `?` applied to the preceding atom. Unsupported syntax panics
+//! with a clear message rather than silently generating garbage.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.reps.sample(rng);
+            for _ in 0..n {
+                out.push(atom.chars.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: CharSet,
+    reps: Reps,
+}
+
+enum CharSet {
+    One(char),
+    Set(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::One(c) => *c,
+            CharSet::AnyPrintable => rng.gen_range(0x20u32..0x7f) as u8 as char,
+            CharSet::Set(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick).unwrap();
+                    }
+                    pick -= span;
+                }
+                unreachable!("weighted pick within total")
+            }
+        }
+    }
+}
+
+struct Reps {
+    min: u32,
+    max: u32,
+}
+
+impl Reps {
+    fn sample(&self, rng: &mut TestRng) -> u32 {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                let mut pending_range = false;
+                if chars.peek() == Some(&'^') {
+                    panic!("regex shim: negated classes unsupported in {pattern:?}");
+                }
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("regex shim: unterminated class in {pattern:?}")
+                    };
+                    match c {
+                        ']' => {
+                            if let Some(p) = prev.take() {
+                                ranges.push((p, p));
+                            }
+                            if pending_range {
+                                ranges.push(('-', '-'));
+                            }
+                            break;
+                        }
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            pending_range = true;
+                        }
+                        '\\' => {
+                            let e = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("regex shim: dangling escape"));
+                            push_class_char(&mut ranges, &mut prev, &mut pending_range, e);
+                        }
+                        c => push_class_char(&mut ranges, &mut prev, &mut pending_range, c),
+                    }
+                }
+                assert!(!ranges.is_empty(), "regex shim: empty class in {pattern:?}");
+                CharSet::Set(ranges)
+            }
+            '.' => CharSet::AnyPrintable,
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("regex shim: dangling escape in {pattern:?}"));
+                CharSet::One(e)
+            }
+            '(' | ')' | '|' => {
+                panic!("regex shim: groups/alternation unsupported in {pattern:?}")
+            }
+            c => CharSet::One(c),
+        };
+        let reps = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                parse_reps(&spec, pattern)
+            }
+            Some('*') => {
+                chars.next();
+                Reps { min: 0, max: 16 }
+            }
+            Some('+') => {
+                chars.next();
+                Reps { min: 1, max: 16 }
+            }
+            Some('?') => {
+                chars.next();
+                Reps { min: 0, max: 1 }
+            }
+            _ => Reps { min: 1, max: 1 },
+        };
+        atoms.push(Atom { chars: set, reps });
+    }
+    atoms
+}
+
+fn push_class_char(
+    ranges: &mut Vec<(char, char)>,
+    prev: &mut Option<char>,
+    pending_range: &mut bool,
+    c: char,
+) {
+    if *pending_range {
+        let lo = prev.take().expect("range start");
+        assert!(lo <= c, "regex shim: inverted class range");
+        ranges.push((lo, c));
+        *pending_range = false;
+    } else {
+        if let Some(p) = prev.take() {
+            ranges.push((p, p));
+        }
+        *prev = Some(c);
+    }
+}
+
+fn parse_reps(spec: &str, pattern: &str) -> Reps {
+    let parse = |s: &str| -> u32 {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("regex shim: bad repetition {spec:?} in {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        None => {
+            let n = parse(spec);
+            Reps { min: n, max: n }
+        }
+        Some((m, "")) => Reps {
+            min: parse(m),
+            max: parse(m).saturating_add(16),
+        },
+        Some((m, n)) => Reps {
+            min: parse(m),
+            max: parse(n),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = "[a-z0-9|:=/ ]{0,1500}".generate(&mut rng);
+            assert!(s.len() <= 1500);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "|:=/ ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = "ab?c+".generate(&mut rng);
+        assert!(s.starts_with('a'));
+        assert!(s.contains('c'));
+    }
+}

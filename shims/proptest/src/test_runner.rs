@@ -1,0 +1,231 @@
+//! The case-driving runner: config, case errors, and [`TestRunner`].
+
+use crate::strategy::{Strategy, TestRng};
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration. Field names match real proptest so struct
+/// literals with `..Config::default()` keep working; fields irrelevant
+/// to this shim (shrinking) are accepted and ignored.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Upper bound on rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    /// A default config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input does not satisfy the property's assumptions.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// A failed property: the case number, seed, and reason.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    pub case: u32,
+    pub seed: u64,
+    pub reason: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "property failed at case {} (re-run with PROPTEST_SEED={}): {}",
+            self.case, self.seed, self.reason
+        )
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Drives a strategy through `config.cases` random cases.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+    /// `PROPTEST_SEED` replay: used verbatim for the first case.
+    forced_case_seed: Option<u64>,
+}
+
+impl TestRunner {
+    /// When `PROPTEST_SEED` is set, the *first case* runs with exactly
+    /// that per-case seed, so the seed printed by a failure replays the
+    /// failing input. Otherwise seeds from the system clock.
+    pub fn new(config: Config) -> Self {
+        let forced_case_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok());
+        Self {
+            config,
+            rng: TestRng::seed_from_u64(rand::random::<u64>()),
+            forced_case_seed,
+        }
+    }
+
+    /// Runs the property once per case. Returns the first failure
+    /// (assertion, panic) without shrinking. `prop_assume!` rejections
+    /// retry with fresh input and do not count toward the case budget.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), TestError> {
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < self.config.cases {
+            // Each case's input depends only on its own seed, so the
+            // seed reported on failure replays that exact input via
+            // PROPTEST_SEED.
+            let case_seed = self
+                .forced_case_seed
+                .take()
+                .unwrap_or_else(|| self.rng.next_u64());
+            let mut case_rng = TestRng::seed_from_u64(case_seed);
+            let value = strategy.generate(&mut case_rng);
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => case += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        return Err(TestError {
+                            case,
+                            seed: case_seed,
+                            reason: format!(
+                                "too many prop_assume! rejections ({rejects}); \
+                                 property never satisfied its assumptions"
+                            ),
+                        });
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(reason))) => {
+                    return Err(TestError {
+                        case,
+                        seed: case_seed,
+                        reason,
+                    })
+                }
+                Err(panic) => {
+                    let reason = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "test panicked".into());
+                    return Err(TestError {
+                        case,
+                        seed: case_seed,
+                        reason: format!("panic: {reason}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn passing_property_passes() {
+        let mut runner = TestRunner::new(Config::with_cases(32));
+        runner
+            .run(&(0u8..10), |v| {
+                if v < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("out of range"))
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn failing_property_reports() {
+        let mut runner = TestRunner::new(Config::with_cases(64));
+        let err = runner
+            .run(&any::<u8>(), |v| {
+                if v < 200 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("big"))
+                }
+            })
+            .unwrap_err();
+        assert!(err.reason.contains("big"));
+    }
+
+    #[test]
+    fn rejections_do_not_fail() {
+        let mut runner = TestRunner::new(Config::with_cases(8));
+        runner
+            .run(&any::<u8>(), |v| {
+                if v % 2 == 0 {
+                    Err(TestCaseError::reject("odd only"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn panics_are_captured() {
+        let mut runner = TestRunner::new(Config::with_cases(4));
+        let err = runner
+            .run(&any::<u8>(), |_| -> Result<(), TestCaseError> {
+                panic!("boom");
+            })
+            .unwrap_err();
+        assert!(err.reason.contains("boom"));
+    }
+}

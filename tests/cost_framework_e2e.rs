@@ -16,7 +16,10 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
     dir
 }
 
-fn open(name: &str, f: impl FnOnce(tierbase::store::TierBaseConfigBuilder) -> tierbase::store::TierBaseConfigBuilder) -> TierBase {
+fn open(
+    name: &str,
+    f: impl FnOnce(tierbase::store::TierBaseConfigBuilder) -> tierbase::store::TierBaseConfigBuilder,
+) -> TierBase {
     TierBase::open(f(TierBaseConfig::builder(tmpdir(name)).cache_capacity(128 << 20)).build())
         .unwrap()
 }
@@ -106,7 +109,11 @@ fn measured_mrc_matches_analytic_shape() {
         prev = m;
     }
     // At 10% cache both say most requests hit.
-    assert!(measured.miss_ratio(0.10) < 0.5, "measured {:.3}", measured.miss_ratio(0.10));
+    assert!(
+        measured.miss_ratio(0.10) < 0.5,
+        "measured {:.3}",
+        measured.miss_ratio(0.10)
+    );
     assert!(analytic.miss_ratio(0.10) < 0.5);
 }
 
@@ -128,7 +135,10 @@ fn optimal_cost_theorem_holds_on_synthetic_frontier() {
         .collect();
     let opt = optimal_config(&configs).unwrap();
     let bal = most_balanced_config(&configs).unwrap();
-    assert_eq!(opt.name, bal.name, "min-max and balance point must agree on a dense frontier");
+    assert_eq!(
+        opt.name, bal.name,
+        "min-max and balance point must agree on a dense frontier"
+    );
 }
 
 /// Theorem 5.1 end-to-end: a skewed workload drives CR* low, and the
@@ -147,7 +157,10 @@ fn tiered_storage_wins_for_skewed_workloads_only() {
     );
     assert!(skewed.tiered_wins());
     let cr = skewed.optimal_cache_ratio().cache_ratio;
-    assert!(cr < 0.3, "skewed workload should want a small cache, got {cr}");
+    assert!(
+        cr < 0.3,
+        "skewed workload should want a small cache, got {cr}"
+    );
 
     let uniform = TieredCostModel::new(
         TieredCostParams {
@@ -159,7 +172,10 @@ fn tiered_storage_wins_for_skewed_workloads_only() {
         },
         zipfian_miss_ratio_curve(0.0),
     );
-    assert!(!uniform.tiered_wins(), "uniform access should not justify tiering here");
+    assert!(
+        !uniform.tiered_wins(),
+        "uniform access should not justify tiering here"
+    );
 }
 
 /// The cache-ratio sweep of Figure 13(b) in miniature: as the cache
@@ -188,7 +204,10 @@ fn cache_ratio_sweep_shows_the_tradeoff() {
     }
     // Miss ratio grows as the cache shrinks.
     // Space cost ordering: smaller cache → smaller resident bytes.
-    let resident: Vec<u64> = measured.iter().map(|m| m.measurement.resident_bytes).collect();
+    let resident: Vec<u64> = measured
+        .iter()
+        .map(|m| m.measurement.resident_bytes)
+        .collect();
     assert!(
         resident[0] >= resident[1] && resident[1] >= resident[2],
         "cache footprint must shrink with ratio: {resident:?}"

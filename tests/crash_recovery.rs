@@ -84,7 +84,11 @@ fn wal_torn_tail_loses_only_the_torn_suffix() {
     )
     .unwrap();
     for i in 0..100 {
-        assert_eq!(store.get(&k(i)).unwrap(), Some(v(i)), "intact prefix lost at {i}");
+        assert_eq!(
+            store.get(&k(i)).unwrap(),
+            Some(v(i)),
+            "intact prefix lost at {i}"
+        );
     }
     // And the store keeps working after recovery.
     store.put(k(1000), v(1000)).unwrap();
@@ -203,7 +207,8 @@ fn lsm_storage_tier_recovers_through_compactions() {
         let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
         for round in 0..3 {
             for i in 0..800 {
-                db.put(k(i), Value::from(format!("gen{round}-{i}"))).unwrap();
+                db.put(k(i), Value::from(format!("gen{round}-{i}")))
+                    .unwrap();
             }
             db.flush().unwrap();
         }

@@ -97,7 +97,10 @@ fn write_back_flush_failure_keeps_data_dirty_and_recoverable() {
     for i in 0..100 {
         assert_eq!(store.get(&k(i)).unwrap(), Some(v("wb", i)));
     }
-    assert!(store.dirty_bytes() > 0, "dirty state lost after failed flush");
+    assert!(
+        store.dirty_bytes() > 0,
+        "dirty state lost after failed flush"
+    );
     // Retry succeeds and drains.
     let flushed = store.flush_dirty().unwrap();
     assert!(flushed > 0);

@@ -9,7 +9,7 @@ use tierbase::prelude::*;
 
 #[derive(Debug, Clone)]
 enum ModelOp {
-    Put(u8, u8),   // key id, value seed
+    Put(u8, u8), // key id, value seed
     Delete(u8),
     Get(u8),
     Flush,

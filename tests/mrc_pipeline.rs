@@ -89,13 +89,25 @@ fn sampled_mrc_drives_correct_cache_sizing() {
     for op in &ops[..ops.len() / 2] {
         store.get(op.key()).unwrap();
     }
-    let h0 = store.stats().cache_hits.load(std::sync::atomic::Ordering::Relaxed);
-    let m0 = store.stats().cache_misses.load(std::sync::atomic::Ordering::Relaxed);
+    let h0 = store
+        .stats()
+        .cache_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let m0 = store
+        .stats()
+        .cache_misses
+        .load(std::sync::atomic::Ordering::Relaxed);
     for op in &ops[ops.len() / 2..] {
         store.get(op.key()).unwrap();
     }
-    let h1 = store.stats().cache_hits.load(std::sync::atomic::Ordering::Relaxed);
-    let m1 = store.stats().cache_misses.load(std::sync::atomic::Ordering::Relaxed);
+    let h1 = store
+        .stats()
+        .cache_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let m1 = store
+        .stats()
+        .cache_misses
+        .load(std::sync::atomic::Ordering::Relaxed);
     let measured = (m1 - m0) as f64 / ((h1 - h0) + (m1 - m0)) as f64;
     // Generous tolerance: the model is item-granular, the store is
     // byte-budgeted and sharded; what must hold is the neighborhood.

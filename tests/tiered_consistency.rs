@@ -169,7 +169,11 @@ fn compressed_store_matches_model() {
         let key = Key::from(format!("k{:03}", rng.gen_range(0..400)));
         let value = if i % 3 == 0 {
             // Alien (incompressible) bytes.
-            Value::from((0..rng.gen_range(1..200)).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>())
+            Value::from(
+                (0..rng.gen_range(1..200))
+                    .map(|_| rng.gen::<u8>())
+                    .collect::<Vec<u8>>(),
+            )
         } else {
             Value::from(format!("REC|{i:08}|status=OK|region=CN|padpadpad"))
         };
