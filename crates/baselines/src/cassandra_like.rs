@@ -60,6 +60,13 @@ impl KvEngine for JvmLsmEngine {
         self.db.delete(key.clone())
     }
 
+    fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        burn_cpu_us(self.op_cost_us);
+        // Atomic: the LSM runs the read-compare-write under one write
+        // lock (lightweight transactions, Cassandra-style).
+        self.db.cas(key, expected, new)
+    }
+
     fn resident_bytes(&self) -> u64 {
         // Disk bytes charged at the disk cost factor: the cost model
         // compares engines on DRAM-equivalent dollars.

@@ -20,6 +20,9 @@ enum Request {
     Get(Key, Sender<Option<Value>>),
     Put(Key, Value, Sender<Option<Value>>),
     Delete(Key, Sender<Option<Value>>),
+    /// Compare-and-set; atomic because the shard owner serializes it
+    /// with every other operation on its keys.
+    Cas(Key, Option<Value>, Value, Sender<Result<()>>),
     Stop,
 }
 
@@ -82,6 +85,33 @@ impl DragonflyLike {
                             }
                             let _ = reply.send(None);
                         }
+                        Request::Cas(key, expected, new, reply) => {
+                            let matches = match (map.get(&key), expected.as_ref()) {
+                                (Some(c), Some(e)) => c == e,
+                                (None, None) => true,
+                                _ => false,
+                            };
+                            let result = if matches {
+                                let klen = key.len() as u64;
+                                let vlen = new.len() as u64;
+                                match map.insert(key, new) {
+                                    Some(old) => {
+                                        bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                                        bytes.fetch_add(vlen, Ordering::Relaxed);
+                                    }
+                                    None => {
+                                        bytes.fetch_add(
+                                            klen + vlen + ENTRY_OVERHEAD,
+                                            Ordering::Relaxed,
+                                        );
+                                    }
+                                }
+                                Ok(())
+                            } else {
+                                Err(Error::CasMismatch)
+                            };
+                            let _ = reply.send(result);
+                        }
                         Request::Stop => break,
                     }
                 }
@@ -139,6 +169,17 @@ impl KvEngine for DragonflyLike {
     fn delete(&self, key: &Key) -> Result<()> {
         self.roundtrip(key, |tx| Request::Delete(key.clone(), tx))?;
         Ok(())
+    }
+
+    fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        // CAS is rare enough that a fresh reply channel (instead of the
+        // thread-local value slot) is fine.
+        let (tx, rx) = bounded::<Result<()>>(1);
+        self.shard(&key)
+            .send(Request::Cas(key.clone(), expected.cloned(), new, tx))
+            .map_err(|_| Error::Unavailable("shard worker gone".into()))?;
+        rx.recv()
+            .map_err(|_| Error::Unavailable("shard worker gone".into()))?
     }
 
     fn resident_bytes(&self) -> u64 {

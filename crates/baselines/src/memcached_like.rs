@@ -9,7 +9,7 @@
 use crate::burn_cpu_us;
 use parking_lot::Mutex;
 use tb_cache::LruShard;
-use tb_common::{fx_hash, Key, KvEngine, Result, Value};
+use tb_common::{fx_hash, Error, Key, KvEngine, Result, Value};
 use tb_pmem::Medium;
 
 /// Modeled per-entry header (item header + hash chain pointer).
@@ -23,6 +23,23 @@ fn slab_rounded(len: usize) -> usize {
         class *= 2;
     }
     class
+}
+
+/// Pads a value to its slab class, prefixed with the true length.
+fn encode_slab(value: &Value) -> Value {
+    let class = slab_rounded(value.len() + 4);
+    let mut buf = Vec::with_capacity(class);
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(value.as_slice());
+    buf.resize(class, 0);
+    Value::from(buf)
+}
+
+/// Strips slab padding from a stored buffer.
+fn decode_slab(stored: &Value) -> Value {
+    let bytes = stored.as_slice();
+    let orig_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    Value::copy_from(&bytes[4..4 + orig_len])
 }
 
 /// Multi-threaded slab cache.
@@ -54,28 +71,43 @@ const OP_COST_US: u64 = 6;
 impl KvEngine for MemcachedLike {
     fn get(&self, key: &Key) -> Result<Option<Value>> {
         burn_cpu_us(OP_COST_US);
-        Ok(self.shard(key).lock().get(key, 0).map(|e| {
-            // Stored value carries slab padding; strip it on read.
-            let v = &e.value;
-            let orig_len = u32::from_le_bytes(v.as_slice()[0..4].try_into().unwrap()) as usize;
-            Value::copy_from(&v.as_slice()[4..4 + orig_len])
-        }))
+        // Stored values carry slab padding; strip it on read.
+        Ok(self
+            .shard(key)
+            .lock()
+            .get(key, 0)
+            .map(|e| decode_slab(&e.value)))
     }
 
     fn put(&self, key: Key, value: Value) -> Result<()> {
         burn_cpu_us(OP_COST_US);
         // Represent slab rounding physically: pad the stored buffer to
         // its size class so `resident_bytes` reflects slab waste.
-        let class = slab_rounded(value.len() + 4);
-        let mut buf = Vec::with_capacity(class);
-        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        buf.extend_from_slice(value.as_slice());
-        buf.resize(class, 0);
+        let stored = encode_slab(&value);
         // Cache semantics: eviction is expected, never an error.
         let _ = self
             .shard(&key)
             .lock()
-            .insert(key, Value::from(buf), false, Medium::Dram);
+            .insert(key, stored, false, Medium::Dram);
+        Ok(())
+    }
+
+    fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        burn_cpu_us(OP_COST_US);
+        // Atomic within the key's shard: read-compare-write under one
+        // striped-lock acquisition (memcached's `cas` command).
+        let mut shard = self.shard(&key).lock();
+        let current = shard.get(&key, 0).map(|e| decode_slab(&e.value));
+        let matches = match (current.as_ref(), expected) {
+            (Some(c), Some(e)) => c == e,
+            (None, None) => true,
+            _ => false,
+        };
+        if !matches {
+            return Err(Error::CasMismatch);
+        }
+        let stored = encode_slab(&new);
+        let _ = shard.insert(key, stored, false, Medium::Dram);
         Ok(())
     }
 

@@ -158,6 +158,31 @@ impl KvEngine for RedisLike {
         Ok(())
     }
 
+    fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        // Atomic by construction: the whole read-compare-write runs
+        // under the event-loop lock, like a real Redis command.
+        let mut s = self.state.lock();
+        burn_cpu_us(OP_COST_US);
+        let matches = match (s.map.get(&key), expected) {
+            (Some(c), Some(e)) => c == e,
+            (None, None) => true,
+            _ => false,
+        };
+        if !matches {
+            return Err(tb_common::Error::CasMismatch);
+        }
+        if let Some(aof) = s.aof.as_mut() {
+            aof.append(&encode_aof(&key, Some(&new)))?;
+        }
+        let klen = key.len() as u64;
+        let new_vlen = new.len() as u64;
+        match s.map.insert(key, new) {
+            Some(old) => s.bytes = s.bytes - old.len() as u64 + new_vlen,
+            None => s.bytes += klen + new_vlen + ENTRY_OVERHEAD,
+        }
+        Ok(())
+    }
+
     fn resident_bytes(&self) -> u64 {
         self.state.lock().bytes
     }

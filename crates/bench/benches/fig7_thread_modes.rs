@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 use tb_baselines::{DragonflyLike, MemcachedLike, RedisLike};
-use tb_bench::{bench_dir, drive, print_table, scale};
+use tb_bench::{bench_dir, budget, drive, print_table};
 use tb_common::KvEngine;
 use tb_elastic::ThreadMode;
 use tb_workload::{Workload, WorkloadSpec};
@@ -62,8 +62,8 @@ fn run_suite(
 }
 
 fn main() {
-    let records = 20_000u64 * scale() as u64;
-    let ops = 60_000u64 * scale() as u64;
+    let records = budget(20_000);
+    let ops = budget(60_000);
 
     // --- single-thread mode (Figures 7a, 7b): 16 client threads -------
     let mut rows = Vec::new();

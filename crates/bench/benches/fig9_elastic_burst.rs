@@ -17,21 +17,44 @@ use tb_common::{Key, KvEngine, Value};
 use tb_elastic::ThreadMode;
 use tierbase_core::{TierBase, TierBaseConfig};
 
-const CALM_MS: u64 = 1500;
-const BURST_MS: u64 = 3000;
-const TAIL_MS: u64 = 1500;
-const BUCKET_MS: u64 = 500;
+/// Phase durations, resolved once up front (the client hot loop must
+/// not re-read the environment); `TB_BENCH_SMOKE` compresses the
+/// timeline 5× so CI can execute the bench.
+#[derive(Clone, Copy)]
+struct Phases {
+    calm_ms: u64,
+    burst_ms: u64,
+    tail_ms: u64,
+    bucket_ms: u64,
+}
+
+impl Phases {
+    fn resolve() -> Self {
+        let scale = if tb_bench::smoke() { 5 } else { 1 };
+        Self {
+            calm_ms: 1500 / scale,
+            burst_ms: 3000 / scale,
+            tail_ms: 1500 / scale,
+            bucket_ms: 500 / scale,
+        }
+    }
+
+    fn total_ms(&self) -> u64 {
+        self.calm_ms + self.burst_ms + self.tail_ms
+    }
+}
+
 /// Throttled request rate during calm phases (ops/s across clients).
 const CALM_RATE: u64 = 20_000;
 
-fn timeline(engine: Arc<dyn KvEngine>, clients: usize) -> Vec<f64> {
+fn timeline(engine: Arc<dyn KvEngine>, clients: usize, phases: Phases) -> Vec<f64> {
     // Preload a small hot set.
     for i in 0..1000 {
         engine
             .put(Key::from(format!("hot{i}")), Value::from(vec![b'v'; 100]))
             .unwrap();
     }
-    let total_ms = CALM_MS + BURST_MS + TAIL_MS;
+    let total_ms = phases.total_ms();
     let done = Arc::new(AtomicBool::new(false));
     let completed = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
@@ -45,7 +68,8 @@ fn timeline(engine: Arc<dyn KvEngine>, clients: usize) -> Vec<f64> {
             let mut i = t as u64;
             while !done.load(Ordering::Relaxed) {
                 let elapsed = started.elapsed().as_millis() as u64;
-                let in_burst = (CALM_MS..CALM_MS + BURST_MS).contains(&elapsed);
+                let in_burst =
+                    (phases.calm_ms..phases.calm_ms + phases.burst_ms).contains(&elapsed);
                 let key = Key::from(format!("hot{}", i % 1000));
                 if i.is_multiple_of(10) {
                     let _ = engine.put(key, Value::from(vec![b'v'; 100]));
@@ -67,10 +91,10 @@ fn timeline(engine: Arc<dyn KvEngine>, clients: usize) -> Vec<f64> {
     // Sample per-bucket throughput.
     let mut series = Vec::new();
     let mut last = 0u64;
-    for _ in 0..(total_ms / BUCKET_MS) {
-        std::thread::sleep(Duration::from_millis(BUCKET_MS));
+    for _ in 0..(total_ms / phases.bucket_ms) {
+        std::thread::sleep(Duration::from_millis(phases.bucket_ms));
         let now = completed.load(Ordering::Relaxed);
-        series.push((now - last) as f64 / (BUCKET_MS as f64 / 1000.0));
+        series.push((now - last) as f64 / (phases.bucket_ms as f64 / 1000.0));
         last = now;
     }
     done.store(true, Ordering::Relaxed);
@@ -118,26 +142,29 @@ fn main() {
         ("Redis-s", Arc::new(RedisLike::new())),
     ];
 
+    let phases = Phases::resolve();
     let mut rows = Vec::new();
     for (name, engine) in systems {
-        let series = timeline(engine, 16);
+        let series = timeline(engine, 16, phases);
         let mut row = vec![name.to_string()];
         row.extend(series.iter().map(|q| format!("{:.0}", q / 1000.0)));
         rows.push(row);
     }
 
-    let buckets = (CALM_MS + BURST_MS + TAIL_MS) / BUCKET_MS;
+    let buckets = phases.total_ms() / phases.bucket_ms;
     let mut header: Vec<String> = vec!["system".into()];
     for b in 0..buckets {
         header.push(format!(
             "t{:.1}s",
-            (b + 1) as f64 * BUCKET_MS as f64 / 1000.0
+            (b + 1) as f64 * phases.bucket_ms as f64 / 1000.0
         ));
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Figure 9: throughput timeline under burst (kQPS per 0.5s bucket; burst at 1.5s-4.5s)",
-        &header_refs,
-        &rows,
+    let title = format!(
+        "Figure 9: throughput timeline under burst (kQPS per {:.1}s bucket; burst at {:.1}s-{:.1}s)",
+        phases.bucket_ms as f64 / 1000.0,
+        phases.calm_ms as f64 / 1000.0,
+        (phases.calm_ms + phases.burst_ms) as f64 / 1000.0
     );
+    print_table(&title, &header_refs, &rows);
 }

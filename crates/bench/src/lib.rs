@@ -27,6 +27,23 @@ pub fn scale() -> usize {
         .max(1)
 }
 
+/// True when `TB_BENCH_SMOKE` asks for a tiny CI smoke budget.
+pub fn smoke() -> bool {
+    std::env::var("TB_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Record/op budget: `base` × `TB_BENCH_SCALE`, shrunk ~50× (floor
+/// 200) under `TB_BENCH_SMOKE` so CI *executes* benches instead of
+/// only compile-checking them.
+pub fn budget(base: u64) -> u64 {
+    let scaled = base * scale() as u64;
+    if smoke() {
+        (scaled / 50).max(200)
+    } else {
+        scaled
+    }
+}
+
 /// Result of driving a run-phase trace against an engine.
 #[derive(Debug, Clone)]
 pub struct DriveResult {
@@ -91,6 +108,96 @@ pub fn drive(
 
     DriveResult {
         qps: ops.len() as f64 / elapsed,
+        p99_us: hist.p99() as f64 / 1000.0,
+        mean_us: hist.mean() / 1000.0,
+        ops: ops.len(),
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+/// Result of an open-loop pipelined replay through a front-end.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    pub qps: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub mean_us: f64,
+    pub ops: usize,
+    pub errors: usize,
+}
+
+/// How many requests one submit thread keeps in flight before it
+/// settles the older half — bounds ticket memory without closing the
+/// loop per-op.
+const OPEN_LOOP_WINDOW: usize = 1024;
+
+/// Drives a run trace through a [`tb_frontend::Frontend`] *open-loop*:
+/// submit threads pipeline requests without waiting for each
+/// completion, so shard workers see deep batches and group commit can
+/// amortize. Latency is measured submit→completion (queueing
+/// included), which is what a remote client would observe.
+pub fn drive_pipelined(
+    frontend: &tb_frontend::Frontend,
+    run: &Trace,
+    submit_threads: usize,
+) -> PipelineResult {
+    use tb_frontend::{Request, Ticket};
+
+    let hist = Histogram::new();
+    let errors = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let ops = run.ops();
+    let started = Instant::now();
+
+    let settle = |window: &mut Vec<(Instant, Ticket)>, keep: usize| {
+        let drain = window.len().saturating_sub(keep);
+        for (t0, ticket) in window.drain(..drain) {
+            if ticket.wait().is_err() {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let done = ticket.completed_at().unwrap_or_else(Instant::now);
+            hist.record(done.saturating_duration_since(t0).as_nanos() as u64);
+        }
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..submit_threads.max(1) {
+            s.spawn(|| {
+                let mut window: Vec<(Instant, Ticket)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ops.len() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let ticket = match &ops[i] {
+                        Op::Read { key } => frontend.submit(Request::Get(key.clone())),
+                        Op::Insert { key, value } | Op::Update { key, value } => {
+                            frontend.submit(Request::Put(key.clone(), value.clone()))
+                        }
+                        Op::Delete { key } => frontend.submit(Request::Delete(key.clone())),
+                        Op::ReadModifyWrite { key, value } => {
+                            // Both halves pipelined and awaited: the
+                            // read's latency and errors count too, the
+                            // trace op itself counts once toward qps.
+                            window.push((t0, frontend.submit(Request::Get(key.clone()))));
+                            frontend.submit(Request::Put(key.clone(), value.clone()))
+                        }
+                    };
+                    window.push((t0, ticket));
+                    if window.len() >= OPEN_LOOP_WINDOW {
+                        settle(&mut window, OPEN_LOOP_WINDOW / 2);
+                    }
+                }
+                settle(&mut window, 0);
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    PipelineResult {
+        qps: ops.len() as f64 / elapsed,
+        p50_us: hist.percentile(0.50) as f64 / 1000.0,
         p99_us: hist.p99() as f64 / 1000.0,
         mean_us: hist.mean() / 1000.0,
         ops: ops.len(),

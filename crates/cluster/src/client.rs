@@ -200,6 +200,52 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_nodes_serve_concurrent_cluster_replay() {
+        use crate::node::ServingMode;
+        // Every data node serves through a front-end: submission
+        // queues, coalesced writes, group commit.
+        let nodes = (0..3)
+            .map(|i| {
+                NodeStore::with_serving_mode(
+                    NodeId(i),
+                    MapEngine::shared(),
+                    ServingMode::Pipelined(tb_frontend::FrontendConfig::with_shards(2)),
+                )
+            })
+            .collect();
+        let c = Arc::new(CoordinatorGroup::bootstrap(3, nodes).unwrap());
+        let client = Arc::new(ClusterClient::connect(c.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let client = client.clone();
+                s.spawn(move || {
+                    for i in 0..250 {
+                        client
+                            .put(
+                                Key::from(format!("t{t}:k{i}")),
+                                Value::from(format!("v{i}")),
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            for i in 0..250 {
+                assert_eq!(
+                    client.get(&Key::from(format!("t{t}:k{i}"))).unwrap(),
+                    Some(Value::from(format!("v{i}"))),
+                    "t{t}:k{i} lost through the pipelined node"
+                );
+            }
+        }
+        for id in 0..3 {
+            let node = c.node(NodeId(id)).unwrap();
+            assert_eq!(node.read().engine_label(), "frontend<map>");
+        }
+    }
+
+    #[test]
     fn proxy_is_a_kv_engine() {
         let c = cluster(2);
         let proxy = Proxy::new(c);

@@ -14,5 +14,5 @@ pub mod routing;
 
 pub use client::{ClusterClient, Proxy};
 pub use coordinator::{Coordinator, CoordinatorGroup};
-pub use node::{NodeId, NodeStore};
+pub use node::{NodeId, NodeStore, ServingMode};
 pub use routing::RoutingTable;

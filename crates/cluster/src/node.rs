@@ -11,6 +11,18 @@ use tb_common::{slot_for_key, Error, Key, KvEngine, Result, Value};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
+/// How a data node serves requests.
+#[derive(Debug, Clone, Default)]
+pub enum ServingMode {
+    /// Callers hit the engine directly (the original in-process model).
+    #[default]
+    Direct,
+    /// The engine sits behind a [`tb_frontend::Frontend`]: per-shard
+    /// submission queues, write coalescing, and group-commit — the
+    /// paper's pipelined data-node serving path (§4.1.2, §4.4).
+    Pipelined(tb_frontend::FrontendConfig),
+}
+
 /// A data node: primary engine, optional replica engine, liveness flag,
 /// and a key inventory (engines expose no scan; the inventory is what a
 /// real node's keyspace iterator provides, needed to migrate slots).
@@ -33,10 +45,29 @@ impl NodeStore {
         }
     }
 
+    /// Builds a node whose engine serves in the given mode. Pipelined
+    /// mode wraps the engine in a front-end, so every request a client
+    /// or the replay harness routes here flows through submission
+    /// queues and group-commit batching.
+    pub fn with_serving_mode(id: NodeId, engine: Arc<dyn KvEngine>, mode: ServingMode) -> Self {
+        let primary: Arc<dyn KvEngine> = match mode {
+            ServingMode::Direct => engine,
+            ServingMode::Pipelined(config) => {
+                Arc::new(tb_frontend::Frontend::start(engine, config))
+            }
+        };
+        Self::new(id, primary)
+    }
+
     /// Attaches a synchronous replica.
     pub fn with_replica(mut self, replica: Arc<dyn KvEngine>) -> Self {
         self.replica = Some(replica);
         self
+    }
+
+    /// Label of the serving engine ("frontend<...>" when pipelined).
+    pub fn engine_label(&self) -> String {
+        self.primary.label()
     }
 
     pub fn is_alive(&self) -> bool {
@@ -195,6 +226,25 @@ mod tests {
         let mut n = NodeStore::new(NodeId(1), MapEngine::shared());
         n.crash();
         assert!(matches!(n.promote_replica(), Err(Error::Unavailable(_))));
+    }
+
+    #[test]
+    fn pipelined_serving_mode_wraps_engine_in_frontend() {
+        let n = NodeStore::with_serving_mode(
+            NodeId(7),
+            MapEngine::shared(),
+            ServingMode::Pipelined(tb_frontend::FrontendConfig::with_shards(2)),
+        );
+        assert_eq!(n.engine_label(), "frontend<map>");
+        for i in 0..200 {
+            n.put(Key::from(format!("k{i}")), Value::from("v")).unwrap();
+        }
+        assert_eq!(n.get(&Key::from("k42")).unwrap(), Some(Value::from("v")));
+        n.delete(&Key::from("k42")).unwrap();
+        assert_eq!(n.get(&Key::from("k42")).unwrap(), None);
+        // Direct mode leaves the engine unwrapped.
+        let d = NodeStore::with_serving_mode(NodeId(8), MapEngine::shared(), ServingMode::Direct);
+        assert_eq!(d.engine_label(), "map");
     }
 
     #[test]

@@ -1,0 +1,640 @@
+//! The pipelined request front-end.
+//!
+//! One [`Frontend`] sits between many client threads and a single
+//! [`KvEngine`]. Requests hash to a shard (the cluster routing hash,
+//! [`slot_for_key`]), enter that shard's bounded submission queue, and
+//! are drained in batches by the shard's worker, which:
+//!
+//! * coalesces consecutive writes into one `multi_put` round-trip
+//!   (TierBase §4.1.2 batches the remote tier the same way), and
+//! * group-commits: one `sync()` per dirty batch instead of one per
+//!   write, acknowledging the writes only after the batch is durable.
+//!
+//! Backpressure is the queue bound: blocking `submit` stalls producers
+//! when a shard saturates, `try_submit` sheds load with
+//! [`Error::Backpressure`]. Under sustained depth the elastic
+//! controller (§4.4 watermark policy, configured by
+//! [`ElasticConfig`]) boosts extra drain workers for the hot shard and
+//! retires them when the burst subsides.
+
+use crate::queue::{PushRefused, SubmitQueue};
+use crate::stats::FrontendStats;
+use crate::ticket::{ticket, Completer, Response, Ticket};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tb_common::{slot_for_key, Error, Key, KvEngine, Result, Value};
+use tb_elastic::ElasticConfig;
+
+/// How long an idle worker parks between queue polls.
+const DRAIN_WAIT: Duration = Duration::from_millis(5);
+
+/// One operation submitted to the front-end.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Get(Key),
+    Put(Key, Value),
+    Delete(Key),
+    /// Batched lookups for one shard; the response aligns with key order.
+    MultiGet(Vec<Key>),
+    /// Batched writes for one shard.
+    MultiPut(Vec<(Key, Value)>),
+    Cas {
+        key: Key,
+        expected: Option<Value>,
+        new: Value,
+    },
+}
+
+impl Request {
+    /// Key that decides the owning shard. Multi-key requests route by
+    /// their first key — [`Frontend::multi_get`]/[`Frontend::multi_put`]
+    /// split by shard before submitting, so worker-visible multi
+    /// requests are single-shard already.
+    fn routing_key(&self) -> Option<&Key> {
+        match self {
+            Request::Get(k) | Request::Put(k, _) | Request::Delete(k) => Some(k),
+            Request::MultiGet(keys) => keys.first(),
+            Request::MultiPut(pairs) => pairs.first().map(|(k, _)| k),
+            Request::Cas { key, .. } => Some(key),
+        }
+    }
+
+    fn is_put_like(&self) -> bool {
+        matches!(self, Request::Put(..) | Request::MultiPut(..))
+    }
+}
+
+/// Front-end tuning.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Submission queues / event loops.
+    pub shards: usize,
+    /// Bound of each shard queue (the backpressure watermark).
+    pub queue_capacity: usize,
+    /// Most requests a worker takes per drain.
+    pub max_batch: usize,
+    /// `true`: one `sync()` per dirty batch, writes acknowledged after
+    /// it; `false`: every write is applied and synced individually (the
+    /// per-op-durability baseline the bench compares against).
+    pub group_commit: bool,
+    /// Workers a hot shard may boost to (1 = boosting disabled).
+    pub max_workers_per_shard: usize,
+    /// Boost/shrink watermarks for the elastic controller.
+    pub elastic: ElasticConfig,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            max_batch: 64,
+            group_commit: true,
+            max_workers_per_shard: 1,
+            elastic: ElasticConfig::default(),
+        }
+    }
+}
+
+impl FrontendConfig {
+    /// Config with `n` shards, otherwise defaults.
+    pub fn with_shards(n: usize) -> Self {
+        Self {
+            shards: n.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+struct ShardState {
+    queue: SubmitQueue<(Request, Completer)>,
+    /// Workers this shard should run (elastic boost lever).
+    target_workers: AtomicUsize,
+    /// Workers currently draining this shard.
+    live_workers: AtomicUsize,
+}
+
+struct Inner {
+    engine: Arc<dyn KvEngine>,
+    shards: Vec<ShardState>,
+    config: FrontendConfig,
+    shutdown: AtomicBool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    stats: FrontendStats,
+}
+
+/// Pipelined, sharded serving layer over one [`KvEngine`].
+pub struct Frontend {
+    inner: Arc<Inner>,
+    controller: Mutex<Option<JoinHandle<()>>>,
+    down: AtomicBool,
+}
+
+impl Frontend {
+    /// Starts the shard workers (and, when boosting is enabled, the
+    /// elastic controller) over `engine`.
+    pub fn start(engine: Arc<dyn KvEngine>, mut config: FrontendConfig) -> Self {
+        config.shards = config.shards.max(1);
+        config.max_workers_per_shard = config.max_workers_per_shard.max(1);
+        let inner = Arc::new(Inner {
+            engine,
+            shards: (0..config.shards)
+                .map(|_| ShardState {
+                    queue: SubmitQueue::new(config.queue_capacity),
+                    target_workers: AtomicUsize::new(1),
+                    live_workers: AtomicUsize::new(0),
+                })
+                .collect(),
+            config: config.clone(),
+            shutdown: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+            stats: FrontendStats::default(),
+        });
+        for shard in 0..config.shards {
+            spawn_worker(&inner, shard);
+        }
+        let controller = (config.max_workers_per_shard > 1).then(|| {
+            let inner = inner.clone();
+            std::thread::spawn(move || controller_loop(inner))
+        });
+        Self {
+            inner,
+            controller: Mutex::new(controller),
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &FrontendStats {
+        &self.inner.stats
+    }
+
+    /// Shard a key routes to.
+    pub fn shard_of(&self, key: &Key) -> usize {
+        slot_for_key(key.as_slice()) as usize % self.inner.shards.len()
+    }
+
+    /// Queue depth of one shard.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.inner.shards[shard].queue.len()
+    }
+
+    /// Requests queued across all shards.
+    pub fn total_queue_depth(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Workers currently draining one shard.
+    pub fn live_workers(&self, shard: usize) -> usize {
+        self.inner.shards[shard].live_workers.load(Ordering::SeqCst)
+    }
+
+    /// Submits a request, blocking while the target shard queue is
+    /// full — backpressure propagates to the producer. A multi-key
+    /// request whose keys span shards resolves to
+    /// [`Error::InvalidArgument`]: it would land on one shard's queue
+    /// and break the per-shard write ordering other callers rely on
+    /// (use [`Frontend::multi_get`]/[`Frontend::multi_put`], which
+    /// split by shard).
+    pub fn submit(&self, request: Request) -> Ticket {
+        match self.route(&request) {
+            Ok(shard) => self.submit_to(shard, request),
+            Err(e) => {
+                let (t, c) = ticket();
+                c.complete(Err(e));
+                t
+            }
+        }
+    }
+
+    /// Non-blocking submit; a full shard queue sheds the request with
+    /// [`Error::Backpressure`]. Multi-shard batches are rejected like
+    /// in [`Frontend::submit`].
+    pub fn try_submit(&self, request: Request) -> Result<Ticket> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(Error::Unavailable("front-end shut down".into()));
+        }
+        let shard = self.route(&request)?;
+        let (t, c) = ticket();
+        match self.inner.shards[shard].queue.try_push((request, c)) {
+            Ok(()) => {
+                FrontendStats::bump(&self.inner.stats.submitted, 1);
+                Ok(t)
+            }
+            Err((PushRefused::Full, (_, c))) => {
+                FrontendStats::bump(&self.inner.stats.backpressure_rejections, 1);
+                // Resolve the orphan ticket so nothing can wait on it.
+                c.complete(Err(Error::Backpressure(format!(
+                    "shard {shard} queue full ({} requests)",
+                    self.inner.config.queue_capacity
+                ))));
+                Err(Error::Backpressure(format!("shard {shard} queue full")))
+            }
+            Err((PushRefused::Closed, (_, c))) => {
+                c.complete(Err(Error::Unavailable("front-end shut down".into())));
+                Err(Error::Unavailable("front-end shut down".into()))
+            }
+        }
+    }
+
+    fn route(&self, request: &Request) -> Result<usize> {
+        match request {
+            Request::MultiGet(keys) => self.single_shard_of(keys.iter()),
+            Request::MultiPut(pairs) => self.single_shard_of(pairs.iter().map(|(k, _)| k)),
+            _ => Ok(request.routing_key().map(|k| self.shard_of(k)).unwrap_or(0)),
+        }
+    }
+
+    /// Common shard of a multi-key request, or `InvalidArgument` when
+    /// the keys span shards.
+    fn single_shard_of<'a>(&self, keys: impl Iterator<Item = &'a Key>) -> Result<usize> {
+        let mut shard = None;
+        for key in keys {
+            let s = self.shard_of(key);
+            match shard {
+                None => shard = Some(s),
+                Some(previous) if previous != s => {
+                    return Err(Error::InvalidArgument(
+                        "multi-key request spans shards; use Frontend::multi_get/multi_put".into(),
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(shard.unwrap_or(0))
+    }
+
+    fn submit_to(&self, shard: usize, request: Request) -> Ticket {
+        let (t, c) = ticket();
+        // Fail fast once shutdown started: producers must stop feeding
+        // the queues or the shutdown drain could spin forever.
+        if self.down.load(Ordering::SeqCst) {
+            c.complete(Err(Error::Unavailable("front-end shut down".into())));
+            return t;
+        }
+        match self.inner.shards[shard].queue.push((request, c)) {
+            Ok(()) => FrontendStats::bump(&self.inner.stats.submitted, 1),
+            Err((_, c)) => c.complete(Err(Error::Unavailable("front-end shut down".into()))),
+        }
+        t
+    }
+
+    /// Waits until every request queued *before* the call has been
+    /// processed (a barrier per shard). Bounded even under sustained
+    /// concurrent submission: it waits only on batches drained up to
+    /// its own marker, never on later traffic.
+    pub fn barrier(&self) {
+        let tickets: Vec<Ticket> = (0..self.inner.shards.len())
+            .map(|s| self.submit_to(s, Request::MultiGet(Vec::new())))
+            .collect();
+        let mut targets = Vec::with_capacity(tickets.len());
+        for (s, t) in tickets.into_iter().enumerate() {
+            let _ = t.wait();
+            // The queue is FIFO, so everything enqueued before this
+            // marker was drained in a batch numbered no later than the
+            // count observed at marker resolution. With boosted
+            // workers some of those batches may still be mid-flight in
+            // a sibling; wait for exactly them.
+            targets.push((s, self.inner.shards[s].queue.drains_started()));
+        }
+        for (s, target) in targets {
+            while self.inner.shards[s].queue.drains_finished() < target {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    // --- synchronous conveniences -----------------------------------
+
+    /// Pipelined point lookup, awaited.
+    pub fn get(&self, key: &Key) -> Result<Option<Value>> {
+        match self.submit(Request::Get(key.clone())).wait()? {
+            Response::Value(v) => Ok(v),
+            other => Err(Error::Internal(format!("get resolved to {other:?}"))),
+        }
+    }
+
+    /// Pipelined write, awaited (durable in group-commit mode).
+    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.submit(Request::Put(key, value)).wait().map(|_| ())
+    }
+
+    /// Pipelined delete, awaited.
+    pub fn delete(&self, key: &Key) -> Result<()> {
+        self.submit(Request::Delete(key.clone())).wait().map(|_| ())
+    }
+
+    /// Pipelined compare-and-set, awaited.
+    pub fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        self.submit(Request::Cas {
+            key,
+            expected: expected.cloned(),
+            new,
+        })
+        .wait()
+        .map(|_| ())
+    }
+
+    /// Batched lookup: splits the keys by shard, pipelines one
+    /// `MultiGet` per shard, reassembles results in request order.
+    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        let shards = self.inner.shards.len();
+        let mut per: Vec<(Vec<usize>, Vec<Key>)> = vec![(Vec::new(), Vec::new()); shards];
+        for (i, key) in keys.iter().enumerate() {
+            let s = self.shard_of(key);
+            per[s].0.push(i);
+            per[s].1.push(key.clone());
+        }
+        let in_flight: Vec<(Vec<usize>, Ticket)> = per
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (idx, _))| !idx.is_empty())
+            .map(|(s, (idx, keys))| (idx, self.submit_to(s, Request::MultiGet(keys))))
+            .collect();
+        let mut out = vec![None; keys.len()];
+        for (idx, t) in in_flight {
+            match t.wait()? {
+                Response::Values(values) => {
+                    for (slot, v) in idx.into_iter().zip(values) {
+                        out[slot] = v;
+                    }
+                }
+                other => return Err(Error::Internal(format!("multi_get resolved to {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched write: splits the pairs by shard, pipelines one
+    /// `MultiPut` per shard, awaits all.
+    pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
+        let shards = self.inner.shards.len();
+        let mut per: Vec<Vec<(Key, Value)>> = vec![Vec::new(); shards];
+        for (k, v) in pairs {
+            let s = self.shard_of(&k);
+            per[s].push((k, v));
+        }
+        let in_flight: Vec<Ticket> = per
+            .into_iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(s, p)| self.submit_to(s, Request::MultiPut(p)))
+            .collect();
+        for t in in_flight {
+            t.wait()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the queues, stops workers and controller, joins threads.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Let queued work finish before stopping the drain loops.
+        while self.total_queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            shard.queue.close();
+        }
+        if let Some(c) = self.controller.lock().take() {
+            let _ = c.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut self.inner.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn spawn_worker(inner: &Arc<Inner>, shard: usize) {
+    inner.shards[shard]
+        .live_workers
+        .fetch_add(1, Ordering::SeqCst);
+    let inner2 = inner.clone();
+    let handle = std::thread::spawn(move || worker_loop(inner2, shard));
+    let mut handles = inner.handles.lock();
+    // Reap retired boost workers so a long-running front-end under
+    // oscillating load doesn't accumulate handles without bound.
+    handles.retain(|h| !h.is_finished());
+    handles.push(handle);
+}
+
+fn worker_loop(inner: Arc<Inner>, shard_idx: usize) {
+    let shard = &inner.shards[shard_idx];
+    loop {
+        // Boosted workers retire once the controller lowers the target;
+        // the CAS keeps at least `target >= 1` workers alive.
+        let live = shard.live_workers.load(Ordering::SeqCst);
+        if live > shard.target_workers.load(Ordering::SeqCst)
+            && shard
+                .live_workers
+                .compare_exchange(live, live - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            return;
+        }
+        let batch = shard.queue.drain(inner.config.max_batch, DRAIN_WAIT);
+        if batch.is_empty() {
+            if inner.shutdown.load(Ordering::SeqCst) && shard.queue.len() == 0 {
+                break;
+            }
+            continue;
+        }
+        // Contain engine panics: the batch's unresolved completers are
+        // dropped by the unwind (their tickets resolve Unavailable, no
+        // caller hangs) and the worker lives on to serve the shard —
+        // a poisoned engine call must not wedge the whole front-end.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(&inner, batch);
+        }));
+        shard.queue.drain_done();
+        if outcome.is_err() {
+            FrontendStats::bump(&inner.stats.worker_panics, 1);
+        }
+    }
+    shard.live_workers.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Resolves one request: the completed-counter bump happens *before*
+/// the waiter wakes, so a caller that has awaited all of its tickets
+/// observes `submitted == completed`.
+fn finish(stats: &FrontendStats, completer: Completer, result: Result<Response>) {
+    FrontendStats::bump(&stats.completed, 1);
+    completer.complete(result);
+}
+
+fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>) {
+    let engine = inner.engine.as_ref();
+    let stats = &inner.stats;
+    FrontendStats::bump(&stats.batches, 1);
+
+    // Write acks deferred until the batch's single sync (group commit).
+    let mut unsynced: Vec<Completer> = Vec::new();
+    let mut dirty = false;
+    let mut iter = batch.into_iter().peekable();
+    while let Some((req, done)) = iter.next() {
+        match req {
+            req @ (Request::Put(..) | Request::MultiPut(..)) => {
+                let mut pairs: Vec<(Key, Value)> = Vec::new();
+                let mut acks: Vec<Completer> = vec![done];
+                let absorb = |req: Request, pairs: &mut Vec<(Key, Value)>| match req {
+                    Request::Put(k, v) => pairs.push((k, v)),
+                    Request::MultiPut(ps) => pairs.extend(ps),
+                    _ => unreachable!("absorb only sees put-like requests"),
+                };
+                absorb(req, &mut pairs);
+                // Coalesce the run of adjacent writes into one engine
+                // round-trip — only in group-commit mode; the per-op
+                // baseline pays full price per write on purpose.
+                if inner.config.group_commit {
+                    while iter.peek().is_some_and(|(r, _)| r.is_put_like()) {
+                        let (r, c) = iter.next().expect("peeked");
+                        absorb(r, &mut pairs);
+                        acks.push(c);
+                    }
+                }
+                if acks.len() > 1 {
+                    FrontendStats::bump(&stats.coalesced_puts, acks.len() as u64);
+                }
+                let result = engine.multi_put(pairs);
+                dirty |= result.is_ok();
+                settle_writes(inner, acks, result, &mut unsynced);
+            }
+            Request::Delete(key) => {
+                let result = engine.delete(&key);
+                dirty |= result.is_ok();
+                settle_writes(inner, vec![done], result, &mut unsynced);
+            }
+            Request::Cas { key, expected, new } => {
+                let result = engine.cas(key, expected.as_ref(), new);
+                dirty |= result.is_ok();
+                settle_writes(inner, vec![done], result, &mut unsynced);
+            }
+            Request::Get(key) => {
+                finish(stats, done, engine.get(&key).map(Response::Value));
+            }
+            Request::MultiGet(keys) => {
+                finish(stats, done, engine.multi_get(&keys).map(Response::Values));
+            }
+        }
+    }
+
+    if dirty && inner.config.group_commit {
+        // The group commit: one durability point for the whole batch.
+        let sync_result = engine.sync();
+        FrontendStats::bump(&stats.group_syncs, 1);
+        for ack in unsynced.drain(..) {
+            finish(stats, ack, sync_result.clone().map(|_| Response::Done));
+        }
+    }
+}
+
+/// Routes write acks: errors resolve immediately; successful writes
+/// either wait for the batch sync (group commit) or sync right now.
+fn settle_writes(
+    inner: &Inner,
+    acks: Vec<Completer>,
+    result: Result<()>,
+    unsynced: &mut Vec<Completer>,
+) {
+    match result {
+        Err(e) => {
+            for ack in acks {
+                finish(&inner.stats, ack, Err(e.clone()));
+            }
+        }
+        Ok(()) if inner.config.group_commit => unsynced.extend(acks),
+        Ok(()) => {
+            let synced = inner.engine.sync();
+            FrontendStats::bump(&inner.stats.per_op_syncs, 1);
+            for ack in acks {
+                finish(&inner.stats, ack, synced.clone().map(|_| Response::Done));
+            }
+        }
+    }
+}
+
+fn controller_loop(inner: Arc<Inner>) {
+    let config = &inner.config.elastic;
+    let max = inner.config.max_workers_per_shard;
+    let mut calm = vec![0u32; inner.shards.len()];
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(config.sample_interval);
+        for (i, shard) in inner.shards.iter().enumerate() {
+            let depth = shard.queue.len();
+            let target = shard.target_workers.load(Ordering::SeqCst);
+            if depth >= config.boost_depth && target < max {
+                shard.target_workers.store(target + 1, Ordering::SeqCst);
+                spawn_worker(&inner, i);
+                FrontendStats::bump(&inner.stats.boosts, 1);
+                calm[i] = 0;
+            } else if depth <= config.shrink_depth && target > 1 {
+                calm[i] += 1;
+                if calm[i] >= config.shrink_patience {
+                    shard.target_workers.store(target - 1, Ordering::SeqCst);
+                    FrontendStats::bump(&inner.stats.shrinks, 1);
+                    calm[i] = 0;
+                }
+            } else {
+                calm[i] = 0;
+            }
+        }
+    }
+}
+
+/// The front-end is itself a [`KvEngine`]: synchronous callers (the
+/// replay harness, cluster nodes) drive the pipelined path through the
+/// plain engine interface.
+impl KvEngine for Frontend {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        Frontend::get(self, key)
+    }
+
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        Frontend::put(self, key, value)
+    }
+
+    fn delete(&self, key: &Key) -> Result<()> {
+        Frontend::delete(self, key)
+    }
+
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        Frontend::multi_get(self, keys)
+    }
+
+    fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
+        Frontend::multi_put(self, pairs)
+    }
+
+    fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        Frontend::cas(self, key, expected, new)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.inner.engine.resident_bytes()
+    }
+
+    fn label(&self) -> String {
+        format!("frontend<{}>", self.inner.engine.label())
+    }
+
+    fn sync(&self) -> Result<()> {
+        // Everything already queued lands (and, per batch, group-
+        // commits) before the barrier returns; then flush the engine.
+        self.barrier();
+        self.inner.engine.sync()
+    }
+}

@@ -1,0 +1,79 @@
+//! Front-end operational counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters exposed by a running front-end. All relaxed: these are
+/// diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    /// Requests accepted into a shard queue.
+    pub submitted: AtomicU64,
+    /// Requests resolved (successfully or not).
+    pub completed: AtomicU64,
+    /// Batches drained by shard workers.
+    pub batches: AtomicU64,
+    /// `sync()` calls issued once per dirty batch (group commit).
+    pub group_syncs: AtomicU64,
+    /// `sync()` calls issued per write op (group commit disabled).
+    pub per_op_syncs: AtomicU64,
+    /// Put operations that rode a coalesced `multi_put` with company.
+    pub coalesced_puts: AtomicU64,
+    /// `try_submit` rejections due to a full shard queue.
+    pub backpressure_rejections: AtomicU64,
+    /// Boost decisions by the elastic controller.
+    pub boosts: AtomicU64,
+    /// Shrink decisions by the elastic controller.
+    pub shrinks: AtomicU64,
+    /// Batches abandoned because an engine call panicked (their
+    /// requests resolved `Unavailable`; the worker survived).
+    pub worker_panics: AtomicU64,
+}
+
+impl FrontendStats {
+    pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Snapshot for reports.
+    pub fn snapshot(&self) -> FrontendStatsSnapshot {
+        FrontendStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            group_syncs: self.group_syncs.load(Ordering::Relaxed),
+            per_op_syncs: self.per_op_syncs.load(Ordering::Relaxed),
+            coalesced_puts: self.coalesced_puts.load(Ordering::Relaxed),
+            backpressure_rejections: self.backpressure_rejections.load(Ordering::Relaxed),
+            boosts: self.boosts.load(Ordering::Relaxed),
+            shrinks: self.shrinks.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`FrontendStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendStatsSnapshot {
+    pub submitted: u64,
+    pub completed: u64,
+    pub batches: u64,
+    pub group_syncs: u64,
+    pub per_op_syncs: u64,
+    pub coalesced_puts: u64,
+    pub backpressure_rejections: u64,
+    pub boosts: u64,
+    pub shrinks: u64,
+    pub worker_panics: u64,
+}
+
+impl FrontendStatsSnapshot {
+    /// Mean ops per drained batch — the pipelining depth actually
+    /// achieved under the observed load.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}

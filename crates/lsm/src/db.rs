@@ -146,13 +146,17 @@ impl LsmDb {
 
     fn write(&self, key: Key, entry: Entry) -> Result<()> {
         let mut inner = self.inner.write();
+        self.write_locked(&mut inner, key, entry)
+    }
+
+    fn write_locked(&self, inner: &mut Inner, key: Key, entry: Entry) -> Result<()> {
         inner.wal.append(&encode_wal_record(&key, &entry))?;
         let size = match entry {
             Entry::Put(v) => inner.memtable.put(key, v),
             Entry::Tombstone => inner.memtable.delete(key),
         };
         if size >= self.config.memtable_bytes {
-            self.flush_locked(&mut inner)?;
+            self.flush_locked(inner)?;
         }
         Ok(())
     }
@@ -160,7 +164,10 @@ impl LsmDb {
     /// Point lookup through memtable and levels.
     pub fn get(&self, key: &Key) -> Result<Option<Value>> {
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let inner = self.inner.read();
+        Self::get_locked(&self.inner.read(), key)
+    }
+
+    fn get_locked(inner: &Inner, key: &Key) -> Result<Option<Value>> {
         if let Some(entry) = inner.memtable.get(key) {
             return Ok(entry.as_option().cloned());
         }
@@ -175,6 +182,25 @@ impl LsmDb {
             }
         }
         Ok(None)
+    }
+
+    /// Atomic compare-and-set: the read, the comparison, and the write
+    /// all happen under one acquisition of the tree's write lock, so
+    /// concurrent writers cannot slip between them (unlike the default
+    /// [`KvEngine::cas`], which is unsynchronized read-then-write).
+    pub fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        let mut inner = self.inner.write();
+        let current = Self::get_locked(&inner, &key)?;
+        let matches = match (current.as_ref(), expected) {
+            (Some(c), Some(e)) => c == e,
+            (None, None) => true,
+            _ => false,
+        };
+        if !matches {
+            return Err(Error::CasMismatch);
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.write_locked(&mut inner, key, Entry::Put(new))
     }
 
     /// Ordered scan of all live keys starting with `prefix`, merging
@@ -365,6 +391,10 @@ impl KvEngine for LsmDb {
 
     fn delete(&self, key: &Key) -> Result<()> {
         LsmDb::delete(self, key.clone())
+    }
+
+    fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
+        LsmDb::cas(self, key, expected, new)
     }
 
     fn resident_bytes(&self) -> u64 {

@@ -16,6 +16,7 @@
 //! | [`compress`] | `tb-compress` | pre-trained compression: tzstd (dictionary LZ) and PBC (pattern-based) |
 //! | [`elastic`] | `tb-elastic` | elastic threading runtime |
 //! | [`workload`] | `tb-workload` | YCSB-style generators, datasets, trace record/replay |
+//! | [`frontend`] | `tb-frontend` | pipelined request front-end: sharded submission queues, group-commit workers, backpressure |
 //! | [`cluster`] | `tb-cluster` | hash-slot sharding, coordinators, failover, smart client, proxy |
 //! | [`baselines`] | `tb-baselines` | redis-/memcached-/dragonfly-/cassandra-/hbase-like comparators |
 //! | [`common`] | `tb-common` | shared types, errors, clocks, histograms, hashing, `KvEngine` |
@@ -44,6 +45,7 @@ pub use tb_common as common;
 pub use tb_compress as compress;
 pub use tb_costmodel as costmodel;
 pub use tb_elastic as elastic;
+pub use tb_frontend as frontend;
 pub use tb_lsm as lsm;
 pub use tb_pmem as pmem;
 pub use tb_workload as workload;
@@ -54,6 +56,7 @@ pub mod prelude {
     pub use tb_cache::ReplicationMode;
     pub use tb_common::{Error, Key, KvEngine, Result, TtlState, Value};
     pub use tb_costmodel::{CostMetrics, InstanceSpec, WorkloadDemand};
+    pub use tb_frontend::{Frontend, FrontendConfig};
     pub use tb_workload::{Op, Trace, Workload, WorkloadSpec};
     pub use tierbase_core::{
         CompressionChoice, DataTypes, PersistenceMode, PmemTuning, SyncPolicy, TierBase,

@@ -1,0 +1,232 @@
+//! Shared conformance battery for every [`KvEngine`] in the workspace.
+//!
+//! One function exercises the whole trait contract — point ops, batch
+//! op ordering, CAS semantics, and `resident_bytes` monotonicity — and
+//! every engine (TierBase, the baselines, the bare tiers, the cluster
+//! proxy, the pipelined front-end) must pass it unchanged. Any new
+//! engine gets a conformance test by adding one line here.
+
+use std::sync::Arc;
+use tierbase::baselines::{CassandraLike, DragonflyLike, HBaseLike, MemcachedLike, RedisLike};
+use tierbase::cluster::{ClusterClient, CoordinatorGroup, NodeId, NodeStore, Proxy, ServingMode};
+use tierbase::frontend::{Frontend, FrontendConfig};
+use tierbase::lsm::{DisaggregatedStore, LsmConfig, LsmDb, NetworkModel};
+use tierbase::prelude::*;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tb-conf-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn k(tag: &str, i: usize) -> Key {
+    Key::from(format!("conf:{tag}:{i:04}"))
+}
+
+fn v(i: usize) -> Value {
+    Value::from(format!("value-{i}-{}", "x".repeat(i % 23)))
+}
+
+/// The battery. Every assertion holds for *any* correct `KvEngine`;
+/// engine-specific behavior (eviction, replication) must be configured
+/// out by the caller (e.g. ample cache capacity).
+fn conformance(engine: &dyn KvEngine) {
+    let label = engine.label();
+
+    // --- point ops: get / put / delete ------------------------------
+    assert_eq!(
+        engine.get(&k("pt", 0)).unwrap(),
+        None,
+        "[{label}] ghost key"
+    );
+    engine.put(k("pt", 0), v(0)).unwrap();
+    assert_eq!(engine.get(&k("pt", 0)).unwrap(), Some(v(0)), "[{label}]");
+    engine.put(k("pt", 0), v(1)).unwrap();
+    assert_eq!(
+        engine.get(&k("pt", 0)).unwrap(),
+        Some(v(1)),
+        "[{label}] overwrite"
+    );
+    engine.delete(&k("pt", 0)).unwrap();
+    assert_eq!(
+        engine.get(&k("pt", 0)).unwrap(),
+        None,
+        "[{label}] delete visible"
+    );
+    // Deleting an absent key is not an error.
+    engine.delete(&k("pt", 1)).unwrap();
+
+    // --- multi_put / multi_get ordering -----------------------------
+    let pairs: Vec<(Key, Value)> = (0..32).map(|i| (k("batch", i), v(i))).collect();
+    engine.multi_put(pairs).unwrap();
+    // Request order: shuffled hits interleaved with misses; results
+    // must align positionally with the request, not storage order.
+    let request: Vec<Key> = vec![
+        k("batch", 7),
+        k("batch", 999), // miss
+        k("batch", 0),
+        k("batch", 31),
+        k("batch", 500), // miss
+        k("batch", 15),
+    ];
+    let got = engine.multi_get(&request).unwrap();
+    assert_eq!(got.len(), request.len(), "[{label}] multi_get arity");
+    assert_eq!(got[0], Some(v(7)), "[{label}] multi_get[0]");
+    assert_eq!(got[1], None, "[{label}] multi_get miss stays positional");
+    assert_eq!(got[2], Some(v(0)), "[{label}] multi_get[2]");
+    assert_eq!(got[3], Some(v(31)), "[{label}] multi_get[3]");
+    assert_eq!(got[4], None, "[{label}] multi_get miss stays positional");
+    assert_eq!(got[5], Some(v(15)), "[{label}] multi_get[5]");
+    // A later multi_put wins over the earlier one (write order).
+    engine
+        .multi_put(vec![(k("batch", 7), Value::from("rewritten"))])
+        .unwrap();
+    assert_eq!(
+        engine.get(&k("batch", 7)).unwrap(),
+        Some(Value::from("rewritten")),
+        "[{label}] multi_put ordering"
+    );
+
+    // --- cas semantics ----------------------------------------------
+    // Expected None on an absent key: creation.
+    engine.cas(k("cas", 0), None, v(0)).unwrap();
+    assert_eq!(engine.get(&k("cas", 0)).unwrap(), Some(v(0)), "[{label}]");
+    // Wrong expectation: mismatch, value untouched.
+    let err = engine
+        .cas(k("cas", 0), Some(&Value::from("wrong")), v(1))
+        .unwrap_err();
+    assert_eq!(err, Error::CasMismatch, "[{label}] cas mismatch error");
+    assert_eq!(
+        engine.get(&k("cas", 0)).unwrap(),
+        Some(v(0)),
+        "[{label}] failed cas must not write"
+    );
+    // Expected None on a present key: mismatch.
+    assert_eq!(
+        engine.cas(k("cas", 0), None, v(1)).unwrap_err(),
+        Error::CasMismatch,
+        "[{label}] cas expected-absent on present key"
+    );
+    // Right expectation: swap succeeds.
+    engine.cas(k("cas", 0), Some(&v(0)), v(2)).unwrap();
+    assert_eq!(engine.get(&k("cas", 0)).unwrap(), Some(v(2)), "[{label}]");
+
+    // --- resident_bytes monotonicity --------------------------------
+    // Adding data never shrinks the footprint (engines that hold no
+    // data, like the proxy, report a constant — still monotonic).
+    let mut previous = engine.resident_bytes();
+    for round in 0..8 {
+        let pairs: Vec<(Key, Value)> = (0..16)
+            .map(|i| (k("bytes", round * 16 + i), Value::from(vec![b'z'; 128])))
+            .collect();
+        engine.multi_put(pairs).unwrap();
+        let now = engine.resident_bytes();
+        assert!(
+            now >= previous,
+            "[{label}] resident_bytes shrank while inserting: {previous} -> {now}"
+        );
+        previous = now;
+    }
+
+    let _ = engine.sync();
+}
+
+#[test]
+fn redis_like_conforms() {
+    conformance(&RedisLike::new());
+}
+
+#[test]
+fn redis_aof_conforms() {
+    conformance(&RedisLike::with_aof(&tmpdir("redis-aof")).unwrap());
+}
+
+#[test]
+fn memcached_like_conforms() {
+    // Capacity far above the battery's working set: no eviction.
+    conformance(&MemcachedLike::new(64 << 20, 4));
+}
+
+#[test]
+fn dragonfly_like_conforms() {
+    conformance(&DragonflyLike::new(2));
+}
+
+#[test]
+fn cassandra_like_conforms() {
+    conformance(&CassandraLike::open(&tmpdir("cassandra")).unwrap());
+}
+
+#[test]
+fn hbase_like_conforms() {
+    conformance(&HBaseLike::open(&tmpdir("hbase")).unwrap());
+}
+
+#[test]
+fn lsm_db_conforms() {
+    conformance(&LsmDb::open(LsmConfig::small_for_tests(tmpdir("lsm"))).unwrap());
+}
+
+#[test]
+fn disaggregated_store_conforms() {
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("disagg"))).unwrap());
+    conformance(&DisaggregatedStore::new(db, NetworkModel::none()));
+}
+
+#[test]
+fn tierbase_conforms() {
+    let tb = TierBase::open(TierBaseConfig::builder(tmpdir("tierbase")).build()).unwrap();
+    conformance(&tb);
+}
+
+#[test]
+fn cluster_proxy_conforms() {
+    let nodes = (0..3)
+        .map(|i| NodeStore::new(NodeId(i), Arc::new(RedisLike::new())))
+        .collect();
+    let coordinators = Arc::new(CoordinatorGroup::bootstrap(3, nodes).unwrap());
+    conformance(&Proxy::new(coordinators));
+}
+
+#[test]
+fn frontend_over_lsm_conforms() {
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("fe-lsm"))).unwrap());
+    let fe = Frontend::start(db, FrontendConfig::with_shards(4));
+    conformance(&fe);
+    fe.shutdown();
+}
+
+#[test]
+fn frontend_per_op_sync_conforms() {
+    let fe = Frontend::start(
+        Arc::new(RedisLike::new()),
+        FrontendConfig {
+            shards: 2,
+            group_commit: false,
+            ..FrontendConfig::default()
+        },
+    );
+    conformance(&fe);
+    fe.shutdown();
+}
+
+#[test]
+fn pipelined_cluster_node_conforms() {
+    // Not a KvEngine itself, but the serving path must preserve the
+    // same contract a thin client sees through a pipelined node.
+    let node = NodeStore::with_serving_mode(
+        NodeId(0),
+        Arc::new(RedisLike::new()),
+        ServingMode::Pipelined(FrontendConfig::with_shards(2)),
+    );
+    let nodes = vec![node];
+    let coordinators = Arc::new(CoordinatorGroup::bootstrap(1, nodes).unwrap());
+    let client = ClusterClient::connect(coordinators);
+    client.put(Key::from("conf:a"), Value::from("1")).unwrap();
+    assert_eq!(
+        client.get(&Key::from("conf:a")).unwrap(),
+        Some(Value::from("1"))
+    );
+    client.delete(&Key::from("conf:a")).unwrap();
+    assert_eq!(client.get(&Key::from("conf:a")).unwrap(), None);
+}
