@@ -9,6 +9,7 @@ pub mod clock;
 pub mod crc;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod histogram;
 pub mod ttl;

@@ -21,7 +21,7 @@ use crate::queue::{PushRefused, SubmitQueue};
 use crate::stats::FrontendStats;
 use crate::ticket::{ticket, Completer, Response, Ticket};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -457,11 +457,20 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize) {
         // dropped by the unwind (their tickets resolve Unavailable, no
         // caller hangs) and the worker lives on to serve the shard —
         // a poisoned engine call must not wedge the whole front-end.
+        let batch_len = batch.len() as u64;
+        let settled = AtomicU64::new(0);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_batch(&inner, batch);
+            process_batch(&inner, batch, &settled);
         }));
         shard.queue.drain_done();
         if outcome.is_err() {
+            // The unwind resolved the rest of the batch by dropping its
+            // completers; count them so `submitted == completed` holds
+            // once every ticket has resolved. Reconciled before the
+            // panic counter so observers that saw the panic also see
+            // consistent accounting.
+            let abandoned = batch_len.saturating_sub(settled.load(Ordering::SeqCst));
+            FrontendStats::bump(&inner.stats.completed, abandoned);
             FrontendStats::bump(&inner.stats.worker_panics, 1);
         }
     }
@@ -470,13 +479,20 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize) {
 
 /// Resolves one request: the completed-counter bump happens *before*
 /// the waiter wakes, so a caller that has awaited all of its tickets
-/// observes `submitted == completed`.
-fn finish(stats: &FrontendStats, completer: Completer, result: Result<Response>) {
+/// observes `submitted == completed`. `settled` is the per-batch count
+/// the worker uses to reconcile a panic-abandoned batch.
+fn finish(
+    stats: &FrontendStats,
+    settled: &AtomicU64,
+    completer: Completer,
+    result: Result<Response>,
+) {
+    settled.fetch_add(1, Ordering::SeqCst);
     FrontendStats::bump(&stats.completed, 1);
     completer.complete(result);
 }
 
-fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>) {
+fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &AtomicU64) {
     let engine = inner.engine.as_ref();
     let stats = &inner.stats;
     FrontendStats::bump(&stats.batches, 1);
@@ -511,23 +527,28 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>) {
                 }
                 let result = engine.multi_put(pairs);
                 dirty |= result.is_ok();
-                settle_writes(inner, acks, result, &mut unsynced);
+                settle_writes(inner, settled, acks, result, &mut unsynced);
             }
             Request::Delete(key) => {
                 let result = engine.delete(&key);
                 dirty |= result.is_ok();
-                settle_writes(inner, vec![done], result, &mut unsynced);
+                settle_writes(inner, settled, vec![done], result, &mut unsynced);
             }
             Request::Cas { key, expected, new } => {
                 let result = engine.cas(key, expected.as_ref(), new);
                 dirty |= result.is_ok();
-                settle_writes(inner, vec![done], result, &mut unsynced);
+                settle_writes(inner, settled, vec![done], result, &mut unsynced);
             }
             Request::Get(key) => {
-                finish(stats, done, engine.get(&key).map(Response::Value));
+                finish(stats, settled, done, engine.get(&key).map(Response::Value));
             }
             Request::MultiGet(keys) => {
-                finish(stats, done, engine.multi_get(&keys).map(Response::Values));
+                finish(
+                    stats,
+                    settled,
+                    done,
+                    engine.multi_get(&keys).map(Response::Values),
+                );
             }
         }
     }
@@ -537,7 +558,12 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>) {
         let sync_result = engine.sync();
         FrontendStats::bump(&stats.group_syncs, 1);
         for ack in unsynced.drain(..) {
-            finish(stats, ack, sync_result.clone().map(|_| Response::Done));
+            finish(
+                stats,
+                settled,
+                ack,
+                sync_result.clone().map(|_| Response::Done),
+            );
         }
     }
 }
@@ -546,6 +572,7 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>) {
 /// either wait for the batch sync (group commit) or sync right now.
 fn settle_writes(
     inner: &Inner,
+    settled: &AtomicU64,
     acks: Vec<Completer>,
     result: Result<()>,
     unsynced: &mut Vec<Completer>,
@@ -553,7 +580,7 @@ fn settle_writes(
     match result {
         Err(e) => {
             for ack in acks {
-                finish(&inner.stats, ack, Err(e.clone()));
+                finish(&inner.stats, settled, ack, Err(e.clone()));
             }
         }
         Ok(()) if inner.config.group_commit => unsynced.extend(acks),
@@ -561,7 +588,12 @@ fn settle_writes(
             let synced = inner.engine.sync();
             FrontendStats::bump(&inner.stats.per_op_syncs, 1);
             for ack in acks {
-                finish(&inner.stats, ack, synced.clone().map(|_| Response::Done));
+                finish(
+                    &inner.stats,
+                    settled,
+                    ack,
+                    synced.clone().map(|_| Response::Done),
+                );
             }
         }
     }

@@ -8,7 +8,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct FrontendStats {
     /// Requests accepted into a shard queue.
     pub submitted: AtomicU64,
-    /// Requests resolved (successfully or not).
+    /// Requests resolved (successfully or not) — including requests a
+    /// panicked batch abandoned, which resolve `Unavailable` and are
+    /// reconciled by the worker so this converges to `submitted`.
     pub completed: AtomicU64,
     /// Batches drained by shard workers.
     pub batches: AtomicU64,

@@ -12,13 +12,13 @@
 
 use crate::compaction::{level_bytes, level_limit, merge_runs};
 use crate::memtable::{Entry, Memtable};
-use crate::sstable::{write_sstable, SstConfig, SstMeta, SstReader};
+use crate::sstable::{sync_parent_dir, write_sstable, SstConfig, SstMeta, SstReader};
 use crate::wal::{SyncPolicy, Wal};
 use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tb_common::{crc32, read_varint, write_varint, Error, Key, KvEngine, Result, Value};
+use tb_common::{crc32, fault, read_varint, write_varint, Error, Key, KvEngine, Result, Value};
 
 const MANIFEST_MAGIC: u32 = 0x7b4d_414e;
 
@@ -120,6 +120,27 @@ impl LsmDb {
             };
         }
         let wal = Wal::open(&wal_path, config.wal_sync)?;
+
+        // Sweep crash leftovers: .tmp files from interrupted writes and
+        // .sst files no manifest references (a flush or compaction that
+        // died between writing the table and installing it).
+        let referenced: std::collections::HashSet<PathBuf> = levels
+            .iter()
+            .flatten()
+            .map(|t| t.meta.path.clone())
+            .collect();
+        for entry in std::fs::read_dir(&config.dir)? {
+            let path = entry?.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            let orphan = match ext {
+                Some("tmp") => true,
+                Some("sst") => !referenced.contains(&path),
+                _ => false,
+            };
+            if orphan {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
 
         Ok(Self {
             inner: RwLock::new(Inner {
@@ -252,22 +273,38 @@ impl LsmDb {
     }
 
     fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
-        let memtable = std::mem::take(&mut inner.memtable);
-        if memtable.is_empty() {
+        if inner.memtable.is_empty() {
             return Ok(());
         }
         let id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
         let path = self.config.dir.join(format!("{id:010}.sst"));
-        let meta = write_sstable(
-            id,
-            &path,
-            memtable.into_entries().into_iter(),
-            &self.config.sst,
-        )?;
+        // The memtable is copied, not taken: if the SSTable write fails
+        // partway, the entries must stay readable from memory (the WAL
+        // still holds them, but reads never consult the WAL). Cheap:
+        // keys and values are refcounted buffers, so this clones
+        // handles, not bytes.
+        let entries: Vec<(Key, Entry)> = inner
+            .memtable
+            .iter()
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect();
+        let meta = write_sstable(id, &path, entries.into_iter(), &self.config.sst)?;
+        let reader = match SstReader::open(meta) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = std::fs::remove_file(&path);
+                return Err(e);
+            }
+        };
         // Newest L0 table goes first.
-        inner.levels[0].insert(0, Arc::new(SstReader::open(meta)?));
+        inner.levels[0].insert(0, Arc::new(reader));
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         self.write_manifest(inner)?;
+        // Only now — table durable and installed in the manifest — can
+        // the memtable and WAL drop their copies. (If the manifest
+        // write failed above, memtable and L0 briefly hold duplicates;
+        // reads stay correct and the next flush retries the manifest.)
+        inner.memtable = Memtable::new();
         inner.wal.reset()?;
         self.maybe_compact(inner)
     }
@@ -311,16 +348,34 @@ impl LsmDb {
             .map(|t| t.meta.path.clone())
             .collect();
 
-        inner.levels[src].clear();
-        inner.levels[dst].clear();
-        if !merged.is_empty() {
+        // Write the merged table *before* dropping the inputs from the
+        // in-memory tree: a failed write must leave the levels serving
+        // exactly what they served before.
+        let new_table = if merged.is_empty() {
+            None
+        } else {
             let id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
             let path = self.config.dir.join(format!("{id:010}.sst"));
             let meta = write_sstable(id, &path, merged.into_iter(), &self.config.sst)?;
-            inner.levels[dst].push(Arc::new(SstReader::open(meta)?));
+            match SstReader::open(meta) {
+                Ok(r) => Some(Arc::new(r)),
+                Err(e) => {
+                    let _ = std::fs::remove_file(&path);
+                    return Err(e);
+                }
+            }
+        };
+        inner.levels[src].clear();
+        inner.levels[dst].clear();
+        if let Some(table) = new_table {
+            inner.levels[dst].push(table);
         }
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
         self.write_manifest(inner)?;
+        // Input tables leave the disk only after the manifest stopped
+        // referencing them; a crash in between just leaks files, which
+        // the orphan sweep in `open` reclaims.
+        fault::hit("compact.remove_obsolete")?;
         for path in obsolete {
             let _ = std::fs::remove_file(path);
         }
@@ -352,9 +407,20 @@ impl LsmDb {
         out.extend_from_slice(&crc32(&body).to_le_bytes());
         out.extend_from_slice(&body);
         let tmp = manifest_path.with_extension("tmp");
-        std::fs::write(&tmp, &out)?;
+        let written = (|| -> Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            fault::write_all("manifest.write", &mut f, &out)?;
+            fault::hit("manifest.sync")?;
+            f.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        fault::hit("manifest.rename")?;
         std::fs::rename(&tmp, &manifest_path)?;
-        Ok(())
+        sync_parent_dir(&manifest_path, "manifest.dir_sync")
     }
 
     /// Total bytes in SSTables plus the live memtable.
@@ -738,6 +804,90 @@ mod tests {
         assert_eq!(prefix_successor(b"a\xff"), Some(b"b".to_vec()));
         assert_eq!(prefix_successor(b"\xff\xff"), None);
         assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn failed_flush_keeps_memtable_readable() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let dir = tmpdir("flushfail");
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        for i in 0..40 {
+            db.put(k(i), v(i, "pre")).unwrap();
+        }
+        fault::arm_scoped("sst.sync", 1, FaultMode::Error);
+        let err = db.flush().unwrap_err();
+        fault::reset();
+        assert!(matches!(err, Error::FaultInjected(_)), "{err}");
+        // The entries must still be served from memory — a failed flush
+        // that empties the memtable silently loses acknowledged writes.
+        for i in 0..40 {
+            assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "pre")), "key {i}");
+        }
+        // And the flush succeeds when retried.
+        db.flush().unwrap();
+        for i in 0..40 {
+            assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "pre")), "key {i}");
+        }
+    }
+
+    #[test]
+    fn failed_compaction_write_leaves_levels_serving() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let dir = tmpdir("compactfail");
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        // Two flushes fill L0 up to the trigger without compacting.
+        for round in 0..2 {
+            for i in 0..30 {
+                db.put(k(i), v(i, &format!("r{round}"))).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert_eq!(db.stats.compactions.load(Ordering::Relaxed), 0);
+        // The third flush trips L0→L1 compaction, whose table write fails.
+        for i in 0..30 {
+            db.put(k(i), v(i, "r2")).unwrap();
+        }
+        fault::arm_scoped("sst.write.data", 2, FaultMode::Error);
+        let result = db.flush();
+        fault::reset();
+        assert!(
+            matches!(result, Err(Error::FaultInjected(_))),
+            "compaction table write was injected to fail: {result:?}"
+        );
+        // The inputs must still serve reads — clearing the levels before
+        // the merged table exists would black-hole every flushed key.
+        for i in 0..30 {
+            assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "r2")), "key {i}");
+        }
+        // Reopen agrees (WAL + manifest still cover everything).
+        drop(db);
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        for i in 0..30 {
+            assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "r2")), "key {i}");
+        }
+    }
+
+    #[test]
+    fn open_sweeps_orphan_tables_and_tmp_files() {
+        let dir = tmpdir("orphans");
+        {
+            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            for i in 0..200 {
+                db.put(k(i), v(i, "o")).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        // Plant crash leftovers: an unreferenced table and a torn tmp.
+        std::fs::write(dir.join("4242424242.sst"), b"orphaned table").unwrap();
+        std::fs::write(dir.join("4242424242.tmp"), b"torn tmp").unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        assert!(!dir.join("4242424242.sst").exists(), "orphan .sst swept");
+        assert!(!dir.join("4242424242.tmp").exists(), "orphan .tmp swept");
+        for i in 0..200 {
+            assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "o")), "key {i}");
+        }
     }
 
     #[test]

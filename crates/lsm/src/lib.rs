@@ -15,6 +15,14 @@
 
 pub mod bloom;
 pub mod compaction;
+
+/// Unit tests that arm `tb_common::fault` injections serialize on this
+/// gate: the registry holds one injection slot per process.
+#[cfg(test)]
+pub(crate) fn fault_test_gate() -> parking_lot::MutexGuard<'static, ()> {
+    static GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    GATE.lock()
+}
 pub mod db;
 pub mod memtable;
 pub mod remote;
@@ -23,3 +31,37 @@ pub mod wal;
 
 pub use db::{LsmConfig, LsmDb};
 pub use remote::{DisaggregatedStore, NetworkModel};
+
+/// Every named fault point threaded through this crate's IO surface
+/// (`tb_common::fault`). Torture harnesses enumerate this list; the
+/// `fault_sites_all_reachable` test in `tests/fault_torture.rs` keeps
+/// it honest against the code.
+pub const FAULT_SITES: &[&str] = &[
+    "wal.append.header",
+    "wal.append.payload",
+    "wal.sync",
+    "wal.reset",
+    "sst.write.data",
+    "sst.write.filter",
+    "sst.write.index",
+    "sst.write.footer",
+    "sst.sync",
+    "sst.rename",
+    "sst.dir_sync",
+    "manifest.write",
+    "manifest.sync",
+    "manifest.rename",
+    "manifest.dir_sync",
+    "compact.remove_obsolete",
+];
+
+/// The subset of [`FAULT_SITES`] that are buffer writes, where a torn
+/// (partial-write-then-crash) injection is meaningful.
+pub const FAULT_WRITE_SITES: &[&str] = &[
+    "wal.append.payload",
+    "sst.write.data",
+    "sst.write.filter",
+    "sst.write.index",
+    "sst.write.footer",
+    "manifest.write",
+];

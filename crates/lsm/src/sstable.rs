@@ -16,9 +16,19 @@
 use crate::bloom::BloomFilter;
 use crate::memtable::Entry;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use tb_common::{crc32, read_varint, write_varint, Error, Key, Result, Value};
+use tb_common::{crc32, fault, read_varint, write_varint, Error, Key, Result, Value};
+
+/// Fsyncs `path`'s parent directory so a just-renamed file survives a
+/// crash of the directory metadata. `site` names the fault point.
+pub(crate) fn sync_parent_dir(path: &Path, site: &'static str) -> Result<()> {
+    fault::hit(site)?;
+    if let Some(dir) = path.parent() {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
 
 const MAGIC: u32 = 0x7b5d_57a1;
 const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 4 + 4 + 4;
@@ -145,15 +155,23 @@ pub fn write_sstable(
     footer.extend_from_slice(&MAGIC.to_le_bytes());
 
     let tmp = path.with_extension("tmp");
-    {
+    let written = (|| -> Result<()> {
         let mut f = File::create(&tmp)?;
-        f.write_all(&data)?;
-        f.write_all(&filter)?;
-        f.write_all(&index)?;
-        f.write_all(&footer)?;
+        fault::write_all("sst.write.data", &mut f, &data)?;
+        fault::write_all("sst.write.filter", &mut f, &filter)?;
+        fault::write_all("sst.write.index", &mut f, &index)?;
+        fault::write_all("sst.write.footer", &mut f, &footer)?;
+        fault::hit("sst.sync")?;
         f.sync_all()?;
+        fault::hit("sst.rename")?;
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path, "sst.dir_sync")
+    })();
+    if let Err(e) = written {
+        // Don't leave a half-written .tmp behind a transient error.
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path)?;
 
     let file_size = (data.len() + filter.len() + index.len() + FOOTER_LEN) as u64;
     Ok(SstMeta {

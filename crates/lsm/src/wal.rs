@@ -1,14 +1,24 @@
 //! Write-ahead log with CRC-framed records and torn-tail recovery.
 //!
-//! Record frame: `len u32 | crc u32 | payload`. Replay stops at the
-//! first frame whose length or checksum is invalid — the torn tail left
-//! by a crash mid-write — and truncates the file there so later appends
-//! never interleave with garbage.
+//! Record frame: `len u32 | crc u32 | payload`. Replay distinguishes the
+//! two ways a frame can be invalid:
+//!
+//! * **Torn tail** — the partial frame a crash leaves at the end of the
+//!   log, with nothing valid after it. Replay truncates the file there
+//!   so later appends never interleave with garbage.
+//! * **Mid-log corruption** — an invalid frame with intact records
+//!   *after* it. Truncating would silently drop acknowledged writes, so
+//!   replay surfaces [`Error::Corruption`] instead and leaves the file
+//!   untouched for inspection.
+//!
+//! A failed append repairs the log in place (truncate back to the last
+//! durable frame) so one transient IO error cannot turn into mid-log
+//! corruption on the next successful append.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use tb_common::{crc32, Result};
+use tb_common::{crc32, fault, Error, Result};
 
 /// When the WAL forces data to the OS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +36,10 @@ pub struct Wal {
     path: PathBuf,
     policy: SyncPolicy,
     len: u64,
+    /// Set when a failed append could not be repaired; all writes fail
+    /// until the log is reset or reopened (recovery stays possible —
+    /// the file still ends in at worst a torn tail).
+    poisoned: bool,
 }
 
 impl Wal {
@@ -42,29 +56,81 @@ impl Wal {
             path: path.to_path_buf(),
             policy,
             len,
+            poisoned: false,
         })
+    }
+
+    fn poisoned_err() -> Error {
+        Error::Io("WAL poisoned by an unrepaired append failure; reopen to recover".into())
     }
 
     /// Appends one record.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
-        self.writer
-            .write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&crc32(payload).to_le_bytes())?;
-        self.writer.write_all(payload)?;
-        self.len += 8 + payload.len() as u64;
+        if self.poisoned {
+            return Err(Self::poisoned_err());
+        }
+        match self.try_append(payload) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // The frame may be partially buffered or flushed; cut
+                // the file back to the last complete frame so the log
+                // cannot accumulate garbage *between* valid records.
+                self.repair();
+                Err(e)
+            }
+        }
+    }
+
+    fn try_append(&mut self, payload: &[u8]) -> Result<()> {
+        fault::hit("wal.append.header")?;
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        self.writer.write_all(&header)?;
+        fault::write_all("wal.append.payload", &mut self.writer, payload)?;
         match self.policy {
             SyncPolicy::EveryWrite => {
                 self.writer.flush()?;
+                fault::hit("wal.sync")?;
                 self.writer.get_ref().sync_data()?;
             }
             SyncPolicy::OsBuffer => self.writer.flush()?,
         }
+        // Count the frame only once it is fully in the OS: `len` is the
+        // truncation point `repair` falls back to.
+        self.len += 8 + payload.len() as u64;
         Ok(())
+    }
+
+    /// Best-effort recovery from a failed append: drop whatever the
+    /// broken frame left in the buffer (without flushing it) and
+    /// truncate the file back to the last complete frame.
+    fn repair(&mut self) {
+        let reopened = (|| -> std::io::Result<File> {
+            let mut f = OpenOptions::new().read(true).write(true).open(&self.path)?;
+            f.set_len(self.len)?;
+            f.seek(SeekFrom::End(0))?;
+            f.sync_data()?;
+            Ok(f)
+        })();
+        match reopened {
+            Ok(f) => {
+                // Swap in a clean writer; `into_parts` discards the old
+                // buffer without flushing its partial frame.
+                let old = std::mem::replace(&mut self.writer, BufWriter::new(f));
+                let _ = old.into_parts();
+            }
+            Err(_) => self.poisoned = true,
+        }
     }
 
     /// Forces everything to durable storage.
     pub fn sync(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(Self::poisoned_err());
+        }
         self.writer.flush()?;
+        fault::hit("wal.sync")?;
         self.writer.get_ref().sync_data()?;
         Ok(())
     }
@@ -81,6 +147,10 @@ impl Wal {
 
     /// Truncates the log to empty (after a successful memtable flush).
     pub fn reset(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(Self::poisoned_err());
+        }
+        fault::hit("wal.reset")?;
         self.writer.flush()?;
         let file = self.writer.get_mut();
         file.set_len(0)?;
@@ -90,7 +160,10 @@ impl Wal {
         Ok(())
     }
 
-    /// Replays all intact records, truncating any torn tail in place.
+    /// Replays all intact records. A torn tail (nothing valid after the
+    /// broken frame) is truncated in place; an invalid frame with valid
+    /// records after it is mid-log corruption and surfaces as
+    /// [`Error::Corruption`].
     pub fn replay(path: &Path) -> Result<Vec<Vec<u8>>> {
         let mut file = match File::open(path) {
             Ok(f) => f,
@@ -102,23 +175,26 @@ impl Wal {
         let mut records = Vec::new();
         let mut pos = 0usize;
         let valid_end = loop {
-            if pos + 8 > buf.len() {
+            match parse_frame(&buf, pos) {
+                Some((payload, next)) => {
+                    records.push(payload.to_vec());
+                    pos = next;
+                }
+                None => break pos,
+            }
+            if pos == buf.len() {
                 break pos;
             }
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
-            let start = pos + 8;
-            if start + len > buf.len() {
-                break pos; // torn length
-            }
-            if crc32(&buf[start..start + len]) != crc {
-                break pos; // torn payload
-            }
-            records.push(buf[start..start + len].to_vec());
-            pos = start + len;
         };
         if valid_end < buf.len() {
-            // Drop the torn tail so the next append starts clean.
+            if has_frame_after(&buf, valid_end) {
+                return Err(Error::Corruption(format!(
+                    "WAL record at byte {valid_end} is corrupt but valid records follow \
+                     (log is {} bytes); refusing to drop acknowledged writes",
+                    buf.len()
+                )));
+            }
+            // A torn tail: drop it so the next append starts clean.
             let f = OpenOptions::new().write(true).open(path)?;
             f.set_len(valid_end as u64)?;
             f.sync_data()?;
@@ -130,6 +206,31 @@ impl Wal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Parses one complete, checksum-valid frame at `pos`.
+fn parse_frame(buf: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    if pos + 8 > buf.len() {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+    let start = pos + 8;
+    if start.checked_add(len)? > buf.len() {
+        return None;
+    }
+    let payload = &buf[start..start + len];
+    (crc32(payload) == crc).then_some((payload, start + len))
+}
+
+/// True when any complete valid frame starts after `from` — the signal
+/// that an invalid frame is mid-log corruption rather than a torn tail.
+/// (A byte-by-byte scan; it only runs on an already-broken log, and a
+/// 1-in-2^32 checksum collision is the worst a false positive costs.)
+/// The inclusive bound matters: an empty-payload frame is exactly 8
+/// bytes, so the last possible frame start is `len - 8` itself.
+fn has_frame_after(buf: &[u8], from: usize) -> bool {
+    (from + 1..=buf.len().saturating_sub(8)).any(|pos| parse_frame(buf, pos).is_some())
 }
 
 #[cfg(test)]
@@ -191,22 +292,89 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_middle_record_stops_replay() {
+    fn corrupted_middle_record_surfaces_error() {
         let p = tmp("corrupt");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             wal.append(b"good").unwrap();
             wal.append(b"will-be-corrupted").unwrap();
-            wal.append(b"unreachable").unwrap();
+            wal.append(b"reachable-and-valid").unwrap();
         }
+        let before = std::fs::read(&p).unwrap();
         {
             let mut f = OpenOptions::new().write(true).open(&p).unwrap();
             // Flip a payload byte of the second record.
             f.seek(SeekFrom::Start(8 + 4 + 8 + 3)).unwrap();
             f.write_all(b"X").unwrap();
         }
+        let err = Wal::replay(&p).unwrap_err();
+        assert!(
+            matches!(err, Error::Corruption(_)),
+            "valid records after a bad frame must not be silently dropped: {err}"
+        );
+        // The file is left untouched for inspection — no truncation.
+        assert_eq!(std::fs::read(&p).unwrap().len(), before.len());
+    }
+
+    #[test]
+    fn corruption_before_trailing_empty_record_is_surfaced() {
+        let p = tmp("corrupt-before-empty");
+        {
+            let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
+            wal.append(b"will-be-corrupted").unwrap();
+            wal.append(b"").unwrap(); // valid 8-byte frame, last in file
+        }
+        {
+            let mut f = OpenOptions::new().write(true).open(&p).unwrap();
+            f.seek(SeekFrom::Start(8 + 2)).unwrap();
+            f.write_all(b"X").unwrap();
+        }
+        // The empty record after the bad frame is still acknowledged
+        // data; truncating would drop it silently.
+        assert!(matches!(Wal::replay(&p).unwrap_err(), Error::Corruption(_)));
+    }
+
+    #[test]
+    fn corrupted_last_record_is_a_torn_tail() {
+        let p = tmp("corrupt-last");
+        {
+            let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
+            wal.append(b"good-first").unwrap();
+            wal.append(b"payload-torn-by-crash").unwrap();
+        }
+        {
+            let len = std::fs::metadata(&p).unwrap().len();
+            let mut f = OpenOptions::new().write(true).open(&p).unwrap();
+            // Flip a byte inside the *last* record's payload.
+            f.seek(SeekFrom::Start(len - 3)).unwrap();
+            f.write_all(b"X").unwrap();
+        }
+        // Nothing valid follows, so this recovers as a torn tail.
         let recs = Wal::replay(&p).unwrap();
-        assert_eq!(recs, vec![b"good".to_vec()]);
+        assert_eq!(recs, vec![b"good-first".to_vec()]);
+    }
+
+    #[test]
+    fn failed_append_is_repaired_not_left_as_garbage() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let p = tmp("append-repair");
+        let mut wal = Wal::open(&p, SyncPolicy::OsBuffer).unwrap();
+        wal.append(b"before-the-fault").unwrap();
+        // The payload write fails after the header entered the buffer.
+        // (Scoped: parallel tests in this binary must not trip it.)
+        fault::arm_scoped("wal.append.payload", 1, FaultMode::Error);
+        let err = wal.append(b"never-lands").unwrap_err();
+        fault::reset();
+        assert!(matches!(err, Error::FaultInjected(_)), "{err}");
+        // The log stays usable and the next append lands right after
+        // the last complete frame — no garbage in between.
+        wal.append(b"after-the-fault").unwrap();
+        drop(wal);
+        assert_eq!(
+            Wal::replay(&p).unwrap(),
+            vec![b"before-the-fault".to_vec(), b"after-the-fault".to_vec()]
+        );
     }
 
     #[test]

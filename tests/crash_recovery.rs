@@ -96,6 +96,47 @@ fn wal_torn_tail_loses_only_the_torn_suffix() {
 }
 
 #[test]
+fn wal_mid_log_corruption_is_surfaced_not_swallowed() {
+    use std::io::{Seek, SeekFrom, Write};
+    let dir = tmpdir("wal-midcorrupt");
+    {
+        let store = TierBase::open(
+            TierBaseConfig::builder(&dir)
+                .cache_capacity(64 << 20)
+                .persistence(PersistenceMode::Wal)
+                .build(),
+        )
+        .unwrap();
+        for i in 0..100 {
+            store.put(k(i), v(i)).unwrap();
+        }
+        store.sync().unwrap();
+    }
+    // Flip one byte in the middle of the log: valid records follow, so
+    // this is bit rot, not a torn tail — recovery must refuse to
+    // silently drop the acknowledged suffix.
+    {
+        let len = std::fs::metadata(dir.join("cache.wal")).unwrap().len();
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join("cache.wal"))
+            .unwrap();
+        f.seek(SeekFrom::Start(len / 2)).unwrap();
+        f.write_all(b"\xde\xad").unwrap();
+    }
+    match TierBase::open(
+        TierBaseConfig::builder(&dir)
+            .cache_capacity(64 << 20)
+            .persistence(PersistenceMode::Wal)
+            .build(),
+    ) {
+        Err(Error::Corruption(_)) => {}
+        Err(other) => panic!("expected Corruption, got {other:?}"),
+        Ok(_) => panic!("mid-log corruption must fail open"),
+    }
+}
+
+#[test]
 fn wal_pmem_mode_recovers_from_ring() {
     let dir = tmpdir("pmem");
     {

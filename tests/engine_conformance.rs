@@ -211,6 +211,35 @@ fn frontend_per_op_sync_conforms() {
 }
 
 #[test]
+fn frontend_boosted_over_lsm_conforms() {
+    // 14th configuration: the pipelined front-end over the LSM engine
+    // with elastic boosting live (several drain workers may share one
+    // shard), proving the battery holds through the queueing layer even
+    // when batches execute on sibling workers.
+    use std::time::Duration;
+    use tierbase::frontend::ElasticConfig;
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("fe-lsm-boost"))).unwrap());
+    let fe = Frontend::start(
+        db,
+        FrontendConfig {
+            shards: 2,
+            queue_capacity: 32,
+            max_batch: 4,
+            group_commit: true,
+            max_workers_per_shard: 3,
+            elastic: ElasticConfig {
+                boost_depth: 4,
+                shrink_depth: 1,
+                sample_interval: Duration::from_millis(1),
+                shrink_patience: 3,
+            },
+        },
+    );
+    conformance(&fe);
+    fe.shutdown();
+}
+
+#[test]
 fn pipelined_cluster_node_conforms() {
     // Not a KvEngine itself, but the serving path must preserve the
     // same contract a thin client sees through a pipelined node.

@@ -1,0 +1,535 @@
+//! Crash-recovery torture suite for the LSM durability path.
+//!
+//! The driver enumerates every named fault site in `tb-lsm`
+//! ([`tierbase::lsm::FAULT_SITES`]) and, for each `(site, hit)` pair,
+//! runs a scripted workload that is killed at exactly that IO
+//! operation — by an injected error, a simulated crash, or a torn
+//! write — then reopens the store and checks the durability contract:
+//!
+//! * every write acknowledged before the kill is present, byte-exact;
+//! * an unacknowledged in-flight write resolves to one of its legal
+//!   states (old value or attempted value) — never a torn hybrid;
+//! * the reopened store accepts new writes.
+//!
+//! The same enumeration runs over the raw [`LsmDb`] and over the
+//! pipelined `tb-frontend` path (group commit, worker threads), where a
+//! crash is contained by the worker and surfaces as failed tickets.
+//!
+//! Crash model: a [`FaultMode::Crash`]/[`Torn`] injection panics at the
+//! fault site and freezes every later fault point with errors, so the
+//! on-disk image stops changing at the kill instant. Because the "kill"
+//! is in-process, data flushed to the OS counts as surviving — strictly
+//! stronger than the store's contract (synced writes survive), so
+//! passing here implies the contract.
+//!
+//! `TB_FAULT_SMOKE=1` caps the enumeration at the first
+//! [`SMOKE_HITS`] hits per site (CI per-push mode); the nightly/manual
+//! torture workflow runs the full enumeration.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use tierbase::common::fault::{self, CrashPoint, FaultMode};
+use tierbase::common::{Error, Key, KvEngine, Value};
+use tierbase::elastic::ElasticConfig;
+use tierbase::frontend::{Frontend, FrontendConfig};
+use tierbase::lsm::sstable::SstConfig;
+use tierbase::lsm::wal::SyncPolicy;
+use tierbase::lsm::{LsmConfig, LsmDb, FAULT_SITES, FAULT_WRITE_SITES};
+
+/// Hits per site when `TB_FAULT_SMOKE=1`.
+const SMOKE_HITS: u64 = 2;
+
+/// The fault registry is process-global: every test that arms it (or
+/// counts hits) serializes on this gate.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Silences the panic messages of *injected* crashes (thousands fire in
+/// a full enumeration); every other panic keeps the default report.
+fn quiet_crash_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashPoint>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    let n = RUN.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("tb-torture-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small thresholds so the scripted workload crosses several flushes
+/// and at least one compaction — every fault site gets hit.
+fn torture_config(dir: &std::path::Path) -> LsmConfig {
+    LsmConfig {
+        dir: dir.to_path_buf(),
+        memtable_bytes: 1200,
+        l0_compaction_trigger: 2,
+        level_base_bytes: 8 << 10,
+        max_level: 3,
+        sst: SstConfig {
+            block_size: 512,
+            bloom_bits_per_key: 10,
+        },
+        wal_sync: SyncPolicy::OsBuffer,
+    }
+}
+
+fn frontend_config() -> FrontendConfig {
+    FrontendConfig {
+        shards: 2,
+        queue_capacity: 64,
+        max_batch: 16,
+        group_commit: true,
+        max_workers_per_shard: 1,
+        elastic: ElasticConfig::default(),
+    }
+}
+
+fn key(i: u32) -> Key {
+    Key::from(format!("tk{i:03}"))
+}
+
+fn val(seed: u32) -> Value {
+    Value::from(format!(
+        "v{seed:05}-{}",
+        "x".repeat(60 + (seed as usize % 40))
+    ))
+}
+
+// --- the scripted workload ---------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u32, u32),
+    Delete(u32),
+    /// CAS from the current certain value to `val(seed)`; issued as a
+    /// plain put when the key's state is indeterminate.
+    Cas(u32, u32),
+    MultiPut(Vec<(u32, u32)>),
+    Sync,
+}
+
+/// Deterministic op mix: populates 16 keys, batch-writes, deletes,
+/// CASes, overwrites — sized to cross ~5 memtable flushes and trigger
+/// L0→L1 compaction under [`torture_config`].
+fn script() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..16 {
+        ops.push(Op::Put(i, 100 + i));
+    }
+    ops.push(Op::MultiPut((0..6).map(|i| (i, 200 + i)).collect()));
+    for i in (0..16).step_by(4) {
+        ops.push(Op::Delete(i));
+    }
+    ops.push(Op::Sync);
+    for i in 4..12 {
+        ops.push(Op::Put(i, 300 + i));
+    }
+    for i in [1, 5, 9] {
+        ops.push(Op::Cas(i, 400 + i));
+    }
+    ops.push(Op::Sync);
+    ops.push(Op::MultiPut((10..16).map(|i| (i, 500 + i)).collect()));
+    for i in 0..8 {
+        ops.push(Op::Put(i, 600 + i));
+    }
+    ops.push(Op::Sync);
+    ops
+}
+
+// --- the durability model ----------------------------------------------
+
+/// Reference state tracked op-by-op. `None` state = key absent
+/// (deleted or never written).
+#[derive(Default)]
+struct Model {
+    /// Keys whose state is certain: the op that last wrote them was
+    /// acknowledged (returned `Ok`).
+    committed: BTreeMap<u32, Option<u32>>,
+    /// Keys with an op in flight at the kill, or an errored op: any
+    /// listed state is legal after recovery.
+    uncertain: BTreeMap<u32, Vec<Option<u32>>>,
+}
+
+impl Model {
+    fn commit(&mut self, attempt: &[(u32, Option<u32>)]) {
+        for (k, s) in attempt {
+            self.committed.insert(*k, *s);
+            self.uncertain.remove(k);
+        }
+    }
+
+    fn indeterminate(&mut self, attempt: &[(u32, Option<u32>)]) {
+        for (k, s) in attempt {
+            let prior = self.committed.remove(k);
+            let cands = self
+                .uncertain
+                .entry(*k)
+                .or_insert_with(|| vec![prior.unwrap_or(None)]);
+            if !cands.contains(s) {
+                cands.push(*s);
+            }
+        }
+    }
+
+    fn certain_state(&self, k: u32) -> Option<Option<u32>> {
+        if self.uncertain.contains_key(&k) {
+            None
+        } else {
+            Some(self.committed.get(&k).copied().unwrap_or(None))
+        }
+    }
+
+    /// Every certain key must read back exactly; an uncertain key must
+    /// be one of its legal states (never a torn hybrid).
+    fn verify(&self, db: &dyn KvEngine, ctx: &str) {
+        for (k, s) in &self.committed {
+            let got = db
+                .get(&key(*k))
+                .unwrap_or_else(|e| panic!("[{ctx}] get({k}) failed after recovery: {e}"));
+            assert_eq!(
+                got,
+                s.map(val),
+                "[{ctx}] acknowledged write to key {k} lost or mangled"
+            );
+        }
+        for (k, cands) in &self.uncertain {
+            let got = db
+                .get(&key(*k))
+                .unwrap_or_else(|e| panic!("[{ctx}] get({k}) failed after recovery: {e}"));
+            assert!(
+                cands.iter().any(|c| c.map(val) == got),
+                "[{ctx}] key {k} recovered to {got:?}, not one of its \
+                 legal states {cands:?}"
+            );
+        }
+        for sentinel in [900u32, 901, 902] {
+            assert_eq!(
+                db.get(&key(sentinel)).unwrap(),
+                None,
+                "[{ctx}] phantom key {sentinel} appeared"
+            );
+        }
+    }
+}
+
+// --- the driver --------------------------------------------------------
+
+/// Runs `ops` against `engine`, tracking the model. Returns `true` when
+/// a simulated crash ended the run.
+fn run_workload(engine: &dyn KvEngine, ops: &[Op], model: &mut Model) -> bool {
+    for op in ops {
+        if fault::crash_fired().is_some() {
+            return true;
+        }
+        // A CAS against an indeterminate key degrades to a put — the
+        // driver cannot know which expected value the engine holds.
+        let op = match op {
+            Op::Cas(k, s) if model.certain_state(*k).is_none() => Op::Put(*k, *s),
+            other => other.clone(),
+        };
+        let attempt: Vec<(u32, Option<u32>)> = match &op {
+            Op::Put(k, s) | Op::Cas(k, s) => vec![(*k, Some(*s))],
+            Op::Delete(k) => vec![(*k, None)],
+            Op::MultiPut(pairs) => pairs.iter().map(|(k, s)| (*k, Some(*s))).collect(),
+            Op::Sync => vec![],
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| match &op {
+            Op::Put(k, s) => engine.put(key(*k), val(*s)),
+            Op::Delete(k) => engine.delete(&key(*k)),
+            Op::Cas(k, s) => {
+                let expected = model
+                    .certain_state(*k)
+                    .expect("cas only issued on certain keys")
+                    .map(val);
+                engine.cas(key(*k), expected.as_ref(), val(*s))
+            }
+            Op::MultiPut(pairs) => {
+                engine.multi_put(pairs.iter().map(|(k, s)| (key(*k), val(*s))).collect())
+            }
+            Op::Sync => engine.sync(),
+        }));
+        match result {
+            Ok(Ok(())) => model.commit(&attempt),
+            Ok(Err(Error::CasMismatch)) => panic!(
+                "CAS mismatch on a certain key ({op:?}): engine state \
+                 diverged from every acknowledged write"
+            ),
+            Ok(Err(_)) => model.indeterminate(&attempt),
+            Err(payload) => {
+                // Only injected crashes may unwind; anything else is a
+                // genuine bug and must fail the test.
+                if payload.downcast_ref::<CrashPoint>().is_none() {
+                    std::panic::resume_unwind(payload);
+                }
+                model.indeterminate(&attempt);
+                return true;
+            }
+        }
+    }
+    fault::crash_fired().is_some()
+}
+
+/// One torture run: workload killed at `(site, hit, mode)`, then reopen
+/// and verify. Returns whether the injection actually fired (exhaustion
+/// signal for the enumeration).
+fn run_once(site: &'static str, hit: u64, mode: FaultMode, pipelined: bool) -> bool {
+    let ctx = format!(
+        "{}:{site}#{hit}:{mode:?}",
+        if pipelined { "pipelined" } else { "raw" }
+    );
+    fault::reset();
+    let dir = fresh_dir(if pipelined { "pipe" } else { "raw" });
+    let mut model = Model::default();
+    let ops = script();
+
+    if pipelined {
+        let db = Arc::new(LsmDb::open(torture_config(&dir)).unwrap());
+        let fe = Frontend::start(db, frontend_config());
+        fault::arm(site, hit, mode);
+        let crashed = run_workload(&fe, &ops, &mut model);
+        if !crashed && fault::fault_fired() {
+            // Transient error: earlier acks must still be readable
+            // through the live front-end before any reopen.
+            model.verify(&fe, &format!("{ctx}:live"));
+        }
+        fe.shutdown();
+    } else {
+        let db = LsmDb::open(torture_config(&dir)).unwrap();
+        fault::arm(site, hit, mode);
+        let crashed = run_workload(&db, &ops, &mut model);
+        if !crashed && fault::fault_fired() {
+            model.verify(&db, &format!("{ctx}:live"));
+        }
+    }
+
+    let fired = fault::fault_fired();
+    fault::reset();
+
+    // "Reboot": recover from the frozen disk image alone.
+    let db = LsmDb::open(torture_config(&dir))
+        .unwrap_or_else(|e| panic!("[{ctx}] reopen after kill failed: {e}"));
+    model.verify(&db, &ctx);
+    // The recovered store must accept and serve new writes.
+    db.put(key(800), val(800)).unwrap();
+    assert_eq!(db.get(&key(800)).unwrap(), Some(val(800)), "[{ctx}]");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    fired
+}
+
+/// Enumerates `(site, 1..)` until the workload stops reaching the site
+/// (or `cap` hits in smoke mode), asserting every listed site fires at
+/// least once.
+fn enumerate(sites: &[&'static str], mode_of: fn(u64) -> FaultMode, pipelined: bool, cap: u64) {
+    quiet_crash_panics();
+    for &site in sites {
+        let mut fired_once = false;
+        let mut hit = 1u64;
+        loop {
+            let fired = run_once(site, hit, mode_of(hit), pipelined);
+            fired_once |= fired;
+            if !fired || hit >= cap {
+                break;
+            }
+            hit += 1;
+        }
+        assert!(
+            fired_once,
+            "fault site {site} was never reached by the torture workload"
+        );
+    }
+}
+
+fn cap_or(full: u64) -> u64 {
+    // Same convention as TB_BENCH_SMOKE: unset, empty, or "0" = full.
+    let smoke = std::env::var("TB_FAULT_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if smoke {
+        SMOKE_HITS.min(full)
+    } else {
+        full
+    }
+}
+
+// --- the suite ---------------------------------------------------------
+
+/// Coverage probe: one clean scripted run must hit every registered
+/// fault site — keeps `FAULT_SITES` in lockstep with the code — and
+/// must exercise flushes *and* compaction.
+#[test]
+fn fault_sites_all_reachable() {
+    let _g = gate();
+    fault::reset();
+    let dir = fresh_dir("probe");
+    let db = LsmDb::open(torture_config(&dir)).unwrap();
+    fault::set_counting(true);
+    let mut model = Model::default();
+    let crashed = run_workload(&db, &script(), &mut model);
+    assert!(!crashed, "no injection armed, nothing may crash");
+    let flushes = db.stats.flushes.load(Ordering::Relaxed);
+    let compactions = db.stats.compactions.load(Ordering::Relaxed);
+    assert!(flushes >= 3, "workload too small: {flushes} flushes");
+    assert!(compactions >= 1, "workload never compacts");
+    assert!(
+        FAULT_SITES.len() >= 12,
+        "torture surface shrank to {} sites",
+        FAULT_SITES.len()
+    );
+    for &site in FAULT_SITES {
+        assert!(
+            fault::hit_count(site) > 0,
+            "registered fault site {site} is dead code in the workload \
+             (hit counts: {:?})",
+            fault::hit_counts()
+        );
+    }
+    for &site in FAULT_WRITE_SITES {
+        assert!(
+            FAULT_SITES.contains(&site),
+            "{site} missing from FAULT_SITES"
+        );
+    }
+    fault::reset();
+    model.verify(&db, "probe");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Simulated `kill -9` at every `(site, hit)` on the raw engine.
+#[test]
+fn crash_torture_raw() {
+    let _g = gate();
+    enumerate(FAULT_SITES, |_| FaultMode::Crash, false, cap_or(u64::MAX));
+}
+
+/// The same kill schedule through the pipelined group-commit front-end.
+#[test]
+fn crash_torture_pipelined() {
+    let _g = gate();
+    enumerate(FAULT_SITES, |_| FaultMode::Crash, true, cap_or(u64::MAX));
+}
+
+/// Transient IO error at every `(site, hit)`: the op fails, the store
+/// keeps serving every acknowledged write, and recovery stays clean.
+#[test]
+fn error_torture_raw() {
+    let _g = gate();
+    enumerate(FAULT_SITES, |_| FaultMode::Error, false, cap_or(u64::MAX));
+}
+
+/// Transient IO errors through the front-end: failing tickets resolve,
+/// later batches proceed, recovery stays clean. (Per-batch containment
+/// is also unit-tested in `tests/frontend_errors.rs`.)
+#[test]
+fn error_torture_pipelined() {
+    let _g = gate();
+    enumerate(FAULT_SITES, |_| FaultMode::Error, true, cap_or(u64::MAX));
+}
+
+/// Torn writes (partial buffer + crash) at every buffer-write site,
+/// with a different cut point per hit.
+#[test]
+fn torn_write_torture_raw() {
+    let _g = gate();
+    enumerate(
+        FAULT_WRITE_SITES,
+        |hit| FaultMode::Torn {
+            keep: (hit as usize * 13) % 97,
+        },
+        false,
+        cap_or(u64::MAX),
+    );
+}
+
+/// Torn writes through the pipelined path.
+#[test]
+fn torn_write_torture_pipelined() {
+    let _g = gate();
+    enumerate(
+        FAULT_WRITE_SITES,
+        |hit| FaultMode::Torn {
+            keep: (hit as usize * 29) % 61,
+        },
+        true,
+        cap_or(u64::MAX),
+    );
+}
+
+// --- exhaustive-schedule proptest --------------------------------------
+
+mod schedules {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            6 => (0u32..20, any::<u32>()).prop_map(|(k, s)| Op::Put(k, s % 1000)),
+            2 => (0u32..20).prop_map(Op::Delete),
+            2 => (0u32..20, any::<u32>()).prop_map(|(k, s)| Op::Cas(k, s % 1000)),
+            1 => proptest::collection::vec((0u32..20, 0u32..1000), 1..6)
+                .prop_map(Op::MultiPut),
+            1 => Just(Op::Sync),
+        ]
+    }
+
+    fn run_schedule(ops: &[Op], site: &'static str, hit: u64, mode: FaultMode) {
+        let _g = gate();
+        quiet_crash_panics();
+        fault::reset();
+        let dir = fresh_dir("sched");
+        let mut model = Model::default();
+        {
+            let db = LsmDb::open(torture_config(&dir)).unwrap();
+            fault::arm(site, hit, mode);
+            run_workload(&db, ops, &mut model);
+        }
+        fault::reset();
+        let db = LsmDb::open(torture_config(&dir))
+            .unwrap_or_else(|e| panic!("[{site}#{hit}:{mode:?}] reopen failed: {e}"));
+        model.verify(&db, &format!("sched:{site}#{hit}:{mode:?}"));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 20,
+            max_shrink_iters: 16,
+            ..ProptestConfig::default()
+        })]
+
+        /// Arbitrary op schedules (which interleave flushes and
+        /// compaction wherever the memtable threshold lands) killed at
+        /// an arbitrary `(site, hit)` in an arbitrary mode must always
+        /// recover to a legal state.
+        #[test]
+        fn arbitrary_schedule_survives_arbitrary_fault(
+            ops in proptest::collection::vec(op_strategy(), 10..80),
+            site_idx in 0usize..FAULT_SITES.len(),
+            hit in 1u64..12,
+            mode_sel in 0u8..3,
+            keep in 0usize..80,
+        ) {
+            let mode = match mode_sel {
+                0 => FaultMode::Error,
+                1 => FaultMode::Crash,
+                _ => FaultMode::Torn { keep },
+            };
+            run_schedule(&ops, FAULT_SITES[site_idx], hit, mode);
+        }
+    }
+}

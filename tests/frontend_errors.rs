@@ -1,0 +1,294 @@
+//! Front-end error containment: what happens when the engine fails or
+//! panics *mid-batch* under the pipelined group-commit path.
+//!
+//! Contract under test (found untested while reviewing the PR that
+//! introduced `tb-frontend`):
+//!
+//! * tickets belonging to a failing batch resolve with the engine's
+//!   error — nobody hangs, nobody gets a false ack;
+//! * batches submitted afterwards proceed normally — one bad batch
+//!   does not wedge the shard;
+//! * no worker dies permanently, even when the engine panics.
+//!
+//! The injected-IO-error version of the same contract over the real
+//! LSM engine runs in `tests/fault_torture.rs` (`error_torture_*`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use tierbase::frontend::{Frontend, FrontendConfig, Request, Response};
+use tierbase::prelude::*;
+
+/// In-memory engine with scripted misbehavior:
+///
+/// * writing a key that starts with `bad:` fails the whole call with
+///   [`Error::FaultInjected`] — after applying the pairs before it
+///   (a genuine mid-batch failure);
+/// * writing a key that starts with `boom:` panics;
+/// * `get("block:gate")` parks until [`FlakyEngine::release`] — lets a
+///   test pin the shard worker while it queues a multi-request batch;
+/// * `sync()` fails while `fail_sync` is set.
+#[derive(Default)]
+struct FlakyEngine {
+    map: Mutex<BTreeMap<Key, Value>>,
+    fail_sync: AtomicBool,
+    gate: Mutex<bool>,
+    gate_cv: Condvar,
+}
+
+impl FlakyEngine {
+    fn release(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.gate_cv.notify_all();
+    }
+
+    fn write_one(&self, key: Key, value: Value) -> Result<()> {
+        if key.as_slice().starts_with(b"boom:") {
+            panic!("scripted engine panic on {key:?}");
+        }
+        if key.as_slice().starts_with(b"bad:") {
+            return Err(Error::FaultInjected(format!("scripted failure on {key:?}")));
+        }
+        self.map.lock().unwrap().insert(key, value);
+        Ok(())
+    }
+}
+
+impl KvEngine for FlakyEngine {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        if key.as_slice() == b"block:gate" {
+            let mut open = self.gate.lock().unwrap();
+            while !*open {
+                open = self.gate_cv.wait(open).unwrap();
+            }
+        }
+        Ok(self.map.lock().unwrap().get(key).cloned())
+    }
+
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.write_one(key, value)
+    }
+
+    fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
+        for (k, v) in pairs {
+            self.write_one(k, v)?;
+        }
+        Ok(())
+    }
+
+    fn delete(&self, key: &Key) -> Result<()> {
+        self.map.lock().unwrap().remove(key);
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    fn label(&self) -> String {
+        "flaky".into()
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.fail_sync.load(Ordering::SeqCst) {
+            return Err(Error::Io("scripted sync failure".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One shard, generous queue: batch composition is fully controlled by
+/// gating the worker.
+fn single_shard_frontend(engine: Arc<FlakyEngine>) -> Frontend {
+    Frontend::start(
+        engine,
+        FrontendConfig {
+            shards: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            group_commit: true,
+            max_workers_per_shard: 1,
+            ..FrontendConfig::default()
+        },
+    )
+}
+
+/// Pins the shard worker on a gated `get`, runs `queue_while_pinned` to
+/// stack requests into one batch, releases, and returns after the gate
+/// ticket resolves.
+fn with_pinned_worker<R>(
+    fe: &Frontend,
+    engine: &FlakyEngine,
+    queue_while_pinned: impl FnOnce() -> R,
+) -> R {
+    let gate_ticket = fe.submit(Request::Get(Key::from("block:gate")));
+    // Wait for the worker to pick the gate request up (queue drains).
+    while fe.queue_depth(0) > 0 {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+    let out = queue_while_pinned();
+    engine.release();
+    gate_ticket.wait().unwrap();
+    out
+}
+
+#[test]
+fn failing_batch_resolves_every_ticket_with_the_error() {
+    let engine = Arc::new(FlakyEngine::default());
+    let fe = single_shard_frontend(engine.clone());
+
+    // Three puts queued behind the pinned worker coalesce into one
+    // multi_put; the middle key fails the engine call mid-batch.
+    let tickets = with_pinned_worker(&fe, &engine, || {
+        vec![
+            fe.submit(Request::Put(Key::from("a"), Value::from("1"))),
+            fe.submit(Request::Put(Key::from("bad:b"), Value::from("2"))),
+            fe.submit(Request::Put(Key::from("c"), Value::from("3"))),
+        ]
+    });
+    for (i, t) in tickets.iter().enumerate() {
+        match t.wait() {
+            Err(Error::FaultInjected(_)) => {}
+            other => panic!("ticket {i} of the failing batch resolved {other:?}"),
+        }
+    }
+
+    // The next batch proceeds as if nothing happened.
+    fe.put(Key::from("after"), Value::from("ok")).unwrap();
+    assert_eq!(
+        fe.get(&Key::from("after")).unwrap(),
+        Some(Value::from("ok"))
+    );
+    assert_eq!(fe.live_workers(0), 1, "worker must survive an engine error");
+    assert_eq!(fe.stats().worker_panics.load(Ordering::Relaxed), 0);
+    let s = fe.stats().snapshot();
+    assert_eq!(s.submitted, s.completed, "no ticket may be left pending");
+    fe.shutdown();
+}
+
+#[test]
+fn sync_failure_fails_the_whole_group_commit_then_recovers() {
+    let engine = Arc::new(FlakyEngine::default());
+    let fe = single_shard_frontend(engine.clone());
+    engine.fail_sync.store(true, Ordering::SeqCst);
+
+    // Writes apply, but the group commit cannot make them durable: the
+    // acks must carry the sync error, not a false durability promise.
+    let tickets = with_pinned_worker(&fe, &engine, || {
+        (0..3)
+            .map(|i| fe.submit(Request::Put(Key::from(format!("k{i}")), Value::from("v"))))
+            .collect::<Vec<_>>()
+    });
+    for (i, t) in tickets.iter().enumerate() {
+        match t.wait() {
+            Err(Error::Io(m)) => assert!(m.contains("sync"), "ticket {i}: {m}"),
+            other => panic!("ticket {i} of the unsynced batch resolved {other:?}"),
+        }
+    }
+
+    engine.fail_sync.store(false, Ordering::SeqCst);
+    fe.put(Key::from("durable"), Value::from("yes")).unwrap();
+    assert_eq!(fe.live_workers(0), 1);
+    assert_eq!(fe.stats().worker_panics.load(Ordering::Relaxed), 0);
+    fe.shutdown();
+}
+
+#[test]
+fn engine_panic_is_contained_and_the_worker_survives() {
+    let engine = Arc::new(FlakyEngine::default());
+    let fe = single_shard_frontend(engine.clone());
+
+    // A panicking engine call abandons the batch: its tickets resolve
+    // Unavailable (dropped completers), never hang.
+    let tickets = with_pinned_worker(&fe, &engine, || {
+        vec![
+            fe.submit(Request::Put(Key::from("x"), Value::from("1"))),
+            fe.submit(Request::Put(Key::from("boom:y"), Value::from("2"))),
+        ]
+    });
+    for (i, t) in tickets.iter().enumerate() {
+        match t.wait() {
+            Err(Error::Unavailable(_)) => {}
+            other => panic!("ticket {i} of the panicked batch resolved {other:?}"),
+        }
+    }
+    // Tickets resolve while the worker is still unwinding; give its
+    // bookkeeping a beat before reading the panic counter.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while fe.stats().worker_panics.load(Ordering::Relaxed) == 0
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(fe.stats().worker_panics.load(Ordering::Relaxed), 1);
+
+    // The shard keeps serving: same worker, next batches fine.
+    assert_eq!(fe.live_workers(0), 1, "worker must survive an engine panic");
+    for i in 0..5 {
+        fe.put(Key::from(format!("later{i}")), Value::from("v"))
+            .unwrap();
+    }
+    assert_eq!(
+        fe.get(&Key::from("later4")).unwrap(),
+        Some(Value::from("v"))
+    );
+    let s = fe.stats().snapshot();
+    assert_eq!(s.submitted, s.completed);
+    fe.shutdown();
+}
+
+#[test]
+fn repeated_failures_never_wedge_the_shard() {
+    let engine = Arc::new(FlakyEngine::default());
+    engine.release(); // no pinning in this test
+    let fe = single_shard_frontend(engine.clone());
+
+    // Alternate failing and healthy writes; every healthy write must
+    // land and every failing one must resolve with its error.
+    for round in 0..20 {
+        let bad = fe.submit(Request::Put(
+            Key::from(format!("bad:{round}")),
+            Value::from("x"),
+        ));
+        assert!(matches!(bad.wait(), Err(Error::FaultInjected(_))));
+        fe.put(Key::from(format!("good:{round}")), Value::from("y"))
+            .unwrap();
+    }
+    let got = fe
+        .multi_get(
+            &(0..20)
+                .map(|r| Key::from(format!("good:{r}")))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+    assert!(got.iter().all(|v| v == &Some(Value::from("y"))));
+    assert_eq!(fe.live_workers(0), 1);
+    assert_eq!(fe.stats().worker_panics.load(Ordering::Relaxed), 0);
+    fe.shutdown();
+}
+
+#[test]
+fn mixed_batch_reads_still_answer_when_writes_fail() {
+    let engine = Arc::new(FlakyEngine::default());
+    let fe = single_shard_frontend(engine.clone());
+    fe.put(Key::from("seed"), Value::from("s")).unwrap();
+
+    // One batch holding a failing write *and* a read: the read must
+    // still answer correctly (reads resolve per-op, not via the group
+    // commit).
+    let (w, r) = with_pinned_worker(&fe, &engine, || {
+        (
+            fe.submit(Request::Put(Key::from("bad:w"), Value::from("1"))),
+            fe.submit(Request::Get(Key::from("seed"))),
+        )
+    });
+    assert!(matches!(w.wait(), Err(Error::FaultInjected(_))));
+    assert_eq!(r.wait().unwrap(), Response::Value(Some(Value::from("s"))));
+    fe.shutdown();
+}
