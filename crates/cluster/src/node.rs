@@ -105,6 +105,15 @@ impl NodeStore {
         self.primary.get(key)
     }
 
+    /// Batched lookups; `result[i]` answers `keys[i]`. One engine
+    /// submission: through a pipelined serving mode this rides the
+    /// front-end's scatter/gather and the storage engine's overlapped
+    /// `apply_batch` read path.
+    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        self.check_alive()?;
+        self.primary.multi_get(keys)
+    }
+
     pub fn put(&self, key: Key, value: Value) -> Result<()> {
         self.check_alive()?;
         self.primary.put(key.clone(), value.clone())?;

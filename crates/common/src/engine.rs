@@ -5,6 +5,57 @@
 
 use crate::{Key, Result, Value};
 
+/// One operation in a submitted batch ([`KvEngine::apply_batch`]).
+///
+/// The variants mirror the point/batch methods of the trait; a batch
+/// mixes them freely (an io_uring-style submission queue entry). Ops
+/// apply in submission order: a `Get` sees every write that precedes
+/// it in the same batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOp {
+    /// Point lookup → [`OpOutcome::Value`].
+    Get(Key),
+    /// Insert or overwrite → [`OpOutcome::Done`].
+    Put(Key, Value),
+    /// Delete (absent keys are not an error) → [`OpOutcome::Done`].
+    Delete(Key),
+    /// Compare-and-set → [`OpOutcome::Done`] or `Err(CasMismatch)`.
+    Cas {
+        key: Key,
+        expected: Option<Value>,
+        new: Value,
+    },
+    /// Batched lookups → [`OpOutcome::Values`] aligned with key order.
+    MultiGet(Vec<Key>),
+    /// Batched writes → [`OpOutcome::Done`].
+    MultiPut(Vec<(Key, Value)>),
+}
+
+/// Completion of one [`EngineOp`]; `results[i]` answers `ops[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A `Get` resolved.
+    Value(Option<Value>),
+    /// A `MultiGet` resolved, aligned with the request's key order.
+    Values(Vec<Option<Value>>),
+    /// A write (`Put`/`Delete`/`Cas`/`MultiPut`) applied.
+    Done,
+}
+
+/// Read-amplification counters of an engine's batched read path.
+/// Engines without a native batch path report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReadStats {
+    /// Storage blocks fetched by batched reads.
+    pub blocks_read: u64,
+    /// Staged block references that were satisfied by a block another
+    /// key in the same batch already fetched (the dedup win).
+    pub block_dedup_hits: u64,
+    /// Batched lookups resolved from the in-memory write buffer without
+    /// staging any storage read.
+    pub memtable_hits: u64,
+}
+
 /// A key-value engine under test.
 pub trait KvEngine: Send + Sync {
     /// Point lookup.
@@ -44,6 +95,38 @@ pub trait KvEngine: Send + Sync {
             self.put(k, v)?;
         }
         Ok(())
+    }
+
+    /// Submits a heterogeneous op batch and returns one completion per
+    /// op, aligned with submission order (`results[i]` answers
+    /// `ops[i]`). Per-op failures are per-slot `Err`s; the rest of the
+    /// batch still applies — submission/completion semantics, not a
+    /// transaction.
+    ///
+    /// The default lowers each op onto the point/batch methods in
+    /// order, so every engine supports the interface unchanged; engines
+    /// with per-op storage latency override it to make one overlapped
+    /// storage pass per batch (`tb-lsm` stages and dedups SSTable block
+    /// reads; remote tiers spend one round-trip).
+    fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
+        ops.into_iter()
+            .map(|op| match op {
+                EngineOp::Get(key) => self.get(&key).map(OpOutcome::Value),
+                EngineOp::Put(key, value) => self.put(key, value).map(|_| OpOutcome::Done),
+                EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done),
+                EngineOp::Cas { key, expected, new } => self
+                    .cas(key, expected.as_ref(), new)
+                    .map(|_| OpOutcome::Done),
+                EngineOp::MultiGet(keys) => self.multi_get(&keys).map(OpOutcome::Values),
+                EngineOp::MultiPut(pairs) => self.multi_put(pairs).map(|_| OpOutcome::Done),
+            })
+            .collect()
+    }
+
+    /// Counters of the engine's batched read path (zeros when the
+    /// engine has no native one). Cumulative over the engine's life.
+    fn batch_read_stats(&self) -> BatchReadStats {
+        BatchReadStats::default()
     }
 
     /// Compare-and-set: writes `new` only when the current value equals
@@ -112,6 +195,54 @@ mod tests {
         e.cas(k.clone(), Some(&Value::from("v1")), Value::from("v2"))
             .unwrap();
         assert_eq!(e.get(&k).unwrap(), Some(Value::from("v2")));
+    }
+
+    #[test]
+    fn default_apply_batch_applies_in_submission_order() {
+        let e = MapEngine(Mutex::new(BTreeMap::new()));
+        let k = Key::from("seq");
+        let outcomes = e.apply_batch(vec![
+            EngineOp::Get(k.clone()),
+            EngineOp::Put(k.clone(), Value::from("a")),
+            EngineOp::Get(k.clone()),
+            EngineOp::Cas {
+                key: k.clone(),
+                expected: Some(Value::from("a")),
+                new: Value::from("b"),
+            },
+            EngineOp::Cas {
+                key: k.clone(),
+                expected: Some(Value::from("a")),
+                new: Value::from("c"),
+            },
+            EngineOp::MultiGet(vec![k.clone(), Key::from("miss")]),
+            EngineOp::Delete(k.clone()),
+            EngineOp::Get(k.clone()),
+        ]);
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(outcomes[0], Ok(OpOutcome::Value(None)));
+        assert_eq!(outcomes[1], Ok(OpOutcome::Done));
+        assert_eq!(
+            outcomes[2],
+            Ok(OpOutcome::Value(Some(Value::from("a")))),
+            "a get must see the put submitted before it"
+        );
+        assert_eq!(outcomes[3], Ok(OpOutcome::Done));
+        // The second CAS ran *after* the first succeeded: mismatch, and
+        // the per-op error does not poison the rest of the batch.
+        assert_eq!(outcomes[4], Err(crate::Error::CasMismatch));
+        assert_eq!(
+            outcomes[5],
+            Ok(OpOutcome::Values(vec![Some(Value::from("b")), None]))
+        );
+        assert_eq!(outcomes[6], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[7], Ok(OpOutcome::Value(None)));
+    }
+
+    #[test]
+    fn batch_read_stats_default_to_zero() {
+        let e = MapEngine(Mutex::new(BTreeMap::new()));
+        assert_eq!(e.batch_read_stats(), BatchReadStats::default());
     }
 
     #[test]

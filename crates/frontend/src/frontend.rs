@@ -5,8 +5,13 @@
 //! [`slot_for_key`]), enter that shard's bounded submission queue, and
 //! are drained in batches by the shard's worker, which:
 //!
-//! * coalesces consecutive writes into one `multi_put` round-trip
-//!   (TierBase §4.1.2 batches the remote tier the same way), and
+//! * lowers the whole drained batch into **one**
+//!   [`KvEngine::apply_batch`] submission (coalescing consecutive
+//!   writes into a single `MultiPut` op), so an engine with a native
+//!   submission/completion path — `tb-lsm` — resolves the batch's
+//!   reads in one overlapped storage pass instead of serializing them
+//!   behind per-op block IO (TierBase §4.1.2 batches the remote tier
+//!   the same way), and
 //! * group-commits: one `sync()` per dirty batch instead of one per
 //!   write, acknowledging the writes only after the batch is durable.
 //!
@@ -18,14 +23,16 @@
 //! retires them when the burst subsides.
 
 use crate::queue::{PushRefused, SubmitQueue};
-use crate::stats::FrontendStats;
-use crate::ticket::{ticket, Completer, Response, Ticket};
+use crate::stats::{FrontendStats, FrontendStatsSnapshot};
+use crate::ticket::{gather, gather_all, ticket, Completer, Response, Ticket};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tb_common::{slot_for_key, Error, Key, KvEngine, Result, Value};
+use tb_common::{
+    slot_for_key, BatchReadStats, EngineOp, Error, Key, KvEngine, OpOutcome, Result, Value,
+};
 use tb_elastic::ElasticConfig;
 
 /// How long an idle worker parks between queue polls.
@@ -109,6 +116,15 @@ impl FrontendConfig {
     }
 }
 
+/// Routing decision for one submitted request.
+enum Route {
+    /// Lands whole on one shard's queue.
+    Shard(usize),
+    /// A `MultiGet` spanning shards: split into per-shard sub-batches,
+    /// gathered in key order by the returned ticket.
+    Scatter,
+}
+
 struct ShardState {
     queue: SubmitQueue<(Request, Completer)>,
     /// Workers this shard should run (elastic boost lever).
@@ -172,6 +188,15 @@ impl Frontend {
         &self.inner.stats
     }
 
+    /// Snapshot of the front-end counters *plus* the wrapped engine's
+    /// batched-read counters (block fetches, dedup hits, memtable hits
+    /// — zeros for engines without a native batch path).
+    pub fn stats_snapshot(&self) -> FrontendStatsSnapshot {
+        let mut snapshot = self.inner.stats.snapshot();
+        snapshot.engine_batch = self.inner.engine.batch_read_stats();
+        snapshot
+    }
+
     /// Shard a key routes to.
     pub fn shard_of(&self, key: &Key) -> usize {
         slot_for_key(key.as_slice()) as usize % self.inner.shards.len()
@@ -193,15 +218,30 @@ impl Frontend {
     }
 
     /// Submits a request, blocking while the target shard queue is
-    /// full — backpressure propagates to the producer. A multi-key
-    /// request whose keys span shards resolves to
-    /// [`Error::InvalidArgument`]: it would land on one shard's queue
-    /// and break the per-shard write ordering other callers rely on
-    /// (use [`Frontend::multi_get`]/[`Frontend::multi_put`], which
-    /// split by shard).
+    /// full — backpressure propagates to the producer. A `MultiGet`
+    /// whose keys span shards is scattered into per-shard sub-batches
+    /// and its ticket gathers the results in key order. A spanning
+    /// `MultiPut` resolves to [`Error::InvalidArgument`]: each shard's
+    /// slice would commit independently (cross-shard write atomicity
+    /// is out of scope; use [`Frontend::multi_put`], which splits by
+    /// shard explicitly).
     pub fn submit(&self, request: Request) -> Ticket {
         match self.route(&request) {
-            Ok(shard) => self.submit_to(shard, request),
+            Ok(Route::Shard(shard)) => self.submit_to(shard, request),
+            Ok(Route::Scatter) => {
+                let Request::MultiGet(keys) = request else {
+                    unreachable!("only MultiGet scatters")
+                };
+                let len = keys.len();
+                let parts = self
+                    .scatter_get(keys)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, (idx, _))| !idx.is_empty())
+                    .map(|(s, (idx, keys))| (idx, self.submit_to(s, Request::MultiGet(keys))))
+                    .collect();
+                gather(parts, len)
+            }
             Err(e) => {
                 let (t, c) = ticket();
                 c.complete(Err(e));
@@ -211,13 +251,33 @@ impl Frontend {
     }
 
     /// Non-blocking submit; a full shard queue sheds the request with
-    /// [`Error::Backpressure`]. Multi-shard batches are rejected like
-    /// in [`Frontend::submit`].
+    /// [`Error::Backpressure`]. A spanning `MultiGet` scatters like in
+    /// [`Frontend::submit`]; if any sub-batch is shed the whole request
+    /// reports backpressure (already-queued sub-reads drain harmlessly).
     pub fn try_submit(&self, request: Request) -> Result<Ticket> {
         if self.down.load(Ordering::SeqCst) {
             return Err(Error::Unavailable("front-end shut down".into()));
         }
-        let shard = self.route(&request)?;
+        match self.route(&request)? {
+            Route::Shard(shard) => self.try_submit_to(shard, request),
+            Route::Scatter => {
+                let Request::MultiGet(keys) = request else {
+                    unreachable!("only MultiGet scatters")
+                };
+                let len = keys.len();
+                let mut parts = Vec::new();
+                for (s, (idx, keys)) in self.scatter_get(keys).into_iter().enumerate() {
+                    if idx.is_empty() {
+                        continue;
+                    }
+                    parts.push((idx, self.try_submit_to(s, Request::MultiGet(keys))?));
+                }
+                Ok(gather(parts, len))
+            }
+        }
+    }
+
+    fn try_submit_to(&self, shard: usize, request: Request) -> Result<Ticket> {
         let (t, c) = ticket();
         match self.inner.shards[shard].queue.try_push((request, c)) {
             Ok(()) => {
@@ -240,12 +300,32 @@ impl Frontend {
         }
     }
 
-    fn route(&self, request: &Request) -> Result<usize> {
+    fn route(&self, request: &Request) -> Result<Route> {
         match request {
-            Request::MultiGet(keys) => self.single_shard_of(keys.iter()),
-            Request::MultiPut(pairs) => self.single_shard_of(pairs.iter().map(|(k, _)| k)),
-            _ => Ok(request.routing_key().map(|k| self.shard_of(k)).unwrap_or(0)),
+            Request::MultiGet(keys) => Ok(match self.single_shard_of(keys.iter()) {
+                Ok(shard) => Route::Shard(shard),
+                // Reads have no write-ordering to protect: scatter them.
+                Err(_) => Route::Scatter,
+            }),
+            Request::MultiPut(pairs) => self
+                .single_shard_of(pairs.iter().map(|(k, _)| k))
+                .map(Route::Shard),
+            _ => Ok(Route::Shard(
+                request.routing_key().map(|k| self.shard_of(k)).unwrap_or(0),
+            )),
         }
+    }
+
+    /// Splits keys into per-shard `(response positions, keys)` buckets.
+    fn scatter_get(&self, keys: Vec<Key>) -> Vec<(Vec<usize>, Vec<Key>)> {
+        let mut per: Vec<(Vec<usize>, Vec<Key>)> =
+            vec![(Vec::new(), Vec::new()); self.inner.shards.len()];
+        for (i, key) in keys.into_iter().enumerate() {
+            let s = self.shard_of(&key);
+            per[s].0.push(i);
+            per[s].1.push(key);
+        }
+        per
     }
 
     /// Common shard of a multi-key request, or `InvalidArgument` when
@@ -258,7 +338,7 @@ impl Frontend {
                 None => shard = Some(s),
                 Some(previous) if previous != s => {
                     return Err(Error::InvalidArgument(
-                        "multi-key request spans shards; use Frontend::multi_get/multi_put".into(),
+                        "multi-key write spans shards; use Frontend::multi_put".into(),
                     ))
                 }
                 Some(_) => {}
@@ -338,55 +418,45 @@ impl Frontend {
         .map(|_| ())
     }
 
-    /// Batched lookup: splits the keys by shard, pipelines one
-    /// `MultiGet` per shard, reassembles results in request order.
+    /// Batched lookup, awaited: single-shard batches pipeline directly,
+    /// spanning batches scatter per shard and gather in request order
+    /// (the same path as a raw `submit(Request::MultiGet(..))`).
     pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-        let shards = self.inner.shards.len();
-        let mut per: Vec<(Vec<usize>, Vec<Key>)> = vec![(Vec::new(), Vec::new()); shards];
-        for (i, key) in keys.iter().enumerate() {
-            let s = self.shard_of(key);
-            per[s].0.push(i);
-            per[s].1.push(key.clone());
+        match self.submit(Request::MultiGet(keys.to_vec())).wait()? {
+            Response::Values(values) => Ok(values),
+            other => Err(Error::Internal(format!("multi_get resolved to {other:?}"))),
         }
-        let in_flight: Vec<(Vec<usize>, Ticket)> = per
-            .into_iter()
-            .enumerate()
-            .filter(|(_, (idx, _))| !idx.is_empty())
-            .map(|(s, (idx, keys))| (idx, self.submit_to(s, Request::MultiGet(keys))))
-            .collect();
-        let mut out = vec![None; keys.len()];
-        for (idx, t) in in_flight {
-            match t.wait()? {
-                Response::Values(values) => {
-                    for (slot, v) in idx.into_iter().zip(values) {
-                        out[slot] = v;
-                    }
-                }
-                other => return Err(Error::Internal(format!("multi_get resolved to {other:?}"))),
-            }
-        }
-        Ok(out)
     }
 
     /// Batched write: splits the pairs by shard, pipelines one
     /// `MultiPut` per shard, awaits all.
     pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
-        let shards = self.inner.shards.len();
-        let mut per: Vec<Vec<(Key, Value)>> = vec![Vec::new(); shards];
+        self.scatter_put(pairs).wait().map(|_| ())
+    }
+
+    /// Splits a multi-key write by shard and pipelines one `MultiPut`
+    /// per shard; the ticket resolves `Done` once every slice acked
+    /// (first error wins). Slices commit independently — cross-shard
+    /// write atomicity stays out of scope.
+    fn scatter_put(&self, pairs: Vec<(Key, Value)>) -> Ticket {
+        let mut per: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.inner.shards.len()];
         for (k, v) in pairs {
             let s = self.shard_of(&k);
             per[s].push((k, v));
         }
-        let in_flight: Vec<Ticket> = per
+        let parts: Vec<Ticket> = per
             .into_iter()
             .enumerate()
             .filter(|(_, p)| !p.is_empty())
             .map(|(s, p)| self.submit_to(s, Request::MultiPut(p)))
             .collect();
-        for t in in_flight {
-            t.wait()?;
+        if parts.is_empty() {
+            // Empty write: resolved on the spot.
+            let (t, c) = ticket();
+            c.complete(Ok(Response::Done));
+            return t;
         }
-        Ok(())
+        gather_all(parts)
     }
 
     /// Drains the queues, stops workers and controller, joins threads.
@@ -492,70 +562,119 @@ fn finish(
     completer.complete(result);
 }
 
-fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &AtomicU64) {
-    let engine = inner.engine.as_ref();
-    let stats = &inner.stats;
-    FrontendStats::bump(&stats.batches, 1);
+/// How the completion of one lowered [`EngineOp`] settles back into
+/// request tickets.
+enum OpAcks {
+    /// A write op (one request, or a coalesced put-like run): every
+    /// completer acks together — deferred to the group sync on success.
+    Write(Vec<Completer>),
+    /// A `Get` awaiting [`OpOutcome::Value`].
+    Get(Completer),
+    /// A `MultiGet` awaiting [`OpOutcome::Values`].
+    MultiGet(Completer),
+}
 
-    // Write acks deferred until the batch's single sync (group commit).
-    let mut unsynced: Vec<Completer> = Vec::new();
-    let mut dirty = false;
+fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &AtomicU64) {
+    FrontendStats::bump(&inner.stats.batches, 1);
+    if !inner.config.group_commit {
+        // The per-op-durability baseline: every request is its own
+        // engine call and every write its own sync, on purpose.
+        return process_batch_per_op(inner, batch, settled);
+    }
+    let stats = &inner.stats;
+
+    // --- lower the drained batch into one engine submission ----------
+    // Adjacent put-likes coalesce into a single MultiPut op (one WAL/
+    // memtable pass, acked together at the group sync); everything else
+    // maps 1:1. `acks[i]` settles `ops[i]`.
+    let mut ops: Vec<EngineOp> = Vec::with_capacity(batch.len());
+    let mut acks: Vec<OpAcks> = Vec::with_capacity(batch.len());
     let mut iter = batch.into_iter().peekable();
     while let Some((req, done)) = iter.next() {
         match req {
             req @ (Request::Put(..) | Request::MultiPut(..)) => {
                 let mut pairs: Vec<(Key, Value)> = Vec::new();
-                let mut acks: Vec<Completer> = vec![done];
+                let mut writers: Vec<Completer> = vec![done];
                 let absorb = |req: Request, pairs: &mut Vec<(Key, Value)>| match req {
                     Request::Put(k, v) => pairs.push((k, v)),
                     Request::MultiPut(ps) => pairs.extend(ps),
                     _ => unreachable!("absorb only sees put-like requests"),
                 };
                 absorb(req, &mut pairs);
-                // Coalesce the run of adjacent writes into one engine
-                // round-trip — only in group-commit mode; the per-op
-                // baseline pays full price per write on purpose.
-                if inner.config.group_commit {
-                    while iter.peek().is_some_and(|(r, _)| r.is_put_like()) {
-                        let (r, c) = iter.next().expect("peeked");
-                        absorb(r, &mut pairs);
-                        acks.push(c);
-                    }
+                while iter.peek().is_some_and(|(r, _)| r.is_put_like()) {
+                    let (r, c) = iter.next().expect("peeked");
+                    absorb(r, &mut pairs);
+                    writers.push(c);
                 }
-                if acks.len() > 1 {
-                    FrontendStats::bump(&stats.coalesced_puts, acks.len() as u64);
+                if writers.len() > 1 {
+                    FrontendStats::bump(&stats.coalesced_puts, writers.len() as u64);
                 }
-                let result = engine.multi_put(pairs);
-                dirty |= result.is_ok();
-                settle_writes(inner, settled, acks, result, &mut unsynced);
+                ops.push(EngineOp::MultiPut(pairs));
+                acks.push(OpAcks::Write(writers));
             }
             Request::Delete(key) => {
-                let result = engine.delete(&key);
-                dirty |= result.is_ok();
-                settle_writes(inner, settled, vec![done], result, &mut unsynced);
+                ops.push(EngineOp::Delete(key));
+                acks.push(OpAcks::Write(vec![done]));
             }
             Request::Cas { key, expected, new } => {
-                let result = engine.cas(key, expected.as_ref(), new);
-                dirty |= result.is_ok();
-                settle_writes(inner, settled, vec![done], result, &mut unsynced);
+                ops.push(EngineOp::Cas { key, expected, new });
+                acks.push(OpAcks::Write(vec![done]));
             }
             Request::Get(key) => {
-                finish(stats, settled, done, engine.get(&key).map(Response::Value));
+                ops.push(EngineOp::Get(key));
+                acks.push(OpAcks::Get(done));
             }
             Request::MultiGet(keys) => {
-                finish(
-                    stats,
-                    settled,
-                    done,
-                    engine.multi_get(&keys).map(Response::Values),
-                );
+                ops.push(EngineOp::MultiGet(keys));
+                acks.push(OpAcks::MultiGet(done));
             }
         }
     }
 
-    if dirty && inner.config.group_commit {
+    // --- one storage pass for the whole batch -------------------------
+    // An engine with a native submission/completion path (tb-lsm)
+    // resolves every read here with its block IO deduped across the
+    // batch; the default trait implementation degrades to the old
+    // per-op loop.
+    let outcomes = inner.engine.apply_batch(ops);
+
+    // --- completion: settle each op's tickets in submission order -----
+    let mut unsynced: Vec<Completer> = Vec::new();
+    let mut dirty = false;
+    for (ack, outcome) in acks.into_iter().zip(outcomes) {
+        match ack {
+            OpAcks::Write(writers) => match outcome {
+                // Write acks defer to the batch's single sync below.
+                Ok(_) => {
+                    dirty = true;
+                    unsynced.extend(writers);
+                }
+                Err(e) => {
+                    for w in writers {
+                        finish(stats, settled, w, Err(e.clone()));
+                    }
+                }
+            },
+            OpAcks::Get(done) => {
+                let result = outcome.and_then(|o| match o {
+                    OpOutcome::Value(v) => Ok(Response::Value(v)),
+                    other => Err(Error::Internal(format!("get completed as {other:?}"))),
+                });
+                finish(stats, settled, done, result);
+            }
+            OpAcks::MultiGet(done) => {
+                let result = outcome.and_then(|o| match o {
+                    OpOutcome::Values(v) => Ok(Response::Values(v)),
+                    other => Err(Error::Internal(format!("multi_get completed as {other:?}"))),
+                });
+                finish(stats, settled, done, result);
+            }
+        }
+    }
+
+    if dirty {
         // The group commit: one durability point for the whole batch.
-        let sync_result = engine.sync();
+        let sync_result = inner.engine.sync();
         FrontendStats::bump(&stats.group_syncs, 1);
         for ack in unsynced.drain(..) {
             finish(
@@ -568,31 +687,36 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &Atom
     }
 }
 
-/// Routes write acks: errors resolve immediately; successful writes
-/// either wait for the batch sync (group commit) or sync right now.
-fn settle_writes(
-    inner: &Inner,
-    settled: &AtomicU64,
-    acks: Vec<Completer>,
-    result: Result<()>,
-    unsynced: &mut Vec<Completer>,
-) {
-    match result {
-        Err(e) => {
-            for ack in acks {
-                finish(&inner.stats, settled, ack, Err(e.clone()));
-            }
-        }
-        Ok(()) if inner.config.group_commit => unsynced.extend(acks),
+/// The group-commit-disabled baseline: each request is applied and (for
+/// writes) synced individually.
+fn process_batch_per_op(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &AtomicU64) {
+    let engine = inner.engine.as_ref();
+    let stats = &inner.stats;
+    let settle_write = |result: Result<()>, done: Completer| match result {
+        Err(e) => finish(stats, settled, done, Err(e)),
         Ok(()) => {
-            let synced = inner.engine.sync();
-            FrontendStats::bump(&inner.stats.per_op_syncs, 1);
-            for ack in acks {
+            let synced = engine.sync();
+            FrontendStats::bump(&stats.per_op_syncs, 1);
+            finish(stats, settled, done, synced.map(|_| Response::Done));
+        }
+    };
+    for (req, done) in batch {
+        match req {
+            Request::Put(key, value) => settle_write(engine.put(key, value), done),
+            Request::MultiPut(pairs) => settle_write(engine.multi_put(pairs), done),
+            Request::Delete(key) => settle_write(engine.delete(&key), done),
+            Request::Cas { key, expected, new } => {
+                settle_write(engine.cas(key, expected.as_ref(), new), done)
+            }
+            Request::Get(key) => {
+                finish(stats, settled, done, engine.get(&key).map(Response::Value));
+            }
+            Request::MultiGet(keys) => {
                 finish(
-                    &inner.stats,
+                    stats,
                     settled,
-                    ack,
-                    synced.clone().map(|_| Response::Done),
+                    done,
+                    engine.multi_get(&keys).map(Response::Values),
                 );
             }
         }
@@ -653,6 +777,52 @@ impl KvEngine for Frontend {
 
     fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
         Frontend::cas(self, key, expected, new)
+    }
+
+    /// Batch submission with the trait's submission-order semantics.
+    ///
+    /// With one worker per shard (boosting disabled), every op is
+    /// submitted before any is awaited: ops on different shards
+    /// overlap, ops sharing a worker batch share its single storage
+    /// pass and group commit, and per-shard FIFO *execution* preserves
+    /// order for same-key ops (which route to one shard). With elastic
+    /// boosting enabled, sibling workers can execute one shard's
+    /// batches concurrently — FIFO dequeue no longer implies FIFO
+    /// execution — so each op is awaited before the next is submitted:
+    /// correctness over overlap.
+    fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
+        let submit_op = |op: EngineOp| -> Ticket {
+            match op {
+                // A multi-key write splits by shard (like
+                // `Frontend::multi_put`) — the engine batch contract
+                // accepts arbitrary key sets.
+                EngineOp::MultiPut(pairs) => self.scatter_put(pairs),
+                op => self.submit(match op {
+                    EngineOp::Get(key) => Request::Get(key),
+                    EngineOp::Put(key, value) => Request::Put(key, value),
+                    EngineOp::Delete(key) => Request::Delete(key),
+                    EngineOp::Cas { key, expected, new } => Request::Cas { key, expected, new },
+                    EngineOp::MultiGet(keys) => Request::MultiGet(keys),
+                    EngineOp::MultiPut(_) => unreachable!("handled above"),
+                }),
+            }
+        };
+        let complete = |t: Ticket| -> Result<OpOutcome> {
+            t.wait().map(|response| match response {
+                Response::Value(v) => OpOutcome::Value(v),
+                Response::Values(v) => OpOutcome::Values(v),
+                Response::Done => OpOutcome::Done,
+            })
+        };
+        if self.inner.config.max_workers_per_shard > 1 {
+            return ops.into_iter().map(|op| complete(submit_op(op))).collect();
+        }
+        let tickets: Vec<Ticket> = ops.into_iter().map(submit_op).collect();
+        tickets.into_iter().map(complete).collect()
+    }
+
+    fn batch_read_stats(&self) -> BatchReadStats {
+        self.inner.engine.batch_read_stats()
     }
 
     fn resident_bytes(&self) -> u64 {

@@ -72,6 +72,7 @@ mod tests {
         map: Mutex<BTreeMap<Key, Value>>,
         puts: AtomicU64,
         multi_puts: AtomicU64,
+        apply_batches: AtomicU64,
         syncs: AtomicU64,
         op_delay: Option<Duration>,
         panic_on: Option<Key>,
@@ -125,6 +126,24 @@ mod tests {
                 m.insert(k, v);
             }
             Ok(())
+        }
+        fn apply_batch(&self, ops: Vec<tb_common::EngineOp>) -> Vec<Result<tb_common::OpOutcome>> {
+            use tb_common::{EngineOp, OpOutcome};
+            self.apply_batches.fetch_add(1, Ordering::Relaxed);
+            // Same lowering as the trait default; counted so tests can
+            // assert one engine submission per drained batch.
+            ops.into_iter()
+                .map(|op| match op {
+                    EngineOp::Get(key) => self.get(&key).map(OpOutcome::Value),
+                    EngineOp::Put(key, value) => self.put(key, value).map(|_| OpOutcome::Done),
+                    EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done),
+                    EngineOp::Cas { key, expected, new } => self
+                        .cas(key, expected.as_ref(), new)
+                        .map(|_| OpOutcome::Done),
+                    EngineOp::MultiGet(keys) => self.multi_get(&keys).map(OpOutcome::Values),
+                    EngineOp::MultiPut(pairs) => self.multi_put(pairs).map(|_| OpOutcome::Done),
+                })
+                .collect()
         }
         fn sync(&self) -> Result<()> {
             self.syncs.fetch_add(1, Ordering::Relaxed);
@@ -391,6 +410,138 @@ mod tests {
         fe.multi_put(vec![(a.clone(), v(2)), (b.clone(), v(3))])
             .unwrap();
         assert_eq!(fe.get(&b).unwrap(), Some(v(3)));
+        fe.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_multi_get_scatters_and_gathers_in_key_order() {
+        let engine = ProbeEngine::shared();
+        let fe = Frontend::start(engine, FrontendConfig::with_shards(4));
+        let pairs: Vec<(Key, Value)> = (0..64).map(|i| (k(i), v(i))).collect();
+        fe.multi_put(pairs).unwrap();
+        // A raw submit of a shard-spanning MultiGet: scattered per
+        // shard, gathered positionally (hits interleaved with misses).
+        let keys: Vec<Key> = (0..128).map(k).collect();
+        let shards: std::collections::HashSet<usize> =
+            keys.iter().map(|key| fe.shard_of(key)).collect();
+        assert!(shards.len() > 1, "test needs a spanning key set");
+        let ticket = fe.submit(Request::MultiGet(keys.clone()));
+        match ticket.wait().unwrap() {
+            Response::Values(values) => {
+                assert_eq!(values.len(), 128);
+                for (i, item) in values.iter().enumerate() {
+                    if i < 64 {
+                        assert_eq!(item.as_ref(), Some(&v(i)), "key {i} should hit");
+                    } else {
+                        assert!(item.is_none(), "key {i} should miss");
+                    }
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // try_submit scatters too.
+        let ticket = fe.try_submit(Request::MultiGet(keys)).unwrap();
+        assert!(matches!(ticket.wait().unwrap(), Response::Values(_)));
+        fe.shutdown();
+    }
+
+    #[test]
+    fn drained_batch_lowers_to_one_engine_submission() {
+        let engine = ProbeEngine::shared();
+        let fe = Frontend::start(engine.clone(), FrontendConfig::with_shards(1));
+        // Pipelined burst of mixed reads and writes: tickets awaited at
+        // the end so the single shard worker drains deep batches.
+        let tickets: Vec<Ticket> = (0..600)
+            .map(|i| {
+                if i % 3 == 0 {
+                    fe.submit(Request::Get(k(i)))
+                } else {
+                    fe.submit(Request::Put(k(i), v(i)))
+                }
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let submissions = engine.apply_batches.load(Ordering::Relaxed);
+        let batches = fe.stats().snapshot().batches;
+        assert_eq!(
+            submissions, batches,
+            "each drained batch must make exactly one apply_batch call"
+        );
+        assert!(
+            submissions < 600 / 2,
+            "pipelined burst should amortize engine submissions: {submissions}"
+        );
+        fe.shutdown();
+    }
+
+    #[test]
+    fn frontend_apply_batch_pipelines_and_preserves_order() {
+        use tb_common::{EngineOp, OpOutcome};
+        let engine = ProbeEngine::shared();
+        let fe = Frontend::start(engine, FrontendConfig::with_shards(2));
+        let key = Key::from("batch-order");
+        let outcomes = KvEngine::apply_batch(
+            &fe,
+            vec![
+                EngineOp::Get(key.clone()),
+                EngineOp::Put(key.clone(), Value::from("1")),
+                EngineOp::Get(key.clone()),
+                EngineOp::Cas {
+                    key: key.clone(),
+                    expected: Some(Value::from("1")),
+                    new: Value::from("2"),
+                },
+                EngineOp::Cas {
+                    key: key.clone(),
+                    expected: Some(Value::from("1")),
+                    new: Value::from("3"),
+                },
+                EngineOp::MultiGet(vec![key.clone(), Key::from("missing")]),
+                EngineOp::Delete(key.clone()),
+                EngineOp::Get(key.clone()),
+            ],
+        );
+        assert_eq!(outcomes[0], Ok(OpOutcome::Value(None)));
+        assert_eq!(outcomes[1], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[2], Ok(OpOutcome::Value(Some(Value::from("1")))));
+        assert_eq!(outcomes[3], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[4], Err(Error::CasMismatch));
+        assert_eq!(
+            outcomes[5],
+            Ok(OpOutcome::Values(vec![Some(Value::from("2")), None]))
+        );
+        assert_eq!(outcomes[6], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[7], Ok(OpOutcome::Value(None)));
+        fe.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_surfaces_lsm_batch_counters() {
+        let dir = std::env::temp_dir().join(format!("tb-fe-bstats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Arc::new(
+            tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(&dir)).expect("open lsm"),
+        );
+        let fe = Frontend::start(db, FrontendConfig::with_shards(2));
+        for i in 0..300 {
+            fe.put(k(i), v(i)).unwrap();
+        }
+        KvEngine::sync(&fe).unwrap(); // flushes nothing, but barriers
+        let keys: Vec<Key> = (0..300).map(k).collect();
+        let _ = fe.multi_get(&keys).unwrap();
+        let snap = fe.stats_snapshot();
+        let batch = snap.engine_batch;
+        assert!(
+            batch.blocks_read + batch.memtable_hits > 0,
+            "batched lookups left no trace in the engine counters: {batch:?}"
+        );
+        // The plain FrontendStats snapshot cannot reach the engine.
+        assert_eq!(
+            fe.stats().snapshot().engine_batch,
+            tb_common::BatchReadStats::default()
+        );
         fe.shutdown();
     }
 

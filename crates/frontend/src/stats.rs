@@ -1,6 +1,7 @@
 //! Front-end operational counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use tb_common::BatchReadStats;
 
 /// Counters exposed by a running front-end. All relaxed: these are
 /// diagnostics, not synchronization.
@@ -49,6 +50,7 @@ impl FrontendStats {
             boosts: self.boosts.load(Ordering::Relaxed),
             shrinks: self.shrinks.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            engine_batch: BatchReadStats::default(),
         }
     }
 }
@@ -66,6 +68,11 @@ pub struct FrontendStatsSnapshot {
     pub boosts: u64,
     pub shrinks: u64,
     pub worker_panics: u64,
+    /// The wrapped engine's batched-read counters (block fetches,
+    /// dedup hits, memtable hits). Zero through
+    /// [`FrontendStats::snapshot`]; filled by `Frontend::stats_snapshot`,
+    /// which can reach the engine.
+    pub engine_batch: BatchReadStats,
 }
 
 impl FrontendStatsSnapshot {

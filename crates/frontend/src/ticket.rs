@@ -32,7 +32,24 @@ struct Shared {
 
 /// Caller-side handle for one submitted request.
 pub struct Ticket {
-    shared: Arc<Shared>,
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    /// One queued request, resolved by its [`Completer`].
+    Single(Arc<Shared>),
+    /// A scattered cross-shard `MultiGet`: each part is a per-shard
+    /// sub-ticket answering the listed positions of the key-ordered
+    /// response; the gather assembles them on demand.
+    Gather {
+        parts: Vec<(Vec<usize>, Ticket)>,
+        len: usize,
+    },
+    /// A scattered cross-shard write (`MultiPut` split by shard):
+    /// resolves [`Response::Done`] once every part has; the first part
+    /// error fails the whole ticket. Parts commit independently —
+    /// cross-shard write atomicity is out of scope.
+    GatherAll { parts: Vec<Ticket> },
 }
 
 /// Worker-side handle; resolves the ticket exactly once.
@@ -48,50 +65,161 @@ pub(crate) fn ticket() -> (Ticket, Completer) {
     });
     (
         Ticket {
-            shared: shared.clone(),
+            inner: TicketInner::Single(shared.clone()),
         },
         Completer { shared },
     )
 }
 
+/// Builds a gather ticket over per-shard sub-tickets: `parts[i]` is
+/// `(response positions, sub-ticket)` and `len` is the full response
+/// arity. The gather resolves to [`Response::Values`] in the original
+/// key order once every part has.
+pub(crate) fn gather(parts: Vec<(Vec<usize>, Ticket)>, len: usize) -> Ticket {
+    Ticket {
+        inner: TicketInner::Gather { parts, len },
+    }
+}
+
+/// Builds a write gather: resolves `Done` after every part acked.
+pub(crate) fn gather_all(parts: Vec<Ticket>) -> Ticket {
+    Ticket {
+        inner: TicketInner::GatherAll { parts },
+    }
+}
+
+/// Assembles a gather's parts (each already resolved or resolvable via
+/// `get`) into one key-ordered `Values` response. The first part error
+/// fails the whole gather.
+fn assemble(
+    parts: &[(Vec<usize>, Ticket)],
+    len: usize,
+    get: impl Fn(&Ticket) -> Result<Response>,
+) -> Result<Response> {
+    let mut out = vec![None; len];
+    for (slots, part) in parts {
+        match get(part)? {
+            Response::Values(values) => {
+                for (slot, v) in slots.iter().zip(values) {
+                    out[*slot] = v;
+                }
+            }
+            other => {
+                return Err(Error::Internal(format!(
+                    "gather part resolved to {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(Response::Values(out))
+}
+
 impl Ticket {
     /// Blocks until the request resolves.
     pub fn wait(&self) -> Result<Response> {
-        let mut outcome = self.shared.outcome.lock();
-        while outcome.is_none() {
-            self.shared.cv.wait(&mut outcome);
+        match &self.inner {
+            TicketInner::Single(shared) => {
+                let mut outcome = shared.outcome.lock();
+                while outcome.is_none() {
+                    shared.cv.wait(&mut outcome);
+                }
+                outcome.as_ref().expect("resolved").0.clone()
+            }
+            TicketInner::Gather { parts, len } => assemble(parts, *len, |t| t.wait()),
+            TicketInner::GatherAll { parts } => {
+                for part in parts {
+                    part.wait()?;
+                }
+                Ok(Response::Done)
+            }
         }
-        outcome.as_ref().expect("resolved").0.clone()
     }
 
     /// Blocks at most `timeout`; `None` when still pending.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response>> {
         let deadline = Instant::now() + timeout;
-        let mut outcome = self.shared.outcome.lock();
-        while outcome.is_none() {
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
+        match &self.inner {
+            TicketInner::Single(shared) => {
+                let mut outcome = shared.outcome.lock();
+                while outcome.is_none() {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    shared.cv.wait_for(&mut outcome, deadline - now);
+                }
+                Some(outcome.as_ref().expect("resolved").0.clone())
             }
-            self.shared.cv.wait_for(&mut outcome, deadline - now);
+            TicketInner::Gather { parts, len } => {
+                for (_, part) in parts {
+                    let remaining = deadline.checked_duration_since(Instant::now())?;
+                    // Errors surface from `assemble` below; here only
+                    // "resolved at all vs timed out" matters.
+                    let _ = part.wait_timeout(remaining)?;
+                }
+                Some(assemble(parts, *len, |t| t.wait()))
+            }
+            TicketInner::GatherAll { parts } => {
+                for part in parts {
+                    let remaining = deadline.checked_duration_since(Instant::now())?;
+                    if let Err(e) = part.wait_timeout(remaining)? {
+                        return Some(Err(e));
+                    }
+                }
+                Some(Ok(Response::Done))
+            }
         }
-        Some(outcome.as_ref().expect("resolved").0.clone())
     }
 
     /// Non-blocking poll.
     pub fn try_get(&self) -> Option<Result<Response>> {
-        self.shared.outcome.lock().as_ref().map(|(r, _)| r.clone())
+        match &self.inner {
+            TicketInner::Single(shared) => shared.outcome.lock().as_ref().map(|(r, _)| r.clone()),
+            TicketInner::Gather { parts, len } => {
+                if parts.iter().all(|(_, t)| t.is_done()) {
+                    Some(assemble(parts, *len, |t| t.wait()))
+                } else {
+                    None
+                }
+            }
+            TicketInner::GatherAll { parts } => {
+                if parts.iter().all(|t| t.is_done()) {
+                    Some(self.wait())
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// True once the request has resolved.
     pub fn is_done(&self) -> bool {
-        self.shared.outcome.lock().is_some()
+        match &self.inner {
+            TicketInner::Single(shared) => shared.outcome.lock().is_some(),
+            TicketInner::Gather { parts, .. } => parts.iter().all(|(_, t)| t.is_done()),
+            TicketInner::GatherAll { parts } => parts.iter().all(|t| t.is_done()),
+        }
     }
 
     /// When the request resolved (open-loop latency accounting);
-    /// `None` while pending.
+    /// `None` while pending. A gather resolves when its last part does.
     pub fn completed_at(&self) -> Option<Instant> {
-        self.shared.outcome.lock().as_ref().map(|(_, t)| *t)
+        match &self.inner {
+            TicketInner::Single(shared) => shared.outcome.lock().as_ref().map(|(_, t)| *t),
+            TicketInner::Gather { parts, .. } => {
+                Self::latest_completion(parts.iter().map(|(_, t)| t))
+            }
+            TicketInner::GatherAll { parts } => Self::latest_completion(parts.iter()),
+        }
+    }
+
+    fn latest_completion<'a>(parts: impl Iterator<Item = &'a Ticket>) -> Option<Instant> {
+        let mut latest = None;
+        for part in parts {
+            let at = part.completed_at()?;
+            latest = Some(latest.map_or(at, |l: Instant| l.max(at)));
+        }
+        latest
     }
 }
 
@@ -159,6 +287,39 @@ mod tests {
         assert!(t.wait_timeout(Duration::from_millis(2)).is_none());
         c.complete(Ok(Response::Done));
         assert!(t.wait_timeout(Duration::from_millis(2)).is_some());
+    }
+
+    #[test]
+    fn gather_assembles_parts_in_key_order() {
+        let (t1, c1) = ticket();
+        let (t2, c2) = ticket();
+        let g = gather(vec![(vec![0, 2], t1), (vec![1], t2)], 3);
+        assert!(!g.is_done());
+        assert!(g.try_get().is_none());
+        c1.complete(Ok(Response::Values(vec![
+            Some(Value::from("a")),
+            Some(Value::from("c")),
+        ])));
+        // One part still pending: the gather is too.
+        assert!(g.wait_timeout(Duration::from_millis(1)).is_none());
+        c2.complete(Ok(Response::Values(vec![None])));
+        assert_eq!(
+            g.wait().unwrap(),
+            Response::Values(vec![Some(Value::from("a")), None, Some(Value::from("c"))])
+        );
+        assert!(g.is_done());
+        assert!(g.completed_at().is_some());
+        assert!(g.try_get().is_some());
+    }
+
+    #[test]
+    fn gather_part_failure_fails_the_gather() {
+        let (t1, c1) = ticket();
+        let (t2, c2) = ticket();
+        let g = gather(vec![(vec![0], t1), (vec![1], t2)], 2);
+        c1.complete(Ok(Response::Values(vec![None])));
+        c2.complete(Err(Error::Backpressure("shard full".into())));
+        assert!(matches!(g.wait(), Err(Error::Backpressure(_))));
     }
 
     #[test]

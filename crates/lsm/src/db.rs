@@ -12,13 +12,18 @@
 
 use crate::compaction::{level_bytes, level_limit, merge_runs};
 use crate::memtable::{Entry, Memtable};
-use crate::sstable::{sync_parent_dir, write_sstable, SstConfig, SstMeta, SstReader};
+use crate::sstable::{
+    find_in_block, sync_parent_dir, write_sstable, SstConfig, SstMeta, SstReader,
+};
 use crate::wal::{SyncPolicy, Wal};
 use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tb_common::{crc32, fault, read_varint, write_varint, Error, Key, KvEngine, Result, Value};
+use tb_common::{
+    crc32, fault, read_varint, write_varint, BatchReadStats, EngineOp, Error, Key, KvEngine,
+    OpOutcome, Result, Value,
+};
 
 const MANIFEST_MAGIC: u32 = 0x7b4d_414e;
 
@@ -73,6 +78,36 @@ pub struct LsmStats {
     pub compactions: AtomicU64,
     pub gets: AtomicU64,
     pub puts: AtomicU64,
+    /// [`LsmDb::apply_batch`] invocations.
+    pub batches: AtomicU64,
+    /// Unique SSTable blocks fetched by batched reads.
+    pub batch_blocks_read: AtomicU64,
+    /// Staged block references satisfied by a block another key in the
+    /// same batch already fetched.
+    pub batch_block_dedup_hits: AtomicU64,
+    /// Batched lookups resolved from the memtable without staging IO.
+    pub batch_memtable_hits: AtomicU64,
+}
+
+/// One batched lookup after the submission pass.
+enum Lookup {
+    /// Resolved without block IO: memtable hit, or every table ruled
+    /// the key out (range/bloom).
+    Ready(Option<Value>),
+    /// Staged: `candidates[start..end]` of the batch's shared arena
+    /// holds this key's `(table, block)` pairs in table-priority order;
+    /// the completion pass searches them against the batch's deduped
+    /// block fetches. (One arena per batch, not one Vec per key — a
+    /// point lookup must not pay an allocation for being batched.)
+    Staged { key: Key, start: usize, end: usize },
+}
+
+/// One submitted op after the submission pass: writes and memtable-only
+/// lookups are done; staged lookups await the completion pass.
+enum Slot {
+    Done(Result<OpOutcome>),
+    Get(Lookup),
+    MultiGet(Vec<Lookup>),
 }
 
 struct Inner {
@@ -211,7 +246,17 @@ impl LsmDb {
     /// [`KvEngine::cas`], which is unsynchronized read-then-write).
     pub fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
         let mut inner = self.inner.write();
-        let current = Self::get_locked(&inner, &key)?;
+        self.cas_locked(&mut inner, key, expected, new)
+    }
+
+    fn cas_locked(
+        &self,
+        inner: &mut Inner,
+        key: Key,
+        expected: Option<&Value>,
+        new: Value,
+    ) -> Result<()> {
+        let current = Self::get_locked(inner, &key)?;
         let matches = match (current.as_ref(), expected) {
             (Some(c), Some(e)) => c == e,
             (None, None) => true,
@@ -221,7 +266,227 @@ impl LsmDb {
             return Err(Error::CasMismatch);
         }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.write_locked(&mut inner, key, Entry::Put(new))
+        self.write_locked(inner, key, Entry::Put(new))
+    }
+
+    /// Submission/completion op batch — the engine-side half of the
+    /// front-end's pipelined batches (io_uring shape: submit N
+    /// heterogeneous ops, collect N completions after one storage
+    /// pass).
+    ///
+    /// Submission pass, under one acquisition of the tree lock (write
+    /// lock only when the batch contains writes): writes apply in
+    /// submission order; lookups resolve immediately from the memtable
+    /// or from a range/bloom rule-out, and otherwise *stage* their
+    /// candidate `(table, block)` pairs against the level state they
+    /// observed. Completion pass, after the lock drops: the staged
+    /// block reads are deduped and fetched in `(table, block)` order —
+    /// each block is read once per batch and shared across every key
+    /// that needs it — then results fill in submission order. The
+    /// staged tables are `Arc`-pinned, so the pass reads a consistent
+    /// snapshot even if a concurrent flush or compaction rewrites the
+    /// levels in between.
+    pub fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let has_write = ops.iter().any(|op| {
+            matches!(
+                op,
+                EngineOp::Put(..)
+                    | EngineOp::Delete(_)
+                    | EngineOp::Cas { .. }
+                    | EngineOp::MultiPut(_)
+            )
+        });
+
+        // --- submission pass -----------------------------------------
+        // One shared candidate arena for the whole batch; each staged
+        // lookup owns a range of it.
+        let mut cands: Vec<(Arc<SstReader>, usize)> = Vec::new();
+        let slots: Vec<Slot> = if has_write {
+            let mut inner = self.inner.write();
+            ops.into_iter()
+                .map(|op| self.submit_op(&mut inner, op, &mut cands))
+                .collect()
+        } else {
+            let inner = self.inner.read();
+            ops.into_iter()
+                .map(|op| match op {
+                    EngineOp::Get(key) => Slot::Get(self.stage_lookup(&inner, key, &mut cands)),
+                    EngineOp::MultiGet(keys) => Slot::MultiGet(
+                        keys.into_iter()
+                            .map(|k| self.stage_lookup(&inner, k, &mut cands))
+                            .collect(),
+                    ),
+                    _ => unreachable!("write ops take the write-lock path"),
+                })
+                .collect()
+        };
+
+        // --- completion pass (no tree lock held) ---------------------
+        // Dedup the staged reads: sort the candidate references by
+        // `(table, block)` — each table's fetches issue sequentially —
+        // then fetch each distinct block once, shared by every
+        // candidate that references it.
+        let staged_refs = cands.len() as u64;
+        let mut order: Vec<u32> = (0..cands.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let (table, idx) = &cands[i as usize];
+            (table.meta.id, *idx)
+        });
+        // `slot_of[c]` = index into `fetches` serving candidate `c`.
+        let mut slot_of = vec![0u32; cands.len()];
+        let mut fetches: Vec<u32> = Vec::new();
+        for &i in &order {
+            let (table, idx) = &cands[i as usize];
+            let duplicate = fetches.last().is_some_and(|&j| {
+                let (t, b) = &cands[j as usize];
+                t.meta.id == table.meta.id && b == idx
+            });
+            if !duplicate {
+                fetches.push(i);
+            }
+            slot_of[i as usize] = fetches.len() as u32 - 1;
+        }
+        let pass = if fetches.is_empty() {
+            Ok(())
+        } else {
+            fault::hit("batch.complete")
+        };
+        let blocks: Vec<Result<Vec<u8>>> = if pass.is_ok() {
+            fetches
+                .iter()
+                .map(|&i| {
+                    let (table, idx) = &cands[i as usize];
+                    fault::hit("batch.block_read").and_then(|_| table.read_block(*idx))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Counted only when the pass ran: an aborted completion pass
+        // fetched nothing, and the counters must say so.
+        if pass.is_ok() {
+            self.stats
+                .batch_blocks_read
+                .fetch_add(fetches.len() as u64, Ordering::Relaxed);
+            self.stats
+                .batch_block_dedup_hits
+                .fetch_add(staged_refs - fetches.len() as u64, Ordering::Relaxed);
+        }
+
+        let complete = |lookup: Lookup| -> Result<Option<Value>> {
+            match lookup {
+                Lookup::Ready(v) => Ok(v),
+                Lookup::Staged { key, start, end } => {
+                    pass.clone()?;
+                    for slot in &slot_of[start..end] {
+                        match &blocks[*slot as usize] {
+                            Err(e) => return Err(e.clone()),
+                            Ok(bytes) => {
+                                if let Some(entry) = find_in_block(bytes, &key)? {
+                                    return Ok(entry.as_option().cloned());
+                                }
+                            }
+                        }
+                    }
+                    Ok(None)
+                }
+            }
+        };
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(r) => r,
+                Slot::Get(l) => complete(l).map(OpOutcome::Value),
+                Slot::MultiGet(ls) => ls
+                    .into_iter()
+                    .map(&complete)
+                    .collect::<Result<Vec<_>>>()
+                    .map(OpOutcome::Values),
+            })
+            .collect()
+    }
+
+    /// Applies one submitted op under the tree's write lock (writes run
+    /// now, in submission order; lookups resolve or stage).
+    fn submit_op(
+        &self,
+        inner: &mut Inner,
+        op: EngineOp,
+        cands: &mut Vec<(Arc<SstReader>, usize)>,
+    ) -> Slot {
+        match op {
+            EngineOp::Get(key) => Slot::Get(self.stage_lookup(inner, key, cands)),
+            EngineOp::MultiGet(keys) => Slot::MultiGet(
+                keys.into_iter()
+                    .map(|k| self.stage_lookup(inner, k, cands))
+                    .collect(),
+            ),
+            EngineOp::Put(key, value) => {
+                self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                Slot::Done(
+                    self.write_locked(inner, key, Entry::Put(value))
+                        .map(|_| OpOutcome::Done),
+                )
+            }
+            EngineOp::Delete(key) => Slot::Done(
+                self.write_locked(inner, key, Entry::Tombstone)
+                    .map(|_| OpOutcome::Done),
+            ),
+            // CAS reads its expectation synchronously (possibly block
+            // IO) so later ops in the batch observe its effect — the
+            // rare op pays; pure lookups stay overlapped.
+            EngineOp::Cas { key, expected, new } => Slot::Done(
+                self.cas_locked(inner, key, expected.as_ref(), new)
+                    .map(|_| OpOutcome::Done),
+            ),
+            EngineOp::MultiPut(pairs) => {
+                let mut result = Ok(());
+                for (k, v) in pairs {
+                    self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    result = self.write_locked(inner, k, Entry::Put(v));
+                    if result.is_err() {
+                        break;
+                    }
+                }
+                Slot::Done(result.map(|_| OpOutcome::Done))
+            }
+        }
+    }
+
+    /// Resolves a batched lookup from the memtable, or stages its
+    /// candidate blocks (into the batch's shared arena) against the
+    /// current level state.
+    fn stage_lookup(
+        &self,
+        inner: &Inner,
+        key: Key,
+        cands: &mut Vec<(Arc<SstReader>, usize)>,
+    ) -> Lookup {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = inner.memtable.get(&key) {
+            self.stats
+                .batch_memtable_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Lookup::Ready(entry.as_option().cloned());
+        }
+        let start = cands.len();
+        for level in &inner.levels {
+            for table in level {
+                if let Some(idx) = table.locate(&key) {
+                    cands.push((table.clone(), idx));
+                }
+            }
+        }
+        if cands.len() == start {
+            Lookup::Ready(None)
+        } else {
+            Lookup::Staged {
+                key,
+                start,
+                end: cands.len(),
+            }
+        }
     }
 
     /// Ordered scan of all live keys starting with `prefix`, merging
@@ -461,6 +726,42 @@ impl KvEngine for LsmDb {
 
     fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
         LsmDb::cas(self, key, expected, new)
+    }
+
+    fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
+        LsmDb::apply_batch(self, ops)
+    }
+
+    /// Batched lookups ride the overlapped submission/completion path:
+    /// one tree-lock pass, block reads deduped across the keys.
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        match LsmDb::apply_batch(self, vec![EngineOp::MultiGet(keys.to_vec())]).pop() {
+            Some(Ok(OpOutcome::Values(values))) => Ok(values),
+            Some(Err(e)) => Err(e),
+            other => Err(Error::Internal(format!(
+                "multi_get batch resolved to {other:?}"
+            ))),
+        }
+    }
+
+    /// Batched writes apply under one tree-lock acquisition instead of
+    /// one per pair.
+    fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
+        match LsmDb::apply_batch(self, vec![EngineOp::MultiPut(pairs)]).pop() {
+            Some(Ok(OpOutcome::Done)) => Ok(()),
+            Some(Err(e)) => Err(e),
+            other => Err(Error::Internal(format!(
+                "multi_put batch resolved to {other:?}"
+            ))),
+        }
+    }
+
+    fn batch_read_stats(&self) -> BatchReadStats {
+        BatchReadStats {
+            blocks_read: self.stats.batch_blocks_read.load(Ordering::Relaxed),
+            block_dedup_hits: self.stats.batch_block_dedup_hits.load(Ordering::Relaxed),
+            memtable_hits: self.stats.batch_memtable_hits.load(Ordering::Relaxed),
+        }
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -888,6 +1189,130 @@ mod tests {
         for i in 0..200 {
             assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "o")), "key {i}");
         }
+    }
+
+    #[test]
+    fn apply_batch_reads_each_block_once_per_batch() {
+        // Big blocks + small values: many keys share one 4 KiB block,
+        // so a multi-key batch over a flushed (disk-resident) working
+        // set must collapse its staged reads.
+        let db = LsmDb::open(LsmConfig::new(tmpdir("batchdedup"))).unwrap();
+        let n = 512;
+        for i in 0..n {
+            db.put(k(i), v(i, "d")).unwrap();
+        }
+        db.flush().unwrap();
+        let blocks_in_l0: u64 = db.inner.read().levels[0][0].meta.file_size / 4096 + 2;
+
+        let keys: Vec<Key> = (0..n).map(k).collect();
+        let before = KvEngine::batch_read_stats(&db);
+        let outcomes = db.apply_batch(vec![EngineOp::MultiGet(keys.clone())]);
+        let after = KvEngine::batch_read_stats(&db);
+        match &outcomes[0] {
+            Ok(OpOutcome::Values(values)) => {
+                for (i, got) in values.iter().enumerate() {
+                    assert_eq!(got.as_ref(), Some(&v(i, "d")), "key {i}");
+                }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let read = after.blocks_read - before.blocks_read;
+        let dedup = after.block_dedup_hits - before.block_dedup_hits;
+        // Each needed block fetched at most once for the whole batch:
+        // far fewer reads than keys, and the dedup counter accounts for
+        // every saved fetch.
+        assert!(
+            read <= blocks_in_l0,
+            "batch read {read} blocks; table only has ~{blocks_in_l0}"
+        );
+        assert!(
+            read < n as u64 / 4,
+            "block reads did not dedup: {read} reads for {n} keys"
+        );
+        assert_eq!(dedup, n as u64 - read, "every other reference deduped");
+
+        // Same batch again: same dedup behavior (counters are cumulative).
+        db.apply_batch(vec![EngineOp::MultiGet(keys)]);
+        let again = KvEngine::batch_read_stats(&db);
+        assert_eq!(again.blocks_read - after.blocks_read, read);
+    }
+
+    #[test]
+    fn apply_batch_mixed_ops_in_submission_order() {
+        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("batchmix"))).unwrap();
+        // Seed an SSTable-resident old value.
+        db.put(k(1), v(1, "old")).unwrap();
+        db.flush().unwrap();
+        let outcomes = db.apply_batch(vec![
+            EngineOp::Get(k(1)),              // old value, staged from disk
+            EngineOp::Put(k(1), v(1, "new")), // overwrites in-batch
+            EngineOp::Get(k(1)),              // sees the in-batch put
+            EngineOp::Cas {
+                key: k(1),
+                expected: Some(v(1, "new")),
+                new: v(1, "cas"),
+            },
+            EngineOp::Cas {
+                key: k(1),
+                expected: Some(v(1, "new")), // stale: the batch's own CAS won
+                new: v(1, "never"),
+            },
+            EngineOp::Delete(k(1)),
+            EngineOp::Get(k(1)),
+            EngineOp::MultiGet(vec![k(1), k(99)]),
+        ]);
+        assert_eq!(outcomes[0], Ok(OpOutcome::Value(Some(v(1, "old")))));
+        assert_eq!(outcomes[1], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[2], Ok(OpOutcome::Value(Some(v(1, "new")))));
+        assert_eq!(outcomes[3], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[4], Err(Error::CasMismatch));
+        assert_eq!(outcomes[5], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[6], Ok(OpOutcome::Value(None)));
+        assert_eq!(outcomes[7], Ok(OpOutcome::Values(vec![None, None])));
+        // The Get staged *before* the Put still answered from the level
+        // snapshot — but the final state is the delete.
+        assert_eq!(db.get(&k(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn apply_batch_counts_memtable_hits() {
+        let db = LsmDb::open(LsmConfig::new(tmpdir("batchmem"))).unwrap();
+        for i in 0..32 {
+            db.put(k(i), v(i, "m")).unwrap(); // stays in the memtable
+        }
+        let keys: Vec<Key> = (0..32).map(k).collect();
+        let outcomes = db.apply_batch(vec![EngineOp::MultiGet(keys)]);
+        assert!(matches!(outcomes[0], Ok(OpOutcome::Values(_))));
+        let stats = KvEngine::batch_read_stats(&db);
+        assert_eq!(stats.memtable_hits, 32);
+        assert_eq!(stats.blocks_read, 0, "memtable hits stage no IO");
+    }
+
+    #[test]
+    fn apply_batch_block_read_fault_fails_only_staged_reads() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let dir = tmpdir("batchfault");
+        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        for i in 0..64 {
+            db.put(k(i), v(i, "f")).unwrap();
+        }
+        db.flush().unwrap();
+        fault::arm_scoped("batch.block_read", 1, FaultMode::Error);
+        let outcomes = db.apply_batch(vec![
+            EngineOp::Put(k(200), v(200, "w")), // write is unaffected
+            EngineOp::Get(k(1)),                // staged read hits the fault
+        ]);
+        fault::reset();
+        assert_eq!(outcomes[0], Ok(OpOutcome::Done));
+        assert!(
+            matches!(outcomes[1], Err(Error::FaultInjected(_))),
+            "staged read must surface the injected error: {:?}",
+            outcomes[1]
+        );
+        // The write landed and the store still serves.
+        assert_eq!(db.get(&k(200)).unwrap(), Some(v(200, "w")));
+        assert_eq!(db.get(&k(1)).unwrap(), Some(v(1, "f")));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! L0 SSTable → leveled compaction toward L_max.
 //! Read path: memtable → immutable memtables → L0 (newest first) → L1+
 //! (one table per level can contain the key).
+//! Batch path ([`db::LsmDb::apply_batch`]): one submission pass stages
+//! every SSTable lookup, the staged block reads are deduped per batch,
+//! one completion pass fills results in submission order.
 
 pub mod bloom;
 pub mod compaction;
@@ -53,6 +56,8 @@ pub const FAULT_SITES: &[&str] = &[
     "manifest.rename",
     "manifest.dir_sync",
     "compact.remove_obsolete",
+    "batch.complete",
+    "batch.block_read",
 ];
 
 /// The subset of [`FAULT_SITES`] that are buffer writes, where a torn

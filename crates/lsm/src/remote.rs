@@ -12,7 +12,7 @@ use crate::db::LsmDb;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tb_common::{Key, KvEngine, Result, Value};
+use tb_common::{BatchReadStats, EngineOp, Key, KvEngine, OpOutcome, Result, Value};
 
 /// Round-trip cost model for cache-tier → storage-tier calls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,22 +114,40 @@ impl DisaggregatedStore {
         self.stats
             .batched_ops
             .fetch_add(items.len() as u64, Ordering::Relaxed);
-        self.call(payload, || {
-            for (k, v) in items {
-                self.db.put(k, v)?;
-            }
-            Ok(())
-        })
+        self.call(payload, || self.db.multi_put(items))
     }
 
     /// Batched read: one round-trip fetching many keys — the deferred
-    /// cache-fetching path (§4.1.2).
+    /// cache-fetching path (§4.1.2). Server-side the keys resolve
+    /// through the engine's overlapped batch path, so the SSTable
+    /// blocks behind them are read once per call.
     pub fn batch_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
         let payload: usize = keys.iter().map(|k| k.len()).sum();
         self.stats
             .batched_ops
             .fetch_add(keys.len() as u64, Ordering::Relaxed);
-        self.call(payload, || keys.iter().map(|k| self.db.get(k)).collect())
+        self.call(payload, || self.db.multi_get(keys))
+    }
+
+    /// Submits a heterogeneous op batch over one round-trip; the
+    /// engine's native submission/completion pass runs server-side.
+    pub fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
+        let payload: usize = ops
+            .iter()
+            .map(|op| match op {
+                EngineOp::Get(k) | EngineOp::Delete(k) => k.len(),
+                EngineOp::Put(k, v) => k.len() + v.len(),
+                EngineOp::Cas { key, new, .. } => key.len() + new.len(),
+                EngineOp::MultiGet(keys) => keys.iter().map(|k| k.len()).sum(),
+                EngineOp::MultiPut(pairs) => pairs.iter().map(|(k, v)| k.len() + v.len()).sum(),
+            })
+            .sum();
+        self.stats
+            .batched_ops
+            .fetch_add(ops.len() as u64, Ordering::Relaxed);
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        self.network.stall(payload);
+        self.db.apply_batch(ops)
     }
 
     /// Remote prefix scan: one round-trip returning every live key
@@ -162,6 +180,22 @@ impl KvEngine for DisaggregatedStore {
 
     fn delete(&self, key: &Key) -> Result<()> {
         DisaggregatedStore::delete(self, key)
+    }
+
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        DisaggregatedStore::batch_get(self, keys)
+    }
+
+    fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
+        DisaggregatedStore::batch_put(self, pairs)
+    }
+
+    fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
+        DisaggregatedStore::apply_batch(self, ops)
+    }
+
+    fn batch_read_stats(&self) -> BatchReadStats {
+        self.db.batch_read_stats()
     }
 
     fn resident_bytes(&self) -> u64 {

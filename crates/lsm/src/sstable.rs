@@ -270,31 +270,29 @@ impl SstReader {
     /// reported as `Some(Entry::Tombstone)` so callers stop searching
     /// older tables.
     pub fn get(&self, key: &Key) -> Result<Option<Entry>> {
+        match self.locate(key) {
+            Some(block_idx) => find_in_block(&self.read_block(block_idx)?, key),
+            None => Ok(None),
+        }
+    }
+
+    /// Index of the one data block that could hold `key`, or `None`
+    /// when the key-range or bloom filter rules the table out — the
+    /// in-memory half of a point lookup, split from the block IO so a
+    /// batched read path can stage the IO and dedup it across keys.
+    pub fn locate(&self, key: &Key) -> Option<usize> {
         if key < &self.meta.min_key || key > &self.meta.max_key {
-            return Ok(None);
+            return None;
         }
         if !self.bloom.may_contain(key.as_slice()) {
-            return Ok(None);
+            return None;
         }
         // Last block whose first key <= key.
-        let block_idx = match self.index.binary_search_by(|e| e.first_key.cmp(key)) {
-            Ok(i) => i,
-            Err(0) => return Ok(None),
-            Err(i) => i - 1,
-        };
-        let block = self.read_block(block_idx)?;
-        let mut pos = 0usize;
-        while pos < block.len() {
-            let (k, entry, next) = decode_entry(&block, pos)?;
-            if &k == key {
-                return Ok(Some(entry));
-            }
-            if k > *key {
-                return Ok(None); // entries sorted within block
-            }
-            pos = next;
+        match self.index.binary_search_by(|e| e.first_key.cmp(key)) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
         }
-        Ok(None)
     }
 
     /// Streams every entry in key order (compaction input).
@@ -312,7 +310,8 @@ impl SstReader {
         Ok(out)
     }
 
-    fn read_block(&self, idx: usize) -> Result<Vec<u8>> {
+    /// Reads data block `idx` (the IO half of a point lookup).
+    pub fn read_block(&self, idx: usize) -> Result<Vec<u8>> {
         let e = &self.index[idx];
         let mut buf = vec![0u8; e.len as usize];
         let mut file = self.file.lock();
@@ -320,6 +319,23 @@ impl SstReader {
         file.read_exact(&mut buf)?;
         Ok(buf)
     }
+}
+
+/// Searches a decoded data block for `key` (entries are sorted, so the
+/// scan stops at the first greater key).
+pub fn find_in_block(block: &[u8], key: &Key) -> Result<Option<Entry>> {
+    let mut pos = 0usize;
+    while pos < block.len() {
+        let (k, entry, next) = decode_entry(block, pos)?;
+        if &k == key {
+            return Ok(Some(entry));
+        }
+        if k > *key {
+            return Ok(None);
+        }
+        pos = next;
+    }
+    Ok(None)
 }
 
 fn decode_entry(block: &[u8], mut pos: usize) -> Result<(Key, Entry, usize)> {

@@ -54,7 +54,9 @@ pub use tierbase_core as store;
 /// The items most applications need.
 pub mod prelude {
     pub use tb_cache::ReplicationMode;
-    pub use tb_common::{Error, Key, KvEngine, Result, TtlState, Value};
+    pub use tb_common::{
+        BatchReadStats, EngineOp, Error, Key, KvEngine, OpOutcome, Result, TtlState, Value,
+    };
     pub use tb_costmodel::{CostMetrics, InstanceSpec, WorkloadDemand};
     pub use tb_frontend::{Frontend, FrontendConfig};
     pub use tb_workload::{Op, Trace, Workload, WorkloadSpec};

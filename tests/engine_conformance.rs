@@ -111,6 +111,80 @@ fn conformance(engine: &dyn KvEngine) {
     engine.cas(k("cas", 0), Some(&v(0)), v(2)).unwrap();
     assert_eq!(engine.get(&k("cas", 0)).unwrap(), Some(v(2)), "[{label}]");
 
+    // --- apply_batch: submission/completion contract ----------------
+    // One heterogeneous submission; completions align positionally and
+    // reflect submission order (a get sees the put before it, a CAS
+    // sees the CAS before it).
+    let outcomes = engine.apply_batch(vec![
+        EngineOp::Get(k("ab", 0)), // miss: nothing written yet
+        EngineOp::Put(k("ab", 0), v(0)),
+        EngineOp::Get(k("ab", 0)), // hit: the put preceded it
+        EngineOp::Cas {
+            key: k("ab", 0),
+            expected: Some(v(0)),
+            new: v(1),
+        },
+        EngineOp::Cas {
+            key: k("ab", 0),
+            expected: Some(v(0)), // stale: the batch's own CAS won
+            new: v(2),
+        },
+        EngineOp::MultiPut(vec![(k("ab", 1), v(10)), (k("ab", 2), v(11))]),
+        EngineOp::MultiGet(vec![k("ab", 2), k("ab", 999), k("ab", 1), k("ab", 0)]),
+        EngineOp::Delete(k("ab", 0)),
+        EngineOp::Get(k("ab", 0)), // the delete preceded it
+    ]);
+    assert_eq!(outcomes.len(), 9, "[{label}] one completion per op");
+    assert_eq!(outcomes[0], Ok(OpOutcome::Value(None)), "[{label}] ab[0]");
+    assert_eq!(outcomes[1], Ok(OpOutcome::Done), "[{label}] ab[1]");
+    assert_eq!(
+        outcomes[2],
+        Ok(OpOutcome::Value(Some(v(0)))),
+        "[{label}] get must see the in-batch put"
+    );
+    assert_eq!(outcomes[3], Ok(OpOutcome::Done), "[{label}] first cas wins");
+    assert_eq!(
+        outcomes[4],
+        Err(Error::CasMismatch),
+        "[{label}] second cas must observe the first's write — and its \
+         per-op failure must not poison the batch"
+    );
+    assert_eq!(outcomes[5], Ok(OpOutcome::Done), "[{label}] ab[5]");
+    assert_eq!(
+        outcomes[6],
+        Ok(OpOutcome::Values(vec![
+            Some(v(11)),
+            None,
+            Some(v(10)),
+            Some(v(1)),
+        ])),
+        "[{label}] in-batch multi_get alignment"
+    );
+    assert_eq!(outcomes[7], Ok(OpOutcome::Done), "[{label}] ab[7]");
+    assert_eq!(
+        outcomes[8],
+        Ok(OpOutcome::Value(None)),
+        "[{label}] get must see the in-batch delete"
+    );
+    // Post-batch state agrees with the completions.
+    assert_eq!(engine.get(&k("ab", 0)).unwrap(), None, "[{label}]");
+    assert_eq!(engine.get(&k("ab", 1)).unwrap(), Some(v(10)), "[{label}]");
+
+    // An all-read batch (the overlapped fast path in engines with a
+    // native implementation) stays positional.
+    let outcomes = engine.apply_batch(vec![
+        EngineOp::MultiGet(vec![k("ab", 1), k("ab", 2)]),
+        EngineOp::Get(k("ab", 404)),
+        EngineOp::Get(k("ab", 2)),
+    ]);
+    assert_eq!(
+        outcomes[0],
+        Ok(OpOutcome::Values(vec![Some(v(10)), Some(v(11))])),
+        "[{label}] read-only batch"
+    );
+    assert_eq!(outcomes[1], Ok(OpOutcome::Value(None)), "[{label}]");
+    assert_eq!(outcomes[2], Ok(OpOutcome::Value(Some(v(11)))), "[{label}]");
+
     // --- resident_bytes monotonicity --------------------------------
     // Adding data never shrinks the footprint (engines that hold no
     // data, like the proxy, report a constant — still monotonic).

@@ -32,7 +32,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tierbase::common::fault::{self, CrashPoint, FaultMode};
-use tierbase::common::{Error, Key, KvEngine, Value};
+use tierbase::common::{EngineOp, Error, Key, KvEngine, Value};
 use tierbase::elastic::ElasticConfig;
 use tierbase::frontend::{Frontend, FrontendConfig};
 use tierbase::lsm::sstable::SstConfig;
@@ -120,6 +120,14 @@ enum Op {
     /// plain put when the key's state is indeterminate.
     Cas(u32, u32),
     MultiPut(Vec<(u32, u32)>),
+    /// One `apply_batch` submission mixing puts and gets — drives the
+    /// overlapped read path (staged block reads, completion pass) so
+    /// its fault sites land in the torture matrix. Completions are
+    /// per-op, so each write commits or goes indeterminate on its own.
+    Batch {
+        writes: Vec<(u32, u32)>,
+        gets: Vec<u32>,
+    },
     Sync,
 }
 
@@ -136,6 +144,12 @@ fn script() -> Vec<Op> {
         ops.push(Op::Delete(i));
     }
     ops.push(Op::Sync);
+    // Batched reads over keys already flushed into SSTables (plus two
+    // riding writes) reach the staged/deduped block-read path.
+    ops.push(Op::Batch {
+        writes: vec![(2, 250), (7, 257)],
+        gets: (0..16).collect(),
+    });
     for i in 4..12 {
         ops.push(Op::Put(i, 300 + i));
     }
@@ -147,6 +161,11 @@ fn script() -> Vec<Op> {
     for i in 0..8 {
         ops.push(Op::Put(i, 600 + i));
     }
+    ops.push(Op::Sync);
+    ops.push(Op::Batch {
+        writes: (12..16).map(|i| (i, 700 + i)).collect(),
+        gets: vec![0, 3, 6, 9, 12, 15],
+    });
     ops.push(Op::Sync);
     ops
 }
@@ -236,6 +255,43 @@ fn run_workload(engine: &dyn KvEngine, ops: &[Op], model: &mut Model) -> bool {
         if fault::crash_fired().is_some() {
             return true;
         }
+        // Batched submissions settle per completion slot: each write
+        // commits or goes indeterminate on its own result (a batch is
+        // not a transaction); the gets carry no durability state but
+        // drive the staged-read fault sites.
+        if let Op::Batch { writes, gets } = op {
+            let attempt: Vec<(u32, Option<u32>)> =
+                writes.iter().map(|(k, s)| (*k, Some(*s))).collect();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut batch: Vec<EngineOp> = Vec::with_capacity(writes.len() + gets.len());
+                batch.extend(writes.iter().map(|(k, s)| EngineOp::Put(key(*k), val(*s))));
+                batch.extend(gets.iter().map(|k| EngineOp::Get(key(*k))));
+                engine.apply_batch(batch)
+            }));
+            match outcome {
+                Ok(results) => {
+                    assert_eq!(
+                        results.len(),
+                        writes.len() + gets.len(),
+                        "one completion per submitted op"
+                    );
+                    for (entry, result) in attempt.iter().zip(&results) {
+                        match result {
+                            Ok(_) => model.commit(std::slice::from_ref(entry)),
+                            Err(_) => model.indeterminate(std::slice::from_ref(entry)),
+                        }
+                    }
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<CrashPoint>().is_none() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    model.indeterminate(&attempt);
+                    return true;
+                }
+            }
+            continue;
+        }
         // A CAS against an indeterminate key degrades to a put — the
         // driver cannot know which expected value the engine holds.
         let op = match op {
@@ -246,6 +302,7 @@ fn run_workload(engine: &dyn KvEngine, ops: &[Op], model: &mut Model) -> bool {
             Op::Put(k, s) | Op::Cas(k, s) => vec![(*k, Some(*s))],
             Op::Delete(k) => vec![(*k, None)],
             Op::MultiPut(pairs) => pairs.iter().map(|(k, s)| (*k, Some(*s))).collect(),
+            Op::Batch { .. } => unreachable!("handled above"),
             Op::Sync => vec![],
         };
         let result = catch_unwind(AssertUnwindSafe(|| match &op {
@@ -261,6 +318,7 @@ fn run_workload(engine: &dyn KvEngine, ops: &[Op], model: &mut Model) -> bool {
             Op::MultiPut(pairs) => {
                 engine.multi_put(pairs.iter().map(|(k, s)| (key(*k), val(*s))).collect())
             }
+            Op::Batch { .. } => unreachable!("handled above"),
             Op::Sync => engine.sync(),
         }));
         match result {
@@ -482,6 +540,11 @@ mod schedules {
             2 => (0u32..20, any::<u32>()).prop_map(|(k, s)| Op::Cas(k, s % 1000)),
             1 => proptest::collection::vec((0u32..20, 0u32..1000), 1..6)
                 .prop_map(Op::MultiPut),
+            1 => (
+                proptest::collection::vec((0u32..20, 0u32..1000), 0..4),
+                proptest::collection::vec(0u32..20, 0..8),
+            )
+                .prop_map(|(writes, gets)| Op::Batch { writes, gets }),
             1 => Just(Op::Sync),
         ]
     }
