@@ -82,19 +82,25 @@ impl ClusterClient {
     /// Batched lookup across the cluster: keys group by owning node
     /// (one batched call each — the node's engine overlaps the batch's
     /// storage reads), results gather in request order. A down node
-    /// triggers one failover + routing refresh + regroup, like the
-    /// point ops.
+    /// triggers one failover + routing refresh, after which **only the
+    /// failed groups** regroup against the refreshed table and retry —
+    /// groups that already answered keep their results, so a failover
+    /// mid-gather never re-fetches (or double-counts in the engines'
+    /// batch stats) work that succeeded.
     pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-        'attempt: for attempt in 0..2 {
+        let mut out = vec![None; keys.len()];
+        // Request positions still awaiting an answer.
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        for attempt in 0..2 {
             let table = self.cached.read().clone();
             let mut groups: BTreeMap<NodeId, (Vec<usize>, Vec<Key>)> = BTreeMap::new();
-            for (i, key) in keys.iter().enumerate() {
-                let owner = table.owner_of_key(key.as_slice());
+            for &i in &pending {
+                let owner = table.owner_of_key(keys[i].as_slice());
                 let entry = groups.entry(owner).or_default();
                 entry.0.push(i);
-                entry.1.push(key.clone());
+                entry.1.push(keys[i].clone());
             }
-            let mut out = vec![None; keys.len()];
+            let mut failed: Vec<usize> = Vec::new();
             for (owner, (idx, group)) in groups {
                 let node = self.coordinators.node(owner)?;
                 let values = {
@@ -108,14 +114,19 @@ impl ClusterClient {
                         }
                     }
                     Err(Error::Unavailable(_)) if attempt == 0 => {
-                        self.coordinators.run_failover()?;
-                        self.refresh();
-                        continue 'attempt;
+                        // Remember the group; keep gathering the rest of
+                        // this attempt before failing over once.
+                        failed.extend(idx);
                     }
                     Err(e) => return Err(e),
                 }
             }
-            return Ok(out);
+            if failed.is_empty() {
+                return Ok(out);
+            }
+            self.coordinators.run_failover()?;
+            self.refresh();
+            pending = failed;
         }
         Err(Error::Unavailable("retries exhausted".into()))
     }
@@ -322,22 +333,96 @@ mod tests {
         assert_eq!(got.iter().filter(|v| v.is_some()).count(), 64);
     }
 
+    /// Engine that counts `multi_get` calls, to pin down exactly which
+    /// groups a failover retry re-fetches.
+    #[derive(Default)]
+    struct CountingEngine {
+        map: Mutex<BTreeMap<Key, Value>>,
+        multi_gets: std::sync::atomic::AtomicU64,
+    }
+
+    impl KvEngine for CountingEngine {
+        fn get(&self, key: &Key) -> Result<Option<Value>> {
+            Ok(self.map.lock().get(key).cloned())
+        }
+        fn put(&self, key: Key, value: Value) -> Result<()> {
+            self.map.lock().insert(key, value);
+            Ok(())
+        }
+        fn delete(&self, key: &Key) -> Result<()> {
+            self.map.lock().remove(key);
+            Ok(())
+        }
+        fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+            self.multi_gets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let m = self.map.lock();
+            Ok(keys.iter().map(|k| m.get(k).cloned()).collect())
+        }
+        fn resident_bytes(&self) -> u64 {
+            0
+        }
+        fn label(&self) -> String {
+            "counting-map".into()
+        }
+    }
+
+    #[test]
+    fn multi_get_failover_retries_only_the_failed_group() {
+        // Node 0 healthy (counting engine), node 1 crashed. The gather
+        // visits nodes in id order, so node 0's group succeeds before
+        // node 1's fails — the failover retry must re-fetch *only* the
+        // failed group, not restart the whole key set against node 0.
+        let healthy = Arc::new(CountingEngine::default());
+        let nodes = vec![
+            NodeStore::new(NodeId(0), healthy.clone()).with_replica(MapEngine::shared()),
+            NodeStore::new(NodeId(1), MapEngine::shared()).with_replica(MapEngine::shared()),
+        ];
+        let c = Arc::new(CoordinatorGroup::bootstrap(3, nodes).unwrap());
+        let client = ClusterClient::connect(c.clone());
+        let keys: Vec<Key> = (0..96).map(|i| Key::from(format!("fg{i}"))).collect();
+        for key in &keys {
+            client.put(key.clone(), Value::from("v")).unwrap();
+        }
+        let table = c.routing();
+        assert!(
+            keys.iter()
+                .any(|k| table.owner_of_key(k.as_slice()) == NodeId(1)),
+            "test needs keys on the crashing node"
+        );
+        healthy
+            .multi_gets
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+        c.node(NodeId(1)).unwrap().read().crash();
+        let got = client.multi_get(&keys).unwrap();
+        assert!(
+            got.iter().all(|v| v.as_ref() == Some(&Value::from("v"))),
+            "every key must survive the failover"
+        );
+        assert_eq!(
+            healthy
+                .multi_gets
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "the healthy node's group was re-fetched after an unrelated failover"
+        );
+    }
+
     #[test]
     fn pipelined_nodes_batch_reads_through_the_engine_batch_path() {
         use crate::node::ServingMode;
         // Pipelined nodes over the real LSM engine: a client multi_get
         // must flow node → front-end scatter/gather → LsmDb::apply_batch,
         // which leaves its trace in the engine's dedup counters.
-        let dir = std::env::temp_dir().join(format!("tb-cluster-batch-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tb_common::test_dir("tb-cluster-batch");
         let dbs: Vec<Arc<tb_lsm::LsmDb>> = (0..2)
             .map(|i| {
-                Arc::new(
-                    tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(
-                        dir.join(format!("n{i}")),
-                    ))
-                    .unwrap(),
-                )
+                // One engine per node with a small parallel read pool:
+                // the client's grouped batches land on the pooled
+                // completion pass end to end.
+                let mut config = tb_lsm::LsmConfig::small_for_tests(dir.join(format!("n{i}")));
+                config.read_pool_threads = 2;
+                Arc::new(tb_lsm::LsmDb::open(config).unwrap())
             })
             .collect();
         let nodes = dbs
@@ -375,7 +460,6 @@ mod tests {
             batched > 0,
             "client multi_get never reached the engines' batch read path"
         );
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct BatchReadStats {
     /// Batched lookups resolved from the in-memory write buffer without
     /// staging any storage read.
     pub memtable_hits: u64,
+    /// Blocks fetched through the engine's parallel read pool (subset
+    /// of `blocks_read`; zero when the pool is disabled or absent).
+    pub parallel_fetches: u64,
+    /// High-water mark of block fetches outstanding in the read pool at
+    /// once — how deep the overlapped completion pass actually got.
+    pub read_pool_queue_depth: u64,
 }
 
 /// A key-value engine under test.

@@ -12,6 +12,7 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod histogram;
+pub mod testutil;
 pub mod ttl;
 pub mod types;
 pub mod varint;
@@ -22,6 +23,7 @@ pub use engine::{BatchReadStats, EngineOp, KvEngine, OpOutcome};
 pub use error::{Error, Result};
 pub use hash::{fx_hash, slot_for_key, FxBuildHasher, SLOT_COUNT};
 pub use histogram::Histogram;
+pub use testutil::{test_dir, TestDir};
 pub use ttl::{deadline_after, is_expired, TtlState};
 pub use types::{Key, Value};
 pub use varint::{read_varint, write_varint};

@@ -1,0 +1,103 @@
+//! Shared test-directory helper.
+//!
+//! Every crate in the workspace used to roll its own pid-keyed temp-dir
+//! scheme (`tb-foo-{pid}`), which collides when two tests in one binary
+//! pick the same name and leaks the directory when a test panics before
+//! its trailing `remove_dir_all`. [`test_dir`] fixes both: the path is
+//! unique per *call* (pid + a process-wide counter), and the returned
+//! [`TestDir`] guard removes the directory on drop — including the
+//! unwind of a failing assertion.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// RAII temporary directory for tests and benches.
+///
+/// The directory itself is *not* created eagerly — most consumers
+/// (`LsmConfig`, `TierBaseConfig`, ...) `create_dir_all` their data dir
+/// themselves, and several tests assert on a fresh, absent path. Drop
+/// removes whatever ended up on disk.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// The directory path. `&Path` converts into everything the
+    /// workspace's config builders take (`impl Into<PathBuf>`).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Convenience: a path inside the directory.
+    pub fn join(&self, name: impl AsRef<Path>) -> PathBuf {
+        self.path.join(name)
+    }
+
+    /// Creates the directory (some tests want it present before any
+    /// store opens, e.g. to plant files) and returns the path.
+    pub fn create(&self) -> &Path {
+        let _ = std::fs::create_dir_all(&self.path);
+        &self.path
+    }
+}
+
+impl AsRef<Path> for TestDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A fresh, collision-free temp directory: `{tmp}/{tag}-{pid}-{seq}`.
+/// Unique per call even when two tests share a tag, and cleaned up when
+/// the guard drops (keep the guard alive across any reopen cycles).
+pub fn test_dir(tag: &str) -> TestDir {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!("{tag}-{}-{seq}", std::process::id()));
+    // A stale run (previous pid reuse, crashed process) may have left
+    // the path behind; tests expect a fresh tree.
+    let _ = std::fs::remove_dir_all(&path);
+    TestDir { path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_per_call_and_cleaned_on_drop() {
+        let a = test_dir("tb-testutil");
+        let b = test_dir("tb-testutil");
+        assert_ne!(a.path(), b.path(), "same tag must still be unique");
+        let file = a.join("probe.txt");
+        std::fs::create_dir_all(a.path()).unwrap();
+        std::fs::write(&file, b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropping the guard must remove the dir");
+        drop(b);
+    }
+
+    #[test]
+    fn cleaned_on_panic_unwind() {
+        let kept = {
+            let dir = test_dir("tb-testutil-panic");
+            let path = dir.create().to_path_buf();
+            std::fs::write(dir.join("probe"), b"x").unwrap();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _moved = dir;
+                panic!("boom");
+            }));
+            assert!(result.is_err());
+            path
+        };
+        assert!(!kept.exists(), "unwind must still clean the dir");
+    }
+}

@@ -519,10 +519,9 @@ mod tests {
 
     #[test]
     fn stats_snapshot_surfaces_lsm_batch_counters() {
-        let dir = std::env::temp_dir().join(format!("tb-fe-bstats-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tb_common::test_dir("tb-fe-bstats");
         let db = Arc::new(
-            tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(&dir)).expect("open lsm"),
+            tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(dir.path())).expect("open lsm"),
         );
         let fe = Frontend::start(db, FrontendConfig::with_shards(2));
         for i in 0..300 {
@@ -698,10 +697,9 @@ mod tests {
 
     #[test]
     fn group_commit_acks_after_durability_on_real_lsm() {
-        let dir = std::env::temp_dir().join(format!("tb-fe-lsm-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tb_common::test_dir("tb-fe-lsm");
         let db = Arc::new(
-            tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(&dir)).expect("open lsm"),
+            tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(dir.path())).expect("open lsm"),
         );
         let fe = Frontend::start(db, FrontendConfig::with_shards(2));
         let tickets: Vec<Ticket> = (0..500)
@@ -712,9 +710,74 @@ mod tests {
         }
         fe.shutdown();
         // Acked writes must be durable: reopen and read everything back.
-        let db = tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(&dir)).expect("reopen");
+        let db =
+            tb_lsm::LsmDb::open(tb_lsm::LsmConfig::small_for_tests(dir.path())).expect("reopen");
         for i in 0..500 {
             assert_eq!(db.get(&k(i)).unwrap(), Some(v(i)), "key {i} lost");
         }
+    }
+
+    #[test]
+    fn boosted_workers_share_the_engine_read_pool() {
+        // One pooled LSM engine behind a boosting front-end: every
+        // worker draining this shard — boosted siblings included —
+        // lowers its batches onto the same `apply_batch` path and so
+        // shares the engine's one read pool; the pool counters surface
+        // through the front-end's stats snapshot.
+        let dir = tb_common::test_dir("tb-fe-pool");
+        let mut config = tb_lsm::LsmConfig::small_for_tests(dir.path());
+        config.read_pool_threads = 2;
+        let db = Arc::new(tb_lsm::LsmDb::open(config).expect("open lsm"));
+        for i in 0..400 {
+            db.put(k(i), v(i)).unwrap();
+        }
+        db.flush().unwrap();
+        let fe = Arc::new(Frontend::start(
+            db,
+            FrontendConfig {
+                shards: 2,
+                max_batch: 32,
+                max_workers_per_shard: 3,
+                elastic: ElasticConfig {
+                    boost_depth: 8,
+                    shrink_depth: 1,
+                    sample_interval: Duration::from_millis(1),
+                    shrink_patience: 3,
+                },
+                ..FrontendConfig::default()
+            },
+        ));
+        // Concurrent batched readers pile depth onto the shards so the
+        // controller boosts, while every drained batch's staged reads
+        // flow through the shared pool.
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let fe = fe.clone();
+                s.spawn(move || {
+                    for round in 0..30 {
+                        let keys: Vec<Key> =
+                            (0..400).skip((t + round) % 7).step_by(3).map(k).collect();
+                        let got = fe.multi_get(&keys).unwrap();
+                        for (key, item) in keys.iter().zip(got) {
+                            assert!(item.is_some(), "missing {key:?}");
+                        }
+                    }
+                });
+            }
+        });
+        let batch = fe.stats_snapshot().engine_batch;
+        assert!(
+            batch.parallel_fetches > 0,
+            "no staged read ever reached the shared pool: {batch:?}"
+        );
+        assert_eq!(
+            batch.parallel_fetches, batch.blocks_read,
+            "with a pool configured every staged fetch is pooled"
+        );
+        assert!(
+            batch.read_pool_queue_depth > 0,
+            "queue-depth high-water mark never moved: {batch:?}"
+        );
+        fe.shutdown();
     }
 }

@@ -12,8 +12,9 @@
 
 use crate::compaction::{level_bytes, level_limit, merge_runs};
 use crate::memtable::{Entry, Memtable};
+use crate::read_pool::{FetchJob, ReadPool};
 use crate::sstable::{
-    find_in_block, sync_parent_dir, write_sstable, SstConfig, SstMeta, SstReader,
+    find_in_block, sync_parent_dir, write_sstable, BlockBuf, SstConfig, SstMeta, SstReader,
 };
 use crate::wal::{SyncPolicy, Wal};
 use parking_lot::RwLock;
@@ -44,6 +45,14 @@ pub struct LsmConfig {
     pub sst: SstConfig,
     /// WAL sync policy.
     pub wal_sync: SyncPolicy,
+    /// Worker threads of the shard-local block-fetch pool used by the
+    /// batched read path ([`LsmDb::apply_batch`]'s completion pass).
+    /// `0` (the default) keeps the inline path: staged reads fetched
+    /// sequentially on the submitting thread. With a pool, the deduped
+    /// fetch list is submitted as one chain — adjacent blocks coalesce
+    /// into span reads, fetches overlap across workers, results still
+    /// fill in submission order.
+    pub read_pool_threads: usize,
 }
 
 impl LsmConfig {
@@ -56,6 +65,7 @@ impl LsmConfig {
             max_level: 4,
             sst: SstConfig::default(),
             wal_sync: SyncPolicy::OsBuffer,
+            read_pool_threads: 0,
         }
     }
 
@@ -87,6 +97,11 @@ pub struct LsmStats {
     pub batch_block_dedup_hits: AtomicU64,
     /// Batched lookups resolved from the memtable without staging IO.
     pub batch_memtable_hits: AtomicU64,
+    /// Blocks fetched through the read pool (subset of
+    /// `batch_blocks_read`; zero with `read_pool_threads = 0`).
+    pub batch_parallel_fetches: AtomicU64,
+    /// High-water mark of block fetches outstanding in the pool at once.
+    pub read_pool_queue_depth: AtomicU64,
 }
 
 /// One batched lookup after the submission pass.
@@ -123,6 +138,10 @@ pub struct LsmDb {
     inner: RwLock<Inner>,
     config: LsmConfig,
     next_file_id: AtomicU64,
+    /// Shard-local block-fetch pool (`config.read_pool_threads > 0`).
+    /// One pool per engine: every front-end worker draining batches
+    /// onto this shard — boosted siblings included — shares it.
+    read_pool: Option<ReadPool>,
     pub stats: LsmStats,
 }
 
@@ -177,6 +196,8 @@ impl LsmDb {
             }
         }
 
+        let read_pool =
+            (config.read_pool_threads > 0).then(|| ReadPool::new(config.read_pool_threads));
         Ok(Self {
             inner: RwLock::new(Inner {
                 memtable,
@@ -185,8 +206,14 @@ impl LsmDb {
             }),
             next_file_id: AtomicU64::new(max_id + 1),
             config,
+            read_pool,
             stats: LsmStats::default(),
         })
+    }
+
+    /// Threads in the shard-local read pool (0 = inline completion).
+    pub fn read_pool_threads(&self) -> usize {
+        self.read_pool.as_ref().map_or(0, ReadPool::threads)
     }
 
     /// Inserts or overwrites a key.
@@ -286,6 +313,15 @@ impl LsmDb {
     /// staged tables are `Arc`-pinned, so the pass reads a consistent
     /// snapshot even if a concurrent flush or compaction rewrites the
     /// levels in between.
+    ///
+    /// With `read_pool_threads > 0` the completion pass submits the
+    /// deduped fetch list to the shard's [`ReadPool`] as one chain:
+    /// adjacent blocks coalesce into span reads, fetches overlap across
+    /// pool workers, blocks complete out of order into the shared
+    /// arena, and results still fill in submission order. Semantics are
+    /// identical to the inline path — same blocks, same dedup counters,
+    /// same per-slot error scoping, positionally identical
+    /// `batch.block_read` fault behavior.
     pub fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         let has_write = ops.iter().any(|op| {
@@ -352,16 +388,60 @@ impl LsmDb {
         } else {
             fault::hit("batch.complete")
         };
-        let blocks: Vec<Result<Vec<u8>>> = if pass.is_ok() {
+        let blocks: Vec<Result<BlockBuf>> = if pass.is_err() {
+            Vec::new()
+        } else if let Some(pool) = &self.read_pool {
+            // Pooled fetch: the whole deduped list goes to the shard's
+            // read pool as one chain — adjacent blocks coalesce into
+            // span reads, fetches overlap across pool workers (plus
+            // this thread), and results return in submission order.
+            //
+            // The `batch.block_read` fault pass runs *here*, on the
+            // submitting thread, in the same sorted fetch order the
+            // inline path uses: the Nth hit of the site fails exactly
+            // the Nth fetch with or without a pool (positional
+            // determinism), and a faulted fetch is never dispatched —
+            // its error scopes to the slots referencing that block
+            // alone, exactly like an inline read error.
+            let gates: Vec<Result<()>> = fetches
+                .iter()
+                .map(|_| fault::hit("batch.block_read"))
+                .collect();
+            let jobs: Vec<FetchJob> = fetches
+                .iter()
+                .zip(&gates)
+                .filter(|(_, gate)| gate.is_ok())
+                .map(|(&i, _)| {
+                    let (table, idx) = &cands[i as usize];
+                    FetchJob {
+                        table: table.clone(),
+                        block: *idx,
+                    }
+                })
+                .collect();
+            self.stats
+                .batch_parallel_fetches
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            let mut pooled = pool.fetch_chain(&jobs).into_iter();
+            self.stats
+                .read_pool_queue_depth
+                .fetch_max(pool.queue_depth_high_water(), Ordering::Relaxed);
+            gates
+                .into_iter()
+                .map(|gate| match gate {
+                    Ok(()) => pooled.next().expect("one pooled result per clean fetch"),
+                    Err(e) => Err(e),
+                })
+                .collect()
+        } else {
             fetches
                 .iter()
                 .map(|&i| {
                     let (table, idx) = &cands[i as usize];
-                    fault::hit("batch.block_read").and_then(|_| table.read_block(*idx))
+                    fault::hit("batch.block_read")
+                        .and_then(|_| table.read_block(*idx).map(BlockBuf::from_vec))
                 })
                 .collect()
-        } else {
-            Vec::new()
         };
         // Counted only when the pass ran: an aborted completion pass
         // fetched nothing, and the counters must say so.
@@ -383,7 +463,7 @@ impl LsmDb {
                         match &blocks[*slot as usize] {
                             Err(e) => return Err(e.clone()),
                             Ok(bytes) => {
-                                if let Some(entry) = find_in_block(bytes, &key)? {
+                                if let Some(entry) = find_in_block(bytes.as_slice(), &key)? {
                                     return Ok(entry.as_option().cloned());
                                 }
                             }
@@ -761,6 +841,8 @@ impl KvEngine for LsmDb {
             blocks_read: self.stats.batch_blocks_read.load(Ordering::Relaxed),
             block_dedup_hits: self.stats.batch_block_dedup_hits.load(Ordering::Relaxed),
             memtable_hits: self.stats.batch_memtable_hits.load(Ordering::Relaxed),
+            parallel_fetches: self.stats.batch_parallel_fetches.load(Ordering::Relaxed),
+            read_pool_queue_depth: self.stats.read_pool_queue_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -888,10 +970,8 @@ fn decode_wal_record(rec: &[u8]) -> Result<(Key, Entry)> {
 mod tests {
     use super::*;
 
-    fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("tb-lsm-{}-{}", name, std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
+    fn tmpdir(name: &str) -> tb_common::TestDir {
+        tb_common::test_dir(&format!("tb-lsm-{name}"))
     }
 
     fn k(i: usize) -> Key {
@@ -904,7 +984,8 @@ mod tests {
 
     #[test]
     fn put_get_delete_roundtrip() {
-        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("basic"))).unwrap();
+        let dir = tmpdir("basic");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         db.put(k(1), v(1, "a")).unwrap();
         assert_eq!(db.get(&k(1)).unwrap(), Some(v(1, "a")));
         db.delete(k(1)).unwrap();
@@ -914,7 +995,8 @@ mod tests {
 
     #[test]
     fn survives_flush_and_compaction() {
-        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("compact"))).unwrap();
+        let dir = tmpdir("compact");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         let n = 2000;
         for i in 0..n {
             db.put(k(i), v(i, "gen1")).unwrap();
@@ -946,13 +1028,13 @@ mod tests {
     fn recovery_from_wal_without_flush() {
         let dir = tmpdir("walrec");
         {
-            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
             db.put(k(1), v(1, "x")).unwrap();
             db.put(k(2), v(2, "x")).unwrap();
             db.delete(k(1)).unwrap();
             // Drop without flush: WAL is the only durable copy.
         }
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         assert_eq!(db.get(&k(1)).unwrap(), None);
         assert_eq!(db.get(&k(2)).unwrap(), Some(v(2, "x")));
     }
@@ -961,13 +1043,13 @@ mod tests {
     fn recovery_from_manifest_after_flush() {
         let dir = tmpdir("manifest");
         {
-            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
             for i in 0..500 {
                 db.put(k(i), v(i, "m")).unwrap();
             }
             db.flush().unwrap();
         }
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         for i in 0..500 {
             assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "m")), "key {i}");
         }
@@ -977,7 +1059,7 @@ mod tests {
     fn recovery_combines_manifest_and_wal() {
         let dir = tmpdir("mixed");
         {
-            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
             for i in 0..300 {
                 db.put(k(i), v(i, "old")).unwrap();
             }
@@ -987,7 +1069,7 @@ mod tests {
                 db.put(k(i), v(i, "new")).unwrap();
             }
         }
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         assert_eq!(db.get(&k(0)).unwrap(), Some(v(0, "new")));
         assert_eq!(db.get(&k(100)).unwrap(), Some(v(100, "old")));
     }
@@ -995,7 +1077,7 @@ mod tests {
     #[test]
     fn tombstones_dropped_at_bottom() {
         let dir = tmpdir("tomb");
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         for i in 0..1000 {
             db.put(k(i), v(i, "t")).unwrap();
         }
@@ -1016,7 +1098,8 @@ mod tests {
 
     #[test]
     fn overwrites_visible_across_flush_boundary() {
-        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("over"))).unwrap();
+        let dir = tmpdir("over");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         db.put(k(7), v(7, "first")).unwrap();
         db.flush().unwrap();
         db.put(k(7), v(7, "second")).unwrap();
@@ -1027,7 +1110,8 @@ mod tests {
 
     #[test]
     fn concurrent_readers_and_writer() {
-        let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("conc"))).unwrap());
+        let dir = tmpdir("conc");
+        let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap());
         for i in 0..200 {
             db.put(k(i), v(i, "c")).unwrap();
         }
@@ -1051,7 +1135,8 @@ mod tests {
 
     #[test]
     fn scan_prefix_merges_all_tiers() {
-        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("scan"))).unwrap();
+        let dir = tmpdir("scan");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         // Old versions land in SSTables...
         for i in 0..50 {
             db.put(Key::from(format!("user:{i:03}")), v(i, "old"))
@@ -1087,14 +1172,14 @@ mod tests {
     fn scan_prefix_survives_compaction_and_reopen() {
         let dir = tmpdir("scanreopen");
         {
-            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
             for i in 0..300 {
                 db.put(Key::from(format!("p:{i:04}")), v(i, "a")).unwrap();
             }
             db.delete(Key::from("p:0100")).unwrap();
             KvEngine::sync(&db).unwrap();
         }
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         let got = db.scan_prefix(b"p:").unwrap();
         assert_eq!(got.len(), 299);
     }
@@ -1112,7 +1197,7 @@ mod tests {
         use tb_common::fault::{self, FaultMode};
         let _g = crate::fault_test_gate();
         let dir = tmpdir("flushfail");
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         for i in 0..40 {
             db.put(k(i), v(i, "pre")).unwrap();
         }
@@ -1137,7 +1222,7 @@ mod tests {
         use tb_common::fault::{self, FaultMode};
         let _g = crate::fault_test_gate();
         let dir = tmpdir("compactfail");
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         // Two flushes fill L0 up to the trigger without compacting.
         for round in 0..2 {
             for i in 0..30 {
@@ -1164,7 +1249,7 @@ mod tests {
         }
         // Reopen agrees (WAL + manifest still cover everything).
         drop(db);
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         for i in 0..30 {
             assert_eq!(db.get(&k(i)).unwrap(), Some(v(i, "r2")), "key {i}");
         }
@@ -1174,7 +1259,7 @@ mod tests {
     fn open_sweeps_orphan_tables_and_tmp_files() {
         let dir = tmpdir("orphans");
         {
-            let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+            let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
             for i in 0..200 {
                 db.put(k(i), v(i, "o")).unwrap();
             }
@@ -1183,7 +1268,7 @@ mod tests {
         // Plant crash leftovers: an unreferenced table and a torn tmp.
         std::fs::write(dir.join("4242424242.sst"), b"orphaned table").unwrap();
         std::fs::write(dir.join("4242424242.tmp"), b"torn tmp").unwrap();
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         assert!(!dir.join("4242424242.sst").exists(), "orphan .sst swept");
         assert!(!dir.join("4242424242.tmp").exists(), "orphan .tmp swept");
         for i in 0..200 {
@@ -1196,7 +1281,8 @@ mod tests {
         // Big blocks + small values: many keys share one 4 KiB block,
         // so a multi-key batch over a flushed (disk-resident) working
         // set must collapse its staged reads.
-        let db = LsmDb::open(LsmConfig::new(tmpdir("batchdedup"))).unwrap();
+        let dir = tmpdir("batchdedup");
+        let db = LsmDb::open(LsmConfig::new(dir.path())).unwrap();
         let n = 512;
         for i in 0..n {
             db.put(k(i), v(i, "d")).unwrap();
@@ -1239,7 +1325,8 @@ mod tests {
 
     #[test]
     fn apply_batch_mixed_ops_in_submission_order() {
-        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("batchmix"))).unwrap();
+        let dir = tmpdir("batchmix");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         // Seed an SSTable-resident old value.
         db.put(k(1), v(1, "old")).unwrap();
         db.flush().unwrap();
@@ -1276,7 +1363,8 @@ mod tests {
 
     #[test]
     fn apply_batch_counts_memtable_hits() {
-        let db = LsmDb::open(LsmConfig::new(tmpdir("batchmem"))).unwrap();
+        let dir = tmpdir("batchmem");
+        let db = LsmDb::open(LsmConfig::new(dir.path())).unwrap();
         for i in 0..32 {
             db.put(k(i), v(i, "m")).unwrap(); // stays in the memtable
         }
@@ -1293,7 +1381,7 @@ mod tests {
         use tb_common::fault::{self, FaultMode};
         let _g = crate::fault_test_gate();
         let dir = tmpdir("batchfault");
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         for i in 0..64 {
             db.put(k(i), v(i, "f")).unwrap();
         }
@@ -1317,12 +1405,141 @@ mod tests {
 
     #[test]
     fn disk_bytes_grows_with_data() {
-        let db = LsmDb::open(LsmConfig::small_for_tests(tmpdir("bytes"))).unwrap();
+        let dir = tmpdir("bytes");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         let before = db.disk_bytes();
         for i in 0..500 {
             db.put(k(i), v(i, "b")).unwrap();
         }
         db.flush().unwrap();
         assert!(db.disk_bytes() > before);
+    }
+
+    /// Opens two stores over the same on-disk image — one inline, one
+    /// pooled — so tests can assert the pooled completion pass is
+    /// observationally identical to the inline one.
+    fn inline_and_pooled(name: &str, n: usize) -> (tb_common::TestDir, LsmDb, LsmDb) {
+        let dir = tmpdir(name);
+        let mut config = LsmConfig::small_for_tests(dir.path());
+        {
+            let db = LsmDb::open(config.clone()).unwrap();
+            for i in 0..n {
+                db.put(k(i), v(i, "p")).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let inline = LsmDb::open(config.clone()).unwrap();
+        config.read_pool_threads = 2;
+        // Second handle over the same dir: reads only (no writes below),
+        // so the duplicate WAL handle never comes into play.
+        let pooled = LsmDb::open(config).unwrap();
+        assert_eq!(inline.read_pool_threads(), 0);
+        assert_eq!(pooled.read_pool_threads(), 2);
+        (dir, inline, pooled)
+    }
+
+    #[test]
+    fn pooled_completion_matches_inline_results_and_dedup() {
+        let n = 600;
+        let (_dir, inline, pooled) = inline_and_pooled("poolparity", n);
+        let keys: Vec<Key> = (0..n).map(k).collect();
+        let a = inline.apply_batch(vec![EngineOp::MultiGet(keys.clone())]);
+        let b = pooled.apply_batch(vec![EngineOp::MultiGet(keys)]);
+        assert_eq!(a, b, "pooled results diverged from inline");
+        let sa = KvEngine::batch_read_stats(&inline);
+        let sb = KvEngine::batch_read_stats(&pooled);
+        // Same dedup: identical block fetch counts, overlapped IO only.
+        assert_eq!(sa.blocks_read, sb.blocks_read);
+        assert_eq!(sa.block_dedup_hits, sb.block_dedup_hits);
+        assert_eq!(sa.parallel_fetches, 0, "inline path never uses the pool");
+        assert_eq!(
+            sb.parallel_fetches, sb.blocks_read,
+            "every pooled fetch is counted"
+        );
+        assert!(
+            sb.read_pool_queue_depth >= sb.blocks_read.min(2),
+            "queue-depth high-water never observed: {sb:?}"
+        );
+    }
+
+    #[test]
+    fn pooled_block_read_fault_is_positionally_deterministic() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let n = 400;
+        let (_dir, inline, pooled) = inline_and_pooled("poolfault", n);
+        let keys: Vec<Key> = (0..n).map(k).collect();
+        // For every hit position the fault can land on, the inline and
+        // pooled passes must fail the exact same completion slots.
+        let clean = inline.apply_batch(vec![EngineOp::MultiGet(keys.clone())]);
+        let total_fetches = KvEngine::batch_read_stats(&inline).blocks_read;
+        assert!(total_fetches >= 2, "working set too small to be staged");
+        for hit in 1..=total_fetches {
+            let mut failed = Vec::new();
+            for (which, db) in [(0, &inline), (1, &pooled)] {
+                // One Get per key (instead of one MultiGet) so per-slot
+                // error scoping is visible in the completions.
+                fault::arm_scoped("batch.block_read", hit, FaultMode::Error);
+                let per_key =
+                    db.apply_batch(keys.iter().map(|key| EngineOp::Get(key.clone())).collect());
+                fault::reset();
+                let errs: Vec<usize> = per_key
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.is_err().then_some(i))
+                    .collect();
+                assert!(
+                    !errs.is_empty(),
+                    "hit {hit} never fired ({which}: fetches={total_fetches})"
+                );
+                for (i, r) in per_key.iter().enumerate() {
+                    if let Ok(outcome) = r {
+                        assert_eq!(
+                            outcome,
+                            &OpOutcome::Value(match &clean[0] {
+                                Ok(OpOutcome::Values(vs)) => vs[i].clone(),
+                                other => panic!("clean run failed: {other:?}"),
+                            }),
+                            "slot {i} answered differently under an unrelated fault"
+                        );
+                    }
+                }
+                failed.push(errs);
+            }
+            assert_eq!(
+                failed[0], failed[1],
+                "hit {hit}: pooled fault landed on different slots than inline"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_fetch_failure_scopes_to_slots_sharing_the_block() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let n = 400;
+        let (_dir, inline, pooled) = inline_and_pooled("poolscope", n);
+        // Two keys far apart: distinct blocks, so a fault on the first
+        // key's block must leave the second key's slot untouched.
+        let probe = vec![EngineOp::Get(k(2)), EngineOp::Get(k(n - 2))];
+        for db in [&inline, &pooled] {
+            let clean = db.apply_batch(probe.clone());
+            assert_eq!(clean[0], Ok(OpOutcome::Value(Some(v(2, "p")))));
+            assert_eq!(clean[1], Ok(OpOutcome::Value(Some(v(n - 2, "p")))));
+            fault::arm_scoped("batch.block_read", 1, FaultMode::Error);
+            let outcomes = db.apply_batch(probe.clone());
+            fault::reset();
+            assert!(
+                matches!(outcomes[0], Err(Error::FaultInjected(_))),
+                "first staged fetch must carry the injected error: {:?}",
+                outcomes[0]
+            );
+            assert_eq!(
+                outcomes[1],
+                Ok(OpOutcome::Value(Some(v(n - 2, "p")))),
+                "a failed fetch poisoned an unrelated slot ({})",
+                db.read_pool_threads()
+            );
+        }
     }
 }

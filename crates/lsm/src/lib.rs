@@ -28,11 +28,13 @@ pub(crate) fn fault_test_gate() -> parking_lot::MutexGuard<'static, ()> {
 }
 pub mod db;
 pub mod memtable;
+pub mod read_pool;
 pub mod remote;
 pub mod sstable;
 pub mod wal;
 
 pub use db::{LsmConfig, LsmDb};
+pub use read_pool::ReadPool;
 pub use remote::{DisaggregatedStore, NetworkModel};
 
 /// Every named fault point threaded through this crate's IO surface

@@ -216,16 +216,15 @@ mod tests {
     use super::*;
     use crate::db::LsmConfig;
 
-    fn store(name: &str, network: NetworkModel) -> DisaggregatedStore {
-        let dir = std::env::temp_dir().join(format!("tb-remote-{name}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir)).unwrap());
-        DisaggregatedStore::new(db, network)
+    fn store(name: &str, network: NetworkModel) -> (tb_common::TestDir, DisaggregatedStore) {
+        let dir = tb_common::test_dir(&format!("tb-remote-{name}"));
+        let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap());
+        (dir, DisaggregatedStore::new(db, network))
     }
 
     #[test]
     fn remote_roundtrip() {
-        let s = store("rt", NetworkModel::none());
+        let (_dir, s) = store("rt", NetworkModel::none());
         s.put(Key::from("a"), Value::from("1")).unwrap();
         assert_eq!(s.get(&Key::from("a")).unwrap(), Some(Value::from("1")));
         s.delete(&Key::from("a")).unwrap();
@@ -235,7 +234,7 @@ mod tests {
 
     #[test]
     fn batch_apis_count_one_call() {
-        let s = store("batch", NetworkModel::none());
+        let (_dir, s) = store("batch", NetworkModel::none());
         let items: Vec<(Key, Value)> = (0..50)
             .map(|i| (Key::from(format!("k{i}")), Value::from(format!("v{i}"))))
             .collect();
@@ -251,7 +250,7 @@ mod tests {
 
     #[test]
     fn network_latency_slows_calls() {
-        let s = store(
+        let (_dir, s) = store(
             "slow",
             NetworkModel {
                 rtt_us: 2000,
@@ -275,8 +274,8 @@ mod tests {
             rtt_us: 1000,
             per_kib_us: 0,
         };
-        let s1 = store("amort1", net);
-        let s2 = store("amort2", net);
+        let (_dir, s1) = store("amort1", net);
+        let (_dir, s2) = store("amort2", net);
         let items: Vec<(Key, Value)> = (0..20)
             .map(|i| (Key::from(format!("k{i}")), Value::from("v")))
             .collect();

@@ -190,9 +190,44 @@ struct IndexEntry {
     len: u32,
 }
 
+/// One fetched data block, possibly a window into a larger coalesced
+/// span read shared (refcounted, copy-free) with its neighbor blocks.
+#[derive(Debug, Clone)]
+pub struct BlockBuf {
+    span: std::sync::Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl BlockBuf {
+    /// Wraps a single-block buffer (the inline read path).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        let end = buf.len();
+        Self {
+            span: std::sync::Arc::new(buf),
+            start: 0,
+            end,
+        }
+    }
+
+    /// The block's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.span[self.start..self.end]
+    }
+}
+
 /// An open SSTable: sparse index + bloom filter in memory, data on disk.
+///
+/// Block reads are positional (`pread`-style), so any number of
+/// threads — the tree-lock-free completion pass, the parallel
+/// [`crate::read_pool::ReadPool`] workers — can fetch blocks from one
+/// reader concurrently without serializing on a seek cursor.
 pub struct SstReader {
-    file: parking_lot::Mutex<File>,
+    file: File,
+    /// Platforms without a positional read serialize their shared
+    /// seek+read here; unix/windows read positionally, lock-free.
+    #[cfg(not(any(unix, windows)))]
+    seek_lock: parking_lot::Mutex<()>,
     index: Vec<IndexEntry>,
     bloom: BloomFilter,
     pub meta: SstMeta,
@@ -259,7 +294,9 @@ impl SstReader {
         }
 
         Ok(Self {
-            file: parking_lot::Mutex::new(file),
+            file,
+            #[cfg(not(any(unix, windows)))]
+            seek_lock: parking_lot::Mutex::new(()),
             index,
             bloom,
             meta,
@@ -314,10 +351,89 @@ impl SstReader {
     pub fn read_block(&self, idx: usize) -> Result<Vec<u8>> {
         let e = &self.index[idx];
         let mut buf = vec![0u8; e.len as usize];
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(e.offset))?;
-        file.read_exact(&mut buf)?;
+        self.read_at(&mut buf, e.offset)?;
         Ok(buf)
+    }
+
+    /// Number of data blocks in this table.
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Reads `count` consecutive data blocks starting at `first` with
+    /// one positional read of the whole span — data blocks are laid out
+    /// back-to-back, so a sorted per-batch fetch chain can coalesce an
+    /// adjacent run into a single syscall (the buffered stand-in for
+    /// one io_uring SQE chain over the run). Returns one [`BlockBuf`]
+    /// per block, aligned with `first..first + count`; all of them
+    /// share the single span allocation (no per-block copy).
+    pub fn read_blocks(&self, first: usize, count: usize) -> Result<Vec<BlockBuf>> {
+        debug_assert!(count > 0 && first + count <= self.index.len());
+        if count == 1 {
+            return Ok(vec![BlockBuf::from_vec(self.read_block(first)?)]);
+        }
+        let run = &self.index[first..first + count];
+        let span: u64 = run.iter().map(|e| e.len as u64).sum();
+        let contiguous = run
+            .windows(2)
+            .all(|w| w[0].offset + w[0].len as u64 == w[1].offset);
+        if !contiguous {
+            // Defensive: a gap in the layout falls back to block reads.
+            return run
+                .iter()
+                .enumerate()
+                .map(|(i, _)| Ok(BlockBuf::from_vec(self.read_block(first + i)?)))
+                .collect();
+        }
+        let mut buf = vec![0u8; span as usize];
+        self.read_at(&mut buf, run[0].offset)?;
+        let span = std::sync::Arc::new(buf);
+        let mut out = Vec::with_capacity(count);
+        let mut pos = 0usize;
+        for e in run {
+            out.push(BlockBuf {
+                span: span.clone(),
+                start: pos,
+                end: pos + e.len as usize,
+            });
+            pos += e.len as usize;
+        }
+        Ok(out)
+    }
+
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)?;
+        Ok(())
+    }
+
+    #[cfg(windows)]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        // seek_read moves the handle's cursor, but nothing else relies
+        // on it — every read path in this reader is positional.
+        use std::os::windows::fs::FileExt;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let n = self.file.seek_read(&mut buf[pos..], offset + pos as u64)?;
+            if n == 0 {
+                return Err(Error::Corruption("sstable read past end of file".into()));
+            }
+            pos += n;
+        }
+        Ok(())
+    }
+
+    #[cfg(not(any(unix, windows)))]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        // No positional read: serialize seek+read on the *retained*
+        // handle. Re-opening by path would break the Arc-pinned
+        // snapshot guarantee once a compaction unlinks this table.
+        let _guard = self.seek_lock.lock();
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)?;
+        Ok(())
     }
 }
 
@@ -366,10 +482,8 @@ fn decode_entry(block: &[u8], mut pos: usize) -> Result<(Key, Entry, usize)> {
 mod tests {
     use super::*;
 
-    fn tmpdir() -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("tb-sst-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
+    fn tmpdir() -> tb_common::TestDir {
+        tb_common::test_dir("tb-sst")
     }
 
     fn sample_entries(n: usize) -> Vec<(Key, Entry)> {
@@ -388,16 +502,17 @@ mod tests {
             .collect()
     }
 
-    fn build(name: &str, entries: Vec<(Key, Entry)>) -> SstReader {
-        let path = tmpdir().join(name);
+    fn build(name: &str, entries: Vec<(Key, Entry)>) -> (tb_common::TestDir, SstReader) {
+        let dir = tmpdir();
+        let path = dir.create().join(name);
         let meta = write_sstable(1, &path, entries.into_iter(), &SstConfig::default()).unwrap();
-        SstReader::open(meta).unwrap()
+        (dir, SstReader::open(meta).unwrap())
     }
 
     #[test]
     fn write_open_get_all() {
         let entries = sample_entries(500);
-        let r = build("basic.sst", entries.clone());
+        let (_dir, r) = build("basic.sst", entries.clone());
         assert_eq!(r.meta.entry_count, 500);
         for (k, e) in &entries {
             let got = r.get(k).unwrap();
@@ -407,7 +522,7 @@ mod tests {
 
     #[test]
     fn absent_keys_return_none() {
-        let r = build("absent.sst", sample_entries(100));
+        let (_dir, r) = build("absent.sst", sample_entries(100));
         assert_eq!(r.get(&Key::from("nope")).unwrap(), None);
         assert_eq!(r.get(&Key::from("key-000000a")).unwrap(), None);
         assert_eq!(r.get(&Key::from("zzz")).unwrap(), None);
@@ -417,14 +532,15 @@ mod tests {
     #[test]
     fn scan_returns_sorted_everything() {
         let entries = sample_entries(300);
-        let r = build("scan.sst", entries.clone());
+        let (_dir, r) = build("scan.sst", entries.clone());
         let scanned = r.scan().unwrap();
         assert_eq!(scanned, entries);
     }
 
     #[test]
     fn unsorted_input_rejected() {
-        let path = tmpdir().join("unsorted.sst");
+        let dir = tmpdir();
+        let path = dir.create().join("unsorted.sst");
         let entries = vec![
             (Key::from("b"), Entry::Put(Value::from("1"))),
             (Key::from("a"), Entry::Put(Value::from("2"))),
@@ -434,7 +550,8 @@ mod tests {
 
     #[test]
     fn duplicate_keys_rejected() {
-        let path = tmpdir().join("dup.sst");
+        let dir = tmpdir();
+        let path = dir.create().join("dup.sst");
         let entries = vec![
             (Key::from("a"), Entry::Put(Value::from("1"))),
             (Key::from("a"), Entry::Put(Value::from("2"))),
@@ -444,13 +561,15 @@ mod tests {
 
     #[test]
     fn empty_table_rejected() {
-        let path = tmpdir().join("empty.sst");
+        let dir = tmpdir();
+        let path = dir.create().join("empty.sst");
         assert!(write_sstable(1, &path, std::iter::empty(), &SstConfig::default()).is_err());
     }
 
     #[test]
     fn corrupted_footer_detected() {
-        let path = tmpdir().join("corrupt.sst");
+        let dir = tmpdir();
+        let path = dir.create().join("corrupt.sst");
         let meta = write_sstable(
             1,
             &path,
@@ -468,7 +587,8 @@ mod tests {
 
     #[test]
     fn truncated_file_detected() {
-        let path = tmpdir().join("trunc.sst");
+        let dir = tmpdir();
+        let path = dir.create().join("trunc.sst");
         let meta = write_sstable(
             1,
             &path,
@@ -483,7 +603,8 @@ mod tests {
 
     #[test]
     fn small_blocks_force_multiple_index_entries() {
-        let path = tmpdir().join("blocks.sst");
+        let dir = tmpdir();
+        let path = dir.create().join("blocks.sst");
         let cfg = SstConfig {
             block_size: 64,
             bloom_bits_per_key: 10,
@@ -503,7 +624,7 @@ mod tests {
 
     #[test]
     fn single_entry_table() {
-        let r = build(
+        let (_dir, r) = build(
             "single.sst",
             vec![(Key::from("only"), Entry::Put(Value::from("one")))],
         );
@@ -512,5 +633,63 @@ mod tests {
             Some(Entry::Put(Value::from("one")))
         );
         assert_eq!(r.meta.min_key, r.meta.max_key);
+    }
+
+    #[test]
+    fn span_read_matches_per_block_reads() {
+        let dir = tmpdir();
+        let path = dir.create().join("span.sst");
+        let cfg = SstConfig {
+            block_size: 128,
+            bloom_bits_per_key: 10,
+        };
+        let meta = write_sstable(1, &path, sample_entries(300).into_iter(), &cfg).unwrap();
+        let r = SstReader::open(meta).unwrap();
+        let blocks = r.block_count();
+        assert!(blocks > 8, "span test needs many blocks, got {blocks}");
+        // Every run shape: full table, interior runs, single block, tail.
+        for (first, count) in [(0, blocks), (1, blocks - 2), (3, 1), (blocks - 2, 2)] {
+            let spans = r.read_blocks(first, count).unwrap();
+            assert_eq!(spans.len(), count);
+            for (i, span) in spans.iter().enumerate() {
+                assert_eq!(
+                    span.as_slice(),
+                    r.read_block(first + i).unwrap().as_slice(),
+                    "span read of block {} diverged",
+                    first + i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_positional_reads_share_one_reader() {
+        let dir = tmpdir();
+        let path = dir.create().join("pread.sst");
+        let entries = sample_entries(400);
+        let meta = write_sstable(
+            1,
+            &path,
+            entries.clone().into_iter(),
+            &SstConfig {
+                block_size: 256,
+                bloom_bits_per_key: 10,
+            },
+        )
+        .unwrap();
+        let r = std::sync::Arc::new(SstReader::open(meta).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = r.clone();
+                let entries = &entries;
+                s.spawn(move || {
+                    for (i, (k, e)) in entries.iter().enumerate() {
+                        if i % 4 == t {
+                            assert_eq!(r.get(k).unwrap().as_ref(), Some(e), "key {k:?}");
+                        }
+                    }
+                });
+            }
+        });
     }
 }

@@ -237,17 +237,15 @@ fn has_frame_after(buf: &[u8], from: usize) -> bool {
 mod tests {
     use super::*;
 
-    fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join("tb-wal-tests");
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = dir.join(format!("{name}-{}", std::process::id()));
-        let _ = std::fs::remove_file(&p);
-        p
+    fn tmp(name: &str) -> (tb_common::TestDir, PathBuf) {
+        let dir = tb_common::test_dir(&format!("tb-wal-{name}"));
+        let p = dir.create().join("WAL");
+        (dir, p)
     }
 
     #[test]
     fn append_replay_roundtrip() {
-        let p = tmp("roundtrip");
+        let (_dir, p) = tmp("roundtrip");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             wal.append(b"one").unwrap();
@@ -260,13 +258,13 @@ mod tests {
 
     #[test]
     fn missing_file_replays_empty() {
-        let p = tmp("missing");
+        let (_dir, p) = tmp("missing");
         assert!(Wal::replay(&p).unwrap().is_empty());
     }
 
     #[test]
     fn torn_tail_is_truncated() {
-        let p = tmp("torn");
+        let (_dir, p) = tmp("torn");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             wal.append(b"intact-record").unwrap();
@@ -293,7 +291,7 @@ mod tests {
 
     #[test]
     fn corrupted_middle_record_surfaces_error() {
-        let p = tmp("corrupt");
+        let (_dir, p) = tmp("corrupt");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             wal.append(b"good").unwrap();
@@ -318,7 +316,7 @@ mod tests {
 
     #[test]
     fn corruption_before_trailing_empty_record_is_surfaced() {
-        let p = tmp("corrupt-before-empty");
+        let (_dir, p) = tmp("corrupt-before-empty");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             wal.append(b"will-be-corrupted").unwrap();
@@ -336,7 +334,7 @@ mod tests {
 
     #[test]
     fn corrupted_last_record_is_a_torn_tail() {
-        let p = tmp("corrupt-last");
+        let (_dir, p) = tmp("corrupt-last");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             wal.append(b"good-first").unwrap();
@@ -358,7 +356,7 @@ mod tests {
     fn failed_append_is_repaired_not_left_as_garbage() {
         use tb_common::fault::{self, FaultMode};
         let _g = crate::fault_test_gate();
-        let p = tmp("append-repair");
+        let (_dir, p) = tmp("append-repair");
         let mut wal = Wal::open(&p, SyncPolicy::OsBuffer).unwrap();
         wal.append(b"before-the-fault").unwrap();
         // The payload write fails after the header entered the buffer.
@@ -379,7 +377,7 @@ mod tests {
 
     #[test]
     fn reset_empties_log() {
-        let p = tmp("reset");
+        let (_dir, p) = tmp("reset");
         let mut wal = Wal::open(&p, SyncPolicy::OsBuffer).unwrap();
         wal.append(b"flushed-to-sstable").unwrap();
         assert!(!wal.is_empty());
@@ -391,7 +389,7 @@ mod tests {
 
     #[test]
     fn reopen_appends_after_existing() {
-        let p = tmp("reopen");
+        let (_dir, p) = tmp("reopen");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             wal.append(b"first").unwrap();

@@ -72,9 +72,8 @@ mod tests {
 
     #[test]
     fn umbrella_reexports_work() {
-        let dir = std::env::temp_dir().join(format!("tb-umbrella-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let store = TierBase::open(TierBaseConfig::builder(dir).build()).unwrap();
+        let dir = tb_common::test_dir("tb-umbrella");
+        let store = TierBase::open(TierBaseConfig::builder(dir.path()).build()).unwrap();
         store.put(Key::from("k"), Value::from("v")).unwrap();
         assert_eq!(store.get(&Key::from("k")).unwrap(), Some(Value::from("v")));
     }

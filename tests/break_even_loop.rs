@@ -9,10 +9,8 @@ use tierbase::common::ManualClock;
 use tierbase::costmodel::{BreakEvenTable, CostMetrics};
 use tierbase::prelude::*;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-it-be-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-it-be-{name}"))
 }
 
 /// A Table 3-like ladder: Raw is fastest and most space-hungry, PMem in
@@ -29,8 +27,9 @@ fn ladder() -> BreakEvenTable {
 
 fn drive(interval: Duration, rounds: usize) -> Option<f64> {
     let clock = ManualClock::new();
+    let dir = tmpdir(&format!("drive-{}", interval.as_secs()));
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir(&format!("drive-{}", interval.as_secs())))
+        TierBaseConfig::builder(dir.path())
             .clock(clock.clone() as Arc<_>)
             .build(),
     )
@@ -80,8 +79,9 @@ fn cold_workload_recommends_compression() {
 #[test]
 fn insight_surfaces_the_interval() {
     let clock = ManualClock::new();
+    let dir = tmpdir("insight");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("insight"))
+        TierBaseConfig::builder(dir.path())
             .clock(clock.clone() as Arc<_>)
             .build(),
     )

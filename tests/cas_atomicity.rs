@@ -14,10 +14,8 @@ use tierbase::frontend::{Frontend, FrontendConfig};
 use tierbase::lsm::{LsmConfig, LsmDb};
 use tierbase::prelude::*;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-cas-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-cas-{name}"))
 }
 
 fn parse_counter(v: &Value) -> u64 {
@@ -133,7 +131,8 @@ fn dragonfly_like_cas_is_atomic() {
 
 #[test]
 fn lsm_db_cas_is_atomic() {
-    let engine = LsmDb::open(LsmConfig::small_for_tests(tmpdir("lsm"))).unwrap();
+    let dir = tmpdir("lsm");
+    let engine = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
     assert_eq!(hammer_counter(&engine, 4, 50), 200);
 }
 
@@ -141,7 +140,8 @@ fn lsm_db_cas_is_atomic() {
 fn frontend_pipelined_cas_is_atomic() {
     // CAS submitted through the pipeline resolves against the LSM's
     // atomic override, so boosted (multi-worker) shards stay safe.
-    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("frontend"))).unwrap());
+    let dir = tmpdir("frontend");
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap());
     let fe = Frontend::start(db, FrontendConfig::with_shards(2));
     assert_eq!(hammer_counter(&fe, 4, 50), 200);
     fe.shutdown();

@@ -10,18 +10,19 @@ use tierbase::costmodel::{
 use tierbase::prelude::*;
 use tierbase::workload::DatasetKind;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-it-cost-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-it-cost-{name}"))
 }
 
 fn open(
     name: &str,
     f: impl FnOnce(tierbase::store::TierBaseConfigBuilder) -> tierbase::store::TierBaseConfigBuilder,
-) -> TierBase {
-    TierBase::open(f(TierBaseConfig::builder(tmpdir(name)).cache_capacity(128 << 20)).build())
-        .unwrap()
+) -> (tierbase::common::TestDir, TierBase) {
+    let dir = tmpdir(name);
+    let store =
+        TierBase::open(f(TierBaseConfig::builder(dir.path()).cache_capacity(128 << 20)).build())
+            .unwrap();
+    (dir, store)
 }
 
 /// Space-critical workload (large volume, low throughput): compression
@@ -35,8 +36,8 @@ fn space_critical_workload_selects_compression() {
     let demand = WorkloadDemand::new(1_000.0, 500.0); // low QPS, big data
     let evaluator = CostEvaluator::new(InstanceSpec::standard(), demand);
 
-    let raw = open("sc-raw", |b| b);
-    let pbc = open("sc-pbc", |b| b.compression(CompressionChoice::Pbc));
+    let (_raw_dir, raw) = open("sc-raw", |b| b);
+    let (_pbc_dir, pbc) = open("sc-pbc", |b| b.compression(CompressionChoice::Pbc));
     let dataset = DatasetKind::Kv1.build(0xca5e1);
     let samples: Vec<Vec<u8>> = (0..512u64).map(|i| dataset.record(i)).collect();
     pbc.train_compression(&samples);
@@ -72,8 +73,8 @@ fn performance_critical_workload_selects_raw() {
     let demand = WorkloadDemand::new(10_000_000.0, 0.5); // huge QPS, tiny data
     let evaluator = CostEvaluator::new(InstanceSpec::standard(), demand);
 
-    let raw = open("pc-raw", |b| b);
-    let pbc = open("pc-pbc", |b| b.compression(CompressionChoice::Pbc));
+    let (_raw_dir, raw) = open("pc-raw", |b| b);
+    let (_pbc_dir, pbc) = open("pc-pbc", |b| b.compression(CompressionChoice::Pbc));
     let dataset = DatasetKind::Cities.build(0x5eed);
     let samples: Vec<Vec<u8>> = (0..512u64).map(|i| dataset.record(i)).collect();
     pbc.train_compression(&samples);
@@ -192,7 +193,7 @@ fn cache_ratio_sweep_shows_the_tradeoff() {
 
     let mut measured = Vec::new();
     for ratio in [1usize, 3, 6] {
-        let store = open(&format!("sweep-{ratio}"), |b| {
+        let (_dir, store) = open(&format!("sweep-{ratio}"), |b| {
             b.cache_capacity((logical / ratio).max(64 << 10))
                 .policy(SyncPolicy::WriteBack)
         });

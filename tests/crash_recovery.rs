@@ -3,10 +3,8 @@
 
 use tierbase::prelude::*;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-it-crash-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-it-crash-{name}"))
 }
 
 fn k(i: usize) -> Key {
@@ -22,7 +20,7 @@ fn wal_mode_recovers_every_acknowledged_write() {
     let dir = tmpdir("wal-ack");
     {
         let store = TierBase::open(
-            TierBaseConfig::builder(&dir)
+            TierBaseConfig::builder(dir.path())
                 .cache_capacity(64 << 20)
                 .persistence(PersistenceMode::Wal)
                 .build(),
@@ -38,7 +36,7 @@ fn wal_mode_recovers_every_acknowledged_write() {
         // Simulated crash: drop without any further flushing.
     }
     let store = TierBase::open(
-        TierBaseConfig::builder(&dir)
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 20)
             .persistence(PersistenceMode::Wal)
             .build(),
@@ -56,7 +54,7 @@ fn wal_torn_tail_loses_only_the_torn_suffix() {
     let dir = tmpdir("wal-torn");
     {
         let store = TierBase::open(
-            TierBaseConfig::builder(&dir)
+            TierBaseConfig::builder(dir.path())
                 .cache_capacity(64 << 20)
                 .persistence(PersistenceMode::Wal)
                 .build(),
@@ -77,7 +75,7 @@ fn wal_torn_tail_loses_only_the_torn_suffix() {
         f.write_all(b"torn-frag").unwrap();
     }
     let store = TierBase::open(
-        TierBaseConfig::builder(&dir)
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 20)
             .persistence(PersistenceMode::Wal)
             .build(),
@@ -101,7 +99,7 @@ fn wal_mid_log_corruption_is_surfaced_not_swallowed() {
     let dir = tmpdir("wal-midcorrupt");
     {
         let store = TierBase::open(
-            TierBaseConfig::builder(&dir)
+            TierBaseConfig::builder(dir.path())
                 .cache_capacity(64 << 20)
                 .persistence(PersistenceMode::Wal)
                 .build(),
@@ -125,7 +123,7 @@ fn wal_mid_log_corruption_is_surfaced_not_swallowed() {
         f.write_all(b"\xde\xad").unwrap();
     }
     match TierBase::open(
-        TierBaseConfig::builder(&dir)
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 20)
             .persistence(PersistenceMode::Wal)
             .build(),
@@ -141,7 +139,7 @@ fn wal_pmem_mode_recovers_from_ring() {
     let dir = tmpdir("pmem");
     {
         let store = TierBase::open(
-            TierBaseConfig::builder(&dir)
+            TierBaseConfig::builder(dir.path())
                 .cache_capacity(64 << 20)
                 .persistence(PersistenceMode::WalPmem)
                 .pmem_ring_bytes(4 << 20)
@@ -154,7 +152,7 @@ fn wal_pmem_mode_recovers_from_ring() {
         // No explicit sync: WAL-PMem persists per transaction.
     }
     let store = TierBase::open(
-        TierBaseConfig::builder(&dir)
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 20)
             .persistence(PersistenceMode::WalPmem)
             .pmem_ring_bytes(4 << 20)
@@ -171,7 +169,7 @@ fn write_through_survives_crash_without_any_cache_persistence() {
     let dir = tmpdir("wt");
     {
         let store = TierBase::open(
-            TierBaseConfig::builder(&dir)
+            TierBaseConfig::builder(dir.path())
                 .cache_capacity(1 << 20)
                 .policy(SyncPolicy::WriteThrough)
                 .build(),
@@ -183,7 +181,7 @@ fn write_through_survives_crash_without_any_cache_persistence() {
         store.sync().unwrap();
     }
     let store = TierBase::open(
-        TierBaseConfig::builder(&dir)
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(1 << 20)
             .policy(SyncPolicy::WriteThrough)
             .build(),
@@ -199,7 +197,7 @@ fn write_back_synced_data_survives_unsynced_may_not() {
     let dir = tmpdir("wb");
     {
         let store = TierBase::open(
-            TierBaseConfig::builder(&dir)
+            TierBaseConfig::builder(dir.path())
                 .cache_capacity(64 << 20)
                 .policy(SyncPolicy::WriteBack)
                 .write_back(tierbase::store::WriteBackTuning {
@@ -222,7 +220,7 @@ fn write_back_synced_data_survives_unsynced_may_not() {
         // paper's cache-only dirty data is lost too).
     }
     let store = TierBase::open(
-        TierBaseConfig::builder(&dir)
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 20)
             .policy(SyncPolicy::WriteBack)
             .build(),
@@ -245,7 +243,7 @@ fn lsm_storage_tier_recovers_through_compactions() {
     use tierbase::lsm::{LsmConfig, LsmDb};
     let dir = tmpdir("lsm-deep");
     {
-        let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         for round in 0..3 {
             for i in 0..800 {
                 db.put(k(i), Value::from(format!("gen{round}-{i}")))
@@ -254,7 +252,7 @@ fn lsm_storage_tier_recovers_through_compactions() {
             db.flush().unwrap();
         }
     }
-    let db = LsmDb::open(LsmConfig::small_for_tests(&dir)).unwrap();
+    let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
     for i in 0..800 {
         assert_eq!(
             db.get(&k(i)).unwrap(),

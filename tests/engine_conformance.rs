@@ -13,10 +13,8 @@ use tierbase::frontend::{Frontend, FrontendConfig};
 use tierbase::lsm::{DisaggregatedStore, LsmConfig, LsmDb, NetworkModel};
 use tierbase::prelude::*;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-conf-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-conf-{name}"))
 }
 
 fn k(tag: &str, i: usize) -> Key {
@@ -212,7 +210,8 @@ fn redis_like_conforms() {
 
 #[test]
 fn redis_aof_conforms() {
-    conformance(&RedisLike::with_aof(&tmpdir("redis-aof")).unwrap());
+    let dir = tmpdir("redis-aof");
+    conformance(&RedisLike::with_aof(dir.path()).unwrap());
 }
 
 #[test]
@@ -228,28 +227,33 @@ fn dragonfly_like_conforms() {
 
 #[test]
 fn cassandra_like_conforms() {
-    conformance(&CassandraLike::open(&tmpdir("cassandra")).unwrap());
+    let dir = tmpdir("cassandra");
+    conformance(&CassandraLike::open(dir.path()).unwrap());
 }
 
 #[test]
 fn hbase_like_conforms() {
-    conformance(&HBaseLike::open(&tmpdir("hbase")).unwrap());
+    let dir = tmpdir("hbase");
+    conformance(&HBaseLike::open(dir.path()).unwrap());
 }
 
 #[test]
 fn lsm_db_conforms() {
-    conformance(&LsmDb::open(LsmConfig::small_for_tests(tmpdir("lsm"))).unwrap());
+    let dir = tmpdir("lsm");
+    conformance(&LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap());
 }
 
 #[test]
 fn disaggregated_store_conforms() {
-    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("disagg"))).unwrap());
+    let dir = tmpdir("disagg");
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap());
     conformance(&DisaggregatedStore::new(db, NetworkModel::none()));
 }
 
 #[test]
 fn tierbase_conforms() {
-    let tb = TierBase::open(TierBaseConfig::builder(tmpdir("tierbase")).build()).unwrap();
+    let dir = tmpdir("tierbase");
+    let tb = TierBase::open(TierBaseConfig::builder(dir.path()).build()).unwrap();
     conformance(&tb);
 }
 
@@ -264,7 +268,8 @@ fn cluster_proxy_conforms() {
 
 #[test]
 fn frontend_over_lsm_conforms() {
-    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("fe-lsm"))).unwrap());
+    let dir = tmpdir("fe-lsm");
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap());
     let fe = Frontend::start(db, FrontendConfig::with_shards(4));
     conformance(&fe);
     fe.shutdown();
@@ -292,7 +297,8 @@ fn frontend_boosted_over_lsm_conforms() {
     // when batches execute on sibling workers.
     use std::time::Duration;
     use tierbase::frontend::ElasticConfig;
-    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(tmpdir("fe-lsm-boost"))).unwrap());
+    let dir = tmpdir("fe-lsm-boost");
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap());
     let fe = Frontend::start(
         db,
         FrontendConfig {

@@ -4,10 +4,8 @@
 
 use tierbase::prelude::*;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-it-fault-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-it-fault-{name}"))
 }
 
 fn k(i: usize) -> Key {
@@ -20,8 +18,9 @@ fn v(tag: &str, i: usize) -> Value {
 
 #[test]
 fn write_through_never_serves_unacknowledged_values() {
+    let dir = tmpdir("wt-stale");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("wt-stale"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(16 << 20)
             .policy(SyncPolicy::WriteThrough)
             .build(),
@@ -60,8 +59,9 @@ fn write_through_never_serves_unacknowledged_values() {
 
 #[test]
 fn write_through_failure_on_fresh_key_leaves_no_ghost() {
+    let dir = tmpdir("wt-ghost");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("wt-ghost"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(16 << 20)
             .policy(SyncPolicy::WriteThrough)
             .build(),
@@ -74,8 +74,9 @@ fn write_through_failure_on_fresh_key_leaves_no_ghost() {
 
 #[test]
 fn write_back_flush_failure_keeps_data_dirty_and_recoverable() {
+    let dir = tmpdir("wb-flushfail");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("wb-flushfail"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(16 << 20)
             .policy(SyncPolicy::WriteBack)
             .write_back(tierbase::store::WriteBackTuning {
@@ -112,8 +113,9 @@ fn write_back_backpressure_resolves_via_flush() {
     // Cache big enough for the workload only if dirty entries can be
     // cleaned: the store must flush-and-retry internally rather than
     // fail the client write.
+    let dir = tmpdir("wb-bp");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("wb-bp"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(96 << 10)
             .cache_shards(1)
             .policy(SyncPolicy::WriteBack)
@@ -145,15 +147,20 @@ fn cluster_replica_failover_preserves_all_data() {
     use std::sync::Arc;
     use tierbase::cluster::{ClusterClient, CoordinatorGroup, NodeId, NodeStore};
 
-    let node = |name: &str| -> Arc<dyn KvEngine> {
-        Arc::new(
+    // The guards must outlive every node engine; collect them here.
+    let mut dirs = Vec::new();
+    let mut node = |name: &str| -> Arc<dyn KvEngine> {
+        let dir = tmpdir(name);
+        let engine: Arc<dyn KvEngine> = Arc::new(
             TierBase::open(
-                TierBaseConfig::builder(tmpdir(name))
+                TierBaseConfig::builder(dir.path())
                     .cache_capacity(32 << 20)
                     .build(),
             )
             .unwrap(),
-        )
+        );
+        dirs.push(dir);
+        engine
     };
     let nodes = (0..3)
         .map(|i| {

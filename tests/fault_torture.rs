@@ -28,11 +28,10 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tierbase::common::fault::{self, CrashPoint, FaultMode};
-use tierbase::common::{EngineOp, Error, Key, KvEngine, Value};
+use tierbase::common::{EngineOp, Error, Key, KvEngine, TestDir, Value};
 use tierbase::elastic::ElasticConfig;
 use tierbase::frontend::{Frontend, FrontendConfig};
 use tierbase::lsm::sstable::SstConfig;
@@ -63,17 +62,15 @@ fn quiet_crash_panics() {
     });
 }
 
-fn fresh_dir(tag: &str) -> PathBuf {
-    static RUN: AtomicU64 = AtomicU64::new(0);
-    let n = RUN.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!("tb-torture-{tag}-{}-{n}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn fresh_dir(tag: &str) -> TestDir {
+    tierbase::common::test_dir(&format!("tb-torture-{tag}"))
 }
 
 /// Small thresholds so the scripted workload crosses several flushes
 /// and at least one compaction — every fault site gets hit.
-fn torture_config(dir: &std::path::Path) -> LsmConfig {
+/// `read_pool_threads` selects the completion pass: 0 = inline fetch,
+/// 2 = the parallel shard read pool.
+fn torture_config(dir: &std::path::Path, read_pool_threads: usize) -> LsmConfig {
     LsmConfig {
         dir: dir.to_path_buf(),
         memtable_bytes: 1200,
@@ -85,6 +82,7 @@ fn torture_config(dir: &std::path::Path) -> LsmConfig {
             bloom_bits_per_key: 10,
         },
         wal_sync: SyncPolicy::OsBuffer,
+        read_pool_threads,
     }
 }
 
@@ -345,10 +343,17 @@ fn run_workload(engine: &dyn KvEngine, ops: &[Op], model: &mut Model) -> bool {
 /// One torture run: workload killed at `(site, hit, mode)`, then reopen
 /// and verify. Returns whether the injection actually fired (exhaustion
 /// signal for the enumeration).
-fn run_once(site: &'static str, hit: u64, mode: FaultMode, pipelined: bool) -> bool {
+fn run_once(
+    site: &'static str,
+    hit: u64,
+    mode: FaultMode,
+    pipelined: bool,
+    pool_threads: usize,
+) -> bool {
     let ctx = format!(
-        "{}:{site}#{hit}:{mode:?}",
-        if pipelined { "pipelined" } else { "raw" }
+        "{}{}:{site}#{hit}:{mode:?}",
+        if pipelined { "pipelined" } else { "raw" },
+        if pool_threads > 0 { "+pool" } else { "" }
     );
     fault::reset();
     let dir = fresh_dir(if pipelined { "pipe" } else { "raw" });
@@ -356,7 +361,7 @@ fn run_once(site: &'static str, hit: u64, mode: FaultMode, pipelined: bool) -> b
     let ops = script();
 
     if pipelined {
-        let db = Arc::new(LsmDb::open(torture_config(&dir)).unwrap());
+        let db = Arc::new(LsmDb::open(torture_config(dir.path(), pool_threads)).unwrap());
         let fe = Frontend::start(db, frontend_config());
         fault::arm(site, hit, mode);
         let crashed = run_workload(&fe, &ops, &mut model);
@@ -367,7 +372,7 @@ fn run_once(site: &'static str, hit: u64, mode: FaultMode, pipelined: bool) -> b
         }
         fe.shutdown();
     } else {
-        let db = LsmDb::open(torture_config(&dir)).unwrap();
+        let db = LsmDb::open(torture_config(dir.path(), pool_threads)).unwrap();
         fault::arm(site, hit, mode);
         let crashed = run_workload(&db, &ops, &mut model);
         if !crashed && fault::fault_fired() {
@@ -378,28 +383,33 @@ fn run_once(site: &'static str, hit: u64, mode: FaultMode, pipelined: bool) -> b
     let fired = fault::fault_fired();
     fault::reset();
 
-    // "Reboot": recover from the frozen disk image alone.
-    let db = LsmDb::open(torture_config(&dir))
+    // "Reboot": recover from the frozen disk image alone (with the
+    // same pool setting, proving recovery works under it too).
+    let db = LsmDb::open(torture_config(dir.path(), pool_threads))
         .unwrap_or_else(|e| panic!("[{ctx}] reopen after kill failed: {e}"));
     model.verify(&db, &ctx);
     // The recovered store must accept and serve new writes.
     db.put(key(800), val(800)).unwrap();
     assert_eq!(db.get(&key(800)).unwrap(), Some(val(800)), "[{ctx}]");
-    drop(db);
-    let _ = std::fs::remove_dir_all(&dir);
     fired
 }
 
 /// Enumerates `(site, 1..)` until the workload stops reaching the site
 /// (or `cap` hits in smoke mode), asserting every listed site fires at
 /// least once.
-fn enumerate(sites: &[&'static str], mode_of: fn(u64) -> FaultMode, pipelined: bool, cap: u64) {
+fn enumerate(
+    sites: &[&'static str],
+    mode_of: fn(u64) -> FaultMode,
+    pipelined: bool,
+    cap: u64,
+    pool_threads: usize,
+) {
     quiet_crash_panics();
     for &site in sites {
         let mut fired_once = false;
         let mut hit = 1u64;
         loop {
-            let fired = run_once(site, hit, mode_of(hit), pipelined);
+            let fired = run_once(site, hit, mode_of(hit), pipelined, pool_threads);
             fired_once |= fired;
             if !fired || hit >= cap {
                 break;
@@ -433,7 +443,7 @@ fn fault_sites_all_reachable() {
     let _g = gate();
     fault::reset();
     let dir = fresh_dir("probe");
-    let db = LsmDb::open(torture_config(&dir)).unwrap();
+    let db = LsmDb::open(torture_config(dir.path(), 0)).unwrap();
     fault::set_counting(true);
     let mut model = Model::default();
     let crashed = run_workload(&db, &script(), &mut model);
@@ -463,22 +473,26 @@ fn fault_sites_all_reachable() {
     }
     fault::reset();
     model.verify(&db, "probe");
-    drop(db);
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Simulated `kill -9` at every `(site, hit)` on the raw engine.
 #[test]
 fn crash_torture_raw() {
     let _g = gate();
-    enumerate(FAULT_SITES, |_| FaultMode::Crash, false, cap_or(u64::MAX));
+    enumerate(
+        FAULT_SITES,
+        |_| FaultMode::Crash,
+        false,
+        cap_or(u64::MAX),
+        0,
+    );
 }
 
 /// The same kill schedule through the pipelined group-commit front-end.
 #[test]
 fn crash_torture_pipelined() {
     let _g = gate();
-    enumerate(FAULT_SITES, |_| FaultMode::Crash, true, cap_or(u64::MAX));
+    enumerate(FAULT_SITES, |_| FaultMode::Crash, true, cap_or(u64::MAX), 0);
 }
 
 /// Transient IO error at every `(site, hit)`: the op fails, the store
@@ -486,7 +500,13 @@ fn crash_torture_pipelined() {
 #[test]
 fn error_torture_raw() {
     let _g = gate();
-    enumerate(FAULT_SITES, |_| FaultMode::Error, false, cap_or(u64::MAX));
+    enumerate(
+        FAULT_SITES,
+        |_| FaultMode::Error,
+        false,
+        cap_or(u64::MAX),
+        0,
+    );
 }
 
 /// Transient IO errors through the front-end: failing tickets resolve,
@@ -495,7 +515,7 @@ fn error_torture_raw() {
 #[test]
 fn error_torture_pipelined() {
     let _g = gate();
-    enumerate(FAULT_SITES, |_| FaultMode::Error, true, cap_or(u64::MAX));
+    enumerate(FAULT_SITES, |_| FaultMode::Error, true, cap_or(u64::MAX), 0);
 }
 
 /// Torn writes (partial buffer + crash) at every buffer-write site,
@@ -510,7 +530,61 @@ fn torn_write_torture_raw() {
         },
         false,
         cap_or(u64::MAX),
+        0,
     );
+}
+
+/// The `(site, hit)` crash matrix again, with the completion pass
+/// running on the parallel shard read pool — durability and positional
+/// fault determinism must not depend on who fetches the blocks.
+#[test]
+fn crash_torture_raw_read_pool() {
+    let _g = gate();
+    enumerate(
+        FAULT_SITES,
+        |_| FaultMode::Crash,
+        false,
+        cap_or(u64::MAX),
+        2,
+    );
+}
+
+/// Transient IO errors with the pooled completion pass: same per-slot
+/// error scoping and recovery as inline.
+#[test]
+fn error_torture_raw_read_pool() {
+    let _g = gate();
+    enumerate(
+        FAULT_SITES,
+        |_| FaultMode::Error,
+        false,
+        cap_or(u64::MAX),
+        2,
+    );
+}
+
+/// Torn writes with the pooled completion pass.
+#[test]
+fn torn_write_torture_raw_read_pool() {
+    let _g = gate();
+    enumerate(
+        FAULT_WRITE_SITES,
+        |hit| FaultMode::Torn {
+            keep: (hit as usize * 17) % 89,
+        },
+        false,
+        cap_or(u64::MAX),
+        2,
+    );
+}
+
+/// Crash matrix through the pipelined front-end over a pooled engine:
+/// shard workers share the engine's read pool, kills surface as failed
+/// tickets, recovery stays clean.
+#[test]
+fn crash_torture_pipelined_read_pool() {
+    let _g = gate();
+    enumerate(FAULT_SITES, |_| FaultMode::Crash, true, cap_or(u64::MAX), 2);
 }
 
 /// Torn writes through the pipelined path.
@@ -524,6 +598,7 @@ fn torn_write_torture_pipelined() {
         },
         true,
         cap_or(u64::MAX),
+        0,
     );
 }
 
@@ -549,23 +624,21 @@ mod schedules {
         ]
     }
 
-    fn run_schedule(ops: &[Op], site: &'static str, hit: u64, mode: FaultMode) {
+    fn run_schedule(ops: &[Op], site: &'static str, hit: u64, mode: FaultMode, pool: usize) {
         let _g = gate();
         quiet_crash_panics();
         fault::reset();
         let dir = fresh_dir("sched");
         let mut model = Model::default();
         {
-            let db = LsmDb::open(torture_config(&dir)).unwrap();
+            let db = LsmDb::open(torture_config(dir.path(), pool)).unwrap();
             fault::arm(site, hit, mode);
             run_workload(&db, ops, &mut model);
         }
         fault::reset();
-        let db = LsmDb::open(torture_config(&dir))
-            .unwrap_or_else(|e| panic!("[{site}#{hit}:{mode:?}] reopen failed: {e}"));
-        model.verify(&db, &format!("sched:{site}#{hit}:{mode:?}"));
-        drop(db);
-        let _ = std::fs::remove_dir_all(&dir);
+        let db = LsmDb::open(torture_config(dir.path(), pool))
+            .unwrap_or_else(|e| panic!("[{site}#{hit}:{mode:?}:pool{pool}] reopen failed: {e}"));
+        model.verify(&db, &format!("sched:{site}#{hit}:{mode:?}:pool{pool}"));
     }
 
     proptest! {
@@ -586,13 +659,14 @@ mod schedules {
             hit in 1u64..12,
             mode_sel in 0u8..3,
             keep in 0usize..80,
+            pool_sel in 0usize..2,
         ) {
             let mode = match mode_sel {
                 0 => FaultMode::Error,
                 1 => FaultMode::Crash,
                 _ => FaultMode::Torn { keep },
             };
-            run_schedule(&ops, FAULT_SITES[site_idx], hit, mode);
+            run_schedule(&ops, FAULT_SITES[site_idx], hit, mode, pool_sel * 2);
         }
     }
 }

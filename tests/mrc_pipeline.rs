@@ -24,10 +24,8 @@ fn zipf_read_trace(n_keys: u64, n_refs: usize, theta: f64, seed: u64) -> Trace {
     )
 }
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-it-mrc-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-it-mrc-{name}"))
 }
 
 #[test]
@@ -70,8 +68,9 @@ fn sampled_mrc_drives_correct_cache_sizing() {
     let record_bytes = 100usize;
     let per_entry = record_bytes + 11 + 64; // value + envelope + LRU overhead
     let cache_bytes = ((n_keys as usize * per_entry) as f64 * cr_sampled.cache_ratio) as usize;
+    let dir = tmpdir("sizing");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("sizing"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(cache_bytes)
             .policy(SyncPolicy::WriteThrough)
             .build(),
@@ -118,8 +117,9 @@ fn sampled_mrc_drives_correct_cache_sizing() {
     );
     // And it must beat a 4x-smaller cache decisively (sanity that CR*
     // is not trivially achievable).
+    let small_dir = tmpdir("small");
     let small = TierBase::open(
-        TierBaseConfig::builder(tmpdir("small"))
+        TierBaseConfig::builder(small_dir.path())
             .cache_capacity((cache_bytes / 4).max(64 << 10))
             .policy(SyncPolicy::WriteThrough)
             .build(),

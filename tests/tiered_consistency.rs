@@ -7,10 +7,8 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use tierbase::prelude::*;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("tb-it-consist-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+fn tmpdir(name: &str) -> tierbase::common::TestDir {
+    tierbase::common::test_dir(&format!("tb-it-consist-{name}"))
 }
 
 fn random_ops(seed: u64, n: usize, keyspace: usize) -> Vec<(u8, Key, Value)> {
@@ -28,7 +26,7 @@ fn random_ops(seed: u64, n: usize, keyspace: usize) -> Vec<(u8, Key, Value)> {
 fn check_against_model(policy: SyncPolicy, name: &str, seed: u64) {
     let dir = tmpdir(name);
     let store = TierBase::open(
-        TierBaseConfig::builder(&dir)
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 10) // tiny: force heavy eviction/missing
             .cache_shards(4)
             .policy(policy)
@@ -67,7 +65,7 @@ fn check_against_model(policy: SyncPolicy, name: &str, seed: u64) {
     if matches!(policy, SyncPolicy::WriteThrough | SyncPolicy::WriteBack) {
         drop(store);
         let reopened = TierBase::open(
-            TierBaseConfig::builder(&dir)
+            TierBaseConfig::builder(dir.path())
                 .cache_capacity(64 << 10)
                 .cache_shards(4)
                 .policy(policy)
@@ -88,8 +86,9 @@ fn check_against_model(policy: SyncPolicy, name: &str, seed: u64) {
 fn in_memory_matches_model() {
     // In-memory with a tiny cache evicts, so only a large-cache variant
     // can promise full fidelity.
+    let dir = tmpdir("mem");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("mem"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 20)
             .build(),
     )
@@ -127,8 +126,9 @@ fn write_back_matches_model() {
 
 #[test]
 fn write_back_with_replicas_matches_model() {
+    let dir = tmpdir("wbrep");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("wbrep"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(1 << 20)
             .policy(SyncPolicy::WriteBack)
             .replicas(1)
@@ -150,8 +150,9 @@ fn write_back_with_replicas_matches_model() {
 
 #[test]
 fn compressed_store_matches_model() {
+    let dir = tmpdir("comp");
     let store = TierBase::open(
-        TierBaseConfig::builder(tmpdir("comp"))
+        TierBaseConfig::builder(dir.path())
             .cache_capacity(64 << 20)
             .compression(CompressionChoice::TzstdDict)
             .build(),
