@@ -67,6 +67,13 @@ impl KvEngine for JvmLsmEngine {
         self.db.cas(key, expected, new)
     }
 
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        // Native LSM range scan (token-range read / HBase Scan); the
+        // JVM toll is charged once per request, not per row.
+        burn_cpu_us(self.op_cost_us);
+        self.db.scan(start, end, limit)
+    }
+
     fn resident_bytes(&self) -> u64 {
         // Disk bytes charged at the disk cost factor: the cost model
         // compares engines on DRAM-equivalent dollars.

@@ -23,6 +23,10 @@ enum Request {
     /// Compare-and-set; atomic because the shard owner serializes it
     /// with every other operation on its keys.
     Cas(Key, Option<Value>, Value, Sender<Result<()>>),
+    /// Range scan of one shard's keys (`start <= key < end`); the
+    /// hash-sharded client fans the request out to every shard and
+    /// merge-sorts the replies.
+    Scan(Key, Option<Key>, usize, Sender<Vec<(Key, Value)>>),
     Stop,
 }
 
@@ -112,6 +116,21 @@ impl DragonflyLike {
                             };
                             let _ = reply.send(result);
                         }
+                        Request::Scan(start, end, limit, reply) => {
+                            // Dash-table shard: unordered walk, local
+                            // sort, local limit (the global limit is
+                            // re-applied after the client's merge).
+                            let mut rows: Vec<(Key, Value)> = map
+                                .iter()
+                                .filter(|(k, _)| {
+                                    **k >= start && end.as_ref().is_none_or(|e| *k < e)
+                                })
+                                .map(|(k, v)| (k.clone(), v.clone()))
+                                .collect();
+                            rows.sort_by(|a, b| a.0.cmp(&b.0));
+                            rows.truncate(limit);
+                            let _ = reply.send(rows);
+                        }
                         Request::Stop => break,
                     }
                 }
@@ -180,6 +199,31 @@ impl KvEngine for DragonflyLike {
             .map_err(|_| Error::Unavailable("shard worker gone".into()))?;
         rx.recv()
             .map_err(|_| Error::Unavailable("shard worker gone".into()))?
+    }
+
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        // Hash sharding scatters every key range across all shards:
+        // fan the scan out to each owner thread, then merge the sorted
+        // replies and re-apply the limit. Fresh reply channels — scans
+        // are rare and the thread-local slot is sized for point ops.
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (tx, rx) = bounded::<Vec<(Key, Value)>>(1);
+            sender
+                .send(Request::Scan(start.clone(), end.cloned(), limit, tx))
+                .map_err(|_| Error::Unavailable("shard worker gone".into()))?;
+            pending.push(rx);
+        }
+        let mut rows = Vec::new();
+        for rx in pending {
+            rows.extend(
+                rx.recv()
+                    .map_err(|_| Error::Unavailable("shard worker gone".into()))?,
+            );
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.truncate(limit);
+        Ok(rows)
     }
 
     fn resident_bytes(&self) -> u64 {

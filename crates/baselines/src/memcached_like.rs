@@ -116,6 +116,26 @@ impl KvEngine for MemcachedLike {
         Ok(())
     }
 
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        // Memcached has no range primitive: a scan walks every shard's
+        // hash table (striped locks taken one at a time), merges, and
+        // sorts client-side. Stored values carry slab padding.
+        burn_cpu_us(OP_COST_US);
+        let mut rows = Vec::new();
+        for shard in &self.shards {
+            rows.extend(
+                shard
+                    .lock()
+                    .scan_range(start.as_slice(), end.map(Key::as_slice), 0)
+                    .into_iter()
+                    .map(|(k, e)| (k, decode_slab(&e.value))),
+            );
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.truncate(limit);
+        Ok(rows)
+    }
+
     fn resident_bytes(&self) -> u64 {
         self.shards
             .iter()

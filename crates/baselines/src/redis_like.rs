@@ -158,6 +158,23 @@ impl KvEngine for RedisLike {
         Ok(())
     }
 
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        // Redis's keyspace is an unordered dict: a range scan is a full
+        // enumeration plus a sort, like SCAN + MATCH + client-side
+        // ordering. Runs under the event-loop lock like every command.
+        let s = self.state.lock();
+        burn_cpu_us(OP_COST_US);
+        let mut rows: Vec<(Key, Value)> = s
+            .map
+            .iter()
+            .filter(|(k, _)| *k >= start && end.is_none_or(|e| *k < e))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.truncate(limit);
+        Ok(rows)
+    }
+
     fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
         // Atomic by construction: the whole read-compare-write runs
         // under the event-loop lock, like a real Redis command.

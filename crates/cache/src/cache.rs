@@ -254,6 +254,19 @@ impl ShardedCache {
         out
     }
 
+    /// Live entries with `start <= key < end` (`end = None` =
+    /// unbounded above), sorted by key. Read-only: no recency updates,
+    /// no stats, no reclamation.
+    pub fn scan_range(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Key, CacheEntry)> {
+        let now = self.clock.now_nanos();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().scan_range(start, end, now));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Active expiration pass over every shard: removes expired clean
     /// entries, returning their keys so the caller can propagate
     /// deletes to the storage tier.

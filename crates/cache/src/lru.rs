@@ -337,6 +337,30 @@ impl LruShard {
             .collect()
     }
 
+    /// Entries with `start <= key < end` (`end = None` = unbounded
+    /// above) that are live at `now_nanos`. Same read-only contract as
+    /// [`LruShard::scan_prefix`]: expired entries are skipped, not
+    /// reclaimed, and recency is untouched.
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        now_nanos: u64,
+    ) -> Vec<(Key, CacheEntry)> {
+        self.map
+            .iter()
+            .filter(|(k, _)| k.as_slice() >= start && end.is_none_or(|e| k.as_slice() < e))
+            .filter_map(|(k, &idx)| {
+                let e = &self.slab[idx].entry;
+                if tb_common::is_expired(e.expires_at, now_nanos) {
+                    None
+                } else {
+                    Some((k.clone(), e.clone()))
+                }
+            })
+            .collect()
+    }
+
     /// Keys in LRU order, most recent first (diagnostics).
     pub fn keys_mru_first(&self) -> Vec<Key> {
         let mut out = Vec::with_capacity(self.map.len());

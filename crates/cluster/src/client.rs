@@ -12,7 +12,7 @@ use crate::routing::RoutingTable;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tb_common::{Error, Key, KvEngine, Result, Value};
+use tb_common::{EngineOp, Error, Key, KvEngine, OpOutcome, Result, Value};
 
 /// A routing-aware cluster client.
 pub struct ClusterClient {
@@ -130,6 +130,65 @@ impl ClusterClient {
         }
         Err(Error::Unavailable("retries exhausted".into()))
     }
+
+    /// Ordered range scan across the cluster. Hash-slot routing
+    /// scatters any key range over every node, so the scan fans out to
+    /// each slot owner (whose engine runs its own batched scan, bounded
+    /// by `limit`) and merges the per-node results in key order,
+    /// truncated to `limit`. A down node triggers one failover +
+    /// routing refresh, after which **only the failed nodes' slots**
+    /// retry against their refreshed owners — shares that already
+    /// answered are kept, the multi_get partial-retry shape. The merge
+    /// dedups by key (first answer wins), so a retry that lands on a
+    /// node which already contributed cannot double-report.
+    pub fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let mut merged: BTreeMap<Key, Value> = BTreeMap::new();
+        let mut pending: Vec<NodeId> = self
+            .cached
+            .read()
+            .distribution()
+            .into_iter()
+            .map(|(node, _)| node)
+            .collect();
+        for attempt in 0..2 {
+            let table = self.cached.read().clone();
+            let mut failed: Vec<NodeId> = Vec::new();
+            for &owner in &pending {
+                let node = self.coordinators.node(owner)?;
+                let rows = {
+                    let guard = node.read();
+                    guard.scan(start, end, limit)
+                };
+                match rows {
+                    Ok(rows) => {
+                        for (k, v) in rows {
+                            merged.entry(k).or_insert(v);
+                        }
+                    }
+                    Err(Error::Unavailable(_)) if attempt == 0 => failed.push(owner),
+                    Err(e) => return Err(e),
+                }
+            }
+            if failed.is_empty() {
+                return Ok(merged.into_iter().take(limit).collect());
+            }
+            self.coordinators.run_failover()?;
+            self.refresh();
+            // Retry against whoever now owns the failed nodes' slots
+            // (the promoted node keeps its id; a reassignment moves
+            // them to a surviving peer).
+            let after = self.cached.read().clone();
+            let mut retry: Vec<NodeId> = failed
+                .iter()
+                .flat_map(|&down| table.slots_of(down))
+                .map(|slot| after.owner_of_slot(slot))
+                .collect();
+            retry.sort_unstable();
+            retry.dedup();
+            pending = retry;
+        }
+        Err(Error::Unavailable("retries exhausted".into()))
+    }
 }
 
 /// Proxy service: a [`KvEngine`] façade over the cluster for clients
@@ -161,6 +220,44 @@ impl KvEngine for Proxy {
 
     fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
         self.client.multi_get(keys)
+    }
+
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        self.client.scan(start, end, limit)
+    }
+
+    /// Per-op lowering that preserves the proxy's amortized entry
+    /// points: the trait's default would unroll `MultiGet` into point
+    /// gets, losing the client's per-node grouping.
+    fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
+        ops.into_iter()
+            .map(|op| match op {
+                EngineOp::Get(key) => self.get(&key).map(OpOutcome::Value),
+                EngineOp::Put(key, value) => self.put(key, value).map(|_| OpOutcome::Done),
+                EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done),
+                EngineOp::Cas { key, expected, new } => self
+                    .cas(key, expected.as_ref(), new)
+                    .map(|_| OpOutcome::Done),
+                EngineOp::MultiGet(keys) => self.multi_get(&keys).map(OpOutcome::Values),
+                // Inline put loop, not `self.multi_put`: the proxy has
+                // no native multi_put, and the trait default routes back
+                // through `apply_batch` — per-key puts each reach their
+                // owning node anyway.
+                EngineOp::MultiPut(pairs) => {
+                    let mut result = Ok(());
+                    for (k, v) in pairs {
+                        result = self.put(k, v);
+                        if result.is_err() {
+                            break;
+                        }
+                    }
+                    result.map(|_| OpOutcome::Done)
+                }
+                EngineOp::Scan { start, end, limit } => {
+                    self.scan(&start, end.as_ref(), limit).map(OpOutcome::Range)
+                }
+            })
+            .collect()
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -199,6 +296,18 @@ mod tests {
         fn delete(&self, key: &Key) -> Result<()> {
             self.0.lock().remove(key);
             Ok(())
+        }
+        fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+            Ok(self
+                .0
+                .lock()
+                .range::<Key, _>((
+                    std::ops::Bound::Included(start),
+                    end.map_or(std::ops::Bound::Unbounded, std::ops::Bound::Excluded),
+                ))
+                .take(limit)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
         }
         fn resident_bytes(&self) -> u64 {
             0
@@ -460,6 +569,40 @@ mod tests {
             batched > 0,
             "client multi_get never reached the engines' batch read path"
         );
+    }
+
+    #[test]
+    fn scan_fans_out_merges_in_key_order_and_survives_failover() {
+        let c = cluster(4);
+        let client = ClusterClient::connect(c.clone());
+        for i in 0..80 {
+            client
+                .put(Key::from(format!("sc{i:03}")), Value::from(format!("v{i}")))
+                .unwrap();
+        }
+        let start = Key::from("sc010");
+        let end = Key::from("sc050");
+        let got = client.scan(&start, Some(&end), 1000).unwrap();
+        assert_eq!(got.len(), 40, "keys 10..50");
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "key-ordered");
+        assert_eq!(got[0], (Key::from("sc010"), Value::from("v10")));
+        assert_eq!(got.last().unwrap().0, Key::from("sc049"), "end exclusive");
+
+        // The limit binds globally, not per node.
+        let limited = client.scan(&start, Some(&end), 7).unwrap();
+        assert_eq!(limited, got[..7].to_vec());
+
+        // Unbounded tail scan.
+        assert_eq!(
+            client.scan(&Key::from("sc070"), None, 1000).unwrap().len(),
+            10
+        );
+
+        // A crashed node fails over (replica promotion) and only its
+        // share retries; the merged result is complete.
+        c.node(NodeId(0)).unwrap().read().crash();
+        let after = client.scan(&start, Some(&end), 1000).unwrap();
+        assert_eq!(after, got, "scan lost rows across failover");
     }
 
     #[test]

@@ -24,8 +24,9 @@ pub enum ServingMode {
 }
 
 /// A data node: primary engine, optional replica engine, liveness flag,
-/// and a key inventory (engines expose no scan; the inventory is what a
-/// real node's keyspace iterator provides, needed to migrate slots).
+/// and a key inventory. (The inventory predates [`KvEngine::scan`] and
+/// is still what slot migration wants: migration selects by *hash
+/// slot*, which is not a contiguous key range.)
 pub struct NodeStore {
     pub id: NodeId,
     primary: Arc<dyn KvEngine>,
@@ -114,6 +115,14 @@ impl NodeStore {
         self.primary.multi_get(keys)
     }
 
+    /// Ordered range scan of this node's share of the keyspace. One
+    /// engine submission; through a pipelined serving mode the scan is
+    /// one op in a drained front-end batch.
+    pub fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        self.check_alive()?;
+        self.primary.scan(start, end, limit)
+    }
+
     pub fn put(&self, key: Key, value: Value) -> Result<()> {
         self.check_alive()?;
         self.primary.put(key.clone(), value.clone())?;
@@ -195,6 +204,20 @@ mod tests {
         fn delete(&self, key: &Key) -> Result<()> {
             self.0.lock().remove(key);
             Ok(())
+        }
+        // Native scan: the trait's default lowers onto `apply_batch`,
+        // whose default lowers back — an engine must break the cycle.
+        fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+            Ok(self
+                .0
+                .lock()
+                .range::<Key, _>((
+                    std::ops::Bound::Included(start),
+                    end.map_or(std::ops::Bound::Unbounded, std::ops::Bound::Excluded),
+                ))
+                .take(limit)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
         }
         fn resident_bytes(&self) -> u64 {
             self.0

@@ -29,6 +29,14 @@ pub enum EngineOp {
     MultiGet(Vec<Key>),
     /// Batched writes → [`OpOutcome::Done`].
     MultiPut(Vec<(Key, Value)>),
+    /// Ordered range scan → [`OpOutcome::Range`]. See [`KvEngine::scan`]
+    /// for the contract (`end` exclusive, `None` = unbounded; at most
+    /// `limit` live entries).
+    Scan {
+        start: Key,
+        end: Option<Key>,
+        limit: usize,
+    },
 }
 
 /// Completion of one [`EngineOp`]; `results[i]` answers `ops[i]`.
@@ -38,6 +46,9 @@ pub enum OpOutcome {
     Value(Option<Value>),
     /// A `MultiGet` resolved, aligned with the request's key order.
     Values(Vec<Option<Value>>),
+    /// A `Scan` resolved: live `(key, value)` pairs in ascending key
+    /// order, truncated to the scan's `limit`.
+    Range(Vec<(Key, Value)>),
     /// A write (`Put`/`Delete`/`Cas`/`MultiPut`) applied.
     Done,
 }
@@ -60,6 +71,13 @@ pub struct BatchReadStats {
     /// High-water mark of block fetches outstanding in the read pool at
     /// once — how deep the overlapped completion pass actually got.
     pub read_pool_queue_depth: u64,
+    /// Storage blocks staged on behalf of range scans (pre-dedup: a
+    /// block shared with a point lookup in the same batch counts here
+    /// *and* toward `block_dedup_hits`). Zero for engines without a
+    /// native scan path.
+    pub scan_blocks_read: u64,
+    /// Range-scan ops served (batched or point `scan` calls).
+    pub scans: u64,
 }
 
 /// A key-value engine under test.
@@ -88,19 +106,60 @@ pub trait KvEngine: Send + Sync {
     }
 
     /// Batched point lookups; `result[i]` answers `keys[i]`. The default
-    /// is a `get` loop; engines with a remote tier override it to
-    /// amortize round-trips (deferred cache-fetching, TierBase §4.1.2).
+    /// routes through [`KvEngine::apply_batch`] — one canonical batch
+    /// path — so an engine with a native batch implementation (staged
+    /// block reads, one remote round-trip) serves `multi_get` through it
+    /// automatically.
     fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-        keys.iter().map(|k| self.get(k)).collect()
+        match self
+            .apply_batch(vec![EngineOp::MultiGet(keys.to_vec())])
+            .pop()
+        {
+            Some(Ok(OpOutcome::Values(values))) => Ok(values),
+            Some(Err(e)) => Err(e),
+            other => Err(crate::Error::Internal(format!(
+                "multi_get batch resolved to {other:?}"
+            ))),
+        }
     }
 
-    /// Batched writes. The default is a `put` loop; engines with a
-    /// remote tier override it to batch the storage round-trip.
+    /// Batched writes. Default: one [`KvEngine::apply_batch`]
+    /// submission, same canonical path as `multi_get`.
     fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
-        for (k, v) in pairs {
-            self.put(k, v)?;
+        match self.apply_batch(vec![EngineOp::MultiPut(pairs)]).pop() {
+            Some(Ok(OpOutcome::Done)) => Ok(()),
+            Some(Err(e)) => Err(e),
+            other => Err(crate::Error::Internal(format!(
+                "multi_put batch resolved to {other:?}"
+            ))),
         }
-        Ok(())
+    }
+
+    /// Ordered range scan. Contract (enforced by the conformance
+    /// battery): returns live `(key, value)` pairs with
+    /// `start <= key < end` (`end = None` = unbounded above) in
+    /// ascending key order, at most `limit` of them. Deleted keys
+    /// (tombstones) and expired entries (engines with TTL support) are
+    /// masked, never returned.
+    ///
+    /// The default routes through [`KvEngine::apply_batch`] with one
+    /// [`EngineOp::Scan`], so a scan is one op in the engine's canonical
+    /// batch path. NOTE: an engine must natively handle at least one of
+    /// the pair {`scan`, `apply_batch`'s `Scan` arm} — the two defaults
+    /// lower onto each other, so overriding neither recurses.
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let op = EngineOp::Scan {
+            start: start.clone(),
+            end: end.cloned(),
+            limit,
+        };
+        match self.apply_batch(vec![op]).pop() {
+            Some(Ok(OpOutcome::Range(entries))) => Ok(entries),
+            Some(Err(e)) => Err(e),
+            other => Err(crate::Error::Internal(format!(
+                "scan batch resolved to {other:?}"
+            ))),
+        }
     }
 
     /// Submits a heterogeneous op batch and returns one completion per
@@ -109,11 +168,15 @@ pub trait KvEngine: Send + Sync {
     /// batch still applies — submission/completion semantics, not a
     /// transaction.
     ///
-    /// The default lowers each op onto the point/batch methods in
-    /// order, so every engine supports the interface unchanged; engines
-    /// with per-op storage latency override it to make one overlapped
-    /// storage pass per batch (`tb-lsm` stages and dedups SSTable block
-    /// reads; remote tiers spend one round-trip).
+    /// The default lowers each op onto the point methods in order
+    /// (`MultiGet`/`MultiPut` become inline point loops rather than
+    /// `self.multi_get`/`self.multi_put` calls, because those methods
+    /// default to routing back through `apply_batch`; `Scan` lowers onto
+    /// `self.scan` — see that method's note on the override contract),
+    /// so every engine supports the interface; engines with per-op
+    /// storage latency override it to make one overlapped storage pass
+    /// per batch (`tb-lsm` stages and dedups SSTable block reads;
+    /// remote tiers spend one round-trip).
     fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
         ops.into_iter()
             .map(|op| match op {
@@ -123,8 +186,24 @@ pub trait KvEngine: Send + Sync {
                 EngineOp::Cas { key, expected, new } => self
                     .cas(key, expected.as_ref(), new)
                     .map(|_| OpOutcome::Done),
-                EngineOp::MultiGet(keys) => self.multi_get(&keys).map(OpOutcome::Values),
-                EngineOp::MultiPut(pairs) => self.multi_put(pairs).map(|_| OpOutcome::Done),
+                EngineOp::MultiGet(keys) => keys
+                    .iter()
+                    .map(|k| self.get(k))
+                    .collect::<Result<Vec<_>>>()
+                    .map(OpOutcome::Values),
+                EngineOp::MultiPut(pairs) => {
+                    let mut result = Ok(());
+                    for (k, v) in pairs {
+                        result = self.put(k, v);
+                        if result.is_err() {
+                            break;
+                        }
+                    }
+                    result.map(|_| OpOutcome::Done)
+                }
+                EngineOp::Scan { start, end, limit } => {
+                    self.scan(&start, end.as_ref(), limit).map(OpOutcome::Range)
+                }
             })
             .collect()
     }
@@ -183,6 +262,20 @@ mod tests {
         }
         fn label(&self) -> String {
             "map".into()
+        }
+        // Native ordered iteration; `apply_batch`'s default Scan arm
+        // lowers onto this (the override contract in `KvEngine::scan`).
+        fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+            Ok(self
+                .0
+                .lock()
+                .range::<Key, _>((
+                    std::ops::Bound::Included(start),
+                    end.map_or(std::ops::Bound::Unbounded, std::ops::Bound::Excluded),
+                ))
+                .take(limit)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
         }
     }
 
@@ -243,6 +336,70 @@ mod tests {
         );
         assert_eq!(outcomes[6], Ok(OpOutcome::Done));
         assert_eq!(outcomes[7], Ok(OpOutcome::Value(None)));
+    }
+
+    #[test]
+    fn default_batch_methods_route_through_apply_batch() {
+        let e = MapEngine(Mutex::new(BTreeMap::new()));
+        e.multi_put(vec![
+            (Key::from("a"), Value::from("1")),
+            (Key::from("b"), Value::from("2")),
+        ])
+        .unwrap();
+        assert_eq!(
+            e.multi_get(&[Key::from("b"), Key::from("miss"), Key::from("a")])
+                .unwrap(),
+            vec![Some(Value::from("2")), None, Some(Value::from("1"))]
+        );
+    }
+
+    #[test]
+    fn scan_in_batch_sees_earlier_writes_and_respects_bounds() {
+        let e = MapEngine(Mutex::new(BTreeMap::new()));
+        for i in 0..6 {
+            e.put(Key::from(format!("s{i}")), Value::from(format!("v{i}")))
+                .unwrap();
+        }
+        // A scan submitted after a put and a delete in the same batch
+        // observes both; the end bound is exclusive, the limit caps.
+        let outcomes = e.apply_batch(vec![
+            EngineOp::Put(Key::from("s2"), Value::from("rewritten")),
+            EngineOp::Delete(Key::from("s1")),
+            EngineOp::Scan {
+                start: Key::from("s0"),
+                end: Some(Key::from("s4")),
+                limit: 10,
+            },
+            EngineOp::Scan {
+                start: Key::from("s0"),
+                end: None,
+                limit: 2,
+            },
+        ]);
+        assert_eq!(
+            outcomes[2],
+            Ok(OpOutcome::Range(vec![
+                (Key::from("s0"), Value::from("v0")),
+                (Key::from("s2"), Value::from("rewritten")),
+                (Key::from("s3"), Value::from("v3")),
+            ]))
+        );
+        assert_eq!(
+            outcomes[3],
+            Ok(OpOutcome::Range(vec![
+                (Key::from("s0"), Value::from("v0")),
+                (Key::from("s2"), Value::from("rewritten")),
+            ]))
+        );
+        // The point method and the batch path agree.
+        assert_eq!(
+            e.scan(&Key::from("s3"), None, 100).unwrap(),
+            vec![
+                (Key::from("s3"), Value::from("v3")),
+                (Key::from("s4"), Value::from("v4")),
+                (Key::from("s5"), Value::from("v5")),
+            ]
+        );
     }
 
     #[test]

@@ -340,6 +340,26 @@ impl TierBase {
         self.dispatch(move |inner| inner.do_scan_prefix(&prefix))
     }
 
+    /// Ordered range scan of live keys (`start <= key < end`,
+    /// `end = None` = unbounded above, at most `limit` rows), merged
+    /// across both tiers with the same semantics as
+    /// [`TierBase::scan_prefix`]: the storage tier provides the base
+    /// set (one remote round-trip through the engine's batched scan)
+    /// and live cache entries shadow it. TTL-expired versions are
+    /// masked in both tiers. Cost is proportional to the key range, not
+    /// to `limit` — the cache merge needs the full range before
+    /// truncating.
+    pub fn scan_range(
+        &self,
+        start: &Key,
+        end: Option<&Key>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Value)>> {
+        let start = start.clone();
+        let end = end.cloned();
+        self.dispatch(move |inner| inner.do_scan_range(&start, end.as_ref(), limit))
+    }
+
     /// Active expiration pass (Redis's periodic expire cycle): reclaims
     /// every expired cache entry and propagates the deletes to the
     /// storage tier and persistence log. Returns the number of keys
@@ -435,6 +455,10 @@ impl KvEngine for TierBase {
 
     fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
         self.dispatch(move |inner| inner.do_multi_put(pairs))
+    }
+
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        TierBase::scan_range(self, start, end, limit)
     }
 
     fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
@@ -762,6 +786,40 @@ impl Inner {
             }
         }
         Ok(merged.into_iter().collect())
+    }
+
+    fn do_scan_range(
+        &self,
+        start: &Key,
+        end: Option<&Key>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Value)>> {
+        let now = self.config.clock.now_nanos();
+        let mut merged: std::collections::BTreeMap<Key, Value> = std::collections::BTreeMap::new();
+        if let Some(storage) = &self.storage {
+            // Unbounded fetch: cache shadowing and TTL masking can both
+            // shrink the storage rows, so a storage-side `limit` could
+            // starve the merge of rows the caller is owed.
+            for (key, stored) in storage.scan(start, end, usize::MAX)? {
+                let (value, expires_at) = self.decode_envelope(&stored)?;
+                if !is_expired(expires_at, now) {
+                    merged.insert(key, value);
+                }
+            }
+        }
+        // Cache entries are at least as fresh as storage (strictly
+        // fresher under write-back), so they win the merge.
+        for (key, entry) in self
+            .cache
+            .primary()
+            .scan_range(start.as_slice(), end.map(Key::as_slice))
+        {
+            let (value, expires_at) = self.decode_envelope(&entry.value)?;
+            if !is_expired(expires_at, now) {
+                merged.insert(key, value);
+            }
+        }
+        Ok(merged.into_iter().take(limit).collect())
     }
 
     fn do_sweep_expired(&self) -> Result<usize> {
@@ -1872,6 +1930,70 @@ mod tests {
         assert_eq!(rows.len(), 1, "expired key filtered");
         assert_eq!(rows[0].0, Key::from("a:1"));
         assert_eq!(tb.scan_prefix(b"").unwrap().len(), 2, "full scan");
+    }
+
+    #[test]
+    fn scan_range_merges_tiers_masks_ttl_and_truncates() {
+        let clock = tb_common::ManualClock::new();
+        let tb = TierBase::open(
+            TierBaseConfig::builder(tmpdir("scan-range"))
+                .policy(SyncPolicy::WriteBack)
+                .write_back(WriteBackTuning {
+                    max_dirty_bytes: u64::MAX,
+                    flush_every_ops: u64::MAX,
+                    batch_size: 64,
+                })
+                .clock(clock.clone())
+                .build(),
+        )
+        .unwrap();
+        // Base data flushed to storage, then fresh unflushed state on
+        // top: an update, a delete, and a short-TTL key.
+        for i in 0..20 {
+            tb.put(Key::from(format!("r{i:03}")), v(i)).unwrap();
+        }
+        tb.put_with_ttl(
+            Key::from("r007"),
+            Value::from("fleeting"),
+            std::time::Duration::from_secs(5),
+        )
+        .unwrap();
+        // Flush so storage holds the TTL envelope too: the expiry must
+        // be masked by the *storage* side of the merge once it passes.
+        tb.flush_dirty().unwrap();
+        tb.put(Key::from("r005"), Value::from("updated")).unwrap();
+        tb.delete(&Key::from("r010")).unwrap();
+        clock.advance(std::time::Duration::from_secs(6));
+
+        // KvEngine::scan and the inherent scan_range agree.
+        let rows = KvEngine::scan(
+            &tb,
+            &Key::from("r003"),
+            Some(&Key::from("r015")),
+            usize::MAX,
+        )
+        .unwrap();
+        assert_eq!(
+            rows,
+            tb.scan_range(&Key::from("r003"), Some(&Key::from("r015")), usize::MAX)
+                .unwrap()
+        );
+        // 12 keys in [r003, r015), minus the delete and the expired one.
+        assert_eq!(rows.len(), 10, "delete and expired TTL masked: {rows:?}");
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert!(rows
+            .iter()
+            .all(|(k, _)| k != &Key::from("r010") && k != &Key::from("r007")));
+        let updated = rows.iter().find(|(k, _)| k == &Key::from("r005")).unwrap();
+        assert_eq!(updated.1, Value::from("updated"), "dirty data visible");
+        // Limit truncation in key order; unbounded end reaches the tail.
+        let limited = tb.scan_range(&Key::from("r003"), None, 3).unwrap();
+        assert_eq!(
+            limited.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![Key::from("r003"), Key::from("r004"), Key::from("r005")]
+        );
+        let tail = tb.scan_range(&Key::from("r018"), None, usize::MAX).unwrap();
+        assert_eq!(tail.len(), 2);
     }
 
     #[test]

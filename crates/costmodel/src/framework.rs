@@ -93,6 +93,9 @@ fn apply(engine: &dyn KvEngine, op: &Op) -> Result<()> {
             engine.get(key)?;
             engine.put(key.clone(), value.clone())
         }
+        Op::Scan { start, end, limit } => {
+            engine.scan(start, Some(end), *limit as usize).map(|_| ())
+        }
     }
 }
 
@@ -106,7 +109,7 @@ fn track_logical(map: &mut std::collections::HashMap<tb_common::Key, u64>, op: &
         Op::Delete { key } => {
             map.remove(key);
         }
-        Op::Read { .. } => {}
+        Op::Read { .. } | Op::Scan { .. } => {}
     }
 }
 

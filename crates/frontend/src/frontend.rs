@@ -58,6 +58,15 @@ pub enum Request {
         expected: Option<Value>,
         new: Value,
     },
+    /// Ordered range scan (`start <= key < end`, at most `limit` live
+    /// entries). Routes by `start`: all shards front the same engine,
+    /// so any queue serves the full key range — sharding partitions
+    /// the *queues*, not the data.
+    Scan {
+        start: Key,
+        end: Option<Key>,
+        limit: usize,
+    },
 }
 
 impl Request {
@@ -71,6 +80,7 @@ impl Request {
             Request::MultiGet(keys) => keys.first(),
             Request::MultiPut(pairs) => pairs.first().map(|(k, _)| k),
             Request::Cas { key, .. } => Some(key),
+            Request::Scan { start, .. } => Some(start),
         }
     }
 
@@ -439,6 +449,22 @@ impl Frontend {
         self.scatter_put(pairs).wait().map(|_| ())
     }
 
+    /// Pipelined range scan, awaited. One op in its shard's drained
+    /// batch; the result reflects the engine state when that batch ran
+    /// — writes still queued on *other* shards are not yet visible
+    /// (the cross-shard consistency caveat of a sharded front-end).
+    pub fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let request = Request::Scan {
+            start: start.clone(),
+            end: end.cloned(),
+            limit,
+        };
+        match self.submit(request).wait()? {
+            Response::Range(rows) => Ok(rows),
+            other => Err(Error::Internal(format!("scan resolved to {other:?}"))),
+        }
+    }
+
     /// Splits a multi-key write by shard and pipelines one `MultiPut`
     /// per shard; the ticket resolves `Done` once every slice acked
     /// (first error wins). Slices commit independently — cross-shard
@@ -577,6 +603,8 @@ enum OpAcks {
     Get(Completer),
     /// A `MultiGet` awaiting [`OpOutcome::Values`].
     MultiGet(Completer),
+    /// A `Scan` awaiting [`OpOutcome::Range`].
+    Scan(Completer),
 }
 
 fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &AtomicU64) {
@@ -633,6 +661,10 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &Atom
                 ops.push(EngineOp::MultiGet(keys));
                 acks.push(OpAcks::MultiGet(done));
             }
+            Request::Scan { start, end, limit } => {
+                ops.push(EngineOp::Scan { start, end, limit });
+                acks.push(OpAcks::Scan(done));
+            }
         }
     }
 
@@ -671,6 +703,13 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &Atom
                 let result = outcome.and_then(|o| match o {
                     OpOutcome::Values(v) => Ok(Response::Values(v)),
                     other => Err(Error::Internal(format!("multi_get completed as {other:?}"))),
+                });
+                finish(stats, settled, done, result);
+            }
+            OpAcks::Scan(done) => {
+                let result = outcome.and_then(|o| match o {
+                    OpOutcome::Range(rows) => Ok(Response::Range(rows)),
+                    other => Err(Error::Internal(format!("scan completed as {other:?}"))),
                 });
                 finish(stats, settled, done, result);
             }
@@ -722,6 +761,16 @@ fn process_batch_per_op(inner: &Inner, batch: Vec<(Request, Completer)>, settled
                     settled,
                     done,
                     engine.multi_get(&keys).map(Response::Values),
+                );
+            }
+            Request::Scan { start, end, limit } => {
+                finish(
+                    stats,
+                    settled,
+                    done,
+                    engine
+                        .scan(&start, end.as_ref(), limit)
+                        .map(Response::Range),
                 );
             }
         }
@@ -784,6 +833,10 @@ impl KvEngine for Frontend {
         Frontend::cas(self, key, expected, new)
     }
 
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        Frontend::scan(self, start, end, limit)
+    }
+
     /// Batch submission with the trait's submission-order semantics.
     ///
     /// With one worker per shard (boosting disabled), every op is
@@ -794,7 +847,8 @@ impl KvEngine for Frontend {
     /// boosting enabled, sibling workers can execute one shard's
     /// batches concurrently — FIFO dequeue no longer implies FIFO
     /// execution — so each op is awaited before the next is submitted:
-    /// correctness over overlap.
+    /// correctness over overlap. Scans barrier the batch either way
+    /// (see below).
     fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
         let submit_op = |op: EngineOp| -> Ticket {
             match op {
@@ -808,6 +862,7 @@ impl KvEngine for Frontend {
                     EngineOp::Delete(key) => Request::Delete(key),
                     EngineOp::Cas { key, expected, new } => Request::Cas { key, expected, new },
                     EngineOp::MultiGet(keys) => Request::MultiGet(keys),
+                    EngineOp::Scan { start, end, limit } => Request::Scan { start, end, limit },
                     EngineOp::MultiPut(_) => unreachable!("handled above"),
                 }),
             }
@@ -816,14 +871,40 @@ impl KvEngine for Frontend {
             t.wait().map(|response| match response {
                 Response::Value(v) => OpOutcome::Value(v),
                 Response::Values(v) => OpOutcome::Values(v),
+                Response::Range(rows) => OpOutcome::Range(rows),
                 Response::Done => OpOutcome::Done,
             })
         };
         if self.inner.config.max_workers_per_shard > 1 {
             return ops.into_iter().map(|op| complete(submit_op(op))).collect();
         }
-        let tickets: Vec<Ticket> = ops.into_iter().map(submit_op).collect();
-        tickets.into_iter().map(complete).collect()
+        // A scan is a cross-shard read: unlike MultiGet/MultiPut it
+        // cannot scatter along per-shard FIFO order (every shard owns
+        // part of any range), so submission-order semantics make it a
+        // batch barrier — every earlier op completes before the scan
+        // is submitted, and the scan completes before later ops are.
+        // Scan-free batches keep the fully pipelined path.
+        let mut results: Vec<Option<Result<OpOutcome>>> = Vec::new();
+        let mut pending: Vec<(usize, Ticket)> = Vec::new();
+        for op in ops {
+            let i = results.len();
+            results.push(None);
+            if matches!(op, EngineOp::Scan { .. }) {
+                for (j, t) in pending.drain(..) {
+                    results[j] = Some(complete(t));
+                }
+                results[i] = Some(complete(submit_op(op)));
+            } else {
+                pending.push((i, submit_op(op)));
+            }
+        }
+        for (j, t) in pending {
+            results[j] = Some(complete(t));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every op completed"))
+            .collect()
     }
 
     fn batch_read_stats(&self) -> BatchReadStats {

@@ -112,6 +112,21 @@ mod tests {
             self.map.lock().remove(key);
             Ok(())
         }
+        // Native scan: the trait's default lowers onto `apply_batch`,
+        // whose default lowers back — an engine must break the cycle.
+        fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+            self.stall();
+            Ok(self
+                .map
+                .lock()
+                .range::<Key, _>((
+                    std::ops::Bound::Included(start),
+                    end.map_or(std::ops::Bound::Unbounded, std::ops::Bound::Excluded),
+                ))
+                .take(limit)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect())
+        }
         fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
             self.stall();
             if let Some(poison) = &self.panic_on {
@@ -140,8 +155,18 @@ mod tests {
                     EngineOp::Cas { key, expected, new } => self
                         .cas(key, expected.as_ref(), new)
                         .map(|_| OpOutcome::Done),
-                    EngineOp::MultiGet(keys) => self.multi_get(&keys).map(OpOutcome::Values),
+                    // Inline get loop, not `self.multi_get`: the trait
+                    // default of the un-overridden `multi_get` routes
+                    // back through `apply_batch` and would recurse.
+                    EngineOp::MultiGet(keys) => keys
+                        .iter()
+                        .map(|k| self.get(k))
+                        .collect::<Result<Vec<_>>>()
+                        .map(OpOutcome::Values),
                     EngineOp::MultiPut(pairs) => self.multi_put(pairs).map(|_| OpOutcome::Done),
+                    EngineOp::Scan { start, end, limit } => {
+                        self.scan(&start, end.as_ref(), limit).map(OpOutcome::Range)
+                    }
                 })
                 .collect()
         }
@@ -188,6 +213,56 @@ mod tests {
             fe.cas(k(1), Some(&v(999)), Value::from("nope")),
             Err(Error::CasMismatch)
         );
+        fe.shutdown();
+    }
+
+    #[test]
+    fn scan_rides_the_pipelined_batch_path() {
+        let engine = ProbeEngine::shared();
+        let fe = Frontend::start(engine.clone(), FrontendConfig::with_shards(1));
+        // Pipelined: interleave writes and scans on one shard so the
+        // scan is one op inside a drained batch, ordered after the
+        // writes submitted before it.
+        let mut tickets = Vec::new();
+        for i in 0..50 {
+            tickets.push((None, fe.submit(Request::Put(k(i), v(i)))));
+        }
+        tickets.push((
+            Some(50),
+            fe.submit(Request::Scan {
+                start: k(0),
+                end: Some(k(50)),
+                limit: usize::MAX,
+            }),
+        ));
+        tickets.push((None, fe.submit(Request::Delete(k(10)))));
+        tickets.push((
+            Some(49),
+            fe.submit(Request::Scan {
+                start: k(0),
+                end: None,
+                limit: usize::MAX,
+            }),
+        ));
+        for (expect, t) in tickets {
+            match (expect, t.wait().unwrap()) {
+                (Some(n), Response::Range(rows)) => {
+                    assert_eq!(rows.len(), n, "scan saw the writes submitted before it");
+                    assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows key-ordered");
+                }
+                (None, Response::Done) => {}
+                (e, r) => panic!("unexpected outcome {e:?} {r:?}"),
+            }
+        }
+        // Convenience wrapper + limit truncation.
+        let got = fe.scan(&k(20), Some(&k(30)), 3).unwrap();
+        assert_eq!(
+            got,
+            vec![(k(20), v(20)), (k(21), v(21)), (k(22), v(22))],
+            "limit truncates in key order"
+        );
+        // Scans lowered into batches, not per-op engine calls.
+        assert!(engine.apply_batches.load(Ordering::Relaxed) > 0);
         fe.shutdown();
     }
 

@@ -9,7 +9,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tb_common::{Error, Result, Value};
+use tb_common::{Error, Key, Result, Value};
 
 /// What a completed request resolves to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +18,9 @@ pub enum Response {
     Value(Option<Value>),
     /// `MultiGet` results, aligned with the request's key order.
     Values(Vec<Option<Value>>),
+    /// `Scan` result: live `(key, value)` pairs in ascending key order,
+    /// truncated to the request's limit.
+    Range(Vec<(Key, Value)>),
     /// Write acknowledged — and durable, when the front-end runs in
     /// group-commit mode (the ack is delivered after the batch `sync`).
     Done,

@@ -14,7 +14,8 @@ use crate::compaction::{level_bytes, level_limit, merge_runs};
 use crate::memtable::{Entry, Memtable};
 use crate::read_pool::{FetchJob, ReadPool};
 use crate::sstable::{
-    find_in_block, sync_parent_dir, write_sstable, BlockBuf, SstConfig, SstMeta, SstReader,
+    decode_block, find_in_block, sync_parent_dir, write_sstable, BlockBuf, SstConfig, SstMeta,
+    SstReader,
 };
 use crate::wal::{SyncPolicy, Wal};
 use parking_lot::RwLock;
@@ -102,6 +103,13 @@ pub struct LsmStats {
     pub batch_parallel_fetches: AtomicU64,
     /// High-water mark of block fetches outstanding in the pool at once.
     pub read_pool_queue_depth: AtomicU64,
+    /// Block references staged by scans, pre-dedup (the scan share of
+    /// the batch fetch lists — lets scan traffic be told apart from
+    /// point reads).
+    pub batch_scan_blocks_read: AtomicU64,
+    /// Range scans submitted (via [`LsmDb::scan`] or a batched
+    /// `EngineOp::Scan`).
+    pub scans: AtomicU64,
 }
 
 /// One batched lookup after the submission pass.
@@ -123,6 +131,20 @@ enum Slot {
     Done(Result<OpOutcome>),
     Get(Lookup),
     MultiGet(Vec<Lookup>),
+    /// A staged range scan: `candidates[cand_start..cand_end]` holds
+    /// every block of every overlapping table, pushed in table-priority
+    /// order (memtable entries, the highest priority, are snapshotted
+    /// into `base` at submission). The completion pass decodes the
+    /// staged blocks — deduped and fetched alongside the batch's point
+    /// lookups — and merges newest-wins.
+    Scan {
+        start: Key,
+        end: Option<Key>,
+        limit: usize,
+        base: Vec<(Key, Entry)>,
+        cand_start: usize,
+        cand_end: usize,
+    },
 }
 
 struct Inner {
@@ -353,6 +375,9 @@ impl LsmDb {
                             .map(|k| self.stage_lookup(&inner, k, &mut cands))
                             .collect(),
                     ),
+                    EngineOp::Scan { start, end, limit } => {
+                        self.stage_scan(&inner, start, end, limit, &mut cands)
+                    }
                     _ => unreachable!("write ops take the write-lock path"),
                 })
                 .collect()
@@ -473,6 +498,42 @@ impl LsmDb {
                 }
             }
         };
+        // Completes a staged scan: decode its staged blocks (any failed
+        // fetch fails this slot alone), merge newest-wins — memtable
+        // snapshot first, then tables in priority order (`or_insert`
+        // keeps the freshest version) — drop tombstones, truncate.
+        let complete_scan = |start: Key,
+                             end: Option<Key>,
+                             limit: usize,
+                             base: Vec<(Key, Entry)>,
+                             cand_start: usize,
+                             cand_end: usize|
+         -> Result<Vec<(Key, Value)>> {
+            if cand_start < cand_end {
+                pass.clone()?;
+            }
+            let mut merged: std::collections::BTreeMap<Key, Entry> = base.into_iter().collect();
+            for slot in &slot_of[cand_start..cand_end] {
+                match &blocks[*slot as usize] {
+                    Err(e) => return Err(e.clone()),
+                    Ok(bytes) => {
+                        for (key, entry) in decode_block(bytes.as_slice())? {
+                            if key >= start && end.as_ref().is_none_or(|e| &key < e) {
+                                merged.entry(key).or_insert(entry);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(merged
+                .into_iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Put(v) => Some((k, v)),
+                    Entry::Tombstone => None,
+                })
+                .take(limit)
+                .collect())
+        };
         slots
             .into_iter()
             .map(|slot| match slot {
@@ -483,6 +544,15 @@ impl LsmDb {
                     .map(&complete)
                     .collect::<Result<Vec<_>>>()
                     .map(OpOutcome::Values),
+                Slot::Scan {
+                    start,
+                    end,
+                    limit,
+                    base,
+                    cand_start,
+                    cand_end,
+                } => complete_scan(start, end, limit, base, cand_start, cand_end)
+                    .map(OpOutcome::Range),
             })
             .collect()
     }
@@ -502,6 +572,9 @@ impl LsmDb {
                     .map(|k| self.stage_lookup(inner, k, cands))
                     .collect(),
             ),
+            EngineOp::Scan { start, end, limit } => {
+                self.stage_scan(inner, start, end, limit, cands)
+            }
             EngineOp::Put(key, value) => {
                 self.stats.puts.fetch_add(1, Ordering::Relaxed);
                 Slot::Done(
@@ -569,6 +642,56 @@ impl LsmDb {
         }
     }
 
+    /// Stages a range scan against the level state it observed: the
+    /// memtable's contribution is snapshotted immediately (cheap —
+    /// refcounted key/value handles), and every block of every
+    /// overlapping table joins the batch's shared candidate arena in
+    /// table-priority order, so scan fetches dedup against the batch's
+    /// point lookups and ride the same (possibly pooled) fetch list.
+    /// Unbounded scans (`end = None`) stage the full overlapping block
+    /// range regardless of `limit` — O(range), not O(limit); callers
+    /// wanting cheap bounded scans should bound `end`.
+    fn stage_scan(
+        &self,
+        inner: &Inner,
+        start: Key,
+        end: Option<Key>,
+        limit: usize,
+        cands: &mut Vec<(Arc<SstReader>, usize)>,
+    ) -> Slot {
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        let empty_range = end.as_ref().is_some_and(|e| e <= &start);
+        if limit == 0 || empty_range {
+            return Slot::Done(Ok(OpOutcome::Range(Vec::new())));
+        }
+        let base: Vec<(Key, Entry)> = inner
+            .memtable
+            .scan_range(&start, end.as_ref())
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect();
+        let cand_start = cands.len();
+        for level in &inner.levels {
+            for table in level {
+                if let Some((first, count)) = table.locate_range(&start, end.as_ref()) {
+                    for j in 0..count {
+                        cands.push((table.clone(), first + j));
+                    }
+                }
+            }
+        }
+        self.stats
+            .batch_scan_blocks_read
+            .fetch_add((cands.len() - cand_start) as u64, Ordering::Relaxed);
+        Slot::Scan {
+            start,
+            end,
+            limit,
+            base,
+            cand_start,
+            cand_end: cands.len(),
+        }
+    }
+
     /// Ordered scan of all live keys starting with `prefix`, merging
     /// the memtable and every level with newest-wins semantics.
     /// Tombstones shadow older versions and are dropped from the
@@ -606,6 +729,27 @@ impl LsmDb {
                 Entry::Tombstone => None,
             })
             .collect())
+    }
+
+    /// Ordered scan of live keys in `start <= key < end` (`end = None`
+    /// = unbounded), at most `limit` entries — one `EngineOp::Scan`
+    /// through the batched submission/completion path, so the staged
+    /// blocks ride the (possibly pooled) deduped fetch list.
+    pub fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        match LsmDb::apply_batch(
+            self,
+            vec![EngineOp::Scan {
+                start: start.clone(),
+                end: end.cloned(),
+                limit,
+            }],
+        )
+        .pop()
+        {
+            Some(Ok(OpOutcome::Range(rows))) => Ok(rows),
+            Some(Err(e)) => Err(e),
+            other => Err(Error::Internal(format!("scan batch resolved to {other:?}"))),
+        }
     }
 
     /// Forces the memtable to disk (no-op when empty).
@@ -836,6 +980,11 @@ impl KvEngine for LsmDb {
         }
     }
 
+    /// Ordered range scan through the batched read path.
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        LsmDb::scan(self, start, end, limit)
+    }
+
     fn batch_read_stats(&self) -> BatchReadStats {
         BatchReadStats {
             blocks_read: self.stats.batch_blocks_read.load(Ordering::Relaxed),
@@ -843,6 +992,8 @@ impl KvEngine for LsmDb {
             memtable_hits: self.stats.batch_memtable_hits.load(Ordering::Relaxed),
             parallel_fetches: self.stats.batch_parallel_fetches.load(Ordering::Relaxed),
             read_pool_queue_depth: self.stats.read_pool_queue_depth.load(Ordering::Relaxed),
+            scan_blocks_read: self.stats.batch_scan_blocks_read.load(Ordering::Relaxed),
+            scans: self.stats.scans.load(Ordering::Relaxed),
         }
     }
 
@@ -1511,6 +1662,164 @@ mod tests {
                 "hit {hit}: pooled fault landed on different slots than inline"
             );
         }
+    }
+
+    #[test]
+    fn scan_merges_all_tiers_with_bounds_and_limit() {
+        let dir = tmpdir("scanrange");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
+        // Old versions land in SSTables...
+        for i in 0..100 {
+            db.put(k(i), v(i, "old")).unwrap();
+        }
+        db.flush().unwrap();
+        // ...fresher versions and a delete stay in the memtable.
+        for i in 10..20 {
+            db.put(k(i), v(i, "new")).unwrap();
+        }
+        db.delete(k(15)).unwrap();
+
+        let got = db.scan(&k(10), Some(&k(30)), 1000).unwrap();
+        assert_eq!(got.len(), 19, "keys 10..30 minus one tombstone");
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(got[0], (k(10), v(10, "new")), "memtable version wins");
+        assert!(
+            !got.iter().any(|(key, _)| key == &k(15)),
+            "tombstone masked"
+        );
+        assert_eq!(got.last().unwrap().0, k(29), "end is exclusive");
+        assert!(
+            got.contains(&(k(25), v(25, "old"))),
+            "unchanged from SSTable"
+        );
+
+        // Limit truncates to the first live entries.
+        assert_eq!(db.scan(&k(10), Some(&k(30)), 3).unwrap(), got[..3]);
+        // Unbounded end runs to the tail; degenerate ranges are empty.
+        assert_eq!(db.scan(&k(90), None, 1000).unwrap().len(), 10);
+        assert_eq!(db.scan(&k(5), Some(&k(5)), 10).unwrap(), []);
+        assert_eq!(db.scan(&k(30), Some(&k(10)), 10).unwrap(), []);
+        assert_eq!(db.scan(&k(10), Some(&k(30)), 0).unwrap(), []);
+
+        let stats = KvEngine::batch_read_stats(&db);
+        assert!(stats.scans >= 6, "every scan counted: {stats:?}");
+        assert!(stats.scan_blocks_read > 0, "flushed tables staged blocks");
+    }
+
+    #[test]
+    fn scan_in_batch_observes_earlier_writes_in_submission_order() {
+        let dir = tmpdir("scanbatch");
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
+        for i in 0..8 {
+            db.put(k(i), v(i, "s")).unwrap();
+        }
+        db.flush().unwrap();
+        let scan = |limit| EngineOp::Scan {
+            start: k(0),
+            end: Some(k(8)),
+            limit,
+        };
+        let outcomes = db.apply_batch(vec![
+            scan(100), // level snapshot, before the batch's writes
+            EngineOp::Put(k(2), v(2, "w")),
+            EngineOp::Delete(k(3)),
+            scan(100), // sees the in-batch put and delete
+            scan(2),
+        ]);
+        let expect_pre: Vec<(Key, Value)> = (0..8).map(|i| (k(i), v(i, "s"))).collect();
+        assert_eq!(outcomes[0], Ok(OpOutcome::Range(expect_pre)));
+        let expect_post: Vec<(Key, Value)> = (0..8)
+            .filter(|&i| i != 3)
+            .map(|i| (k(i), if i == 2 { v(2, "w") } else { v(i, "s") }))
+            .collect();
+        assert_eq!(outcomes[3], Ok(OpOutcome::Range(expect_post.clone())));
+        assert_eq!(outcomes[4], Ok(OpOutcome::Range(expect_post[..2].to_vec())));
+    }
+
+    #[test]
+    fn scan_block_fetch_fault_fails_only_the_scan_slot() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let dir = tmpdir("scanfault");
+        let db = LsmDb::open(LsmConfig::new(dir.path())).unwrap();
+        for i in 0..256 {
+            db.put(k(i), v(i, "f")).unwrap();
+        }
+        db.flush().unwrap();
+        // One table, 4 KiB blocks: the scan's range and the distant get
+        // live in different blocks, and the scan's block sorts first.
+        fault::arm_scoped("batch.block_read", 1, FaultMode::Error);
+        let outcomes = db.apply_batch(vec![
+            EngineOp::Put(k(300), v(300, "w")),
+            EngineOp::Scan {
+                start: k(0),
+                end: Some(k(4)),
+                limit: 100,
+            },
+            EngineOp::Get(k(250)),
+        ]);
+        fault::reset();
+        assert_eq!(outcomes[0], Ok(OpOutcome::Done), "write unaffected");
+        assert!(
+            matches!(outcomes[1], Err(Error::FaultInjected(_))),
+            "faulted scan fetch must fail the scan's slot: {:?}",
+            outcomes[1]
+        );
+        assert_eq!(
+            outcomes[2],
+            Ok(OpOutcome::Value(Some(v(250, "f")))),
+            "a failed scan fetch poisoned an unrelated slot"
+        );
+        // Clean retry serves the full range.
+        assert_eq!(db.scan(&k(0), Some(&k(4)), 100).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn pooled_scan_matches_inline_and_reads_each_block_once() {
+        let n = 600;
+        let (_dir, inline, pooled) = inline_and_pooled("poolscan", n);
+        let (start, end) = (k(0), k(n));
+        for db in [&inline, &pooled] {
+            let before = KvEngine::batch_read_stats(db);
+            let rows = db.scan(&start, Some(&end), n + 10).unwrap();
+            let after = KvEngine::batch_read_stats(db);
+            assert_eq!(rows.len(), n);
+            assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+            let read = after.blocks_read - before.blocks_read;
+            let staged = after.scan_blocks_read - before.scan_blocks_read;
+            assert_eq!(read, staged, "each staged scan block fetched exactly once");
+            assert_eq!(after.scans - before.scans, 1);
+        }
+        assert_eq!(
+            inline.scan(&start, Some(&end), n).unwrap(),
+            pooled.scan(&start, Some(&end), n).unwrap(),
+            "pooled scan diverged from inline"
+        );
+
+        // A point get batched with a scan over the same range stages
+        // duplicate block refs — the dedup pass makes the get ride the
+        // scan's fetches for free.
+        let before = KvEngine::batch_read_stats(&inline);
+        let outcomes = inline.apply_batch(vec![
+            EngineOp::Scan {
+                start: start.clone(),
+                end: Some(end.clone()),
+                limit: n,
+            },
+            EngineOp::Get(k(5)),
+        ]);
+        let after = KvEngine::batch_read_stats(&inline);
+        assert!(matches!(&outcomes[0], Ok(OpOutcome::Range(rows)) if rows.len() == n));
+        assert_eq!(outcomes[1], Ok(OpOutcome::Value(Some(v(5, "p")))));
+        assert_eq!(
+            after.blocks_read - before.blocks_read,
+            after.scan_blocks_read - before.scan_blocks_read,
+            "the point get added no fetches beyond the scan's blocks"
+        );
+        assert!(
+            after.block_dedup_hits > before.block_dedup_hits,
+            "the get's staged refs deduped against the scan's"
+        );
     }
 
     #[test]

@@ -100,6 +100,19 @@ impl Memtable {
             .take_while(move |(k, _)| k.as_slice().starts_with(prefix))
     }
 
+    /// Ordered iteration over `start <= key < end` (`end = None` =
+    /// unbounded above), including tombstones — the memtable's
+    /// contribution to a range scan's merge.
+    pub fn scan_range<'a>(
+        &'a self,
+        start: &Key,
+        end: Option<&'a Key>,
+    ) -> impl Iterator<Item = (&'a Key, &'a Entry)> + 'a {
+        self.map
+            .range(start.clone()..)
+            .take_while(move |(k, _)| end.is_none_or(|e| *k < e))
+    }
+
     /// Consumes the memtable into its sorted entries.
     pub fn into_entries(self) -> Vec<(Key, Entry)> {
         self.map.into_iter().collect()
@@ -161,6 +174,23 @@ mod tests {
         }
         let keys: Vec<&Key> = m.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![&k("apple"), &k("mango"), &k("zebra")]);
+    }
+
+    #[test]
+    fn scan_range_bounds_and_tombstones() {
+        let mut m = Memtable::new();
+        for key in ["a", "b", "c", "d"] {
+            m.put(k(key), v(key));
+        }
+        m.delete(k("c"));
+        let end = k("d");
+        let got: Vec<(&Key, &Entry)> = m.scan_range(&k("b"), Some(&end)).collect();
+        assert_eq!(
+            got,
+            vec![(&k("b"), &Entry::Put(v("b"))), (&k("c"), &Entry::Tombstone)]
+        );
+        let unbounded: Vec<&Key> = m.scan_range(&k("c"), None).map(|(k, _)| k).collect();
+        assert_eq!(unbounded, vec![&k("c"), &k("d")]);
     }
 
     #[test]

@@ -140,6 +140,10 @@ impl DisaggregatedStore {
                 EngineOp::Cas { key, new, .. } => key.len() + new.len(),
                 EngineOp::MultiGet(keys) => keys.iter().map(|k| k.len()).sum(),
                 EngineOp::MultiPut(pairs) => pairs.iter().map(|(k, v)| k.len() + v.len()).sum(),
+                // Request-side cost only; the (potentially large)
+                // response payload is charged by callers that use the
+                // dedicated scan entry points.
+                EngineOp::Scan { start, end, .. } => start.len() + end.as_ref().map_or(0, Key::len),
             })
             .sum();
         self.stats
@@ -148,6 +152,19 @@ impl DisaggregatedStore {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         self.network.stall(payload);
         self.db.apply_batch(ops)
+    }
+
+    /// Remote range scan: one round-trip running the engine's batched
+    /// scan server-side (payload cost charged on the result size).
+    pub fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let rows = self.db.scan(start, end, limit)?;
+        let payload: usize = rows.iter().map(|(k, v)| k.len() + v.len()).sum();
+        self.network.stall(payload);
+        self.stats
+            .batched_ops
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        Ok(rows)
     }
 
     /// Remote prefix scan: one round-trip returning every live key
@@ -192,6 +209,10 @@ impl KvEngine for DisaggregatedStore {
 
     fn apply_batch(&self, ops: Vec<EngineOp>) -> Vec<Result<OpOutcome>> {
         DisaggregatedStore::apply_batch(self, ops)
+    }
+
+    fn scan(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<Vec<(Key, Value)>> {
+        DisaggregatedStore::scan(self, start, end, limit)
     }
 
     fn batch_read_stats(&self) -> BatchReadStats {

@@ -332,6 +332,41 @@ impl SstReader {
         }
     }
 
+    /// The run of data blocks that could hold keys in
+    /// `start <= key < end` (`end = None` = unbounded above), as
+    /// `(first_block, count)` — the in-memory half of a range scan,
+    /// split from the block IO exactly like [`Self::locate`] so the
+    /// batched read path can stage the run into its deduped,
+    /// span-coalesced fetch list. `None` when the table's key range
+    /// cannot intersect the scan.
+    pub fn locate_range(&self, start: &Key, end: Option<&Key>) -> Option<(usize, usize)> {
+        if &self.meta.max_key < start {
+            return None;
+        }
+        if let Some(end) = end {
+            if &self.meta.min_key >= end {
+                return None;
+            }
+        }
+        // First block that could hold `start`: the last block whose
+        // first key <= start, or block 0 when start precedes them all.
+        let first = match self.index.binary_search_by(|e| e.first_key.cmp(start)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        // Last block whose first key < end still holds in-range keys.
+        let last = match end {
+            None => self.index.len() - 1,
+            Some(end) => match self.index.binary_search_by(|e| e.first_key.cmp(end)) {
+                Ok(0) | Err(0) => 0,
+                Ok(i) => i - 1,
+                Err(i) => i - 1,
+            },
+        };
+        Some((first, last.max(first) - first + 1))
+    }
+
     /// Streams every entry in key order (compaction input).
     pub fn scan(&self) -> Result<Vec<(Key, Entry)>> {
         let mut out = Vec::with_capacity(self.meta.entry_count as usize);
@@ -435,6 +470,19 @@ impl SstReader {
         file.read_exact(buf)?;
         Ok(())
     }
+}
+
+/// Decodes every entry of a data block in key order (a range scan's
+/// per-block input).
+pub fn decode_block(block: &[u8]) -> Result<Vec<(Key, Entry)>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < block.len() {
+        let (k, entry, next) = decode_entry(block, pos)?;
+        out.push((k, entry));
+        pos = next;
+    }
+    Ok(out)
 }
 
 /// Searches a decoded data block for `key` (entries are sorted, so the
@@ -633,6 +681,53 @@ mod tests {
             Some(Entry::Put(Value::from("one")))
         );
         assert_eq!(r.meta.min_key, r.meta.max_key);
+    }
+
+    #[test]
+    fn locate_range_covers_exactly_the_overlapping_blocks() {
+        let dir = tmpdir();
+        let path = dir.create().join("range.sst");
+        let cfg = SstConfig {
+            block_size: 64,
+            bloom_bits_per_key: 10,
+        };
+        let entries = sample_entries(200);
+        let meta = write_sstable(1, &path, entries.clone().into_iter(), &cfg).unwrap();
+        let r = SstReader::open(meta).unwrap();
+        assert!(r.block_count() > 5);
+
+        // Any sub-range: decoding exactly the located blocks yields
+        // every in-range entry (reference: filter the full entry list).
+        let cases = [
+            (Key::from("key-000010"), Some(Key::from("key-000050"))),
+            (Key::from("key-000000"), Some(Key::from("key-000001"))),
+            (Key::from("a"), Some(Key::from("zzz"))),
+            (Key::from("key-000150"), None),
+            (Key::from("key-000199"), None),
+        ];
+        for (start, end) in cases {
+            let (first, count) = r.locate_range(&start, end.as_ref()).unwrap();
+            let mut got = Vec::new();
+            for b in first..first + count {
+                for (k, e) in decode_block(&r.read_block(b).unwrap()).unwrap() {
+                    if k >= start && end.as_ref().is_none_or(|e| &k < e) {
+                        got.push((k, e));
+                    }
+                }
+            }
+            let expect: Vec<(Key, Entry)> = entries
+                .iter()
+                .filter(|(k, _)| *k >= start && end.as_ref().is_none_or(|e| k < e))
+                .cloned()
+                .collect();
+            assert_eq!(got, expect, "range {start:?}..{end:?}");
+        }
+
+        // Disjoint ranges rule the table out without IO.
+        assert!(r.locate_range(&Key::from("zzz"), None).is_none());
+        assert!(r
+            .locate_range(&Key::from("a"), Some(&Key::from("b")))
+            .is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@ const KIND_UPDATE: u8 = 1;
 const KIND_INSERT: u8 = 2;
 const KIND_DELETE: u8 = 3;
 const KIND_RMW: u8 = 4;
+const KIND_SCAN: u8 = 5;
 
 /// Serializes a trace to bytes.
 pub fn encode_trace(trace: &Trace) -> Vec<u8> {
@@ -49,6 +50,12 @@ pub fn encode_trace(trace: &Trace) -> Vec<u8> {
                 body.push(KIND_RMW);
                 put_bytes(&mut body, key.as_slice());
                 put_bytes(&mut body, value.as_slice());
+            }
+            Op::Scan { start, end, limit } => {
+                body.push(KIND_SCAN);
+                put_bytes(&mut body, start.as_slice());
+                put_bytes(&mut body, end.as_slice());
+                write_varint(&mut body, *limit);
             }
         }
     }
@@ -96,6 +103,11 @@ pub fn decode_trace(bytes: &[u8]) -> Result<Trace> {
             KIND_RMW => Op::ReadModifyWrite {
                 key,
                 value: Value::from(get_bytes(body, &mut pos)?),
+            },
+            KIND_SCAN => Op::Scan {
+                start: key,
+                end: Key::from(get_bytes(body, &mut pos)?),
+                limit: read_varint(body, &mut pos)?,
             },
             other => return Err(Error::Corruption(format!("bad op kind {other}"))),
         };
@@ -200,7 +212,7 @@ mod tests {
         #[test]
         fn prop_roundtrip_arbitrary_ops(
             ops in proptest::collection::vec(
-                (0u8..5, proptest::collection::vec(any::<u8>(), 0..40),
+                (0u8..6, proptest::collection::vec(any::<u8>(), 0..40),
                  proptest::collection::vec(any::<u8>(), 0..100)),
                 0..100,
             )
@@ -208,6 +220,7 @@ mod tests {
             let trace = Trace::new(
                 ops.into_iter()
                     .map(|(kind, k, v)| {
+                        let limit = v.len() as u64;
                         let key = tb_common::Key::from(k);
                         let value = tb_common::Value::from(v);
                         match kind {
@@ -215,7 +228,12 @@ mod tests {
                             1 => Op::Update { key, value },
                             2 => Op::Insert { key, value },
                             3 => Op::Delete { key },
-                            _ => Op::ReadModifyWrite { key, value },
+                            4 => Op::ReadModifyWrite { key, value },
+                            _ => Op::Scan {
+                                start: key,
+                                end: tb_common::Key::copy_from(value.as_slice()),
+                                limit,
+                            },
                         }
                     })
                     .collect(),

@@ -8,11 +8,31 @@ use tb_common::{Key, Value};
 /// A single key-value operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
-    Read { key: Key },
-    Update { key: Key, value: Value },
-    Insert { key: Key, value: Value },
-    Delete { key: Key },
-    ReadModifyWrite { key: Key, value: Value },
+    Read {
+        key: Key,
+    },
+    Update {
+        key: Key,
+        value: Value,
+    },
+    Insert {
+        key: Key,
+        value: Value,
+    },
+    Delete {
+        key: Key,
+    },
+    ReadModifyWrite {
+        key: Key,
+        value: Value,
+    },
+    /// Ordered range scan: `start <= key < end`, at most `limit` rows
+    /// (YCSB-E's SCAN).
+    Scan {
+        start: Key,
+        end: Key,
+        limit: u64,
+    },
 }
 
 impl Op {
@@ -23,12 +43,15 @@ impl Op {
             | Op::Insert { key, .. }
             | Op::Delete { key }
             | Op::ReadModifyWrite { key, .. } => key,
+            // A scan touches a range; its start key stands in wherever
+            // a single routing/accounting key is needed.
+            Op::Scan { start, .. } => start,
         }
     }
 
     /// True for operations that write.
     pub fn is_write(&self) -> bool {
-        !matches!(self, Op::Read { .. })
+        !matches!(self, Op::Read { .. } | Op::Scan { .. })
     }
 
     /// Payload size contributed to stored data (0 for reads/deletes).
@@ -119,7 +142,7 @@ impl Trace {
                 Op::Delete { key } => {
                     last_value_len.remove(key);
                 }
-                Op::Read { .. } => {}
+                Op::Read { .. } | Op::Scan { .. } => {}
             }
             let key = op.key().clone();
             *access_counts.entry(key.clone()).or_insert(0) += 1;

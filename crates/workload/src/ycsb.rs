@@ -18,6 +18,7 @@ pub enum OpKind {
     Update,
     Insert,
     ReadModifyWrite,
+    Scan,
 }
 
 /// Key-popularity distribution selector.
@@ -41,6 +42,11 @@ pub struct WorkloadSpec {
     pub update_proportion: f64,
     pub insert_proportion: f64,
     pub rmw_proportion: f64,
+    /// Proportion of ordered range scans (YCSB-E's SCAN op).
+    pub scan_proportion: f64,
+    /// Scan lengths are drawn uniformly from `1..=max_scan_length`
+    /// (YCSB's default scanlengthdistribution=uniform).
+    pub max_scan_length: u64,
     pub distribution: Distribution,
     pub dataset: DatasetKind,
     /// RNG seed so runs are reproducible.
@@ -57,9 +63,29 @@ impl WorkloadSpec {
             update_proportion: 0.5,
             insert_proportion: 0.0,
             rmw_proportion: 0.0,
+            scan_proportion: 0.0,
+            max_scan_length: 100,
             distribution: Distribution::Zipfian(0.99),
             dataset: DatasetKind::Cities,
             seed: 0x5eed,
+        }
+    }
+
+    /// YCSB Workload E: 95% scan / 5% insert, zipfian scan-start keys,
+    /// uniform scan length in `1..=100` (short-ranges workload).
+    pub fn ycsb_e(record_count: u64, operation_count: u64) -> Self {
+        Self {
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            insert_proportion: 0.05,
+            rmw_proportion: 0.0,
+            scan_proportion: 0.95,
+            max_scan_length: 100,
+            distribution: Distribution::Zipfian(0.99),
+            dataset: DatasetKind::Cities,
+            seed: 0x5eed0e,
+            record_count,
+            operation_count,
         }
     }
 
@@ -89,6 +115,8 @@ impl WorkloadSpec {
             update_proportion: 0.03,
             insert_proportion: 0.0,
             rmw_proportion: 0.0,
+            scan_proportion: 0.0,
+            max_scan_length: 100,
             distribution: Distribution::Zipfian(0.99),
             dataset: DatasetKind::Kv1,
             seed: 0xca5e1,
@@ -105,6 +133,8 @@ impl WorkloadSpec {
             update_proportion: 0.25,
             insert_proportion: 0.25,
             rmw_proportion: 0.0,
+            scan_proportion: 0.0,
+            max_scan_length: 100,
             distribution: Distribution::Latest,
             dataset: DatasetKind::Kv2,
             seed: 0xca5e2,
@@ -117,12 +147,17 @@ impl WorkloadSpec {
         let sum = self.read_proportion
             + self.update_proportion
             + self.insert_proportion
-            + self.rmw_proportion;
+            + self.rmw_proportion
+            + self.scan_proportion;
         assert!(
             (sum - 1.0).abs() < 1e-6,
             "op proportions must sum to 1.0, got {sum}"
         );
         assert!(self.record_count > 0);
+        assert!(
+            self.scan_proportion == 0.0 || self.max_scan_length > 0,
+            "scans need max_scan_length >= 1"
+        );
     }
 }
 
@@ -205,6 +240,22 @@ impl Workload {
             Op::Insert {
                 key: self.key_for(ordinal),
                 value: self.value_for(ordinal),
+            }
+        } else if r < s.read_proportion
+            + s.update_proportion
+            + s.insert_proportion
+            + s.scan_proportion
+        {
+            // YCSB-E SCAN: popular start key, uniform length. The keys
+            // are fixed-width ordinals, so `key_for(idx + len)` is the
+            // exact exclusive upper bound of a `len`-row window.
+            let max_len = s.max_scan_length;
+            let idx = self.chooser.next_index(&mut self.rng);
+            let len = self.rng.gen_range(1..=max_len);
+            Op::Scan {
+                start: self.key_for(idx),
+                end: self.key_for(idx + len),
+                limit: len,
             }
         } else {
             let idx = self.chooser.next_index(&mut self.rng);
@@ -326,6 +377,54 @@ mod tests {
             .filter(|_| matches!(w.next_op(), Op::Insert { .. }))
             .count();
         assert!(inserts > 2000, "expected ~25% inserts, got {inserts}");
+    }
+
+    #[test]
+    fn workload_e_mixes_scans_and_inserts() {
+        let mut w = Workload::new(WorkloadSpec::ycsb_e(1000, 20_000));
+        w.load_ops();
+        let (mut scans, mut inserts) = (0u64, 0u64);
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            match w.next_op() {
+                Op::Scan { start, end, limit } => {
+                    scans += 1;
+                    assert!((1..=100).contains(&limit), "scan length {limit}");
+                    assert!(start < end, "scan range must be non-empty");
+                    lengths.insert(limit);
+                }
+                Op::Insert { .. } => inserts += 1,
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        let ratio = scans as f64 / (scans + inserts) as f64;
+        assert!((ratio - 0.95).abs() < 0.02, "scan ratio {ratio}");
+        assert!(
+            lengths.len() > 50,
+            "uniform lengths should cover most of 1..=100: {}",
+            lengths.len()
+        );
+    }
+
+    #[test]
+    fn workload_e_scan_starts_are_skewed() {
+        let mut w = Workload::new(WorkloadSpec::ycsb_e(10_000, 0));
+        w.load_ops();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            if let Op::Scan { start, .. } = w.next_op() {
+                *counts.entry(start).or_insert(0u64) += 1;
+            }
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = freqs.iter().sum();
+        let top_100: u64 = freqs.iter().take(100).sum();
+        assert!(
+            top_100 as f64 / total as f64 > 0.3,
+            "zipfian scan starts, top-100 share {}",
+            top_100 as f64 / total as f64
+        );
     }
 
     #[test]

@@ -100,6 +100,8 @@ fn main() -> Result<()> {
         update_proportion: 1.0 - read_prop,
         insert_proportion: 0.0,
         rmw_proportion: 0.0,
+        scan_proportion: 0.0,
+        max_scan_length: 0,
         distribution: Distribution::Zipfian(args.skew.min(0.999)),
         dataset: DatasetKind::Kv1,
         seed: 0xad01,

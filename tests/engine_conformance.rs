@@ -183,6 +183,90 @@ fn conformance(engine: &dyn KvEngine) {
     assert_eq!(outcomes[1], Ok(OpOutcome::Value(None)), "[{label}]");
     assert_eq!(outcomes[2], Ok(OpOutcome::Value(Some(v(11)))), "[{label}]");
 
+    // --- scan: ordered range reads ----------------------------------
+    // Every engine must return live rows in ascending key order,
+    // end-exclusive, tombstone-masked, truncated to `limit`.
+    let pairs: Vec<(Key, Value)> = (0..30).map(|i| (k("scan", i), v(i))).collect();
+    engine.multi_put(pairs).unwrap();
+    engine.delete(&k("scan", 12)).unwrap();
+    let expected: Vec<(Key, Value)> = (5..20)
+        .filter(|&i| i != 12)
+        .map(|i| (k("scan", i), v(i)))
+        .collect();
+    let rows = engine
+        .scan(&k("scan", 5), Some(&k("scan", 20)), usize::MAX)
+        .unwrap();
+    assert_eq!(
+        rows, expected,
+        "[{label}] scan: order, end-exclusive, tombstone masking"
+    );
+    let rows = engine.scan(&k("scan", 5), Some(&k("scan", 20)), 4).unwrap();
+    assert_eq!(rows, expected[..4], "[{label}] scan limit truncates");
+    // Unbounded end runs to the end of the keyspace ("conf:scan:*"
+    // sorts after every other key the battery writes).
+    let rows = engine.scan(&k("scan", 25), None, usize::MAX).unwrap();
+    let tail: Vec<(Key, Value)> = (25..30).map(|i| (k("scan", i), v(i))).collect();
+    assert_eq!(rows, tail, "[{label}] unbounded scan tail");
+    // Empty range and zero limit both yield nothing.
+    assert!(
+        engine
+            .scan(&k("scan", 20), Some(&k("scan", 20)), usize::MAX)
+            .unwrap()
+            .is_empty(),
+        "[{label}] empty range"
+    );
+    assert!(
+        engine
+            .scan(&k("scan", 0), Some(&k("scan", 30)), 0)
+            .unwrap()
+            .is_empty(),
+        "[{label}] zero limit"
+    );
+
+    // --- scan inside a mixed batch ----------------------------------
+    // A scan submitted mid-batch sees exactly the writes before it:
+    // the puts at [0..2], not the delete at [3] or the put at [5].
+    let outcomes = engine.apply_batch(vec![
+        EngineOp::Put(k("sb", 0), v(0)),
+        EngineOp::Put(k("sb", 1), v(1)),
+        EngineOp::Scan {
+            start: k("sb", 0),
+            end: Some(k("sb", 9)),
+            limit: usize::MAX,
+        },
+        EngineOp::Delete(k("sb", 0)),
+        EngineOp::Scan {
+            start: k("sb", 0),
+            end: Some(k("sb", 9)),
+            limit: usize::MAX,
+        },
+        EngineOp::Put(k("sb", 2), v(2)),
+        EngineOp::Scan {
+            start: k("sb", 0),
+            end: Some(k("sb", 9)),
+            limit: 1,
+        },
+    ]);
+    assert_eq!(outcomes.len(), 7, "[{label}] one completion per op");
+    assert_eq!(
+        outcomes[2],
+        Ok(OpOutcome::Range(vec![
+            (k("sb", 0), v(0)),
+            (k("sb", 1), v(1)),
+        ])),
+        "[{label}] scan sees in-batch puts before it, not writes after"
+    );
+    assert_eq!(
+        outcomes[4],
+        Ok(OpOutcome::Range(vec![(k("sb", 1), v(1))])),
+        "[{label}] scan sees the in-batch delete"
+    );
+    assert_eq!(
+        outcomes[6],
+        Ok(OpOutcome::Range(vec![(k("sb", 1), v(1))])),
+        "[{label}] mid-batch scan respects limit"
+    );
+
     // --- resident_bytes monotonicity --------------------------------
     // Adding data never shrinks the footprint (engines that hold no
     // data, like the proxy, report a constant — still monotonic).

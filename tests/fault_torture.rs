@@ -602,6 +602,94 @@ fn torn_write_torture_pipelined() {
     );
 }
 
+/// Scan batches through the `batch.block_read` enumeration: for every
+/// hit position the fault can land on, a batch mixing range scans and
+/// point gets must fail *only* the completion slots whose staged reads
+/// reference the faulted block — identically on the inline and pooled
+/// completion passes — while every other slot answers the same as a
+/// clean run.
+#[test]
+fn scan_batch_block_read_fault_fails_only_its_slots() {
+    let _g = gate();
+    fault::reset();
+    let dir = fresh_dir("scanfault");
+    let config = torture_config(dir.path(), 0);
+    {
+        // Two flushed generations so scans stage ranges across tables.
+        let db = LsmDb::open(config.clone()).unwrap();
+        for i in 0..120 {
+            db.put(key(i), val(i)).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 60..180 {
+            db.put(key(i), val(i + 1000)).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    let inline = LsmDb::open(config.clone()).unwrap();
+    let mut pooled_config = config;
+    pooled_config.read_pool_threads = 2;
+    // Second handle over the same dir: reads only, so the duplicate
+    // WAL handle never comes into play.
+    let pooled = LsmDb::open(pooled_config).unwrap();
+
+    let ops = || {
+        vec![
+            EngineOp::Scan {
+                start: key(10),
+                end: Some(key(50)),
+                limit: usize::MAX,
+            },
+            EngineOp::Get(key(90)),
+            EngineOp::Scan {
+                start: key(100),
+                end: Some(key(140)),
+                limit: usize::MAX,
+            },
+            EngineOp::Get(key(5)),
+        ]
+    };
+    let clean = inline.apply_batch(ops());
+    assert!(
+        clean.iter().all(|r| r.is_ok()),
+        "clean run failed: {clean:?}"
+    );
+    let total_fetches = KvEngine::batch_read_stats(&inline).blocks_read;
+    assert!(total_fetches >= 4, "scan batch staged too few blocks");
+
+    for hit in 1..=cap_or(total_fetches) {
+        let mut failed = Vec::new();
+        for (which, db) in [("inline", &inline), ("pooled", &pooled)] {
+            fault::arm_scoped("batch.block_read", hit, FaultMode::Error);
+            let outcomes = db.apply_batch(ops());
+            fault::reset();
+            let errs: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.is_err().then_some(i))
+                .collect();
+            assert!(
+                !errs.is_empty(),
+                "hit {hit} never fired ({which}: fetches={total_fetches})"
+            );
+            for (i, r) in outcomes.iter().enumerate() {
+                if r.is_ok() {
+                    assert_eq!(
+                        r, &clean[i],
+                        "{which} hit {hit}: slot {i} answered differently \
+                         under an unrelated block fault"
+                    );
+                }
+            }
+            failed.push(errs);
+        }
+        assert_eq!(
+            failed[0], failed[1],
+            "hit {hit}: pooled scan fault landed on different slots than inline"
+        );
+    }
+}
+
 // --- exhaustive-schedule proptest --------------------------------------
 
 mod schedules {
