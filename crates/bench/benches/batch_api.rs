@@ -24,7 +24,7 @@
 //!   boundaries.
 
 use std::sync::Arc;
-use tb_bench::{bench_dir, budget, print_table};
+use tb_bench::{bench_dir, budget, print_table, BenchReport};
 use tb_cluster::{ClusterClient, CoordinatorGroup, NodeId, NodeStore, ServingMode};
 use tb_common::{EngineOp, Key, KvEngine, OpOutcome, Value};
 use tb_frontend::{Frontend, FrontendConfig};
@@ -74,6 +74,7 @@ fn schedule(records: u64, lookups: u64, clustered: bool) -> Vec<Vec<Key>> {
 }
 
 fn main() {
+    let mut report = BenchReport::new("batch_api");
     let records = budget(40_000);
     let lookups = budget(120_000);
 
@@ -126,6 +127,20 @@ fn main() {
             if !batched {
                 loop_kqps.insert(pattern, kqps);
             }
+            report.add_values(
+                format!("{path}/{pattern}"),
+                &[
+                    ("kqps", kqps),
+                    (
+                        "blocks_read",
+                        (after.blocks_read - before.blocks_read) as f64,
+                    ),
+                    (
+                        "dedup_hits",
+                        (after.block_dedup_hits - before.block_dedup_hits) as f64,
+                    ),
+                ],
+            );
             rows.push(vec![
                 path.to_string(),
                 pattern.to_string(),
@@ -155,6 +170,16 @@ fn main() {
     let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
     let fe_after = fe.stats_snapshot().engine_batch;
     let kqps = lookups as f64 / elapsed / 1000.0;
+    report.add_values(
+        "frontend-multi_get/clustered",
+        &[
+            ("kqps", kqps),
+            (
+                "blocks_read",
+                (fe_after.blocks_read - fe_before.blocks_read) as f64,
+            ),
+        ],
+    );
     rows.push(vec![
         "frontend multi_get".to_string(),
         "clustered".to_string(),
@@ -181,8 +206,9 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 
-    pooled_completion_pass();
-    cluster_multi_get();
+    pooled_completion_pass(&mut report);
+    cluster_multi_get(&mut report);
+    report.write().expect("write bench report");
 }
 
 /// Inline vs pooled completion pass over one disk image. Large values
@@ -190,7 +216,7 @@ fn main() {
 /// block-IO-heavy — the part the pool coalesces into span reads and
 /// overlaps across its workers. Same staging, same dedup: `blocks_read`
 /// must match exactly; only the wall clock moves.
-fn pooled_completion_pass() {
+fn pooled_completion_pass(report: &mut BenchReport) {
     let records = budget(12_000);
     let lookups = budget(48_000);
     let dir = bench_dir("batch-api-pool");
@@ -239,6 +265,17 @@ fn pooled_completion_pass() {
                 "pooled pass read a different block set than inline"
             );
         }
+        report.add_values(
+            format!("completion-pool{pool_threads}"),
+            &[
+                ("kqps", kqps),
+                ("blocks_read", blocks as f64),
+                (
+                    "pool_fetches",
+                    (after.parallel_fetches - before.parallel_fetches) as f64,
+                ),
+            ],
+        );
         rows.push(vec![
             if pool_threads == 0 {
                 "inline completion".into()
@@ -271,7 +308,7 @@ fn pooled_completion_pass() {
 /// `ClusterClient::multi_get` groups keys per owner, each pipelined
 /// node lowers its group onto one pooled `apply_batch` — the batch
 /// story across node boundaries, vs a per-key client get loop.
-fn cluster_multi_get() {
+fn cluster_multi_get(report: &mut BenchReport) {
     let records = budget(12_000);
     let lookups = budget(24_000);
     let dir = bench_dir("batch-api-cluster");
@@ -333,6 +370,14 @@ fn cluster_multi_get() {
             loop_kqps = kqps;
         }
         let pooled = pooled_fetches(&dbs) - before;
+        report.add_values(
+            if batched {
+                "cluster-multi_get"
+            } else {
+                "cluster-get-loop"
+            },
+            &[("kqps", kqps), ("pool_fetches", pooled as f64)],
+        );
         rows.push(vec![
             if batched {
                 "client multi_get".into()

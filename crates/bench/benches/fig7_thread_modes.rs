@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 use tb_baselines::{DragonflyLike, MemcachedLike, RedisLike};
-use tb_bench::{bench_dir, budget, drive, print_table};
+use tb_bench::{bench_dir, budget, drive, print_table, BenchReport};
 use tb_common::KvEngine;
 use tb_elastic::ThreadMode;
 use tb_workload::{Workload, WorkloadSpec};
@@ -27,6 +27,7 @@ fn tierbase(name: &str, mode: ThreadMode) -> TierBase {
 
 fn run_suite(
     rows: &mut Vec<Vec<String>>,
+    report: &mut BenchReport,
     label: &str,
     engine: &dyn KvEngine,
     records: u64,
@@ -46,6 +47,7 @@ fn run_suite(
         let _ = w.load_ops(); // engine already loaded; keep streams aligned
         let run = w.run_trace();
         let r = drive(engine, &tb_workload::Trace::default(), &run, clients);
+        report.add_drive(format!("{label}/{wname}"), &r);
         rows.push(vec![
             label.into(),
             wname.into(),
@@ -53,6 +55,7 @@ fn run_suite(
             format!("{:.1}", r.p99_us),
         ]);
     }
+    report.add_drive(format!("{label}/load"), &load);
     rows.push(vec![
         label.into(),
         "load".into(),
@@ -64,25 +67,26 @@ fn run_suite(
 fn main() {
     let records = budget(20_000);
     let ops = budget(60_000);
+    let mut report = BenchReport::new("fig7_thread_modes");
 
     // --- single-thread mode (Figures 7a, 7b): 16 client threads -------
     let mut rows = Vec::new();
     {
         let tb = tierbase("fig7-tb-s", ThreadMode::Single);
-        run_suite(&mut rows, "TierBase-s", &tb, records, ops, 16);
+        run_suite(&mut rows, &mut report, "TierBase-s", &tb, records, ops, 16);
     }
     {
         let redis = RedisLike::new();
-        run_suite(&mut rows, "Redis-s", &redis, records, ops, 16);
+        run_suite(&mut rows, &mut report, "Redis-s", &redis, records, ops, 16);
     }
     {
         // Single-thread variants of the multithread-native systems.
         let mc = MemcachedLike::new(256 << 20, 1);
-        run_suite(&mut rows, "Memcached-s", &mc, records, ops, 16);
+        run_suite(&mut rows, &mut report, "Memcached-s", &mc, records, ops, 16);
     }
     {
         let df = DragonflyLike::new(1);
-        run_suite(&mut rows, "Dragonfly-s", &df, records, ops, 16);
+        run_suite(&mut rows, &mut report, "Dragonfly-s", &df, records, ops, 16);
     }
     print_table(
         "Figure 7(a,b): single-thread mode (kQPS, p99 us)",
@@ -94,19 +98,27 @@ fn main() {
     let mut rows = Vec::new();
     {
         let tb = tierbase("fig7-tb-m", ThreadMode::Multi(4));
-        run_suite(&mut rows, "TierBase-m", &tb, records, ops, 48);
+        run_suite(&mut rows, &mut report, "TierBase-m", &tb, records, ops, 48);
     }
     {
         let redis = RedisLike::new(); // Redis stays single-threaded
-        run_suite(&mut rows, "Redis-m(io)", &redis, records, ops, 48);
+        run_suite(
+            &mut rows,
+            &mut report,
+            "Redis-m(io)",
+            &redis,
+            records,
+            ops,
+            48,
+        );
     }
     {
         let mc = MemcachedLike::new(256 << 20, 8);
-        run_suite(&mut rows, "Memcached-m", &mc, records, ops, 48);
+        run_suite(&mut rows, &mut report, "Memcached-m", &mc, records, ops, 48);
     }
     {
         let df = DragonflyLike::new(4);
-        run_suite(&mut rows, "Dragonfly-m", &df, records, ops, 48);
+        run_suite(&mut rows, &mut report, "Dragonfly-m", &df, records, ops, 48);
     }
     // The paper's scaling argument: 4 single-thread TierBase instances
     // on the same 4 cores.
@@ -143,6 +155,7 @@ fn main() {
             }
         });
         let qps = (load.len() + run.len()) as f64 / t0.elapsed().as_secs_f64();
+        report.add_values("4xTierBase-s/B+load", &[("kqps", qps / 1000.0)]);
         rows.push(vec![
             "4xTierBase-s".into(),
             "B(95/5)+load".into(),
@@ -155,4 +168,5 @@ fn main() {
         &["system", "workload", "kqps", "p99_us"],
         &rows,
     );
+    report.write().expect("write bench report");
 }

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tb_baselines::RedisLike;
-use tb_bench::{bench_dir, print_table};
+use tb_bench::{bench_dir, print_table, BenchReport};
 use tb_common::{Key, KvEngine, Value};
 use tb_elastic::ThreadMode;
 use tierbase_core::{TierBase, TierBaseConfig};
@@ -143,9 +143,32 @@ fn main() {
     ];
 
     let phases = Phases::resolve();
+    let mut report = BenchReport::new("fig9_elastic_burst");
     let mut rows = Vec::new();
     for (name, engine) in systems {
         let series = timeline(engine, 16, phases);
+        // Per-phase mean throughput: the burst buckets sit between the
+        // calm lead-in and the tail.
+        let per_phase = |lo_ms: u64, hi_ms: u64| {
+            let lo = (lo_ms / phases.bucket_ms) as usize;
+            let hi = ((hi_ms / phases.bucket_ms) as usize).min(series.len());
+            let slice = &series[lo..hi];
+            slice.iter().sum::<f64>() / slice.len().max(1) as f64 / 1000.0
+        };
+        report.add_values(
+            name,
+            &[
+                ("calm_kqps", per_phase(0, phases.calm_ms)),
+                (
+                    "burst_kqps",
+                    per_phase(phases.calm_ms, phases.calm_ms + phases.burst_ms),
+                ),
+                (
+                    "tail_kqps",
+                    per_phase(phases.calm_ms + phases.burst_ms, phases.total_ms()),
+                ),
+            ],
+        );
         let mut row = vec![name.to_string()];
         row.extend(series.iter().map(|q| format!("{:.0}", q / 1000.0)));
         rows.push(row);
@@ -167,4 +190,5 @@ fn main() {
         (phases.calm_ms + phases.burst_ms) as f64 / 1000.0
     );
     print_table(&title, &header_refs, &rows);
+    report.write().expect("write bench report");
 }

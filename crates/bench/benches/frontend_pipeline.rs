@@ -9,7 +9,7 @@
 //! elastic drain workers on top.
 
 use std::sync::Arc;
-use tb_bench::{bench_dir, budget, drive_pipelined, print_table};
+use tb_bench::{bench_dir, budget, drive_pipelined, print_table, BenchReport};
 use tb_common::KvEngine;
 use tb_frontend::{ElasticConfig, Frontend, FrontendConfig};
 use tb_lsm::{LsmConfig, LsmDb};
@@ -19,6 +19,7 @@ fn main() {
     let records = budget(5_000);
     let ops = budget(20_000);
 
+    let mut report = BenchReport::new("frontend_pipeline");
     let mut rows = Vec::new();
     for (label, group_commit, boost) in [
         ("per-op-sync", false, 1usize),
@@ -46,6 +47,7 @@ fn main() {
         let _ = drive_pipelined(&fe, &load, 4);
 
         let r = drive_pipelined(&fe, &run, 8);
+        report.add_pipeline(label, &r);
         let snap = fe.stats().snapshot();
         rows.push(vec![
             label.to_string(),
@@ -75,4 +77,5 @@ fn main() {
         ],
         &rows,
     );
+    report.write().expect("write bench report");
 }

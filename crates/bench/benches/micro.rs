@@ -113,11 +113,43 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    let counter = tb_obs::global().counter("micro_obs_probe");
+    let histo = tb_obs::global().histogram("micro_obs_probe_ns");
+
+    // The cost-discipline contract: with telemetry off, a timed site is
+    // one relaxed load — `start()` returns `None` without reading the
+    // clock, and `record_since(None)` is a no-op branch.
+    tb_obs::set_enabled(false);
+    group.bench_function("disabled_start", |b| {
+        b.iter(|| std::hint::black_box(tb_obs::start()))
+    });
+    group.bench_function("disabled_timed_site", |b| {
+        b.iter(|| {
+            let t = tb_obs::start();
+            histo.record_since(std::hint::black_box(t));
+        })
+    });
+    group.bench_function("disabled_counter_add", |b| b.iter(|| counter.add(1)));
+
+    tb_obs::set_enabled(true);
+    group.bench_function("enabled_timed_site", |b| {
+        b.iter(|| {
+            let t = tb_obs::start();
+            histo.record_since(std::hint::black_box(t));
+        })
+    });
+    group.bench_function("enabled_counter_add", |b| b.iter(|| counter.add(1)));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cache,
     bench_lsm,
     bench_compressors,
-    bench_primitives
+    bench_primitives,
+    bench_obs
 );
 criterion_main!(benches);

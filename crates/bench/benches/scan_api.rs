@@ -23,7 +23,7 @@
 //!   (fan-out to every owner, k-way merge, global re-limit).
 
 use std::sync::Arc;
-use tb_bench::{bench_dir, budget, print_table};
+use tb_bench::{bench_dir, budget, print_table, BenchReport};
 use tb_cluster::{ClusterClient, CoordinatorGroup, NodeId, NodeStore, ServingMode};
 use tb_common::{EngineOp, Key, KvEngine, OpOutcome, Value};
 use tb_frontend::{Frontend, FrontendConfig};
@@ -90,6 +90,7 @@ fn scan_ops(batch: &[(Key, Key)]) -> Vec<EngineOp> {
 fn main() {
     let records = budget(20_000);
     let scans = budget(4_000);
+    let mut report = BenchReport::new("scan_api");
 
     // Disk-resident working set: load, then flush everything out of
     // the memtable so each scan must reach SSTable blocks.
@@ -141,6 +142,28 @@ fn main() {
         if !batched {
             loop_krps = krps;
         }
+        report.add_values(
+            if batched {
+                "apply_batch-scan"
+            } else {
+                "get-loop"
+            },
+            &[
+                ("krows_per_s", krps),
+                (
+                    "blocks_read",
+                    (after.blocks_read - before.blocks_read) as f64,
+                ),
+                (
+                    "scan_blocks",
+                    (after.scan_blocks_read - before.scan_blocks_read) as f64,
+                ),
+                (
+                    "dedup_hits",
+                    (after.block_dedup_hits - before.block_dedup_hits) as f64,
+                ),
+            ],
+        );
         rows.push(vec![
             if batched {
                 "apply_batch scan"
@@ -171,8 +194,9 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 
-    pooled_scan_pass();
-    fanout_scan();
+    pooled_scan_pass(&mut report);
+    fanout_scan(&mut report);
+    report.write().expect("write bench report");
 }
 
 /// Inline vs pooled completion pass over the same scan schedule. Same
@@ -181,7 +205,7 @@ fn main() {
 /// once per batch: a batch that scans a range and then point-reads
 /// every fifth key inside it stages no extra block fetches — the point
 /// slots resolve from the blocks the scan already staged.
-fn pooled_scan_pass() {
+fn pooled_scan_pass(report: &mut BenchReport) {
     let records = budget(10_000);
     let scans = budget(2_000);
     let dir = bench_dir("scan-api-pool");
@@ -269,6 +293,17 @@ fn pooled_scan_pass() {
             "point reads inside a scanned range did not dedup"
         );
 
+        report.add_values(
+            format!("completion-pool{pool_threads}"),
+            &[
+                ("krows_per_s", krps),
+                ("blocks_read", blocks as f64),
+                (
+                    "pool_fetches",
+                    (after.parallel_fetches - before.parallel_fetches) as f64,
+                ),
+            ],
+        );
         rows.push(vec![
             if pool_threads == 0 {
                 "inline completion".into()
@@ -299,7 +334,7 @@ fn pooled_scan_pass() {
 /// `ClusterClient::scan` across 3 pipelined pooled nodes: hash
 /// placement scatters every range over all owners, so the client fans
 /// out, k-way-merges the per-node rows, and re-applies the limit.
-fn fanout_scan() {
+fn fanout_scan(report: &mut BenchReport) {
     let records = budget(10_000);
     let scans = budget(1_000);
     let dir = bench_dir("scan-api-cluster");
@@ -369,6 +404,14 @@ fn fanout_scan() {
         if !cluster {
             fe_krps = krps;
         }
+        report.add_values(
+            if cluster {
+                "cluster-scan"
+            } else {
+                "frontend-scan"
+            },
+            &[("krows_per_s", krps)],
+        );
         rows.push(vec![
             if cluster {
                 "cluster scan (3 nodes, fan-out merge)".into()

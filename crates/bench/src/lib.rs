@@ -18,6 +18,9 @@ use tb_common::{Histogram, KvEngine};
 use tb_costmodel::{CostMetrics, WorkloadDemand};
 use tb_workload::{Op, Trace};
 
+pub mod report;
+pub use report::BenchReport;
+
 /// Benchmark scale factor from `TB_BENCH_SCALE`.
 pub fn scale() -> usize {
     std::env::var("TB_BENCH_SCALE")
@@ -48,7 +51,10 @@ pub fn budget(base: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct DriveResult {
     pub qps: f64,
+    pub p50_us: f64,
+    pub p95_us: f64,
     pub p99_us: f64,
+    pub p999_us: f64,
     pub mean_us: f64,
     pub ops: usize,
     pub errors: usize,
@@ -111,7 +117,10 @@ pub fn drive(
 
     DriveResult {
         qps: ops.len() as f64 / elapsed,
+        p50_us: hist.percentile(0.50) as f64 / 1000.0,
+        p95_us: hist.percentile(0.95) as f64 / 1000.0,
         p99_us: hist.p99() as f64 / 1000.0,
+        p999_us: hist.percentile(0.999) as f64 / 1000.0,
         mean_us: hist.mean() / 1000.0,
         ops: ops.len(),
         errors: errors.load(Ordering::Relaxed),
@@ -123,7 +132,9 @@ pub fn drive(
 pub struct PipelineResult {
     pub qps: f64,
     pub p50_us: f64,
+    pub p95_us: f64,
     pub p99_us: f64,
+    pub p999_us: f64,
     pub mean_us: f64,
     pub ops: usize,
     pub errors: usize,
@@ -206,7 +217,9 @@ pub fn drive_pipelined(
     PipelineResult {
         qps: ops.len() as f64 / elapsed,
         p50_us: hist.percentile(0.50) as f64 / 1000.0,
+        p95_us: hist.percentile(0.95) as f64 / 1000.0,
         p99_us: hist.p99() as f64 / 1000.0,
+        p999_us: hist.percentile(0.999) as f64 / 1000.0,
         mean_us: hist.mean() / 1000.0,
         ops: ops.len(),
         errors: errors.load(Ordering::Relaxed),
@@ -456,7 +469,10 @@ mod tests {
         let demand = WorkloadDemand::new(1000.0, 10.0);
         let r = DriveResult {
             qps: 10_000.0,
+            p50_us: 1.0,
+            p95_us: 1.0,
             p99_us: 1.0,
+            p999_us: 1.0,
             mean_us: 1.0,
             ops: 1,
             errors: 0,

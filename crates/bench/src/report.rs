@@ -1,0 +1,220 @@
+//! Persisted per-run bench results: `BENCH_<name>.json`.
+//!
+//! A figure/table bench builds one [`BenchReport`] at startup, adds a
+//! row per measured configuration, and writes the report when done.
+//! Besides the workload rows, the report captures the run's *telemetry
+//! delta*: every `tb-obs` counter that moved between construction and
+//! `write`, and every latency histogram the instrumented layers
+//! recorded. CI smoke-runs the benches (`TB_BENCH_SMOKE=1`) and
+//! validates the JSON; committed artifacts under `bench_results/` keep
+//! quantitative history reviewable across PRs.
+
+use crate::{DriveResult, PipelineResult};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tb_obs::json::Value;
+use tb_obs::{HistogramSnapshot, MetricsSnapshot};
+
+/// Accumulates one bench run's rows against a baseline metrics
+/// snapshot taken at construction.
+pub struct BenchReport {
+    name: String,
+    baseline: MetricsSnapshot,
+    rows: Vec<Value>,
+}
+
+impl BenchReport {
+    /// Starts a report; snapshots [`tb_obs::global`] as the baseline
+    /// the final counter deltas are computed against.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            baseline: tb_obs::global().snapshot(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a closed-loop [`DriveResult`] row.
+    pub fn add_drive(&mut self, label: impl Into<String>, r: &DriveResult) {
+        self.rows.push(Value::obj([
+            ("label".into(), Value::Str(label.into())),
+            ("kind".into(), Value::Str("drive".into())),
+            ("qps".into(), Value::Num(r.qps)),
+            ("mean_us".into(), Value::Num(r.mean_us)),
+            ("p50_us".into(), Value::Num(r.p50_us)),
+            ("p95_us".into(), Value::Num(r.p95_us)),
+            ("p99_us".into(), Value::Num(r.p99_us)),
+            ("p999_us".into(), Value::Num(r.p999_us)),
+            ("ops".into(), Value::Num(r.ops as f64)),
+            ("errors".into(), Value::Num(r.errors as f64)),
+        ]));
+    }
+
+    /// Adds an open-loop [`PipelineResult`] row.
+    pub fn add_pipeline(&mut self, label: impl Into<String>, r: &PipelineResult) {
+        self.rows.push(Value::obj([
+            ("label".into(), Value::Str(label.into())),
+            ("kind".into(), Value::Str("pipeline".into())),
+            ("qps".into(), Value::Num(r.qps)),
+            ("mean_us".into(), Value::Num(r.mean_us)),
+            ("p50_us".into(), Value::Num(r.p50_us)),
+            ("p95_us".into(), Value::Num(r.p95_us)),
+            ("p99_us".into(), Value::Num(r.p99_us)),
+            ("p999_us".into(), Value::Num(r.p999_us)),
+            ("ops".into(), Value::Num(r.ops as f64)),
+            ("errors".into(), Value::Num(r.errors as f64)),
+        ]));
+    }
+
+    /// Adds a free-form numeric row (cost points, ratios, ...).
+    pub fn add_values(&mut self, label: impl Into<String>, fields: &[(&str, f64)]) {
+        let mut pairs = vec![
+            ("label".to_string(), Value::Str(label.into())),
+            ("kind".to_string(), Value::Str("values".into())),
+        ];
+        pairs.extend(
+            fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), Value::Num(*v))),
+        );
+        self.rows.push(Value::Obj(pairs));
+    }
+
+    /// Output directory: `TB_BENCH_OUT`, or the working directory.
+    pub fn out_dir() -> PathBuf {
+        std::env::var_os("TB_BENCH_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    }
+
+    /// Writes `BENCH_<name>.json` into [`BenchReport::out_dir`] and
+    /// returns the path. Prints the path so a bench's stdout records
+    /// where its artifact went.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = Self::out_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render().to_pretty())?;
+        println!("bench report: {}", path.display());
+        Ok(path)
+    }
+
+    /// The report document: rows, counter deltas vs. the baseline
+    /// snapshot, and the end-state latency histograms.
+    pub fn render(&self) -> Value {
+        let end = tb_obs::global().snapshot();
+        let mut deltas: BTreeMap<&str, u64> = BTreeMap::new();
+        for (name, &value) in &end.counters {
+            let moved = value.saturating_sub(self.baseline.counter(name));
+            if moved > 0 {
+                deltas.insert(name, moved);
+            }
+        }
+        Value::obj([
+            ("name".into(), Value::Str(self.name.clone())),
+            ("schema".into(), Value::Num(1.0)),
+            ("smoke".into(), Value::Bool(crate::smoke())),
+            ("scale".into(), Value::Num(crate::scale() as f64)),
+            ("rows".into(), Value::Arr(self.rows.clone())),
+            (
+                "counter_deltas".into(),
+                Value::Obj(
+                    deltas
+                        .iter()
+                        .map(|(k, &v)| ((*k).to_string(), Value::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Value::Obj(
+                    end.histograms
+                        .iter()
+                        .filter(|(_, h)| h.count > 0)
+                        .map(|(k, h)| (k.clone(), histo_value(h)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn histo_value(h: &HistogramSnapshot) -> Value {
+    Value::obj([
+        ("count".into(), Value::Num(h.count as f64)),
+        ("mean".into(), Value::Num(h.mean)),
+        ("p50".into(), Value::Num(h.p50 as f64)),
+        ("p95".into(), Value::Num(h.p95 as f64)),
+        ("p99".into(), Value::Num(h.p99 as f64)),
+        ("p999".into(), Value::Num(h.p999 as f64)),
+        ("max".into(), Value::Num(h.max as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_obs::json;
+
+    fn sample_drive() -> DriveResult {
+        DriveResult {
+            qps: 12_500.0,
+            p50_us: 10.0,
+            p95_us: 40.0,
+            p99_us: 80.0,
+            p999_us: 200.0,
+            mean_us: 15.0,
+            ops: 1000,
+            errors: 0,
+        }
+    }
+
+    #[test]
+    fn report_renders_rows_and_deltas() {
+        let report = {
+            let mut r = BenchReport::new("unit");
+            // Counter movement *after* the baseline shows up as delta.
+            tb_obs::global().counter("bench_unit_probe").add(7);
+            tb_obs::global().histogram("bench_unit_ns").record(1234);
+            r.add_drive("cfg-a", &sample_drive());
+            r.add_values("cost", &[("total", 1.25)]);
+            r
+        };
+        let doc = report.render();
+        assert_eq!(doc.get("name").and_then(Value::as_str), Some("unit"));
+        assert_eq!(doc.get("schema").and_then(Value::as_f64), Some(1.0));
+        let rows = doc.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("qps").and_then(Value::as_f64), Some(12_500.0));
+        assert_eq!(rows[1].get("total").and_then(Value::as_f64), Some(1.25));
+        assert_eq!(
+            doc.get("counter_deltas")
+                .and_then(|d| d.get("bench_unit_probe"))
+                .and_then(Value::as_f64),
+            Some(7.0)
+        );
+        assert!(doc
+            .get("histograms")
+            .and_then(|h| h.get("bench_unit_ns"))
+            .is_some());
+        // The committed-artifact form round-trips through the parser.
+        let text = doc.to_pretty();
+        assert_eq!(json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn written_file_lands_in_out_dir_and_parses() {
+        let dir = std::env::temp_dir().join(format!("tb-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("TB_BENCH_OUT", &dir);
+        let mut report = BenchReport::new("unit_write");
+        report.add_drive("only", &sample_drive());
+        let path = report.write().expect("write report");
+        std::env::remove_var("TB_BENCH_OUT");
+        assert_eq!(path, dir.join("BENCH_unit_write.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&text).expect("valid json");
+        assert_eq!(doc.get("name").and_then(Value::as_str), Some("unit_write"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

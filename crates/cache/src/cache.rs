@@ -87,7 +87,8 @@ pub struct ShardedCache {
     placement: Arc<dyn PlacementPolicy>,
     pmem_latency: Option<LatencyModel>,
     clock: Arc<dyn Clock>,
-    pub stats: CacheStats,
+    pub stats: Arc<CacheStats>,
+    _obs: tb_obs::SourceGuard,
 }
 
 impl ShardedCache {
@@ -97,12 +98,24 @@ impl ShardedCache {
         let shards = (0..config.shards)
             .map(|_| Mutex::new(LruShard::new(per_shard)))
             .collect();
+        let stats = Arc::new(CacheStats::default());
+        let obs = {
+            let stats = stats.clone();
+            tb_obs::global().register_source(move |b| {
+                b.counter("cache_hits", stats.hits.load(Ordering::Relaxed));
+                b.counter("cache_misses", stats.misses.load(Ordering::Relaxed));
+                b.counter("cache_evictions", stats.evictions.load(Ordering::Relaxed));
+                b.counter("cache_inserts", stats.inserts.load(Ordering::Relaxed));
+                b.counter("cache_expired", stats.expired.load(Ordering::Relaxed));
+            })
+        };
         Self {
             shards,
             placement: config.placement,
             pmem_latency: config.pmem_latency,
             clock: config.clock,
-            stats: CacheStats::default(),
+            stats,
+            _obs: obs,
         }
     }
 

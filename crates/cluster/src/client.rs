@@ -18,6 +18,9 @@ use tb_common::{EngineOp, Error, Key, KvEngine, OpOutcome, Result, Value};
 pub struct ClusterClient {
     coordinators: Arc<CoordinatorGroup>,
     cached: RwLock<Arc<RoutingTable>>,
+    /// Per-node fan-out latency instruments, cached so the hot path
+    /// pays a map read instead of a registry lock per call.
+    node_histos: RwLock<BTreeMap<NodeId, Arc<tb_obs::Histo>>>,
 }
 
 impl ClusterClient {
@@ -27,6 +30,7 @@ impl ClusterClient {
         Self {
             coordinators,
             cached: RwLock::new(cached),
+            node_histos: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -37,6 +41,23 @@ impl ClusterClient {
 
     fn refresh(&self) {
         *self.cached.write() = self.coordinators.routing();
+    }
+
+    /// The fan-out latency histogram of one data node.
+    fn node_histo(&self, node: NodeId) -> Arc<tb_obs::Histo> {
+        if let Some(h) = self.node_histos.read().get(&node) {
+            return h.clone();
+        }
+        let h = tb_obs::global().histogram(&format!("cluster_node{}_fanout_ns", node.0));
+        self.node_histos.write().entry(node).or_insert(h).clone()
+    }
+
+    /// Records a failover the client just triggered: the counter for
+    /// rates, a tracer point event (keyed by the down node) for the
+    /// timeline.
+    fn note_failover(&self, down: NodeId) {
+        tb_obs::counter!("cluster_failovers").add(1);
+        tb_obs::tracer().event("cluster.failover", u64::from(down.0));
     }
 
     /// Routes an operation; on node failure triggers coordinator
@@ -50,16 +71,21 @@ impl ClusterClient {
             let table = self.cached.read().clone();
             let owner = table.owner_of_key(key.as_slice());
             let node = self.coordinators.node(owner)?;
+            let t0 = tb_obs::start();
             let result = {
                 let guard = node.read();
                 f(&guard)
             };
+            if t0.is_some() {
+                self.node_histo(owner).record_since(t0);
+            }
             match result {
                 Err(Error::Unavailable(_)) if attempt == 0 => {
                     // Node down: ask the control plane to fail over,
                     // then retry against fresh routing.
                     self.coordinators.run_failover()?;
                     self.refresh();
+                    self.note_failover(owner);
                 }
                 other => return other,
             }
@@ -91,6 +117,7 @@ impl ClusterClient {
         let mut out = vec![None; keys.len()];
         // Request positions still awaiting an answer.
         let mut pending: Vec<usize> = (0..keys.len()).collect();
+        let mut down: Option<NodeId> = None;
         for attempt in 0..2 {
             let table = self.cached.read().clone();
             let mut groups: BTreeMap<NodeId, (Vec<usize>, Vec<Key>)> = BTreeMap::new();
@@ -103,10 +130,14 @@ impl ClusterClient {
             let mut failed: Vec<usize> = Vec::new();
             for (owner, (idx, group)) in groups {
                 let node = self.coordinators.node(owner)?;
+                let t0 = tb_obs::start();
                 let values = {
                     let guard = node.read();
                     guard.multi_get(&group)
                 };
+                if t0.is_some() {
+                    self.node_histo(owner).record_since(t0);
+                }
                 match values {
                     Ok(values) => {
                         for (slot, v) in idx.into_iter().zip(values) {
@@ -117,6 +148,7 @@ impl ClusterClient {
                         // Remember the group; keep gathering the rest of
                         // this attempt before failing over once.
                         failed.extend(idx);
+                        down = Some(owner);
                     }
                     Err(e) => return Err(e),
                 }
@@ -126,6 +158,12 @@ impl ClusterClient {
             }
             self.coordinators.run_failover()?;
             self.refresh();
+            if let Some(owner) = down.take() {
+                self.note_failover(owner);
+            }
+            // The retry regroups only the failed positions against the
+            // refreshed table.
+            tb_obs::counter!("cluster_regroups").add(1);
             pending = failed;
         }
         Err(Error::Unavailable("retries exhausted".into()))
@@ -155,10 +193,14 @@ impl ClusterClient {
             let mut failed: Vec<NodeId> = Vec::new();
             for &owner in &pending {
                 let node = self.coordinators.node(owner)?;
+                let t0 = tb_obs::start();
                 let rows = {
                     let guard = node.read();
                     guard.scan(start, end, limit)
                 };
+                if t0.is_some() {
+                    self.node_histo(owner).record_since(t0);
+                }
                 match rows {
                     Ok(rows) => {
                         for (k, v) in rows {
@@ -174,6 +216,10 @@ impl ClusterClient {
             }
             self.coordinators.run_failover()?;
             self.refresh();
+            for &owner in &failed {
+                self.note_failover(owner);
+            }
+            tb_obs::counter!("cluster_regroups").add(1);
             // Retry against whoever now owns the failed nodes' slots
             // (the promoted node keeps its id; a reassignment moves
             // them to a surviving peer).

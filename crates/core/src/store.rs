@@ -105,7 +105,8 @@ struct Inner {
     /// §6.5.3 statistic: sampled mean key re-access interval, compared
     /// against Table 3 break-even intervals to pick a configuration.
     intervals: AccessIntervalTracker,
-    pub stats: TierBaseStats,
+    pub stats: Arc<TierBaseStats>,
+    _obs: tb_obs::SourceGuard,
 }
 
 /// The TierBase store.
@@ -211,6 +212,26 @@ impl TierBase {
         let gate = ElasticGate::for_mode(config.threading, Default::default());
         let intervals = AccessIntervalTracker::new(config.clock.clone());
 
+        let stats = Arc::new(TierBaseStats::default());
+        let obs = {
+            let stats = stats.clone();
+            tb_obs::global().register_source(move |b| {
+                let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+                b.counter("core_puts", c(&stats.puts));
+                b.counter("core_gets", c(&stats.gets));
+                b.counter("core_deletes", c(&stats.deletes));
+                b.counter("core_cache_hits", c(&stats.cache_hits));
+                b.counter("core_cache_misses", c(&stats.cache_misses));
+                b.counter("core_storage_fetches", c(&stats.storage_fetches));
+                b.counter("core_dirty_flushes", c(&stats.dirty_flushes));
+                b.counter("core_flushed_entries", c(&stats.flushed_entries));
+                b.counter(
+                    "core_write_through_failures",
+                    c(&stats.write_through_failures),
+                );
+                b.counter("core_expired", c(&stats.expired));
+            })
+        };
         Ok(Self {
             inner: Arc::new(Inner {
                 config,
@@ -224,7 +245,8 @@ impl TierBase {
                 cas_lock: Mutex::new(()),
                 inject_storage_failures: AtomicU64::new(0),
                 intervals,
-                stats: TierBaseStats::default(),
+                stats,
+                _obs: obs,
             }),
             gate,
         })

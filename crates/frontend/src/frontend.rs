@@ -34,7 +34,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tb_common::{
     slot_for_key, BatchReadStats, EngineOp, Error, Key, KvEngine, OpOutcome, Result, Value,
 };
@@ -140,8 +140,14 @@ enum Route {
     Scatter,
 }
 
+/// One queued request: the op, its ticket's completer, and the
+/// telemetry submit stamp (`None` when telemetry is disabled) — the
+/// stamp yields the queue-wait histogram at drain and the end-to-end
+/// latency histogram at completion.
+type Queued = (Request, Completer, Option<Instant>);
+
 struct ShardState {
-    queue: SubmitQueue<(Request, Completer)>,
+    queue: SubmitQueue<Queued>,
     /// Workers this shard should run (elastic boost lever).
     target_workers: AtomicUsize,
     /// Workers currently draining this shard.
@@ -162,6 +168,9 @@ pub struct Frontend {
     inner: Arc<Inner>,
     controller: Mutex<Option<JoinHandle<()>>>,
     down: AtomicBool,
+    /// Keeps this front-end's counters and per-shard depth gauges
+    /// contributing to [`tb_obs::global`] snapshots; drops with it.
+    _obs: tb_obs::SourceGuard,
 }
 
 impl Frontend {
@@ -191,10 +200,41 @@ impl Frontend {
             let inner = inner.clone();
             std::thread::spawn(move || controller_loop(inner))
         });
+        let obs = {
+            let inner = inner.clone();
+            tb_obs::global().register_source(move |b| {
+                let s = &inner.stats;
+                let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+                b.counter("frontend_submitted", c(&s.submitted));
+                b.counter("frontend_completed", c(&s.completed));
+                b.counter("frontend_batches", c(&s.batches));
+                b.counter("frontend_group_syncs", c(&s.group_syncs));
+                b.counter("frontend_per_op_syncs", c(&s.per_op_syncs));
+                b.counter("frontend_coalesced_puts", c(&s.coalesced_puts));
+                b.counter(
+                    "frontend_backpressure_rejections",
+                    c(&s.backpressure_rejections),
+                );
+                b.counter("frontend_boosts", c(&s.boosts));
+                b.counter("frontend_shrinks", c(&s.shrinks));
+                b.counter("frontend_worker_panics", c(&s.worker_panics));
+                for (i, shard) in inner.shards.iter().enumerate() {
+                    b.gauge(
+                        &format!("frontend_shard{i}_queue_depth"),
+                        shard.queue.len() as i64,
+                    );
+                    b.gauge(
+                        &format!("frontend_shard{i}_live_workers"),
+                        shard.live_workers.load(Ordering::SeqCst) as i64,
+                    );
+                }
+            })
+        };
         Self {
             inner,
             controller: Mutex::new(controller),
             down: AtomicBool::new(false),
+            _obs: obs,
         }
     }
 
@@ -209,6 +249,13 @@ impl Frontend {
     pub fn stats_snapshot(&self) -> FrontendStatsSnapshot {
         let mut snapshot = self.inner.stats.snapshot();
         snapshot.engine_batch = self.inner.engine.batch_read_stats();
+        snapshot.shard_queue_depths = self.inner.shards.iter().map(|s| s.queue.len()).collect();
+        snapshot.shard_live_workers = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.live_workers.load(Ordering::SeqCst))
+            .collect();
         snapshot
     }
 
@@ -294,12 +341,15 @@ impl Frontend {
 
     fn try_submit_to(&self, shard: usize, request: Request) -> Result<Ticket> {
         let (t, c) = ticket();
-        match self.inner.shards[shard].queue.try_push((request, c)) {
+        match self.inner.shards[shard]
+            .queue
+            .try_push((request, c, tb_obs::start()))
+        {
             Ok(()) => {
                 FrontendStats::bump(&self.inner.stats.submitted, 1);
                 Ok(t)
             }
-            Err((PushRefused::Full, (_, c))) => {
+            Err((PushRefused::Full, (_, c, _))) => {
                 FrontendStats::bump(&self.inner.stats.backpressure_rejections, 1);
                 // Resolve the orphan ticket so nothing can wait on it.
                 c.complete(Err(Error::Backpressure(format!(
@@ -308,7 +358,7 @@ impl Frontend {
                 ))));
                 Err(Error::Backpressure(format!("shard {shard} queue full")))
             }
-            Err((PushRefused::Closed, (_, c))) => {
+            Err((PushRefused::Closed, (_, c, _))) => {
                 c.complete(Err(Error::Unavailable("front-end shut down".into())));
                 Err(Error::Unavailable("front-end shut down".into()))
             }
@@ -370,9 +420,12 @@ impl Frontend {
             c.complete(Err(Error::Unavailable("front-end shut down".into())));
             return t;
         }
-        match self.inner.shards[shard].queue.push((request, c)) {
+        match self.inner.shards[shard]
+            .queue
+            .push((request, c, tb_obs::start()))
+        {
             Ok(()) => FrontendStats::bump(&self.inner.stats.submitted, 1),
-            Err((_, c)) => c.complete(Err(Error::Unavailable("front-end shut down".into()))),
+            Err((_, c, _)) => c.complete(Err(Error::Unavailable("front-end shut down".into()))),
         }
         t
     }
@@ -554,6 +607,14 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize) {
             }
             continue;
         }
+        // Queue wait: submit stamp → drain. The stamp stays with the
+        // request so completion can record the full end-to-end latency.
+        if tb_obs::enabled() {
+            let waits = tb_obs::histo!("frontend_queue_wait_ns");
+            for (_, _, stamp) in &batch {
+                waits.record_since(*stamp);
+            }
+        }
         // Contain engine panics: the batch's unresolved completers are
         // dropped by the unwind (their tickets resolve Unavailable, no
         // caller hangs) and the worker lives on to serve the shard —
@@ -578,18 +639,19 @@ fn worker_loop(inner: Arc<Inner>, shard_idx: usize) {
     shard.live_workers.fetch_sub(1, Ordering::SeqCst);
 }
 
+/// A completer still awaiting its result, paired with the request's
+/// telemetry submit stamp (for the end-to-end latency histogram).
+type Pending = (Completer, Option<Instant>);
+
 /// Resolves one request: the completed-counter bump happens *before*
 /// the waiter wakes, so a caller that has awaited all of its tickets
 /// observes `submitted == completed`. `settled` is the per-batch count
 /// the worker uses to reconcile a panic-abandoned batch.
-fn finish(
-    stats: &FrontendStats,
-    settled: &AtomicU64,
-    completer: Completer,
-    result: Result<Response>,
-) {
+fn finish(stats: &FrontendStats, settled: &AtomicU64, pending: Pending, result: Result<Response>) {
+    let (completer, stamp) = pending;
     settled.fetch_add(1, Ordering::SeqCst);
     FrontendStats::bump(&stats.completed, 1);
+    tb_obs::histo!("frontend_e2e_ns").record_since(stamp);
     completer.complete(result);
 }
 
@@ -598,16 +660,16 @@ fn finish(
 enum OpAcks {
     /// A write op (one request, or a coalesced put-like run): every
     /// completer acks together — deferred to the group sync on success.
-    Write(Vec<Completer>),
+    Write(Vec<Pending>),
     /// A `Get` awaiting [`OpOutcome::Value`].
-    Get(Completer),
+    Get(Pending),
     /// A `MultiGet` awaiting [`OpOutcome::Values`].
-    MultiGet(Completer),
+    MultiGet(Pending),
     /// A `Scan` awaiting [`OpOutcome::Range`].
-    Scan(Completer),
+    Scan(Pending),
 }
 
-fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &AtomicU64) {
+fn process_batch(inner: &Inner, batch: Vec<Queued>, settled: &AtomicU64) {
     FrontendStats::bump(&inner.stats.batches, 1);
     if !inner.config.group_commit {
         // The per-op-durability baseline: every request is its own
@@ -623,21 +685,22 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &Atom
     let mut ops: Vec<EngineOp> = Vec::with_capacity(batch.len());
     let mut acks: Vec<OpAcks> = Vec::with_capacity(batch.len());
     let mut iter = batch.into_iter().peekable();
-    while let Some((req, done)) = iter.next() {
+    while let Some((req, c, stamp)) = iter.next() {
+        let done = (c, stamp);
         match req {
             req @ (Request::Put(..) | Request::MultiPut(..)) => {
                 let mut pairs: Vec<(Key, Value)> = Vec::new();
-                let mut writers: Vec<Completer> = vec![done];
+                let mut writers: Vec<Pending> = vec![done];
                 let absorb = |req: Request, pairs: &mut Vec<(Key, Value)>| match req {
                     Request::Put(k, v) => pairs.push((k, v)),
                     Request::MultiPut(ps) => pairs.extend(ps),
                     _ => unreachable!("absorb only sees put-like requests"),
                 };
                 absorb(req, &mut pairs);
-                while iter.peek().is_some_and(|(r, _)| r.is_put_like()) {
-                    let (r, c) = iter.next().expect("peeked");
+                while iter.peek().is_some_and(|(r, _, _)| r.is_put_like()) {
+                    let (r, c, stamp) = iter.next().expect("peeked");
                     absorb(r, &mut pairs);
-                    writers.push(c);
+                    writers.push((c, stamp));
                 }
                 if writers.len() > 1 {
                     FrontendStats::bump(&stats.coalesced_puts, writers.len() as u64);
@@ -676,7 +739,7 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &Atom
     let outcomes = inner.engine.apply_batch(ops);
 
     // --- completion: settle each op's tickets in submission order -----
-    let mut unsynced: Vec<Completer> = Vec::new();
+    let mut unsynced: Vec<Pending> = Vec::new();
     let mut dirty = false;
     for (ack, outcome) in acks.into_iter().zip(outcomes) {
         match ack {
@@ -718,7 +781,9 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &Atom
 
     if dirty {
         // The group commit: one durability point for the whole batch.
+        let t0 = tb_obs::start();
         let sync_result = inner.engine.sync();
+        tb_obs::histo!("frontend_group_sync_ns").record_since(t0);
         FrontendStats::bump(&stats.group_syncs, 1);
         for ack in unsynced.drain(..) {
             finish(
@@ -733,10 +798,10 @@ fn process_batch(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &Atom
 
 /// The group-commit-disabled baseline: each request is applied and (for
 /// writes) synced individually.
-fn process_batch_per_op(inner: &Inner, batch: Vec<(Request, Completer)>, settled: &AtomicU64) {
+fn process_batch_per_op(inner: &Inner, batch: Vec<Queued>, settled: &AtomicU64) {
     let engine = inner.engine.as_ref();
     let stats = &inner.stats;
-    let settle_write = |result: Result<()>, done: Completer| match result {
+    let settle_write = |result: Result<()>, done: Pending| match result {
         Err(e) => finish(stats, settled, done, Err(e)),
         Ok(()) => {
             let synced = engine.sync();
@@ -744,7 +809,8 @@ fn process_batch_per_op(inner: &Inner, batch: Vec<(Request, Completer)>, settled
             finish(stats, settled, done, synced.map(|_| Response::Done));
         }
     };
-    for (req, done) in batch {
+    for (req, c, stamp) in batch {
+        let done = (c, stamp);
         match req {
             Request::Put(key, value) => settle_write(engine.put(key, value), done),
             Request::MultiPut(pairs) => settle_write(engine.multi_put(pairs), done),

@@ -50,13 +50,15 @@ impl FrontendStats {
             boosts: self.boosts.load(Ordering::Relaxed),
             shrinks: self.shrinks.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            shard_queue_depths: Vec::new(),
+            shard_live_workers: Vec::new(),
             engine_batch: BatchReadStats::default(),
         }
     }
 }
 
 /// Point-in-time copy of [`FrontendStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrontendStatsSnapshot {
     pub submitted: u64,
     pub completed: u64,
@@ -68,6 +70,13 @@ pub struct FrontendStatsSnapshot {
     pub boosts: u64,
     pub shrinks: u64,
     pub worker_panics: u64,
+    /// Submission-queue depth of each shard at snapshot time. Empty
+    /// through [`FrontendStats::snapshot`]; filled by
+    /// `Frontend::stats_snapshot`, which can reach the shards.
+    pub shard_queue_depths: Vec<usize>,
+    /// Workers draining each shard at snapshot time (> 1 = elastically
+    /// boosted). Filled like `shard_queue_depths`.
+    pub shard_live_workers: Vec<usize>,
     /// The wrapped engine's batched-read counters (block fetches,
     /// dedup hits, memtable hits). Zero through
     /// [`FrontendStats::snapshot`]; filled by `Frontend::stats_snapshot`,

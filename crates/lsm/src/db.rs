@@ -164,7 +164,10 @@ pub struct LsmDb {
     /// One pool per engine: every front-end worker draining batches
     /// onto this shard — boosted siblings included — shares it.
     read_pool: Option<ReadPool>,
-    pub stats: LsmStats,
+    pub stats: Arc<LsmStats>,
+    /// Keeps this engine's counters contributing to
+    /// [`tb_obs::global`] snapshots; deregisters on drop.
+    _obs: tb_obs::SourceGuard,
 }
 
 impl LsmDb {
@@ -220,6 +223,38 @@ impl LsmDb {
 
         let read_pool =
             (config.read_pool_threads > 0).then(|| ReadPool::new(config.read_pool_threads));
+        let stats = Arc::new(LsmStats::default());
+        let obs = {
+            let stats = stats.clone();
+            let pool_depth = read_pool.as_ref().map(ReadPool::depth_handle);
+            tb_obs::global().register_source(move |b| {
+                let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+                b.counter("lsm_flushes", c(&stats.flushes));
+                b.counter("lsm_compactions", c(&stats.compactions));
+                b.counter("lsm_gets", c(&stats.gets));
+                b.counter("lsm_puts", c(&stats.puts));
+                b.counter("lsm_batches", c(&stats.batches));
+                b.counter("lsm_batch_blocks_read", c(&stats.batch_blocks_read));
+                b.counter(
+                    "lsm_batch_block_dedup_hits",
+                    c(&stats.batch_block_dedup_hits),
+                );
+                b.counter("lsm_batch_memtable_hits", c(&stats.batch_memtable_hits));
+                b.counter(
+                    "lsm_batch_parallel_fetches",
+                    c(&stats.batch_parallel_fetches),
+                );
+                b.counter(
+                    "lsm_batch_scan_blocks_read",
+                    c(&stats.batch_scan_blocks_read),
+                );
+                b.counter("lsm_scans", c(&stats.scans));
+                if let Some(depth) = &pool_depth {
+                    b.gauge("lsm_read_pool_queue_depth", depth.current() as i64);
+                    b.gauge("lsm_read_pool_queue_depth_hwm", depth.high_water() as i64);
+                }
+            })
+        };
         Ok(Self {
             inner: RwLock::new(Inner {
                 memtable,
@@ -229,7 +264,8 @@ impl LsmDb {
             next_file_id: AtomicU64::new(max_id + 1),
             config,
             read_pool,
-            stats: LsmStats::default(),
+            stats,
+            _obs: obs,
         })
     }
 
@@ -359,6 +395,7 @@ impl LsmDb {
         // --- submission pass -----------------------------------------
         // One shared candidate arena for the whole batch; each staged
         // lookup owns a range of it.
+        let submit_t0 = tb_obs::start();
         let mut cands: Vec<(Arc<SstReader>, usize)> = Vec::new();
         let slots: Vec<Slot> = if has_write {
             let mut inner = self.inner.write();
@@ -382,6 +419,8 @@ impl LsmDb {
                 })
                 .collect()
         };
+
+        tb_obs::histo!("lsm_batch_submit_ns").record_since(submit_t0);
 
         // --- completion pass (no tree lock held) ---------------------
         // Dedup the staged reads: sort the candidate references by
@@ -413,6 +452,7 @@ impl LsmDb {
         } else {
             fault::hit("batch.complete")
         };
+        let fetch_t0 = tb_obs::start();
         let blocks: Vec<Result<BlockBuf>> = if pass.is_err() {
             Vec::new()
         } else if let Some(pool) = &self.read_pool {
@@ -447,7 +487,17 @@ impl LsmDb {
             self.stats
                 .batch_parallel_fetches
                 .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            // Dispatch-to-completion span over the pooled chain: slow
+            // batches show up in the tracer with the fetch count as
+            // detail, and the same window feeds the pool histogram.
+            let mut span = tb_obs::tracer().span("lsm.read_pool.fetch");
+            if let Some(s) = span.as_mut() {
+                s.set_detail(jobs.len() as u64);
+            }
+            let pool_t0 = tb_obs::start();
             let mut pooled = pool.fetch_chain(&jobs).into_iter();
+            tb_obs::histo!("lsm_read_pool_fetch_ns").record_since(pool_t0);
+            drop(span);
             self.stats
                 .read_pool_queue_depth
                 .fetch_max(pool.queue_depth_high_water(), Ordering::Relaxed);
@@ -468,6 +518,7 @@ impl LsmDb {
                 })
                 .collect()
         };
+        tb_obs::histo!("lsm_batch_fetch_ns").record_since(fetch_t0);
         // Counted only when the pass ran: an aborted completion pass
         // fetched nothing, and the counters must say so.
         if pass.is_ok() {
@@ -534,7 +585,8 @@ impl LsmDb {
                 .take(limit)
                 .collect())
         };
-        slots
+        let merge_t0 = tb_obs::start();
+        let outcomes = slots
             .into_iter()
             .map(|slot| match slot {
                 Slot::Done(r) => r,
@@ -554,7 +606,9 @@ impl LsmDb {
                 } => complete_scan(start, end, limit, base, cand_start, cand_end)
                     .map(OpOutcome::Range),
             })
-            .collect()
+            .collect();
+        tb_obs::histo!("lsm_batch_merge_ns").record_since(merge_t0);
+        outcomes
     }
 
     /// Applies one submitted op under the tree's write lock (writes run
@@ -765,6 +819,17 @@ impl LsmDb {
         if inner.memtable.is_empty() {
             return Ok(());
         }
+        // Timed apart from the compaction it may trigger: the histogram
+        // answers "how long is a memtable flush", `lsm_compaction_ns`
+        // answers the rest.
+        let t0 = tb_obs::start();
+        let flushed = self.flush_locked_inner(inner);
+        tb_obs::histo!("lsm_flush_ns").record_since(t0);
+        flushed?;
+        self.maybe_compact(inner)
+    }
+
+    fn flush_locked_inner(&self, inner: &mut Inner) -> Result<()> {
         let id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
         let path = self.config.dir.join(format!("{id:010}.sst"));
         // The memtable is copied, not taken: if the SSTable write fails
@@ -794,8 +859,7 @@ impl LsmDb {
         // write failed above, memtable and L0 briefly hold duplicates;
         // reads stay correct and the next flush retries the manifest.)
         inner.memtable = Memtable::new();
-        inner.wal.reset()?;
-        self.maybe_compact(inner)
+        inner.wal.reset()
     }
 
     fn maybe_compact(&self, inner: &mut Inner) -> Result<()> {
@@ -818,6 +882,13 @@ impl LsmDb {
 
     /// Merges level `src` and `src + 1` into `src + 1`.
     fn compact_into(&self, inner: &mut Inner, src: usize) -> Result<()> {
+        let t0 = tb_obs::start();
+        let result = self.compact_into_inner(inner, src);
+        tb_obs::histo!("lsm_compaction_ns").record_since(t0);
+        result
+    }
+
+    fn compact_into_inner(&self, inner: &mut Inner, src: usize) -> Result<()> {
         let dst = src + 1;
         let mut runs: Vec<Vec<(Key, Entry)>> = Vec::new();
         // L0 tables are newest-first already; deeper levels hold one run.
@@ -992,6 +1063,7 @@ impl KvEngine for LsmDb {
             memtable_hits: self.stats.batch_memtable_hits.load(Ordering::Relaxed),
             parallel_fetches: self.stats.batch_parallel_fetches.load(Ordering::Relaxed),
             read_pool_queue_depth: self.stats.read_pool_queue_depth.load(Ordering::Relaxed),
+            read_pool_depth: self.read_pool.as_ref().map_or(0, ReadPool::queue_depth),
             scan_blocks_read: self.stats.batch_scan_blocks_read.load(Ordering::Relaxed),
             scans: self.stats.scans.load(Ordering::Relaxed),
         }
@@ -1006,7 +1078,10 @@ impl KvEngine for LsmDb {
     }
 
     fn sync(&self) -> Result<()> {
-        self.inner.write().wal.sync()
+        let t0 = tb_obs::start();
+        let synced = self.inner.write().wal.sync();
+        tb_obs::histo!("lsm_wal_sync_ns").record_since(t0);
+        synced
     }
 }
 

@@ -152,6 +152,41 @@ impl ReadPool {
         self.shared.depth_hwm.load(Ordering::Relaxed)
     }
 
+    /// Block fetches outstanding right now (submitted, not completed).
+    /// The hwm alone can't show a drained pool; an advisor needs both.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// A cloneable depth probe that outlives borrows of the pool —
+    /// what a metrics snapshot source captures.
+    pub fn depth_handle(&self) -> DepthHandle {
+        DepthHandle {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+/// Reads a pool's current and high-water fetch depth without borrowing
+/// the pool. Keeps the shared state alive but not the worker threads.
+#[derive(Clone)]
+pub struct DepthHandle {
+    shared: Arc<PoolShared>,
+}
+
+impl DepthHandle {
+    /// Fetches outstanding right now.
+    pub fn current(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark over the pool's life.
+    pub fn high_water(&self) -> u64 {
+        self.shared.depth_hwm.load(Ordering::Relaxed)
+    }
+}
+
+impl ReadPool {
     /// Submits `jobs` as one chain and blocks until every slot is
     /// filled; `results[i]` answers `jobs[i]`. Adjacent same-table
     /// blocks coalesce into single span reads; completion order is

@@ -73,15 +73,28 @@ pub struct RemoteStats {
 pub struct DisaggregatedStore {
     db: Arc<LsmDb>,
     network: NetworkModel,
-    pub stats: RemoteStats,
+    pub stats: Arc<RemoteStats>,
+    _obs: tb_obs::SourceGuard,
 }
 
 impl DisaggregatedStore {
     pub fn new(db: Arc<LsmDb>, network: NetworkModel) -> Self {
+        let stats = Arc::new(RemoteStats::default());
+        let obs = {
+            let stats = stats.clone();
+            tb_obs::global().register_source(move |b| {
+                b.counter("remote_calls", stats.calls.load(Ordering::Relaxed));
+                b.counter(
+                    "remote_batched_ops",
+                    stats.batched_ops.load(Ordering::Relaxed),
+                );
+            })
+        };
         Self {
             db,
             network,
-            stats: RemoteStats::default(),
+            stats,
+            _obs: obs,
         }
     }
 

@@ -1,0 +1,805 @@
+//! The metrics registry: named instruments plus snapshot sources.
+//!
+//! Instruments are `Arc` handles deduped by name — two call sites (or
+//! two engine instances) asking for `"lsm_flush_ns"` share one
+//! histogram. Layers whose counters live in their own structs
+//! ([`tb_lsm::LsmStats`]-style) register a *source* instead: a closure
+//! that contributes counter/gauge readings at snapshot time, deduped by
+//! summation so several engine instances compose into one system view.
+//!
+//! Recording is lock-free (relaxed atomics on the shared instrument);
+//! the registry mutex is touched only on instrument creation, source
+//! (de)registration, and snapshot.
+
+use crate::json::Value;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tb_common::Histogram;
+
+/// A monotonic counter. Disabled telemetry makes `add` a single relaxed
+/// load.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, by: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed gauge. Most gauges in this workspace are
+/// *computed* (a source reads live state at snapshot time); the
+/// instrument form exists for state worth publishing where it changes.
+/// `set`/`add` are not gated on [`crate::enabled`]: a gauge models
+/// current state, and skipping updates during a disable window would
+/// leave it lying afterwards.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, by: i64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram (log-bucketed, concurrent). Durations are
+/// recorded in nanoseconds by convention — name instruments `*_ns`.
+#[derive(Default)]
+pub struct Histo {
+    inner: Histogram,
+}
+
+impl std::fmt::Debug for Histo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histo")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl Histo {
+    /// Records one sample if telemetry is enabled (one relaxed load
+    /// when disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.inner.record(value);
+    }
+
+    /// Records the nanoseconds since `started`, no-op on `None` — the
+    /// companion of [`crate::start`], which already paid the enabled
+    /// check.
+    #[inline]
+    pub fn record_since(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.inner.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// The underlying histogram (quantiles, merge, reset).
+    pub fn histogram(&self) -> &Histogram {
+        &self.inner
+    }
+
+    /// Quantile summary of the samples so far.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::of(&self.inner)
+    }
+}
+
+/// Fixed quantile summary extracted from a histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean: f64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            max: h.max(),
+            p50: h.percentile(0.50),
+            p95: h.percentile(0.95),
+            p99: h.percentile(0.99),
+            p999: h.percentile(0.999),
+        }
+    }
+}
+
+/// Contributions a snapshot source makes: counters and gauges, deduped
+/// against same-named contributions by summation (several engines, one
+/// system view). Histograms come only from registry instruments, which
+/// are shared by name already.
+pub struct SnapshotBuilder {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+}
+
+impl SnapshotBuilder {
+    pub fn counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    pub fn gauge(&mut self, name: &str, value: i64) {
+        *self.gauges.entry(name.to_string()).or_insert(0) += value;
+    }
+}
+
+type Source = Box<dyn Fn(&mut SnapshotBuilder) + Send + Sync>;
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histo>>,
+    sources: Vec<(u64, Source)>,
+    next_source_id: u64,
+}
+
+/// A registry of named instruments and snapshot sources. Usually
+/// accessed through [`crate::global`]; independently constructible for
+/// tests.
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(RegistryInner::default())),
+        }
+    }
+
+    /// The counter named `name` (created on first use, shared after).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.inner
+            .lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.inner
+            .lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histo> {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers a snapshot source; it contributes to every
+    /// [`Registry::snapshot`] until the returned guard drops. Sources
+    /// must not call back into the registry (the snapshot holds its
+    /// lock while running them).
+    pub fn register_source(
+        &self,
+        source: impl Fn(&mut SnapshotBuilder) + Send + Sync + 'static,
+    ) -> SourceGuard {
+        let mut inner = self.inner.lock();
+        let id = inner.next_source_id;
+        inner.next_source_id += 1;
+        inner.sources.push((id, Box::new(source)));
+        SourceGuard {
+            registry: Arc::downgrade(&self.inner),
+            id,
+        }
+    }
+
+    /// One coherent view of every instrument and source.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut builder = SnapshotBuilder {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        };
+        for (_, source) in &inner.sources {
+            source(&mut builder);
+        }
+        for (name, c) in &inner.counters {
+            *builder.counters.entry(name.clone()).or_insert(0) += c.get();
+        }
+        for (name, g) in &inner.gauges {
+            *builder.gauges.entry(name.clone()).or_insert(0) += g.get();
+        }
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters: builder.counters,
+            gauges: builder.gauges,
+            histograms,
+        }
+    }
+}
+
+/// Deregisters its source when dropped. The source's *final counter
+/// values* are folded into persistent registry counters first, so
+/// process-cumulative totals stay monotonic across engine teardowns
+/// (and bench counter deltas survive the engines they measured);
+/// gauges are point-in-time and simply disappear with their owner.
+pub struct SourceGuard {
+    registry: std::sync::Weak<Mutex<RegistryInner>>,
+    id: u64,
+}
+
+impl Drop for SourceGuard {
+    fn drop(&mut self) {
+        let Some(registry) = self.registry.upgrade() else {
+            return;
+        };
+        // Take the source out under the lock but run it — and its
+        // destructor — *after* releasing it: a source closure owns
+        // whatever it observes, and tearing that down may deregister
+        // further sources from this same registry (e.g. a front-end
+        // closure holding the engine alive, whose drop cascades into
+        // the engine's own guard). Doing either inside the lock would
+        // self-deadlock on re-entry.
+        let extracted = {
+            let mut inner = registry.lock();
+            inner
+                .sources
+                .iter()
+                .position(|(id, _)| *id == self.id)
+                .map(|at| inner.sources.swap_remove(at))
+        };
+        let Some((_, source)) = extracted else {
+            return;
+        };
+        let mut last = SnapshotBuilder {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        };
+        source(&mut last);
+        let mut inner = registry.lock();
+        for (name, value) in last.counters {
+            if value > 0 {
+                // Straight onto the atomic: this is bookkeeping at
+                // teardown, not a recording site, so it lands even
+                // when telemetry is disabled.
+                inner
+                    .counters
+                    .entry(name)
+                    .or_default()
+                    .0
+                    .fetch_add(value, Ordering::Relaxed);
+            }
+        }
+        drop(inner);
+        drop(source);
+    }
+}
+
+impl std::fmt::Debug for SourceGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceGuard").field("id", &self.id).finish()
+    }
+}
+
+/// One coherent reading of the whole registry, name-sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// True if any metric name starts with `prefix` — the layer-level
+    /// coverage check ("did the lsm layer report anything?").
+    pub fn covers_prefix(&self, prefix: &str) -> bool {
+        self.counters.keys().any(|k| k.starts_with(prefix))
+            || self.gauges.keys().any(|k| k.starts_with(prefix))
+            || self.histograms.keys().any(|k| k.starts_with(prefix))
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as plain
+    /// samples, histograms as summaries with quantile labels.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [
+                ("0.5", h.p50),
+                ("0.95", h.p95),
+                ("0.99", h.p99),
+                ("0.999", h.p999),
+            ] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", (h.mean * h.count as f64) as u64);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// The snapshot as a JSON value (see [`crate::json`]).
+    pub fn to_json_value(&self) -> Value {
+        let hist = |h: &HistogramSnapshot| {
+            Value::obj([
+                ("count".to_string(), Value::Num(h.count as f64)),
+                ("mean".to_string(), Value::Num(h.mean)),
+                ("max".to_string(), Value::Num(h.max as f64)),
+                ("p50".to_string(), Value::Num(h.p50 as f64)),
+                ("p95".to_string(), Value::Num(h.p95 as f64)),
+                ("p99".to_string(), Value::Num(h.p99 as f64)),
+                ("p999".to_string(), Value::Num(h.p999 as f64)),
+            ])
+        };
+        Value::obj([
+            (
+                "counters".to_string(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), hist(h)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serde-free JSON rendering.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+}
+
+/// Metric names in the exposition: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Validates Prometheus-style exposition text: every line is a
+/// well-formed comment (`# TYPE name kind` / `# HELP ...`) or a sample
+/// (`name{labels} value`). Returns the number of sample lines.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let valid_name = |s: &str| {
+        !s.is_empty()
+            && !s.chars().next().unwrap().is_ascii_digit()
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if let Some("TYPE") = parts.next() {
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_name(name)
+                    || !matches!(
+                        kind,
+                        "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                    )
+                {
+                    return Err(format!("line {}: bad TYPE comment", lineno + 1));
+                }
+            }
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value", lineno + 1))?;
+        let name = match name_part.split_once('{') {
+            Some((n, labels)) => {
+                if !labels.ends_with('}') {
+                    return Err(format!("line {}: unterminated labels", lineno + 1));
+                }
+                n
+            }
+            None => name_part,
+        };
+        if !valid_name(name) {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {}: bad value {value_part:?}", lineno + 1));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// Tests that toggle or depend on the process-global enabled flag
+    /// serialize here so parallel execution can't interleave a disable
+    /// window into a recording test.
+    pub(crate) fn gate() -> parking_lot::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+    }
+
+    #[test]
+    fn instruments_dedup_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        let _g = gate();
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.snapshot().counter("x_total"), 5);
+    }
+
+    #[test]
+    fn sources_sum_across_instances() {
+        let _g = gate();
+        let r = Registry::new();
+        let g1 = r.register_source(|b| {
+            b.counter("eng_ops", 10);
+            b.gauge("eng_depth", 3);
+        });
+        let g2 = r.register_source(|b| {
+            b.counter("eng_ops", 5);
+            b.gauge("eng_depth", 4);
+        });
+        // An instrument with the same name also folds in.
+        r.counter("eng_ops").add(1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("eng_ops"), 16);
+        assert_eq!(s.gauge("eng_depth"), 7);
+        // Teardown folds a source's final counters into the registry
+        // (totals stay monotonic); gauges vanish with their owner.
+        drop(g1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("eng_ops"), 16);
+        assert_eq!(s.gauge("eng_depth"), 4);
+        drop(g2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("eng_ops"), 16);
+        assert_eq!(s.gauge("eng_depth"), 0);
+    }
+
+    #[test]
+    fn guard_drop_cascading_into_another_deregistration_does_not_deadlock() {
+        // A source closure owns what it observes; tearing that down can
+        // deregister *further* sources (front-end closure → engine →
+        // engine's guard). The inner drop re-enters the registry, so
+        // the outer deregistration must not hold the lock across it.
+        let r = Registry::new();
+        let inner = r.register_source(|b| b.counter("cascade_inner", 1));
+        let outer = {
+            let owned = std::sync::Mutex::new(Some(inner));
+            r.register_source(move |b| {
+                b.counter("cascade_outer", u64::from(owned.lock().unwrap().is_some()));
+            })
+        };
+        let s = r.snapshot();
+        assert_eq!(s.counter("cascade_inner"), 1);
+        assert_eq!(s.counter("cascade_outer"), 1);
+        drop(outer); // must not self-deadlock dropping `inner` within
+                     // Both sources are gone, but their final counter values folded
+                     // into persistent registry counters on the way out.
+        let s = r.snapshot();
+        assert_eq!(s.counter("cascade_inner"), 1);
+        assert_eq!(s.counter("cascade_outer"), 1);
+        assert!(s.gauges.is_empty(), "gauges die with their owner");
+    }
+
+    #[test]
+    fn dropped_source_folds_final_counters_into_registry() {
+        let r = Registry::new();
+        let guard = r.register_source(|b| {
+            b.counter("fold_ops", 41);
+            b.gauge("fold_depth", 5);
+        });
+        assert_eq!(r.snapshot().counter("fold_ops"), 41);
+        drop(guard);
+        // Counters stay monotonic across the teardown; the gauge
+        // (point-in-time) disappears.
+        let s = r.snapshot();
+        assert_eq!(s.counter("fold_ops"), 41);
+        assert!(!s.gauges.contains_key("fold_depth"));
+        // A successor engine's source continues the cumulative total.
+        let _g2 = r.register_source(|b| b.counter("fold_ops", 1));
+        assert_eq!(r.snapshot().counter("fold_ops"), 42);
+    }
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        let _g = gate();
+        let r = Registry::new();
+        let c = r.counter("off_total");
+        let h = r.histogram("off_ns");
+        crate::set_enabled(false);
+        // The whole disabled contract: start() reads no clock, record
+        // is a load-and-return, spans don't allocate op ids.
+        assert!(crate::start().is_none());
+        c.add(100);
+        h.record(100);
+        h.record_since(crate::start());
+        assert!(crate::tracer().span("off.site").is_none());
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0, "disabled counter must not move");
+        assert_eq!(h.snapshot().count, 0, "disabled histogram must not move");
+        // Re-enabled: everything records again.
+        c.add(1);
+        h.record(1000);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_small_values() {
+        // The first linear region of the log-bucketed histogram stores
+        // values < 32 exactly: quantile extraction at bucket boundaries
+        // must return the exact sample, not a midpoint.
+        let _g = gate();
+        let h = Histo::default();
+        for v in 1..=31u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 31);
+        assert_eq!(s.max, 31);
+        assert_eq!(h.histogram().percentile(1.0 / 31.0), 1);
+        assert_eq!(h.histogram().percentile(16.0 / 31.0), 16);
+        assert_eq!(h.histogram().percentile(1.0), 31);
+    }
+
+    #[test]
+    fn quantiles_bounded_error_on_log_buckets() {
+        let _g = gate();
+        let h = Histo::default();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, expected) in [
+            (s.p50 as f64, 50_000.0),
+            (s.p95 as f64, 95_000.0),
+            (s.p99 as f64, 99_000.0),
+            (s.p999 as f64, 99_900.0),
+        ] {
+            let err = (q - expected).abs() / expected;
+            assert!(err < 0.05, "quantile {q} vs {expected}: err {err}");
+        }
+    }
+
+    #[test]
+    fn per_shard_histograms_merge() {
+        // The per-shard pattern: each shard records into its own
+        // histogram, a system view merges them — count, max, and
+        // quantiles must reflect the union.
+        let _g = gate();
+        let shards: Vec<Histo> = (0..4).map(|_| Histo::default()).collect();
+        for (i, shard) in shards.iter().enumerate() {
+            for v in 0..1000u64 {
+                shard.record(i as u64 * 1000 + v + 1);
+            }
+        }
+        let merged = Histogram::new();
+        for shard in &shards {
+            merged.merge(shard.histogram());
+        }
+        assert_eq!(merged.count(), 4000);
+        assert_eq!(merged.max(), 4000);
+        let p50 = merged.percentile(0.5) as f64;
+        assert!((p50 - 2000.0).abs() / 2000.0 < 0.06, "merged p50 {p50}");
+        let p999 = merged.percentile(0.999) as f64;
+        assert!((p999 - 3996.0).abs() / 3996.0 < 0.06, "merged p999 {p999}");
+    }
+
+    #[test]
+    fn overflow_saturates_at_top_bucket() {
+        let _g = gate();
+        let h = Histo::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3, "overflow samples still count");
+        assert_eq!(s.max, u64::MAX);
+        // Saturated samples land in the top bucket: the extracted
+        // quantile is huge but finite and the walk doesn't panic.
+        assert!(h.histogram().percentile(1.0) > (1u64 << 42));
+    }
+
+    #[test]
+    fn concurrent_recording_from_boosted_workers() {
+        // The boosted-worker shape: several threads hammer one shared
+        // instrument handle while a reader snapshots mid-flight.
+        let _g = gate();
+        let r = Registry::new();
+        let h = r.histogram("conc_ns");
+        let c = r.counter("conc_total");
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for v in 0..10_000u64 {
+                        h.record(t * 10_000 + v + 1);
+                        c.add(1);
+                    }
+                });
+            }
+            // Interleaved snapshots must observe internally consistent
+            // (monotonic) counts.
+            let mut last = 0;
+            for _ in 0..20 {
+                let now = r.snapshot().counter("conc_total");
+                assert!(now >= last);
+                last = now;
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.counter("conc_total"), 40_000);
+        assert_eq!(s.histogram("conc_ns").unwrap().count, 40_000);
+    }
+
+    #[test]
+    fn exposition_renders_and_validates() {
+        let _g = gate();
+        let r = Registry::new();
+        r.counter("ops_total").add(7);
+        r.gauge("depth").set(-2);
+        let h = r.histogram("lat_ns");
+        for v in 1..=1000 {
+            h.record(v * 1000);
+        }
+        let _src = r.register_source(|b| b.counter("src_total", 3));
+        let s = r.snapshot();
+
+        let text = s.to_prometheus();
+        let samples = validate_exposition(&text).expect("exposition must parse");
+        // 2 counters + 1 gauge + (4 quantiles + sum + count).
+        assert_eq!(samples, 9);
+        assert!(text.contains("ops_total 7"));
+        assert!(text.contains("depth -2"));
+        assert!(text.contains("lat_ns{quantile=\"0.99\"}"));
+
+        let parsed = json::parse(&s.to_json()).expect("snapshot json must parse");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("ops_total"))
+                .and_then(Value::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            parsed
+                .get("histograms")
+                .and_then(|h| h.get("lat_ns"))
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_f64),
+            Some(1000.0)
+        );
+    }
+
+    #[test]
+    fn exposition_validator_rejects_garbage() {
+        assert!(validate_exposition("1bad_name 3").is_err());
+        assert!(validate_exposition("name notanumber").is_err());
+        assert!(validate_exposition("name{quantile=\"0.5\" 3").is_err());
+        assert!(validate_exposition("# TYPE x notakind").is_err());
+        assert_eq!(validate_exposition("ok 3\n# HELP free text\n").unwrap(), 1);
+    }
+
+    #[test]
+    fn sanitize_produces_legal_names() {
+        assert_eq!(sanitize("lsm.flush-ns"), "lsm_flush_ns");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        let s = MetricsSnapshot {
+            counters: [("weird métric!".to_string(), 1)].into_iter().collect(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        validate_exposition(&s.to_prometheus()).expect("sanitized names must validate");
+    }
+}

@@ -155,6 +155,37 @@ fn main() -> Result<()> {
         snap.boosts, snap.shrinks
     );
 
+    // One unified telemetry snapshot covers the front-end and the LSM
+    // engine behind it. Both renderings are self-validated: the
+    // Prometheus text must pass the exposition linter and the JSON
+    // must round-trip through the parser.
+    let metrics = tierbase::obs::global().snapshot();
+    let exposition = metrics.to_prometheus();
+    tierbase::obs::validate_exposition(&exposition).expect("well-formed exposition");
+    tierbase::obs::json::parse(&metrics.to_json()).expect("well-formed json");
+    println!("\n# telemetry snapshot (Prometheus exposition, frontend_* excerpt)");
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("frontend_") && !l.contains("_ns"))
+        .take(12)
+    {
+        println!("{line}");
+    }
+    println!(
+        "# ... {} counters, {} gauges, {} histograms in the full snapshot",
+        metrics.counters.len(),
+        metrics.gauges.len(),
+        metrics.histograms.len()
+    );
+    if let Some(h) = metrics.histograms.get("frontend_e2e_ns") {
+        println!(
+            "frontend e2e latency: p50 {:.1}us p99 {:.1}us ({} ops)",
+            h.p50 as f64 / 1000.0,
+            h.p99 as f64 / 1000.0,
+            h.count
+        );
+    }
+
     fe.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())

@@ -18,6 +18,7 @@
 //! | [`workload`] | `tb-workload` | YCSB-style generators, datasets, trace record/replay |
 //! | [`frontend`] | `tb-frontend` | pipelined request front-end: sharded submission queues, group-commit workers, backpressure |
 //! | [`cluster`] | `tb-cluster` | hash-slot sharding, coordinators, failover, smart client, proxy |
+//! | [`obs`] | `tb-obs` | unified telemetry: global metrics registry (counters/gauges/latency histograms), span tracer, Prometheus/JSON snapshots |
 //! | [`baselines`] | `tb-baselines` | redis-/memcached-/dragonfly-/cassandra-/hbase-like comparators |
 //! | [`common`] | `tb-common` | shared types, errors, clocks, histograms, hashing, `KvEngine` |
 //!
@@ -47,6 +48,7 @@ pub use tb_costmodel as costmodel;
 pub use tb_elastic as elastic;
 pub use tb_frontend as frontend;
 pub use tb_lsm as lsm;
+pub use tb_obs as obs;
 pub use tb_pmem as pmem;
 pub use tb_workload as workload;
 pub use tierbase_core as store;

@@ -475,6 +475,39 @@ fn fault_sites_all_reachable() {
     model.verify(&db, "probe");
 }
 
+/// The telemetry layer must be invisible to the fault schedule: whether
+/// tracer/metrics recording is on cannot shift the `(site, hit)`
+/// enumeration the whole torture matrix is keyed by. Runs the scripted
+/// workload with counting on under both observability settings (and
+/// both completion passes) and compares the per-site hit counts.
+#[test]
+fn telemetry_does_not_perturb_fault_enumeration() {
+    let _g = gate();
+    let counts_with = |obs_on: bool, pool: usize| {
+        tierbase::obs::set_enabled(obs_on);
+        fault::reset();
+        let dir = fresh_dir("obs-invariance");
+        let db = LsmDb::open(torture_config(dir.path(), pool)).unwrap();
+        fault::set_counting(true);
+        let mut model = Model::default();
+        let crashed = run_workload(&db, &script(), &mut model);
+        assert!(!crashed, "no injection armed, nothing may crash");
+        let counts = fault::hit_counts();
+        fault::reset();
+        counts
+    };
+    for pool in [0usize, 2] {
+        let with_obs = counts_with(true, pool);
+        let without_obs = counts_with(false, pool);
+        tierbase::obs::set_enabled(true);
+        assert_eq!(
+            with_obs, without_obs,
+            "telemetry recording changed the fault (site, hit) \
+             enumeration (pool={pool})"
+        );
+    }
+}
+
 /// Simulated `kill -9` at every `(site, hit)` on the raw engine.
 #[test]
 fn crash_torture_raw() {

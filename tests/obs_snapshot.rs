@@ -1,0 +1,146 @@
+//! End-to-end telemetry: after driving every layer in one process —
+//! the tiered store (core + cache), an LSM engine behind the pipelined
+//! front-end, and a cluster with a failover — a single
+//! `tb_obs::global().snapshot()` covers them all, in both the
+//! Prometheus text exposition and the JSON rendering.
+
+use std::sync::Arc;
+use tierbase::cluster::{ClusterClient, CoordinatorGroup, NodeId, NodeStore};
+use tierbase::frontend::Request;
+use tierbase::lsm::{LsmConfig, LsmDb};
+use tierbase::obs;
+use tierbase::obs::json;
+use tierbase::prelude::*;
+
+#[test]
+fn one_snapshot_spans_every_layer() {
+    obs::set_enabled(true);
+
+    // --- core + cache: the tiered store -----------------------------
+    let core_dir = tierbase::common::test_dir("obs-snap-core");
+    let store = TierBase::open(TierBaseConfig::builder(core_dir.path()).build()).unwrap();
+    for i in 0..32 {
+        store
+            .put(Key::from(format!("ck{i}")), Value::from(format!("cv{i}")))
+            .unwrap();
+    }
+    for i in 0..32 {
+        assert!(store.get(&Key::from(format!("ck{i}"))).unwrap().is_some());
+    }
+
+    // --- lsm + frontend: pipelined serving over a durable engine ----
+    let lsm_dir = tierbase::common::test_dir("obs-snap-lsm");
+    let db: Arc<dyn KvEngine> = Arc::new(LsmDb::open(LsmConfig::new(lsm_dir.path())).unwrap());
+    let fe = Frontend::start(db, FrontendConfig::with_shards(2));
+    let tickets: Vec<_> = (0..64)
+        .map(|i| {
+            fe.submit(Request::Put(
+                Key::from(format!("fk{i}")),
+                Value::from(format!("fv{i}")),
+            ))
+        })
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let keys: Vec<Key> = (0..64).map(|i| Key::from(format!("fk{i}"))).collect();
+    assert!(fe.multi_get(&keys).unwrap().iter().all(Option::is_some));
+    fe.shutdown();
+
+    // --- cluster: routed ops and a client-observed failover ---------
+    let nodes = vec![
+        NodeStore::new(NodeId(0), map_engine()),
+        NodeStore::new(NodeId(1), map_engine()),
+    ];
+    let coordinators = Arc::new(CoordinatorGroup::bootstrap(1, nodes).unwrap());
+    let client = ClusterClient::connect(coordinators.clone());
+    for i in 0..32 {
+        client
+            .put(Key::from(format!("nk{i}")), Value::from(format!("nv{i}")))
+            .unwrap();
+    }
+    coordinators.node(NodeId(0)).unwrap().read().crash();
+    for i in 0..32 {
+        // Every slot stays readable; the first op against the dead node
+        // triggers a failover the client records.
+        let _ = client.get(&Key::from(format!("nk{i}")));
+    }
+
+    // --- one snapshot, five layers -----------------------------------
+    let snap = obs::global().snapshot();
+    for counter in [
+        "core_puts",
+        "core_gets",
+        "cache_inserts",
+        "lsm_puts",
+        "lsm_batches",
+        "frontend_submitted",
+        "frontend_completed",
+        "cluster_failovers",
+    ] {
+        assert!(
+            snap.counter(counter) > 0,
+            "counter {counter} did not move: {:?}",
+            snap.counters
+        );
+    }
+    assert!(
+        snap.histograms.contains_key("frontend_e2e_ns"),
+        "front-end latency histogram missing"
+    );
+    assert!(
+        snap.histograms
+            .keys()
+            .any(|k| k.starts_with("cluster_node")),
+        "per-node fan-out histograms missing"
+    );
+
+    // Prometheus rendering: every layer prefix present, and the whole
+    // exposition passes the linter.
+    let text = snap.to_prometheus();
+    obs::validate_exposition(&text).expect("well-formed exposition");
+    for prefix in ["core_", "cache_", "lsm_", "frontend_", "cluster_"] {
+        assert!(
+            text.lines().any(|l| l.starts_with(prefix)),
+            "no {prefix} series in exposition"
+        );
+    }
+
+    // JSON rendering: parses, and mirrors the same counters.
+    let doc = json::parse(&snap.to_json()).expect("well-formed json");
+    let counters = doc.get("counters").expect("counters object");
+    assert_eq!(
+        counters
+            .get("frontend_submitted")
+            .and_then(json::Value::as_f64),
+        Some(snap.counter("frontend_submitted") as f64)
+    );
+    assert!(counters.get("cluster_failovers").is_some());
+}
+
+// A tiny engine so cluster nodes don't need disk.
+struct MapEngine(std::sync::Mutex<std::collections::BTreeMap<Key, Value>>);
+
+fn map_engine() -> Arc<dyn KvEngine> {
+    Arc::new(MapEngine(std::sync::Mutex::new(Default::default())))
+}
+
+impl KvEngine for MapEngine {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        Ok(self.0.lock().unwrap().get(key).cloned())
+    }
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.0.lock().unwrap().insert(key, value);
+        Ok(())
+    }
+    fn delete(&self, key: &Key) -> Result<()> {
+        self.0.lock().unwrap().remove(key);
+        Ok(())
+    }
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+    fn label(&self) -> String {
+        "map".into()
+    }
+}
