@@ -29,6 +29,19 @@ struct State {
     map: HashMap<Key, Value, FxBuildHasher>,
     bytes: u64,
     aof: Option<Wal>,
+    /// Local frame sequence: the AOF has no LSN concept, so records
+    /// carry a counter purely to satisfy the WAL framing.
+    aof_seq: u64,
+}
+
+impl State {
+    fn log_aof(&mut self, rec: &[u8]) -> Result<()> {
+        if let Some(aof) = self.aof.as_mut() {
+            self.aof_seq += 1;
+            aof.append(self.aof_seq, rec)?;
+        }
+        Ok(())
+    }
 }
 
 /// Single-threaded in-memory store with optional AOF.
@@ -45,6 +58,7 @@ impl RedisLike {
                 map: HashMap::default(),
                 bytes: 0,
                 aof: None,
+                aof_seq: 0,
             }),
             aof_enabled: false,
         }
@@ -56,8 +70,10 @@ impl RedisLike {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("redis.aof");
         let mut map: HashMap<Key, Value, FxBuildHasher> = HashMap::default();
-        for rec in Wal::replay(&path)? {
+        let mut aof_seq = 0;
+        for (lsn, rec) in Wal::replay(&path)? {
             apply_aof(&mut map, &rec)?;
+            aof_seq = aof_seq.max(lsn);
         }
         let bytes = map
             .iter()
@@ -68,6 +84,7 @@ impl RedisLike {
                 map,
                 bytes,
                 aof: Some(Wal::open(&path, SyncPolicy::OsBuffer)?),
+                aof_seq,
             }),
             aof_enabled: true,
         })
@@ -134,9 +151,7 @@ impl KvEngine for RedisLike {
     fn put(&self, key: Key, value: Value) -> Result<()> {
         let mut s = self.state.lock();
         burn_cpu_us(OP_COST_US);
-        if let Some(aof) = s.aof.as_mut() {
-            aof.append(&encode_aof(&key, Some(&value)))?;
-        }
+        s.log_aof(&encode_aof(&key, Some(&value)))?;
         let klen = key.len() as u64;
         let new_vlen = value.len() as u64;
         match s.map.insert(key, value) {
@@ -149,9 +164,7 @@ impl KvEngine for RedisLike {
 
     fn delete(&self, key: &Key) -> Result<()> {
         let mut s = self.state.lock();
-        if let Some(aof) = s.aof.as_mut() {
-            aof.append(&encode_aof(key, None))?;
-        }
+        s.log_aof(&encode_aof(key, None))?;
         if let Some(old) = s.map.remove(key) {
             s.bytes -= key.len() as u64 + old.len() as u64 + ENTRY_OVERHEAD;
         }
@@ -188,9 +201,7 @@ impl KvEngine for RedisLike {
         if !matches {
             return Err(tb_common::Error::CasMismatch);
         }
-        if let Some(aof) = s.aof.as_mut() {
-            aof.append(&encode_aof(&key, Some(&new)))?;
-        }
+        s.log_aof(&encode_aof(&key, Some(&new)))?;
         let klen = key.len() as u64;
         let new_vlen = new.len() as u64;
         match s.map.insert(key, new) {

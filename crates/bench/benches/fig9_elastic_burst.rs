@@ -13,8 +13,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tb_baselines::RedisLike;
 use tb_bench::{bench_dir, print_table, BenchReport};
-use tb_common::{Key, KvEngine, Value};
+use tb_cluster::{NodeId, NodeStore};
+use tb_common::{Key, KvEngine, Result, Value};
 use tb_elastic::ThreadMode;
+use tb_frontend::{Frontend, FrontendConfig};
+use tb_lsm::{LsmConfig, LsmDb};
 use tierbase_core::{TierBase, TierBaseConfig};
 
 /// Phase durations, resolved once up front (the client hot loop must
@@ -46,6 +49,72 @@ impl Phases {
 
 /// Throttled request rate during calm phases (ops/s across clients).
 const CALM_RATE: u64 = 20_000;
+
+/// In-memory replica sink: the ship-overhead rows charge the channel
+/// (framing, ack, eager apply), not a second disk.
+struct SinkEngine(parking_lot::Mutex<std::collections::BTreeMap<Key, Value>>);
+
+fn sink_engine() -> Arc<dyn KvEngine> {
+    Arc::new(SinkEngine(parking_lot::Mutex::new(Default::default())))
+}
+
+impl KvEngine for SinkEngine {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        Ok(self.0.lock().get(key).cloned())
+    }
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.0.lock().insert(key, value);
+        Ok(())
+    }
+    fn delete(&self, key: &Key) -> Result<()> {
+        self.0.lock().remove(key);
+        Ok(())
+    }
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+    fn label(&self) -> String {
+        "sink".into()
+    }
+}
+
+/// A data node viewed as a plain engine, so the burst timeline can run
+/// over the replicated write path (every put shipped to the replica).
+struct ReplicatedNode(NodeStore);
+
+impl KvEngine for ReplicatedNode {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        self.0.get(key)
+    }
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.0.put(key, value).map(|_| ())
+    }
+    fn delete(&self, key: &Key) -> Result<()> {
+        self.0.delete(key).map(|_| ())
+    }
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+    fn label(&self) -> String {
+        format!("repl<{}>", self.0.engine_label())
+    }
+}
+
+/// Single-writer put rate in kops/s (one writer isolates the per-write
+/// ship cost from `NodeStore`'s write-order serialization, which the
+/// multi-client timeline rows surface separately).
+fn put_rate(engine: &dyn KvEngine, ops: u64) -> f64 {
+    let started = Instant::now();
+    for i in 0..ops {
+        engine
+            .put(
+                Key::from(format!("sh{}", i % 4096)),
+                Value::from(vec![b'v'; 100]),
+            )
+            .unwrap();
+    }
+    ops as f64 / started.elapsed().as_secs_f64() / 1000.0
+}
 
 fn timeline(engine: Arc<dyn KvEngine>, clients: usize, phases: Phases) -> Vec<f64> {
     // Preload a small hot set.
@@ -140,6 +209,25 @@ fn main() {
             ),
         ),
         ("Redis-s", Arc::new(RedisLike::new())),
+        (
+            // TierBase-e behind a replicated data node: every put is
+            // shipped (LSN-framed) to an in-memory replica before ack.
+            "TierBase-e+repl",
+            Arc::new(ReplicatedNode(
+                NodeStore::new(
+                    NodeId(0),
+                    Arc::new(
+                        TierBase::open(
+                            TierBaseConfig::builder(bench_dir("fig9-tb-e-repl"))
+                                .threading(ThreadMode::Elastic(4))
+                                .build(),
+                        )
+                        .unwrap(),
+                    ),
+                )
+                .with_replica(sink_engine()),
+            )),
+        ),
     ];
 
     let phases = Phases::resolve();
@@ -190,5 +278,46 @@ fn main() {
         (phases.calm_ms + phases.burst_ms) as f64 / 1000.0
     );
     print_table(&title, &header_refs, &rows);
+
+    // --- replication ship overhead on the group-commit write path ----
+    // Same pipelined front-end (group commit over an LSM engine) bare
+    // vs. behind a replicated node, one writer each: the delta is the
+    // per-write cost of framing + shipping + replica ack. Budget from
+    // the PR-8 failover work: < 10%.
+    let ops = if tb_bench::smoke() { 20_000 } else { 100_000 };
+    let base_db: Arc<dyn KvEngine> =
+        Arc::new(LsmDb::open(LsmConfig::new(bench_dir("fig9-gc-base"))).unwrap());
+    let base_fe = Frontend::start(base_db, FrontendConfig::with_shards(2));
+    put_rate(&base_fe, ops / 10); // warm-up
+    let base_kops = put_rate(&base_fe, ops);
+
+    let repl_db: Arc<dyn KvEngine> =
+        Arc::new(LsmDb::open(LsmConfig::new(bench_dir("fig9-gc-repl"))).unwrap());
+    let repl_fe: Arc<dyn KvEngine> =
+        Arc::new(Frontend::start(repl_db, FrontendConfig::with_shards(2)));
+    let repl_node =
+        ReplicatedNode(NodeStore::new(NodeId(0), repl_fe.clone()).with_replica(sink_engine()));
+    put_rate(&repl_node, ops / 10); // warm-up
+    let repl_kops = put_rate(&repl_node, ops);
+
+    let overhead_pct = (1.0 - repl_kops / base_kops) * 100.0;
+    report.add_values(
+        "repl_ship_overhead",
+        &[
+            ("group_commit_kqps", base_kops),
+            ("replicated_kqps", repl_kops),
+            ("ship_overhead_pct", overhead_pct),
+        ],
+    );
+    print_table(
+        "Replication ship overhead (single-writer puts over the group-commit path)",
+        &["path", "kops/s"],
+        &[
+            vec!["group-commit".into(), format!("{base_kops:.1}")],
+            vec!["group-commit + ship".into(), format!("{repl_kops:.1}")],
+            vec!["overhead %".into(), format!("{overhead_pct:.1}")],
+        ],
+    );
+
     report.write().expect("write bench report");
 }

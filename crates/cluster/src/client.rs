@@ -12,7 +12,7 @@ use crate::routing::RoutingTable;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tb_common::{EngineOp, Error, Key, KvEngine, OpOutcome, Result, Value};
+use tb_common::{EngineOp, Error, Key, KvEngine, Lsn, OpOutcome, Result, Value};
 
 /// A routing-aware cluster client.
 pub struct ClusterClient {
@@ -21,6 +21,12 @@ pub struct ClusterClient {
     /// Per-node fan-out latency instruments, cached so the hot path
     /// pays a map read instead of a registry lock per call.
     node_histos: RwLock<BTreeMap<NodeId, Arc<tb_obs::Histo>>>,
+    /// Per-node LSN session tokens: the highest write LSN this client
+    /// was acked by each node. Reads refuse to land on a node that has
+    /// not caught up to the token — read-your-writes and monotonic
+    /// reads hold across a failover, because a promoted replica resumes
+    /// at the replication watermark, which covers every acked write.
+    sessions: RwLock<BTreeMap<NodeId, u64>>,
 }
 
 impl ClusterClient {
@@ -31,7 +37,38 @@ impl ClusterClient {
             coordinators,
             cached: RwLock::new(cached),
             node_histos: RwLock::new(BTreeMap::new()),
+            sessions: RwLock::new(BTreeMap::new()),
         }
+    }
+
+    /// This session's token for `node` (test visibility).
+    pub fn session_token(&self, node: NodeId) -> Lsn {
+        Lsn(self.sessions.read().get(&node).copied().unwrap_or(0))
+    }
+
+    /// Folds an acked write LSN into the session token for `node`.
+    fn note_write(&self, node: NodeId, lsn: Lsn) {
+        if lsn.is_none() {
+            return;
+        }
+        let mut sessions = self.sessions.write();
+        let token = sessions.entry(node).or_insert(0);
+        *token = (*token).max(lsn.0);
+    }
+
+    /// Refuses a read from a node that trails this session's token —
+    /// surfaced as `Unavailable` so the caller's failover-retry path
+    /// lands the read on a caught-up primary.
+    fn check_session(&self, node: &crate::node::NodeStore) -> Result<()> {
+        let token = self.sessions.read().get(&node.id).copied().unwrap_or(0);
+        if token > 0 && node.session_lsn().0 < token {
+            return Err(Error::Unavailable(format!(
+                "node {:?} at lsn {} trails session token {token}",
+                node.id,
+                node.session_lsn().0
+            )));
+        }
+        Ok(())
     }
 
     /// Epoch of the cached snapshot (test visibility).
@@ -94,15 +131,24 @@ impl ClusterClient {
     }
 
     pub fn get(&self, key: &Key) -> Result<Option<Value>> {
-        self.with_owner(key, |n| n.get(key))
+        self.with_owner(key, |n| {
+            self.check_session(n)?;
+            n.get(key)
+        })
     }
 
     pub fn put(&self, key: Key, value: Value) -> Result<()> {
-        self.with_owner(&key.clone(), move |n| n.put(key.clone(), value.clone()))
+        let (node, lsn) = self.with_owner(&key.clone(), move |n| {
+            n.put(key.clone(), value.clone()).map(|lsn| (n.id, lsn))
+        })?;
+        self.note_write(node, lsn);
+        Ok(())
     }
 
     pub fn delete(&self, key: &Key) -> Result<()> {
-        self.with_owner(key, |n| n.delete(key))
+        let (node, lsn) = self.with_owner(key, |n| n.delete(key).map(|lsn| (n.id, lsn)))?;
+        self.note_write(node, lsn);
+        Ok(())
     }
 
     /// Batched lookup across the cluster: keys group by owning node
@@ -133,7 +179,8 @@ impl ClusterClient {
                 let t0 = tb_obs::start();
                 let values = {
                     let guard = node.read();
-                    guard.multi_get(&group)
+                    self.check_session(&guard)
+                        .and_then(|_| guard.multi_get(&group))
                 };
                 if t0.is_some() {
                     self.node_histo(owner).record_since(t0);
@@ -196,7 +243,8 @@ impl ClusterClient {
                 let t0 = tb_obs::start();
                 let rows = {
                     let guard = node.read();
-                    guard.scan(start, end, limit)
+                    self.check_session(&guard)
+                        .and_then(|_| guard.scan(start, end, limit))
                 };
                 if t0.is_some() {
                     self.node_histo(owner).record_since(t0);
@@ -279,11 +327,16 @@ impl KvEngine for Proxy {
         ops.into_iter()
             .map(|op| match op {
                 EngineOp::Get(key) => self.get(&key).map(OpOutcome::Value),
-                EngineOp::Put(key, value) => self.put(key, value).map(|_| OpOutcome::Done),
-                EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done),
+                // The proxy's `()`-acked entry points erase per-node
+                // LSNs (the client still folds them into its session
+                // tokens), so batch acks carry `Lsn::NONE`.
+                EngineOp::Put(key, value) => {
+                    self.put(key, value).map(|_| OpOutcome::Done(Lsn::NONE))
+                }
+                EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done(Lsn::NONE)),
                 EngineOp::Cas { key, expected, new } => self
                     .cas(key, expected.as_ref(), new)
-                    .map(|_| OpOutcome::Done),
+                    .map(|_| OpOutcome::Done(Lsn::NONE)),
                 EngineOp::MultiGet(keys) => self.multi_get(&keys).map(OpOutcome::Values),
                 // Inline put loop, not `self.multi_put`: the proxy has
                 // no native multi_put, and the trait default routes back
@@ -297,7 +350,7 @@ impl KvEngine for Proxy {
                             break;
                         }
                     }
-                    result.map(|_| OpOutcome::Done)
+                    result.map(|_| OpOutcome::Done(Lsn::NONE))
                 }
                 EngineOp::Scan { start, end, limit } => {
                     self.scan(&start, end.as_ref(), limit).map(OpOutcome::Range)
@@ -663,6 +716,39 @@ mod tests {
             .cas(Key::from("a"), Some(&Value::from("1")), Value::from("2"))
             .unwrap();
         assert_eq!(proxy.get(&Key::from("a")).unwrap(), Some(Value::from("2")));
+    }
+
+    #[test]
+    fn session_tokens_track_acked_writes_and_survive_failover() {
+        let c = cluster(2);
+        let client = ClusterClient::connect(c.clone());
+        for i in 0..64 {
+            client
+                .put(Key::from(format!("sy{i}")), Value::from(format!("v{i}")))
+                .unwrap();
+        }
+        // Every node the client wrote through holds a session token.
+        let table = c.routing();
+        let wrote: std::collections::BTreeSet<NodeId> = (0..64)
+            .map(|i| table.owner_of_key(Key::from(format!("sy{i}")).as_slice()))
+            .collect();
+        for &node in &wrote {
+            assert!(
+                client.session_token(node) > Lsn::NONE,
+                "no session token for {node:?}"
+            );
+        }
+        // The promoted replica resumes at the replication watermark,
+        // which covers every acked write — so reads carrying the
+        // session token still land (read-your-writes across failover).
+        c.node(NodeId(0)).unwrap().read().crash();
+        for i in 0..64 {
+            assert_eq!(
+                client.get(&Key::from(format!("sy{i}"))).unwrap(),
+                Some(Value::from(format!("v{i}"))),
+                "sy{i} violated read-your-writes after failover"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tb_common::{Error, Result};
+use tb_common::{Error, Key, Result};
 
 /// One coordinator process.
 pub struct Coordinator {
@@ -89,6 +89,12 @@ impl CoordinatorGroup {
     /// (same id keeps the routing table unchanged) or, with no replica,
     /// reassign its slots to the first live node. Returns the ids
     /// failed over. Only the leader may run this.
+    ///
+    /// A node *with* a replica whose promotion fails propagates the
+    /// error instead of falling through to slot reassignment: the
+    /// replica still holds every acked write, and
+    /// [`NodeStore::promote_replica`] is resumable, so the next sweep
+    /// finishes the promotion — reassigning would discard acked data.
     pub fn run_failover(&self) -> Result<Vec<NodeId>> {
         self.leader()?; // asserts a live coordinator exists
         let mut failed = Vec::new();
@@ -99,8 +105,8 @@ impl CoordinatorGroup {
                 continue;
             }
             let id = node.read().id;
-            let promoted = node.write().promote_replica().is_ok();
-            if promoted {
+            if node.read().has_replica() {
+                node.write().promote_replica()?;
                 failed.push(id);
                 continue;
             }
@@ -123,6 +129,13 @@ impl CoordinatorGroup {
 
     /// Scale-out: adds a node and migrates an even share of slots (with
     /// their keys) to it. Returns the number of keys moved.
+    ///
+    /// Migration is copy → flip → evict. The routing flip happens only
+    /// after every moved key is resident on the new node, and sources
+    /// evict only after the flip: evicting first opened a window where
+    /// the still-routed old owner answered `None` for a key it had just
+    /// deleted (the pre-PR-8 lost-read bug, pinned by
+    /// `tests/cluster_invariants.rs`).
     pub fn add_node_and_rebalance(&self, new_node: NodeStore) -> Result<usize> {
         self.leader()?;
         let new_id = new_node.id;
@@ -141,24 +154,32 @@ impl CoordinatorGroup {
             moved_slots.extend(owned.into_iter().take(share));
         }
 
-        // Migrate resident keys for those slots.
+        // Copy: resident keys for the moved slots land on the new node
+        // while the sources keep serving them.
         let moved_set: HashSet<u16> = moved_slots.iter().copied().collect();
-        let mut moved_keys = 0usize;
+        let mut migrated: Vec<(Arc<RwLock<NodeStore>>, Key)> = Vec::new();
         for node in nodes.iter().take(old_count) {
             let keys = node.read().keys_in_slots(&moved_set);
             for key in keys {
-                let value = node.read().get(&key)?;
-                if let Some(v) = value {
-                    new_arc.read().put(key.clone(), v)?;
+                if let Some(value) = node.read().get(&key)? {
+                    new_arc.read().put(key.clone(), value)?;
                 }
-                node.read().evict_migrated(&key)?;
-                moved_keys += 1;
+                migrated.push((node.clone(), key));
             }
         }
 
-        let mut table_guard = self.table.write();
-        *table_guard = Arc::new(table_guard.reassign_slots(&moved_slots, new_id));
-        Ok(moved_keys)
+        // Flip: readers now route to the new node, which already holds
+        // every moved key.
+        {
+            let mut table_guard = self.table.write();
+            *table_guard = Arc::new(table_guard.reassign_slots(&moved_slots, new_id));
+        }
+
+        // Evict: drop the source copies, now unreachable via routing.
+        for (node, key) in &migrated {
+            node.read().evict_migrated(key)?;
+        }
+        Ok(migrated.len())
     }
 
     /// Total cluster key count (diagnostics).

@@ -10,9 +10,11 @@
 pub mod client;
 pub mod coordinator;
 pub mod node;
+pub mod replication;
 pub mod routing;
 
 pub use client::{ClusterClient, Proxy};
 pub use coordinator::{Coordinator, CoordinatorGroup};
 pub use node::{NodeId, NodeStore, ServingMode};
+pub use replication::{ReplChannel, ReplRecord, REPL_FAULT_SITES};
 pub use routing::RoutingTable;

@@ -1,11 +1,28 @@
-//! Data nodes: an engine plus replication and the key inventory needed
-//! for slot migration.
+//! Data nodes: a serving engine, an LSN-sequenced replication channel,
+//! and the key inventory needed for slot migration.
+//!
+//! # Write acknowledgement semantics
+//!
+//! A node write is **acked** (returns `Ok(lsn)`) only after the primary
+//! applied it *and* — when a replica is attached — the write shipped
+//! through the [`ReplChannel`] and the replica acknowledged it, so the
+//! returned LSN is at or below the channel watermark and survives
+//! promotion. An `Err` from a write is **indeterminate**: the primary
+//! may hold it, but it is covered by no watermark and a failover may
+//! lose it — exactly the `tb_common::engine` LSN/ack contract.
+//!
+//! The key inventory tracks the *primary*, not the ack: a write that
+//! applied locally but failed to ship still updates the inventory, so
+//! migration and space accounting never diverge from what the primary
+//! engine actually holds (the pre-PR-8 dual-write skipped the inventory
+//! update on replica failure, stranding the key).
 
-use parking_lot::RwLock;
+use crate::replication::{ReplChannel, ReplRecord};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use tb_common::{slot_for_key, Error, Key, KvEngine, Result, Value};
+use tb_common::{slot_for_key, Error, Key, KvEngine, Lsn, Result, Value};
 
 /// Cluster-unique node identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,16 +40,36 @@ pub enum ServingMode {
     Pipelined(tb_frontend::FrontendConfig),
 }
 
-/// A data node: primary engine, optional replica engine, liveness flag,
-/// and a key inventory. (The inventory predates [`KvEngine::scan`] and
-/// is still what slot migration wants: migration selects by *hash
-/// slot*, which is not a contiguous key range.)
+/// Factory for fresh replica engines, used to re-seed replication after
+/// a promotion consumed the previous replica.
+type ReplicaFactory = Box<dyn Fn() -> Arc<dyn KvEngine> + Send + Sync>;
+
+/// A data node: primary engine, optional replication channel, liveness
+/// flag, and a key inventory. (The inventory predates
+/// [`KvEngine::scan`] and is still what slot migration wants: migration
+/// selects by *hash slot*, which is not a contiguous key range.)
 pub struct NodeStore {
     pub id: NodeId,
     primary: Arc<dyn KvEngine>,
-    replica: Option<Arc<dyn KvEngine>>,
+    /// The serving mode the node was built with, so promotion can
+    /// re-wrap the caught-up replica the same way (a pipelined node
+    /// stays pipelined across failover).
+    mode: ServingMode,
+    replication: Option<ReplChannel>,
+    /// Builds fresh replica engines for post-promotion re-seeding; a
+    /// node without one serves unreplicated after its first failover.
+    replica_factory: Option<ReplicaFactory>,
     alive: AtomicBool,
     keys: RwLock<HashSet<Key>>,
+    /// Serializes LSN assignment and shipping with the primary apply:
+    /// the replication log must see writes in the order the primary
+    /// applied them, or promotion replay could resurrect a stale value.
+    write_order: Mutex<()>,
+    /// Node-local LSN high-water mark. Engines that sequence writes
+    /// (the LSM WAL) drive it through [`KvEngine::applied_lsn`];
+    /// LSN-less engines fall back to this counter so acks still carry
+    /// monotone LSNs.
+    seq: AtomicU64,
 }
 
 impl NodeStore {
@@ -40,9 +77,13 @@ impl NodeStore {
         Self {
             id,
             primary,
-            replica: None,
+            mode: ServingMode::Direct,
+            replication: None,
+            replica_factory: None,
             alive: AtomicBool::new(true),
             keys: RwLock::new(HashSet::new()),
+            write_order: Mutex::new(()),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -51,18 +92,40 @@ impl NodeStore {
     /// or the replay harness routes here flows through submission
     /// queues and group-commit batching.
     pub fn with_serving_mode(id: NodeId, engine: Arc<dyn KvEngine>, mode: ServingMode) -> Self {
-        let primary: Arc<dyn KvEngine> = match mode {
-            ServingMode::Direct => engine,
-            ServingMode::Pipelined(config) => {
-                Arc::new(tb_frontend::Frontend::start(engine, config))
-            }
-        };
-        Self::new(id, primary)
+        let primary = Self::wrap(engine, &mode);
+        Self {
+            mode,
+            ..Self::new(id, primary)
+        }
     }
 
-    /// Attaches a synchronous replica.
+    fn wrap(engine: Arc<dyn KvEngine>, mode: &ServingMode) -> Arc<dyn KvEngine> {
+        match mode {
+            ServingMode::Direct => engine,
+            ServingMode::Pipelined(config) => {
+                Arc::new(tb_frontend::Frontend::start(engine, config.clone()))
+            }
+        }
+    }
+
+    /// Attaches a replica behind an LSN-sequenced shipping channel.
     pub fn with_replica(mut self, replica: Arc<dyn KvEngine>) -> Self {
-        self.replica = Some(replica);
+        self.replication = Some(ReplChannel::new(replica));
+        self
+    }
+
+    /// Attaches a replica *factory*: the node starts replicated (unless
+    /// [`Self::with_replica`] already attached one) and — unlike a bare
+    /// `with_replica` node — re-seeds a fresh replica after every
+    /// promotion, so a second primary crash is survivable.
+    pub fn with_replica_factory(
+        mut self,
+        factory: impl Fn() -> Arc<dyn KvEngine> + Send + Sync + 'static,
+    ) -> Self {
+        if self.replication.is_none() {
+            self.replication = Some(ReplChannel::new(factory()));
+        }
+        self.replica_factory = Some(Box::new(factory));
         self
     }
 
@@ -75,20 +138,65 @@ impl NodeStore {
         self.alive.load(Ordering::SeqCst)
     }
 
-    /// Simulates a crash: the primary stops serving. Replica state is
-    /// retained for promotion.
+    /// Whether a replica is currently attached (failover decides
+    /// between promotion and slot reassignment on this).
+    pub fn has_replica(&self) -> bool {
+        self.replication.is_some()
+    }
+
+    /// The replication watermark: every write acked at or below it
+    /// survives promotion. `None` without a replica.
+    pub fn replication_watermark(&self) -> Option<Lsn> {
+        self.replication.as_ref().map(ReplChannel::watermark)
+    }
+
+    /// Highest LSN this node has acked (session-token recency bound:
+    /// a client holding a token at or below this may read here without
+    /// violating read-your-writes).
+    pub fn session_lsn(&self) -> Lsn {
+        Lsn(self.seq.load(Ordering::SeqCst))
+    }
+
+    /// Simulates a crash: the primary stops serving. Replication state
+    /// is retained for promotion.
     pub fn crash(&self) {
         self.alive.store(false, Ordering::SeqCst);
     }
 
     /// Promotes the replica into the primary role; the node serves
-    /// again. Errors when no replica exists.
+    /// again. The caught-up replica is re-wrapped in the node's
+    /// original [`ServingMode`], the inventory is pruned to what the
+    /// promoted engine actually holds (un-acked writes died with the
+    /// old primary), and — when a replica factory is attached — a fresh
+    /// replica is seeded from the promoted state so a second crash is
+    /// survivable. Errors when no replica exists; a faulted promotion
+    /// leaves the channel intact, so a retry resumes the replay.
     pub fn promote_replica(&mut self) -> Result<()> {
-        let replica = self
-            .replica
-            .take()
+        let channel = self
+            .replication
+            .as_ref()
             .ok_or_else(|| Error::Unavailable(format!("node {:?} has no replica", self.id)))?;
-        self.primary = replica;
+        let caught_up = channel.promote()?;
+        let watermark = channel.watermark();
+        self.replication = None;
+        self.primary = Self::wrap(caught_up.clone(), &self.mode);
+        self.seq.store(watermark.0, Ordering::SeqCst);
+        // Writes the primary applied but never acked are gone: keep the
+        // inventory honest about the promoted engine's contents.
+        self.keys
+            .write()
+            .retain(|k| matches!(caught_up.get(k), Ok(Some(_))));
+        if let Some(factory) = &self.replica_factory {
+            // Snapshot re-seed: copy promoted state into a fresh
+            // replica, then tail-ship from the watermark.
+            let fresh = factory();
+            for key in self.keys.read().iter() {
+                if let Some(value) = caught_up.get(key)? {
+                    fresh.put(key.clone(), value)?;
+                }
+            }
+            self.replication = Some(ReplChannel::seeded(fresh, watermark));
+        }
         self.alive.store(true, Ordering::SeqCst);
         Ok(())
     }
@@ -99,6 +207,16 @@ impl NodeStore {
         } else {
             Err(Error::Unavailable(format!("node {:?} is down", self.id)))
         }
+    }
+
+    /// Next covering LSN for a write of `n` ops, folding in the
+    /// engine's own sequencing when it has one. Callers hold
+    /// `write_order`.
+    fn next_lsn(&self, n: u64) -> Lsn {
+        let applied = self.primary.applied_lsn().0;
+        let covering = applied.max(self.seq.load(Ordering::SeqCst) + n);
+        self.seq.store(covering, Ordering::SeqCst);
+        Lsn(covering)
     }
 
     pub fn get(&self, key: &Key) -> Result<Option<Value>> {
@@ -123,24 +241,58 @@ impl NodeStore {
         self.primary.scan(start, end, limit)
     }
 
-    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+    /// Applies a write to the primary, then ships it. See the module
+    /// doc for the ack semantics the return value carries.
+    pub fn put(&self, key: Key, value: Value) -> Result<Lsn> {
         self.check_alive()?;
+        let _order = self.write_order.lock();
         self.primary.put(key.clone(), value.clone())?;
-        if let Some(r) = &self.replica {
-            r.put(key.clone(), value)?;
+        self.keys.write().insert(key.clone());
+        let lsn = self.next_lsn(1);
+        if let Some(channel) = &self.replication {
+            channel.ship(lsn, &ReplRecord::Put(key, value))?;
         }
-        self.keys.write().insert(key);
-        Ok(())
+        Ok(lsn)
     }
 
-    pub fn delete(&self, key: &Key) -> Result<()> {
+    pub fn delete(&self, key: &Key) -> Result<Lsn> {
         self.check_alive()?;
+        let _order = self.write_order.lock();
         self.primary.delete(key)?;
-        if let Some(r) = &self.replica {
-            r.delete(key)?;
-        }
         self.keys.write().remove(key);
-        Ok(())
+        let lsn = self.next_lsn(1);
+        if let Some(channel) = &self.replication {
+            channel.ship(lsn, &ReplRecord::Delete(key.clone()))?;
+        }
+        Ok(lsn)
+    }
+
+    /// Coalesced write: one engine submission (through a pipelined
+    /// serving mode this rides group commit as a single batch), then
+    /// every pair ships through the one replication channel in LSN
+    /// order. Returns the covering LSN — the max across the pairs.
+    pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<Lsn> {
+        self.check_alive()?;
+        if pairs.is_empty() {
+            return Ok(Lsn::NONE);
+        }
+        let _order = self.write_order.lock();
+        self.primary.multi_put(pairs.clone())?;
+        {
+            let mut keys = self.keys.write();
+            for (key, _) in &pairs {
+                keys.insert(key.clone());
+            }
+        }
+        let n = pairs.len() as u64;
+        let covering = self.next_lsn(n);
+        if let Some(channel) = &self.replication {
+            let base = covering.0 - n;
+            for (i, (key, value)) in pairs.into_iter().enumerate() {
+                channel.ship(Lsn(base + 1 + i as u64), &ReplRecord::Put(key, value))?;
+            }
+        }
+        Ok(covering)
     }
 
     /// Keys whose slot is in `slots` (migration source scan).
@@ -154,13 +306,17 @@ impl NodeStore {
     }
 
     /// Removes a key from the inventory and engine without liveness
-    /// checks (migration cleanup on the source).
+    /// checks (migration cleanup on the source). The eviction ships
+    /// like any delete, so a later promotion does not resurrect a
+    /// migrated key on this node.
     pub fn evict_migrated(&self, key: &Key) -> Result<()> {
+        let _order = self.write_order.lock();
         self.primary.delete(key)?;
-        if let Some(r) = &self.replica {
-            r.delete(key)?;
-        }
         self.keys.write().remove(key);
+        let lsn = self.next_lsn(1);
+        if let Some(channel) = &self.replication {
+            channel.ship(lsn, &ReplRecord::Delete(key.clone()))?;
+        }
         Ok(())
     }
 
@@ -172,8 +328,8 @@ impl NodeStore {
     /// Engine bytes (space accounting).
     pub fn resident_bytes(&self) -> u64 {
         let mut total = self.primary.resident_bytes();
-        if let Some(r) = &self.replica {
-            total += r.resident_bytes();
+        if let Some(channel) = &self.replication {
+            total += channel.resident_bytes();
         }
         total
     }
@@ -184,6 +340,7 @@ mod tests {
     use super::*;
     use parking_lot::Mutex;
     use std::collections::BTreeMap;
+    use tb_common::fault::{self, FaultMode};
 
     pub(crate) struct MapEngine(Mutex<BTreeMap<Key, Value>>);
 
@@ -258,6 +415,88 @@ mod tests {
         let mut n = NodeStore::new(NodeId(1), MapEngine::shared());
         n.crash();
         assert!(matches!(n.promote_replica(), Err(Error::Unavailable(_))));
+    }
+
+    #[test]
+    fn writes_carry_monotone_lsns_matching_the_watermark() {
+        let n = NodeStore::new(NodeId(1), MapEngine::shared()).with_replica(MapEngine::shared());
+        let mut last = Lsn::NONE;
+        for i in 0..10 {
+            let lsn = n.put(Key::from(format!("k{i}")), Value::from("v")).unwrap();
+            assert!(lsn > last, "acked LSNs must be strictly monotone");
+            last = lsn;
+        }
+        let covering = n
+            .multi_put(
+                (0..4)
+                    .map(|i| (Key::from(format!("m{i}")), Value::from("v")))
+                    .collect(),
+            )
+            .unwrap();
+        assert!(covering > last);
+        assert_eq!(n.replication_watermark(), Some(covering));
+        assert_eq!(n.session_lsn(), covering);
+        let del = n.delete(&Key::from("k0")).unwrap();
+        assert!(del > covering);
+    }
+
+    #[test]
+    fn failed_ship_keeps_primary_ack_and_inventory_aligned() {
+        // The pre-PR-8 dual-write skipped the inventory update when the
+        // replica write failed: the key existed on the primary but
+        // migration could never see it. Now the inventory tracks the
+        // primary, and the error tells the caller the ack is
+        // indeterminate (covered by no watermark).
+        let n = NodeStore::new(NodeId(1), MapEngine::shared()).with_replica(MapEngine::shared());
+        fault::arm_scoped("repl.ship", 1, FaultMode::Error);
+        let err = n.put(Key::from("a"), Value::from("1"));
+        fault::reset();
+        assert!(err.is_err(), "a failed ship must not ack");
+        assert_eq!(
+            n.get(&Key::from("a")).unwrap(),
+            Some(Value::from("1")),
+            "primary applied the write"
+        );
+        assert_eq!(n.key_count(), 1, "inventory tracks the primary");
+        assert_eq!(n.replication_watermark(), Some(Lsn::NONE));
+        // The write was never acked, so losing it via promotion is
+        // allowed — and the log stayed parseable for the next ship.
+        n.put(Key::from("b"), Value::from("2")).unwrap();
+    }
+
+    #[test]
+    fn promotion_preserves_the_serving_mode() {
+        let mut n = NodeStore::with_serving_mode(
+            NodeId(3),
+            MapEngine::shared(),
+            ServingMode::Pipelined(tb_frontend::FrontendConfig::with_shards(2)),
+        )
+        .with_replica(MapEngine::shared());
+        assert_eq!(n.engine_label(), "frontend<map>");
+        n.put(Key::from("a"), Value::from("1")).unwrap();
+        n.crash();
+        n.promote_replica().unwrap();
+        assert_eq!(
+            n.engine_label(),
+            "frontend<map>",
+            "promotion must re-wrap the replica in the node's serving mode"
+        );
+        assert_eq!(n.get(&Key::from("a")).unwrap(), Some(Value::from("1")));
+    }
+
+    #[test]
+    fn replica_factory_survives_two_crashes() {
+        let mut n =
+            NodeStore::new(NodeId(4), MapEngine::shared()).with_replica_factory(MapEngine::shared);
+        n.put(Key::from("a"), Value::from("1")).unwrap();
+        n.crash();
+        n.promote_replica().unwrap();
+        assert!(n.has_replica(), "promotion must re-seed a fresh replica");
+        n.put(Key::from("b"), Value::from("2")).unwrap();
+        n.crash();
+        n.promote_replica().unwrap();
+        assert_eq!(n.get(&Key::from("a")).unwrap(), Some(Value::from("1")));
+        assert_eq!(n.get(&Key::from("b")).unwrap(), Some(Value::from("2")));
     }
 
     #[test]

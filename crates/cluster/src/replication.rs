@@ -1,0 +1,471 @@
+//! LSN-sequenced WAL-shipping replication: the primary→replica channel.
+//!
+//! A [`ReplChannel`] is a data node's one replication pipe. Every write
+//! the primary applies is *shipped* as an LSN-stamped frame into the
+//! replica-side log (an in-memory byte log with the same framing as the
+//! `tb-lsm` WAL, so torn-frame injection is meaningful), the replica
+//! *acks* it — advancing the channel watermark — and is then eagerly
+//! *applied* to the replica engine. Eager apply is best-effort: a
+//! failure leaves the frame logged and acked, and promotion replay
+//! catches the replica up from the log.
+//!
+//! The channel enforces the `tb_common::engine` LSN/ack contract at the
+//! replication layer: **no write acked at or below the watermark is
+//! ever lost by promotion** — [`ReplChannel::promote`] replays logged
+//! frames up to the watermark exactly, discarding any un-acked tail
+//! (including a torn final frame from a primary that crashed mid-ship).
+//!
+//! Fault sites (torture coverage in `tests/fault_torture.rs`):
+//!
+//! * `repl.ship` — the frame write into the replica log (write site:
+//!   supports torn frames).
+//! * `repl.ack` — the replica acknowledgement that advances the
+//!   watermark.
+//! * `repl.apply` — applying a shipped record to the replica engine
+//!   (eager path and promotion replay).
+//! * `repl.promote` — the promotion entry point.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tb_common::{
+    fault, read_varint, write_varint, Crc32, Error, Key, KvEngine, Lsn, Result, Value,
+};
+
+/// The replication fault sites, in ship order. `tests/fault_torture.rs`
+/// enumerates `(site, hit)` across these.
+pub const REPL_FAULT_SITES: &[&str] = &["repl.ship", "repl.ack", "repl.apply", "repl.promote"];
+
+/// One replicated write, as shipped over the channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplRecord {
+    Put(Key, Value),
+    Delete(Key),
+}
+
+impl ReplRecord {
+    /// Tag byte + varint-framed key (and value, for puts).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ReplRecord::Put(k, v) => {
+                out.push(1);
+                write_varint(&mut out, k.len() as u64);
+                out.extend_from_slice(k.as_slice());
+                write_varint(&mut out, v.len() as u64);
+                out.extend_from_slice(v.as_slice());
+            }
+            ReplRecord::Delete(k) => {
+                out.push(2);
+                write_varint(&mut out, k.len() as u64);
+                out.extend_from_slice(k.as_slice());
+            }
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<ReplRecord> {
+        let tag = *buf
+            .first()
+            .ok_or_else(|| Error::Corruption("empty repl record".into()))?;
+        let mut pos = 1usize;
+        let take = |buf: &[u8], pos: &mut usize| -> Result<Vec<u8>> {
+            let len = read_varint(buf, pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| Error::Corruption("repl record truncated".into()))?;
+            let out = buf[*pos..end].to_vec();
+            *pos = end;
+            Ok(out)
+        };
+        match tag {
+            1 => {
+                let k = take(buf, &mut pos)?;
+                let v = take(buf, &mut pos)?;
+                Ok(ReplRecord::Put(Key::from(k), Value::from(v)))
+            }
+            2 => {
+                let k = take(buf, &mut pos)?;
+                Ok(ReplRecord::Delete(Key::from(k)))
+            }
+            t => Err(Error::Corruption(format!("unknown repl record tag {t}"))),
+        }
+    }
+}
+
+/// Frame header: `len u32 | crc u32 | lsn u64`, all little-endian; crc
+/// covers `lsn_le || payload` (the `tb-lsm` WAL frame layout).
+const FRAME_HEADER: usize = 16;
+
+fn frame_crc(lsn: u64, payload: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(&lsn.to_le_bytes()).update(payload);
+    c.finalize()
+}
+
+fn encode_frame(lsn: Lsn, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(lsn.0, payload).to_le_bytes());
+    out.extend_from_slice(&lsn.0.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses the frame at the head of `buf`: `Some((lsn, payload, total
+/// frame bytes))`, or `None` for an incomplete/corrupt head (the torn
+/// tail a crashed ship leaves behind).
+fn parse_frame(buf: &[u8]) -> Option<(u64, &[u8], usize)> {
+    if buf.len() < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+    let lsn = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+    let end = FRAME_HEADER.checked_add(len)?;
+    if buf.len() < end {
+        return None;
+    }
+    let payload = &buf[FRAME_HEADER..end];
+    (frame_crc(lsn, payload) == crc).then_some((lsn, payload, end))
+}
+
+struct Inner {
+    /// Shipped frames — the replica's receive log. An in-memory
+    /// stand-in for the replica's persistent WAL.
+    log: Vec<u8>,
+    /// Byte offset of the first frame not yet applied to the replica
+    /// engine (promotion replay resumes here).
+    applied_off: usize,
+}
+
+/// Watermark state, shared with the channel's obs snapshot source.
+struct Stats {
+    shipped: AtomicU64,
+    /// Highest LSN the replica acknowledged: the channel watermark. No
+    /// write at or below it may ever be lost.
+    acked: AtomicU64,
+    /// Highest LSN applied to the replica engine.
+    applied: AtomicU64,
+}
+
+/// The primary→replica shipping channel for one node.
+pub struct ReplChannel {
+    replica: Arc<dyn KvEngine>,
+    inner: Mutex<Inner>,
+    stats: Arc<Stats>,
+    /// Keeps `repl_shipped` / `repl_applied_lsn` / `repl_lag`
+    /// contributing to [`tb_obs::global`] snapshots; drops with the
+    /// channel.
+    _obs: tb_obs::SourceGuard,
+}
+
+impl ReplChannel {
+    /// A channel to an empty replica, watermark at [`Lsn::NONE`].
+    pub fn new(replica: Arc<dyn KvEngine>) -> Self {
+        Self::seeded(replica, Lsn::NONE)
+    }
+
+    /// A channel to a replica already seeded with state through
+    /// `watermark` (snapshot re-seed after promotion: the snapshot
+    /// covers everything up to the watermark, the log tail-ships from
+    /// there).
+    pub fn seeded(replica: Arc<dyn KvEngine>, watermark: Lsn) -> Self {
+        let stats = Arc::new(Stats {
+            shipped: AtomicU64::new(0),
+            acked: AtomicU64::new(watermark.0),
+            applied: AtomicU64::new(watermark.0),
+        });
+        let obs = {
+            let s = stats.clone();
+            tb_obs::global().register_source(move |b| {
+                let acked = s.acked.load(Ordering::Relaxed);
+                let applied = s.applied.load(Ordering::Relaxed);
+                b.counter("repl_shipped", s.shipped.load(Ordering::Relaxed));
+                b.gauge("repl_applied_lsn", applied as i64);
+                b.gauge("repl_lag", acked.saturating_sub(applied) as i64);
+            })
+        };
+        Self {
+            replica,
+            inner: Mutex::new(Inner {
+                log: Vec::new(),
+                applied_off: 0,
+            }),
+            stats,
+            _obs: obs,
+        }
+    }
+
+    /// The acked watermark: every write at or below it survives
+    /// promotion.
+    pub fn watermark(&self) -> Lsn {
+        Lsn(self.stats.acked.load(Ordering::Acquire))
+    }
+
+    /// Highest LSN applied to the replica engine (lags the watermark
+    /// only while an eager apply failed and replay hasn't run).
+    pub fn applied_lsn(&self) -> Lsn {
+        Lsn(self.stats.applied.load(Ordering::Acquire))
+    }
+
+    /// Frames shipped since the channel opened.
+    pub fn shipped(&self) -> u64 {
+        self.stats.shipped.load(Ordering::Relaxed)
+    }
+
+    /// Ships one write at `lsn`: log the frame, take the replica ack
+    /// (advancing the watermark), then eagerly apply. An error anywhere
+    /// leaves the write **below no watermark** — the caller must not
+    /// report it covered — but never corrupts the log: a partially
+    /// written frame from an errored ship is truncated away, and a torn
+    /// frame from a crash is discarded by promotion replay.
+    pub fn ship(&self, lsn: Lsn, record: &ReplRecord) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let frame = encode_frame(lsn, &record.encode());
+        let base = inner.log.len();
+        if let Err(e) = fault::write_all("repl.ship", &mut inner.log, &frame) {
+            // Keep the log parseable so later frames don't land behind
+            // garbage (a crash/torn panic skips this — replay handles
+            // the torn tail instead).
+            inner.log.truncate(base);
+            return Err(e);
+        }
+        fault::hit("repl.ack")?;
+        self.stats.acked.store(lsn.0, Ordering::Release);
+        self.stats.shipped.fetch_add(1, Ordering::Relaxed);
+        tb_obs::counter!("repl_ship_frames").add(1);
+        // Eager apply is best-effort: on failure the acked frame stays
+        // in the log and promotion replay catches the replica up. It
+        // runs only while the applied prefix is contiguous with this
+        // frame — once a failed apply leaves a gap, applying later
+        // frames out of order could overtake an overwrite/delete the
+        // gap still holds, so the channel waits for replay instead.
+        let contiguous = inner.applied_off == base;
+        let applied = contiguous
+            && fault::hit("repl.apply").is_ok()
+            && apply_record(self.replica.as_ref(), record).is_ok();
+        if applied {
+            self.stats.applied.store(lsn.0, Ordering::Release);
+            inner.applied_off = inner.log.len();
+        }
+        Ok(())
+    }
+
+    /// Promotes the replica: replays every logged frame up to the
+    /// watermark that the eager path hasn't applied, then hands the
+    /// caught-up replica engine back. Frames past the watermark —
+    /// shipped but never acked, torn tails included — are discarded.
+    /// On error the channel state is intact and resumable: a retry
+    /// continues the replay where it stopped.
+    pub fn promote(&self) -> Result<Arc<dyn KvEngine>> {
+        fault::hit("repl.promote")?;
+        let mut inner = self.inner.lock();
+        let acked = self.stats.acked.load(Ordering::Acquire);
+        let mut pos = inner.applied_off;
+        while let Some((lsn, payload, consumed)) = parse_frame(&inner.log[pos..]) {
+            if lsn > acked {
+                break;
+            }
+            if lsn > self.stats.applied.load(Ordering::Acquire) {
+                let record = ReplRecord::decode(payload)?;
+                fault::hit("repl.apply")?;
+                apply_record(self.replica.as_ref(), &record)?;
+                self.stats.applied.store(lsn, Ordering::Release);
+            }
+            pos += consumed;
+            inner.applied_off = pos;
+        }
+        Ok(self.replica.clone())
+    }
+
+    /// Replica engine bytes (node space accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        self.replica.resident_bytes()
+    }
+}
+
+fn apply_record(replica: &dyn KvEngine, record: &ReplRecord) -> Result<()> {
+    match record {
+        ReplRecord::Put(k, v) => replica.put(k.clone(), v.clone()),
+        ReplRecord::Delete(k) => replica.delete(k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use std::collections::BTreeMap;
+    use tb_common::fault::FaultMode;
+
+    struct MapEngine(PMutex<BTreeMap<Key, Value>>);
+
+    impl MapEngine {
+        fn shared() -> Arc<Self> {
+            Arc::new(Self(PMutex::new(BTreeMap::new())))
+        }
+    }
+
+    impl KvEngine for MapEngine {
+        fn get(&self, key: &Key) -> Result<Option<Value>> {
+            Ok(self.0.lock().get(key).cloned())
+        }
+        fn put(&self, key: Key, value: Value) -> Result<()> {
+            self.0.lock().insert(key, value);
+            Ok(())
+        }
+        fn delete(&self, key: &Key) -> Result<()> {
+            self.0.lock().remove(key);
+            Ok(())
+        }
+        fn resident_bytes(&self) -> u64 {
+            0
+        }
+        fn label(&self) -> String {
+            "map".into()
+        }
+    }
+
+    fn k(i: u64) -> Key {
+        Key::from(format!("k{i}"))
+    }
+
+    fn v(i: u64) -> Value {
+        Value::from(format!("v{i}"))
+    }
+
+    #[test]
+    fn record_codec_roundtrips() {
+        for rec in [
+            ReplRecord::Put(Key::from("a"), Value::from("1")),
+            ReplRecord::Put(Key::from(""), Value::from(vec![0u8, 255])),
+            ReplRecord::Delete(Key::from("gone")),
+        ] {
+            assert_eq!(ReplRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+        assert!(ReplRecord::decode(&[]).is_err());
+        assert!(ReplRecord::decode(&[9, 0]).is_err());
+        let mut truncated = ReplRecord::Put(Key::from("abc"), Value::from("def")).encode();
+        truncated.pop();
+        assert!(ReplRecord::decode(&truncated).is_err());
+    }
+
+    #[test]
+    fn ship_advances_watermark_and_applies_eagerly() {
+        let replica = MapEngine::shared();
+        let ch = ReplChannel::new(replica.clone());
+        for i in 1..=5u64 {
+            ch.ship(Lsn(i), &ReplRecord::Put(k(i), v(i))).unwrap();
+        }
+        ch.ship(Lsn(6), &ReplRecord::Delete(k(1))).unwrap();
+        assert_eq!(ch.watermark(), Lsn(6));
+        assert_eq!(ch.applied_lsn(), Lsn(6));
+        assert_eq!(ch.shipped(), 6);
+        assert_eq!(replica.get(&k(1)).unwrap(), None);
+        assert_eq!(replica.get(&k(5)).unwrap(), Some(v(5)));
+    }
+
+    #[test]
+    fn promote_replays_acked_but_unapplied_frames() {
+        let replica = MapEngine::shared();
+        let ch = ReplChannel::new(replica.clone());
+        ch.ship(Lsn(1), &ReplRecord::Put(k(1), v(1))).unwrap();
+        // Eager apply fails for LSN 2: acked but not applied — the
+        // exact window promotion replay exists for.
+        fault::arm_scoped("repl.apply", 1, FaultMode::Error);
+        ch.ship(Lsn(2), &ReplRecord::Put(k(2), v(2))).unwrap();
+        fault::reset();
+        assert_eq!(ch.watermark(), Lsn(2));
+        assert_eq!(ch.applied_lsn(), Lsn(1));
+        assert_eq!(replica.get(&k(2)).unwrap(), None, "eager apply failed");
+        let promoted = ch.promote().unwrap();
+        assert_eq!(ch.applied_lsn(), Lsn(2));
+        assert_eq!(promoted.get(&k(2)).unwrap(), Some(v(2)));
+    }
+
+    #[test]
+    fn apply_gap_is_not_skipped_by_later_successful_ships() {
+        // One eager apply fails mid-stream; later ships succeed. The
+        // applied cursor must stall at the gap — advancing it past the
+        // unapplied frame silently dropped that write from promotion
+        // replay (the bug this test pins).
+        let replica = MapEngine::shared();
+        let ch = ReplChannel::new(replica.clone());
+        ch.ship(Lsn(1), &ReplRecord::Delete(k(8))).unwrap();
+        fault::arm_scoped("repl.apply", 1, FaultMode::Error);
+        ch.ship(Lsn(2), &ReplRecord::Put(k(8), v(8))).unwrap();
+        fault::reset();
+        ch.ship(Lsn(3), &ReplRecord::Put(k(9), v(9))).unwrap();
+        assert_eq!(ch.watermark(), Lsn(3));
+        assert_eq!(ch.applied_lsn(), Lsn(1), "cursor stalls at the gap");
+        let promoted = ch.promote().unwrap();
+        assert_eq!(promoted.get(&k(8)).unwrap(), Some(v(8)), "gap replayed");
+        assert_eq!(promoted.get(&k(9)).unwrap(), Some(v(9)));
+        assert_eq!(ch.applied_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn errored_ship_leaves_log_parseable() {
+        let replica = MapEngine::shared();
+        let ch = ReplChannel::new(replica.clone());
+        ch.ship(Lsn(1), &ReplRecord::Put(k(1), v(1))).unwrap();
+        fault::arm_scoped("repl.ship", 1, FaultMode::Error);
+        assert!(ch.ship(Lsn(2), &ReplRecord::Put(k(2), v(2))).is_err());
+        fault::reset();
+        // The failed frame left no garbage: the next ship lands cleanly
+        // and promotion replays a consistent log.
+        ch.ship(Lsn(2), &ReplRecord::Put(k(2), v(2))).unwrap();
+        assert_eq!(ch.watermark(), Lsn(2));
+        let promoted = ch.promote().unwrap();
+        assert_eq!(promoted.get(&k(2)).unwrap(), Some(v(2)));
+    }
+
+    #[test]
+    fn promote_discards_unacked_torn_tail() {
+        let replica = MapEngine::shared();
+        let ch = ReplChannel::new(replica.clone());
+        ch.ship(Lsn(1), &ReplRecord::Put(k(1), v(1))).unwrap();
+        // Tear the second frame mid-ship: header lands, payload does
+        // not, the "primary" crashes.
+        fault::arm_scoped("repl.ship", 1, FaultMode::Torn { keep: 10 });
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ch.ship(Lsn(2), &ReplRecord::Put(k(2), v(2)))
+        }));
+        assert!(crashed.is_err(), "torn ship must crash");
+        fault::reset();
+        assert_eq!(ch.watermark(), Lsn(1), "torn frame never acked");
+        let promoted = ch.promote().unwrap();
+        assert_eq!(promoted.get(&k(1)).unwrap(), Some(v(1)));
+        assert_eq!(promoted.get(&k(2)).unwrap(), None, "torn write discarded");
+    }
+
+    #[test]
+    fn failed_promotion_is_resumable() {
+        let replica = MapEngine::shared();
+        let ch = ReplChannel::new(replica.clone());
+        fault::arm_scoped("repl.apply", 1, FaultMode::Error);
+        ch.ship(Lsn(1), &ReplRecord::Put(k(1), v(1))).unwrap();
+        fault::reset();
+        fault::arm_scoped("repl.promote", 1, FaultMode::Error);
+        assert!(ch.promote().is_err(), "armed promotion must fail");
+        fault::reset();
+        // Retry succeeds and finishes the replay.
+        let promoted = ch.promote().unwrap();
+        assert_eq!(promoted.get(&k(1)).unwrap(), Some(v(1)));
+        assert_eq!(ch.applied_lsn(), Lsn(1));
+    }
+
+    #[test]
+    fn seeded_channel_starts_at_the_given_watermark() {
+        let replica = MapEngine::shared();
+        replica.put(k(1), v(1)).unwrap(); // snapshot state
+        let ch = ReplChannel::seeded(replica.clone(), Lsn(7));
+        assert_eq!(ch.watermark(), Lsn(7));
+        ch.ship(Lsn(8), &ReplRecord::Put(k(8), v(8))).unwrap();
+        let promoted = ch.promote().unwrap();
+        assert_eq!(promoted.get(&k(1)).unwrap(), Some(v(1)));
+        assert_eq!(promoted.get(&k(8)).unwrap(), Some(v(8)));
+    }
+}

@@ -2,8 +2,59 @@
 //! implements — TierBase itself, the baseline comparators, and the bare
 //! cache/LSM tiers. One trait lets a single replay/measurement harness
 //! drive every system in the paper's evaluation.
+//!
+//! # The LSN / ack contract
+//!
+//! Engines with a durability log sequence their writes with a monotone
+//! [`Lsn`]. The contract, which replication and session guarantees in
+//! `tb-cluster` build on:
+//!
+//! * Every applied write occupies exactly one LSN, assigned in apply
+//!   order — LSNs never reorder relative to the engine's write order.
+//! * An **acknowledged** write (`Ok` from `put`/`delete`/`cas`/
+//!   `multi_put`, or an `Ok(OpOutcome::Done(lsn))` completion slot from
+//!   [`KvEngine::apply_batch`]) has been applied at its LSN; once
+//!   [`KvEngine::applied_lsn`] reports at least that LSN, the write and
+//!   every write sequenced before it are readable.
+//! * An **errored** write is *indeterminate*: it may or may not have
+//!   applied (a replica-side or post-apply failure does not un-apply the
+//!   primary's write), and callers must not assume either state. What
+//!   an error does guarantee is that the write was never *reported*
+//!   covered: it is not at-or-below any watermark the caller was handed.
+//! * Engines without a durability log (pure caches, test maps) report
+//!   [`Lsn::NONE`] everywhere; the contract degenerates to plain acks.
 
 use crate::{Key, Result, Value};
+
+/// Log sequence number of an applied write.
+///
+/// `Lsn(0)` ([`Lsn::NONE`]) is reserved for "no sequence": engines
+/// without a durability log, and the state of a log before its first
+/// write. Real sequences start at 1 and increase by exactly one per
+/// applied write, so `a <= b` means *a is covered whenever b is*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The "no sequence" token (see the type docs).
+    pub const NONE: Lsn = Lsn(0);
+
+    /// True for [`Lsn::NONE`].
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The next sequence number.
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Lsn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// One operation in a submitted batch ([`KvEngine::apply_batch`]).
 ///
@@ -49,8 +100,11 @@ pub enum OpOutcome {
     /// A `Scan` resolved: live `(key, value)` pairs in ascending key
     /// order, truncated to the scan's `limit`.
     Range(Vec<(Key, Value)>),
-    /// A write (`Put`/`Delete`/`Cas`/`MultiPut`) applied.
-    Done,
+    /// A write (`Put`/`Delete`/`Cas`/`MultiPut`) applied, carrying the
+    /// [`Lsn`] the engine assigned it ([`Lsn::NONE`] for engines
+    /// without a durability log; for a `MultiPut`, the LSN of its last
+    /// pair — the one that covers the whole op).
+    Done(Lsn),
 }
 
 /// Read-amplification counters of an engine's batched read path.
@@ -130,7 +184,7 @@ pub trait KvEngine: Send + Sync {
     /// submission, same canonical path as `multi_get`.
     fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
         match self.apply_batch(vec![EngineOp::MultiPut(pairs)]).pop() {
-            Some(Ok(OpOutcome::Done)) => Ok(()),
+            Some(Ok(OpOutcome::Done(_))) => Ok(()),
             Some(Err(e)) => Err(e),
             other => Err(crate::Error::Internal(format!(
                 "multi_put batch resolved to {other:?}"
@@ -184,11 +238,18 @@ pub trait KvEngine: Send + Sync {
         ops.into_iter()
             .map(|op| match op {
                 EngineOp::Get(key) => self.get(&key).map(OpOutcome::Value),
-                EngineOp::Put(key, value) => self.put(key, value).map(|_| OpOutcome::Done),
-                EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done),
+                // Per-op lowering acks with the engine's applied LSN
+                // *after* the write: exact for serialized writers, and
+                // always a covering LSN (LSN order = apply order).
+                EngineOp::Put(key, value) => self
+                    .put(key, value)
+                    .map(|_| OpOutcome::Done(self.applied_lsn())),
+                EngineOp::Delete(key) => self
+                    .delete(&key)
+                    .map(|_| OpOutcome::Done(self.applied_lsn())),
                 EngineOp::Cas { key, expected, new } => self
                     .cas(key, expected.as_ref(), new)
-                    .map(|_| OpOutcome::Done),
+                    .map(|_| OpOutcome::Done(self.applied_lsn())),
                 EngineOp::MultiGet(keys) => keys
                     .iter()
                     .map(|k| self.get(k))
@@ -202,7 +263,7 @@ pub trait KvEngine: Send + Sync {
                             break;
                         }
                     }
-                    result.map(|_| OpOutcome::Done)
+                    result.map(|_| OpOutcome::Done(self.applied_lsn()))
                 }
                 EngineOp::Scan { start, end, limit } => {
                     self.scan(&start, end.as_ref(), limit).map(OpOutcome::Range)
@@ -215,6 +276,14 @@ pub trait KvEngine: Send + Sync {
     /// engine has no native one). Cumulative over the engine's life.
     fn batch_read_stats(&self) -> BatchReadStats {
         BatchReadStats::default()
+    }
+
+    /// [`Lsn`] of the newest write this engine has applied — the head
+    /// of its durability log (see the module docs for the full LSN/ack
+    /// contract). Monotone non-decreasing over the engine's life.
+    /// Default: [`Lsn::NONE`] (no durability log).
+    fn applied_lsn(&self) -> Lsn {
+        Lsn::NONE
     }
 
     /// Compare-and-set: writes `new` only when the current value equals
@@ -323,13 +392,13 @@ mod tests {
         ]);
         assert_eq!(outcomes.len(), 8);
         assert_eq!(outcomes[0], Ok(OpOutcome::Value(None)));
-        assert_eq!(outcomes[1], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[1], Ok(OpOutcome::Done(Lsn::NONE)));
         assert_eq!(
             outcomes[2],
             Ok(OpOutcome::Value(Some(Value::from("a")))),
             "a get must see the put submitted before it"
         );
-        assert_eq!(outcomes[3], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[3], Ok(OpOutcome::Done(Lsn::NONE)));
         // The second CAS ran *after* the first succeeded: mismatch, and
         // the per-op error does not poison the rest of the batch.
         assert_eq!(outcomes[4], Err(crate::Error::CasMismatch));
@@ -337,7 +406,7 @@ mod tests {
             outcomes[5],
             Ok(OpOutcome::Values(vec![Some(Value::from("b")), None]))
         );
-        assert_eq!(outcomes[6], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[6], Ok(OpOutcome::Done(Lsn::NONE)));
         assert_eq!(outcomes[7], Ok(OpOutcome::Value(None)));
     }
 
@@ -403,6 +472,19 @@ mod tests {
                 (Key::from("s5"), Value::from("v5")),
             ]
         );
+    }
+
+    #[test]
+    fn lsn_ordering_and_none() {
+        assert!(Lsn::NONE.is_none());
+        assert!(!Lsn(1).is_none());
+        assert_eq!(Lsn::NONE.next(), Lsn(1));
+        assert!(Lsn(3) < Lsn(4), "LSNs order by sequence");
+        assert_eq!(format!("{}", Lsn(42)), "42");
+        // Engines without a log report NONE and never advance.
+        let e = MapEngine(Mutex::new(BTreeMap::new()));
+        e.put(Key::from("k"), Value::from("v")).unwrap();
+        assert_eq!(e.applied_lsn(), Lsn::NONE);
     }
 
     #[test]

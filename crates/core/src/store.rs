@@ -95,6 +95,9 @@ struct Inner {
     cache: ReplicatedCache,
     storage: Option<DisaggregatedStore>,
     wal: Option<Mutex<tb_lsm::wal::Wal>>,
+    /// Frame sequence for the cache WAL: the cache log is positional,
+    /// so records carry a local counter to satisfy the LSN framing.
+    wal_seq: AtomicU64,
     ring: Option<PersistentRingBuffer>,
     compression: Mutex<Option<Compression>>,
     train_samples: Mutex<Vec<Vec<u8>>>,
@@ -160,14 +163,16 @@ impl TierBase {
         }
 
         let mut wal = None;
+        let mut wal_seq = 0u64;
         let mut ring = None;
         match config.persistence {
             PersistenceMode::None => {}
             PersistenceMode::Wal => {
                 let path = config.dir.join("cache.wal");
                 // Replay persisted cache contents.
-                for rec in tb_lsm::wal::Wal::replay(&path)? {
+                for (lsn, rec) in tb_lsm::wal::Wal::replay(&path)? {
                     apply_log_record(&cache, &rec)?;
+                    wal_seq = wal_seq.max(lsn);
                 }
                 wal = Some(Mutex::new(tb_lsm::wal::Wal::open(
                     &path,
@@ -238,6 +243,7 @@ impl TierBase {
                 cache,
                 storage,
                 wal,
+                wal_seq: AtomicU64::new(wal_seq),
                 ring,
                 compression: Mutex::new(None),
                 train_samples: Mutex::new(Vec::new()),
@@ -1002,7 +1008,8 @@ impl Inner {
         }
         let rec = encode_log_record(key, stored);
         if let Some(wal) = &self.wal {
-            wal.lock().append(&rec)?;
+            let lsn = self.wal_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            wal.lock().append(lsn, &rec)?;
         }
         if let Some(ring) = &self.ring {
             match ring.append(&rec) {
@@ -1027,7 +1034,8 @@ impl Inner {
         let path = self.config.dir.join("cache.cold.wal");
         let mut wal = tb_lsm::wal::Wal::open(&path, tb_lsm::wal::SyncPolicy::OsBuffer)?;
         for rec in drained {
-            wal.append(&rec)?;
+            let lsn = self.wal_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            wal.append(lsn, &rec)?;
         }
         wal.sync()?;
         Ok(())

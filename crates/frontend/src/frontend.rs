@@ -36,7 +36,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tb_common::{
-    slot_for_key, BatchReadStats, EngineOp, Error, Key, KvEngine, OpOutcome, Result, Value,
+    slot_for_key, BatchReadStats, EngineOp, Error, Key, KvEngine, Lsn, OpOutcome, Result, Value,
 };
 use tb_elastic::ElasticConfig;
 
@@ -535,9 +535,9 @@ impl Frontend {
             .map(|(s, p)| self.submit_to(s, Request::MultiPut(p)))
             .collect();
         if parts.is_empty() {
-            // Empty write: resolved on the spot.
+            // Empty write: resolved on the spot, covering nothing.
             let (t, c) = ticket();
-            c.complete(Ok(Response::Done));
+            c.complete(Ok(Response::Done(Lsn::NONE)));
             return t;
         }
         gather_all(parts)
@@ -739,15 +739,21 @@ fn process_batch(inner: &Inner, batch: Vec<Queued>, settled: &AtomicU64) {
     let outcomes = inner.engine.apply_batch(ops);
 
     // --- completion: settle each op's tickets in submission order -----
-    let mut unsynced: Vec<Pending> = Vec::new();
+    let mut unsynced: Vec<(Pending, Lsn)> = Vec::new();
     let mut dirty = false;
     for (ack, outcome) in acks.into_iter().zip(outcomes) {
         match ack {
             OpAcks::Write(writers) => match outcome {
-                // Write acks defer to the batch's single sync below.
-                Ok(_) => {
+                // Write acks defer to the batch's single sync below,
+                // each carrying the LSN the engine assigned to its op
+                // (coalesced writers share the covering MultiPut LSN).
+                Ok(o) => {
+                    let lsn = match o {
+                        OpOutcome::Done(l) => l,
+                        _ => Lsn::NONE,
+                    };
                     dirty = true;
-                    unsynced.extend(writers);
+                    unsynced.extend(writers.into_iter().map(|w| (w, lsn)));
                 }
                 Err(e) => {
                     for w in writers {
@@ -785,12 +791,12 @@ fn process_batch(inner: &Inner, batch: Vec<Queued>, settled: &AtomicU64) {
         let sync_result = inner.engine.sync();
         tb_obs::histo!("frontend_group_sync_ns").record_since(t0);
         FrontendStats::bump(&stats.group_syncs, 1);
-        for ack in unsynced.drain(..) {
+        for (ack, lsn) in unsynced.drain(..) {
             finish(
                 stats,
                 settled,
                 ack,
-                sync_result.clone().map(|_| Response::Done),
+                sync_result.clone().map(|_| Response::Done(lsn)),
             );
         }
     }
@@ -804,9 +810,12 @@ fn process_batch_per_op(inner: &Inner, batch: Vec<Queued>, settled: &AtomicU64) 
     let settle_write = |result: Result<()>, done: Pending| match result {
         Err(e) => finish(stats, settled, done, Err(e)),
         Ok(()) => {
+            // The engine's applied LSN after a successful write covers
+            // it (the per-op path applies writes one at a time).
+            let lsn = engine.applied_lsn();
             let synced = engine.sync();
             FrontendStats::bump(&stats.per_op_syncs, 1);
-            finish(stats, settled, done, synced.map(|_| Response::Done));
+            finish(stats, settled, done, synced.map(|_| Response::Done(lsn)));
         }
     };
     for (req, c, stamp) in batch {
@@ -938,7 +947,7 @@ impl KvEngine for Frontend {
                 Response::Value(v) => OpOutcome::Value(v),
                 Response::Values(v) => OpOutcome::Values(v),
                 Response::Range(rows) => OpOutcome::Range(rows),
-                Response::Done => OpOutcome::Done,
+                Response::Done(l) => OpOutcome::Done(l),
             })
         };
         if self.inner.config.max_workers_per_shard > 1 {
@@ -975,6 +984,10 @@ impl KvEngine for Frontend {
 
     fn batch_read_stats(&self) -> BatchReadStats {
         self.inner.engine.batch_read_stats()
+    }
+
+    fn applied_lsn(&self) -> Lsn {
+        self.inner.engine.applied_lsn()
     }
 
     fn resident_bytes(&self) -> u64 {

@@ -143,18 +143,20 @@ mod tests {
             Ok(())
         }
         fn apply_batch(&self, ops: Vec<tb_common::EngineOp>) -> Vec<Result<tb_common::OpOutcome>> {
-            use tb_common::{EngineOp, OpOutcome};
+            use tb_common::{EngineOp, Lsn, OpOutcome};
             self.apply_batches.fetch_add(1, Ordering::Relaxed);
             // Same lowering as the trait default; counted so tests can
             // assert one engine submission per drained batch.
             ops.into_iter()
                 .map(|op| match op {
                     EngineOp::Get(key) => self.get(&key).map(OpOutcome::Value),
-                    EngineOp::Put(key, value) => self.put(key, value).map(|_| OpOutcome::Done),
-                    EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done),
+                    EngineOp::Put(key, value) => {
+                        self.put(key, value).map(|_| OpOutcome::Done(Lsn::NONE))
+                    }
+                    EngineOp::Delete(key) => self.delete(&key).map(|_| OpOutcome::Done(Lsn::NONE)),
                     EngineOp::Cas { key, expected, new } => self
                         .cas(key, expected.as_ref(), new)
-                        .map(|_| OpOutcome::Done),
+                        .map(|_| OpOutcome::Done(Lsn::NONE)),
                     // Inline get loop, not `self.multi_get`: the trait
                     // default of the un-overridden `multi_get` routes
                     // back through `apply_batch` and would recurse.
@@ -163,7 +165,9 @@ mod tests {
                         .map(|k| self.get(k))
                         .collect::<Result<Vec<_>>>()
                         .map(OpOutcome::Values),
-                    EngineOp::MultiPut(pairs) => self.multi_put(pairs).map(|_| OpOutcome::Done),
+                    EngineOp::MultiPut(pairs) => {
+                        self.multi_put(pairs).map(|_| OpOutcome::Done(Lsn::NONE))
+                    }
                     EngineOp::Scan { start, end, limit } => {
                         self.scan(&start, end.as_ref(), limit).map(OpOutcome::Range)
                     }
@@ -250,7 +254,7 @@ mod tests {
                     assert_eq!(rows.len(), n, "scan saw the writes submitted before it");
                     assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows key-ordered");
                 }
-                (None, Response::Done) => {}
+                (None, Response::Done(_)) => {}
                 (e, r) => panic!("unexpected outcome {e:?} {r:?}"),
             }
         }
@@ -382,7 +386,7 @@ mod tests {
                 (Some(round), Response::Value(got)) => {
                     assert_eq!(got, Some(Value::from(format!("{round}"))));
                 }
-                (None, Response::Done) => {}
+                (None, Response::Done(_)) => {}
                 (e, r) => panic!("unexpected outcome {e:?} {r:?}"),
             }
         }
@@ -553,7 +557,7 @@ mod tests {
 
     #[test]
     fn frontend_apply_batch_pipelines_and_preserves_order() {
-        use tb_common::{EngineOp, OpOutcome};
+        use tb_common::{EngineOp, Lsn, OpOutcome};
         let engine = ProbeEngine::shared();
         let fe = Frontend::start(engine, FrontendConfig::with_shards(2));
         let key = Key::from("batch-order");
@@ -579,15 +583,15 @@ mod tests {
             ],
         );
         assert_eq!(outcomes[0], Ok(OpOutcome::Value(None)));
-        assert_eq!(outcomes[1], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[1], Ok(OpOutcome::Done(Lsn::NONE)));
         assert_eq!(outcomes[2], Ok(OpOutcome::Value(Some(Value::from("1")))));
-        assert_eq!(outcomes[3], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[3], Ok(OpOutcome::Done(Lsn::NONE)));
         assert_eq!(outcomes[4], Err(Error::CasMismatch));
         assert_eq!(
             outcomes[5],
             Ok(OpOutcome::Values(vec![Some(Value::from("2")), None]))
         );
-        assert_eq!(outcomes[6], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[6], Ok(OpOutcome::Done(Lsn::NONE)));
         assert_eq!(outcomes[7], Ok(OpOutcome::Value(None)));
         fe.shutdown();
     }

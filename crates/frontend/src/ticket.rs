@@ -9,7 +9,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tb_common::{Error, Key, Result, Value};
+use tb_common::{Error, Key, Lsn, Result, Value};
 
 /// What a completed request resolves to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,7 +23,10 @@ pub enum Response {
     Range(Vec<(Key, Value)>),
     /// Write acknowledged — and durable, when the front-end runs in
     /// group-commit mode (the ack is delivered after the batch `sync`).
-    Done,
+    /// Carries the covering [`Lsn`] per the `tb_common::engine` LSN/ack
+    /// contract ([`Lsn::NONE`] for LSN-less engines); a gathered
+    /// multi-part write acks the max across its parts.
+    Done(Lsn),
 }
 
 struct Shared {
@@ -130,10 +133,13 @@ impl Ticket {
             }
             TicketInner::Gather { parts, len } => assemble(parts, *len, |t| t.wait()),
             TicketInner::GatherAll { parts } => {
+                let mut lsn = Lsn::NONE;
                 for part in parts {
-                    part.wait()?;
+                    if let Response::Done(l) = part.wait()? {
+                        lsn = lsn.max(l);
+                    }
                 }
-                Ok(Response::Done)
+                Ok(Response::Done(lsn))
             }
         }
     }
@@ -163,13 +169,16 @@ impl Ticket {
                 Some(assemble(parts, *len, |t| t.wait()))
             }
             TicketInner::GatherAll { parts } => {
+                let mut lsn = Lsn::NONE;
                 for part in parts {
                     let remaining = deadline.checked_duration_since(Instant::now())?;
-                    if let Err(e) = part.wait_timeout(remaining)? {
-                        return Some(Err(e));
+                    match part.wait_timeout(remaining)? {
+                        Err(e) => return Some(Err(e)),
+                        Ok(Response::Done(l)) => lsn = lsn.max(l),
+                        Ok(_) => {}
                     }
                 }
-                Some(Ok(Response::Done))
+                Some(Ok(Response::Done(lsn)))
             }
         }
     }
@@ -261,9 +270,9 @@ mod tests {
         let (t, c) = ticket();
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(5));
-            c.complete(Ok(Response::Done));
+            c.complete(Ok(Response::Done(Lsn(7))));
         });
-        assert_eq!(t.wait().unwrap(), Response::Done);
+        assert_eq!(t.wait().unwrap(), Response::Done(Lsn(7)));
         assert!(t.is_done());
         assert!(t.completed_at().is_some());
         h.join().unwrap();
@@ -288,7 +297,7 @@ mod tests {
     fn wait_timeout_expires_then_resolves() {
         let (t, c) = ticket();
         assert!(t.wait_timeout(Duration::from_millis(2)).is_none());
-        c.complete(Ok(Response::Done));
+        c.complete(Ok(Response::Done(Lsn::NONE)));
         assert!(t.wait_timeout(Duration::from_millis(2)).is_some());
     }
 
@@ -323,6 +332,21 @@ mod tests {
         c1.complete(Ok(Response::Values(vec![None])));
         c2.complete(Err(Error::Backpressure("shard full".into())));
         assert!(matches!(g.wait(), Err(Error::Backpressure(_))));
+    }
+
+    #[test]
+    fn gather_all_acks_the_max_part_lsn() {
+        let (t1, c1) = ticket();
+        let (t2, c2) = ticket();
+        let g = gather_all(vec![t1, t2]);
+        c1.complete(Ok(Response::Done(Lsn(9))));
+        c2.complete(Ok(Response::Done(Lsn(3))));
+        // The covering LSN of a multi-part write is the max part LSN.
+        assert_eq!(g.wait().unwrap(), Response::Done(Lsn(9)));
+        assert_eq!(
+            g.wait_timeout(Duration::from_millis(1)).unwrap().unwrap(),
+            Response::Done(Lsn(9))
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tb_common::{
-    crc32, fault, read_varint, write_varint, BatchReadStats, EngineOp, Error, Key, KvEngine,
+    crc32, fault, read_varint, write_varint, BatchReadStats, EngineOp, Error, Key, KvEngine, Lsn,
     OpOutcome, Result, Value,
 };
 
@@ -160,6 +160,12 @@ pub struct LsmDb {
     inner: RwLock<Inner>,
     config: LsmConfig,
     next_file_id: AtomicU64,
+    /// LSN of the newest applied write (see `tb_common::engine` for the
+    /// contract). Advanced under the tree's write lock; read lock-free
+    /// by [`KvEngine::applied_lsn`]. Persisted in the manifest (the WAL
+    /// resets on flush, so frames alone cannot carry the high-water
+    /// mark across a flush boundary).
+    last_lsn: AtomicU64,
     /// Shard-local block-fetch pool (`config.read_pool_threads > 0`).
     /// One pool per engine: every front-end worker draining batches
     /// onto this shard — boosted siblings included — shares it.
@@ -175,7 +181,7 @@ impl LsmDb {
     pub fn open(config: LsmConfig) -> Result<Self> {
         std::fs::create_dir_all(&config.dir)?;
         let manifest_path = config.dir.join("MANIFEST");
-        let metas = read_manifest(&manifest_path)?;
+        let (metas, manifest_lsn) = read_manifest(&manifest_path)?;
         let mut max_id = 0u64;
         let mut levels: Vec<Vec<Arc<SstReader>>> = vec![Vec::new(); config.max_level + 1];
         for (level, meta) in metas {
@@ -188,11 +194,15 @@ impl LsmDb {
             levels[level].push(Arc::new(SstReader::open(meta)?));
         }
 
-        // Replay the WAL into a fresh memtable.
+        // Replay the WAL into a fresh memtable, tracking the highest
+        // LSN seen: the recovered sequence resumes after the larger of
+        // the manifest's flushed high-water mark and the WAL tail.
         let wal_path = config.dir.join("WAL");
         let mut memtable = Memtable::new();
-        for rec in Wal::replay(&wal_path)? {
+        let mut wal_lsn = 0u64;
+        for (lsn, rec) in Wal::replay(&wal_path)? {
             let (key, entry) = decode_wal_record(&rec)?;
+            wal_lsn = wal_lsn.max(lsn);
             match entry {
                 Entry::Put(v) => memtable.put(key, v),
                 Entry::Tombstone => memtable.delete(key),
@@ -262,6 +272,7 @@ impl LsmDb {
                 levels,
             }),
             next_file_id: AtomicU64::new(max_id + 1),
+            last_lsn: AtomicU64::new(manifest_lsn.max(wal_lsn)),
             config,
             read_pool,
             stats,
@@ -287,11 +298,18 @@ impl LsmDb {
 
     fn write(&self, key: Key, entry: Entry) -> Result<()> {
         let mut inner = self.inner.write();
-        self.write_locked(&mut inner, key, entry)
+        self.write_locked(&mut inner, key, entry).map(|_| ())
     }
 
-    fn write_locked(&self, inner: &mut Inner, key: Key, entry: Entry) -> Result<()> {
-        inner.wal.append(&encode_wal_record(&key, &entry))?;
+    /// Appends, applies, and sequences one write; returns its assigned
+    /// LSN. A failed WAL append consumes no LSN (the write never
+    /// applied); a post-apply failure (flush) surfaces as an error with
+    /// the LSN already advanced — the write is durable in the WAL and
+    /// indeterminate to the caller, exactly the ack contract.
+    fn write_locked(&self, inner: &mut Inner, key: Key, entry: Entry) -> Result<u64> {
+        let lsn = self.last_lsn.load(Ordering::Relaxed) + 1;
+        inner.wal.append(lsn, &encode_wal_record(&key, &entry))?;
+        self.last_lsn.store(lsn, Ordering::Release);
         let size = match entry {
             Entry::Put(v) => inner.memtable.put(key, v),
             Entry::Tombstone => inner.memtable.delete(key),
@@ -299,7 +317,7 @@ impl LsmDb {
         if size >= self.config.memtable_bytes {
             self.flush_locked(inner)?;
         }
-        Ok(())
+        Ok(lsn)
     }
 
     /// Point lookup through memtable and levels.
@@ -331,7 +349,7 @@ impl LsmDb {
     /// [`KvEngine::cas`], which is unsynchronized read-then-write).
     pub fn cas(&self, key: Key, expected: Option<&Value>, new: Value) -> Result<()> {
         let mut inner = self.inner.write();
-        self.cas_locked(&mut inner, key, expected, new)
+        self.cas_locked(&mut inner, key, expected, new).map(|_| ())
     }
 
     fn cas_locked(
@@ -340,7 +358,7 @@ impl LsmDb {
         key: Key,
         expected: Option<&Value>,
         new: Value,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         let current = Self::get_locked(inner, &key)?;
         let matches = match (current.as_ref(), expected) {
             (Some(c), Some(e)) => c == e,
@@ -633,22 +651,24 @@ impl LsmDb {
                 self.stats.puts.fetch_add(1, Ordering::Relaxed);
                 Slot::Done(
                     self.write_locked(inner, key, Entry::Put(value))
-                        .map(|_| OpOutcome::Done),
+                        .map(|l| OpOutcome::Done(Lsn(l))),
                 )
             }
             EngineOp::Delete(key) => Slot::Done(
                 self.write_locked(inner, key, Entry::Tombstone)
-                    .map(|_| OpOutcome::Done),
+                    .map(|l| OpOutcome::Done(Lsn(l))),
             ),
             // CAS reads its expectation synchronously (possibly block
             // IO) so later ops in the batch observe its effect — the
             // rare op pays; pure lookups stay overlapped.
             EngineOp::Cas { key, expected, new } => Slot::Done(
                 self.cas_locked(inner, key, expected.as_ref(), new)
-                    .map(|_| OpOutcome::Done),
+                    .map(|l| OpOutcome::Done(Lsn(l))),
             ),
             EngineOp::MultiPut(pairs) => {
-                let mut result = Ok(());
+                // The op acks with its *last* pair's LSN — the sequence
+                // number that covers every pair before it.
+                let mut result = Ok(0u64);
                 for (k, v) in pairs {
                     self.stats.puts.fetch_add(1, Ordering::Relaxed);
                     result = self.write_locked(inner, k, Entry::Put(v));
@@ -656,7 +676,7 @@ impl LsmDb {
                         break;
                     }
                 }
-                Slot::Done(result.map(|_| OpOutcome::Done))
+                Slot::Done(result.map(|l| OpOutcome::Done(Lsn(l))))
             }
         }
     }
@@ -945,6 +965,11 @@ impl LsmDb {
     fn write_manifest(&self, inner: &Inner) -> Result<()> {
         let manifest_path = self.config.dir.join("MANIFEST");
         let mut body = Vec::new();
+        // LSN high-water mark first: the WAL resets after a flush, so
+        // the manifest must carry the sequence across that boundary for
+        // recovery to resume numbering (and for replication watermarks
+        // to stay comparable across restarts).
+        write_varint(&mut body, self.last_lsn.load(Ordering::Acquire));
         let tables: Vec<(usize, &SstMeta)> = inner
             .levels
             .iter()
@@ -1043,7 +1068,7 @@ impl KvEngine for LsmDb {
     /// one per pair.
     fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
         match LsmDb::apply_batch(self, vec![EngineOp::MultiPut(pairs)]).pop() {
-            Some(Ok(OpOutcome::Done)) => Ok(()),
+            Some(Ok(OpOutcome::Done(_))) => Ok(()),
             Some(Err(e)) => Err(e),
             other => Err(Error::Internal(format!(
                 "multi_put batch resolved to {other:?}"
@@ -1073,6 +1098,10 @@ impl KvEngine for LsmDb {
         self.disk_bytes()
     }
 
+    fn applied_lsn(&self) -> Lsn {
+        Lsn(self.last_lsn.load(Ordering::Acquire))
+    }
+
     fn label(&self) -> String {
         "lsm".into()
     }
@@ -1085,11 +1114,12 @@ impl KvEngine for LsmDb {
     }
 }
 
-/// Reads `(level, meta)` rows from a manifest file; absent file = empty DB.
-fn read_manifest(path: &Path) -> Result<Vec<(usize, SstMeta)>> {
+/// Reads `(level, meta)` rows plus the persisted LSN high-water mark
+/// from a manifest file; absent file = empty DB at LSN 0.
+fn read_manifest(path: &Path) -> Result<(Vec<(usize, SstMeta)>, u64)> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(vec![]),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((vec![], 0)),
         Err(e) => return Err(e.into()),
     };
     if bytes.len() < 8 {
@@ -1106,6 +1136,7 @@ fn read_manifest(path: &Path) -> Result<Vec<(usize, SstMeta)>> {
     }
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     let mut pos = 0usize;
+    let max_lsn = read_varint(body, &mut pos)?;
     let count = read_varint(body, &mut pos)? as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
@@ -1137,7 +1168,7 @@ fn read_manifest(path: &Path) -> Result<Vec<(usize, SstMeta)>> {
             },
         ));
     }
-    Ok(out)
+    Ok((out, max_lsn))
 }
 
 fn encode_wal_record(key: &Key, entry: &Entry) -> Vec<u8> {
@@ -1298,6 +1329,35 @@ mod tests {
         let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
         assert_eq!(db.get(&k(0)).unwrap(), Some(v(0, "new")));
         assert_eq!(db.get(&k(100)).unwrap(), Some(v(100, "old")));
+    }
+
+    #[test]
+    fn applied_lsn_is_monotone_and_survives_reopen() {
+        let dir = tmpdir("lsn");
+        {
+            let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
+            assert_eq!(KvEngine::applied_lsn(&db), Lsn::NONE, "fresh DB");
+            for i in 0..10 {
+                db.put(k(i), v(i, "l")).unwrap();
+            }
+            db.delete(k(3)).unwrap();
+            assert_eq!(KvEngine::applied_lsn(&db), Lsn(11));
+            // Flush resets the WAL; the manifest must carry the mark.
+            db.flush().unwrap();
+            assert_eq!(KvEngine::applied_lsn(&db), Lsn(11));
+            // Post-flush writes live only in the WAL.
+            db.put(k(50), v(50, "l")).unwrap();
+            assert_eq!(KvEngine::applied_lsn(&db), Lsn(12));
+        }
+        let db = LsmDb::open(LsmConfig::small_for_tests(dir.path())).unwrap();
+        assert_eq!(
+            KvEngine::applied_lsn(&db),
+            Lsn(12),
+            "recovery resumes the sequence from max(manifest, WAL tail)"
+        );
+        // The next write continues the sequence, never reuses it.
+        let outcome = db.apply_batch(vec![EngineOp::Put(k(60), v(60, "l"))]);
+        assert_eq!(outcome[0], Ok(OpOutcome::Done(Lsn(13))));
     }
 
     #[test]
@@ -1575,11 +1635,13 @@ mod tests {
             EngineOp::MultiGet(vec![k(1), k(99)]),
         ]);
         assert_eq!(outcomes[0], Ok(OpOutcome::Value(Some(v(1, "old")))));
-        assert_eq!(outcomes[1], Ok(OpOutcome::Done));
+        // Write acks carry the engine's monotone LSN: the seed put was
+        // 1, so the batch's writes sequence from 2.
+        assert_eq!(outcomes[1], Ok(OpOutcome::Done(Lsn(2))));
         assert_eq!(outcomes[2], Ok(OpOutcome::Value(Some(v(1, "new")))));
-        assert_eq!(outcomes[3], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[3], Ok(OpOutcome::Done(Lsn(3))));
         assert_eq!(outcomes[4], Err(Error::CasMismatch));
-        assert_eq!(outcomes[5], Ok(OpOutcome::Done));
+        assert_eq!(outcomes[5], Ok(OpOutcome::Done(Lsn(4))));
         assert_eq!(outcomes[6], Ok(OpOutcome::Value(None)));
         assert_eq!(outcomes[7], Ok(OpOutcome::Values(vec![None, None])));
         // The Get staged *before* the Put still answered from the level
@@ -1618,7 +1680,7 @@ mod tests {
             EngineOp::Get(k(1)),                // staged read hits the fault
         ]);
         fault::reset();
-        assert_eq!(outcomes[0], Ok(OpOutcome::Done));
+        assert!(matches!(outcomes[0], Ok(OpOutcome::Done(_))));
         assert!(
             matches!(outcomes[1], Err(Error::FaultInjected(_))),
             "staged read must surface the injected error: {:?}",
@@ -1834,7 +1896,10 @@ mod tests {
             EngineOp::Get(k(250)),
         ]);
         fault::reset();
-        assert_eq!(outcomes[0], Ok(OpOutcome::Done), "write unaffected");
+        assert!(
+            matches!(outcomes[0], Ok(OpOutcome::Done(_))),
+            "write unaffected"
+        );
         assert!(
             matches!(outcomes[1], Err(Error::FaultInjected(_))),
             "faulted scan fetch must fail the scan's slot: {:?}",

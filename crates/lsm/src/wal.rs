@@ -1,7 +1,11 @@
-//! Write-ahead log with CRC-framed records and torn-tail recovery.
+//! Write-ahead log with CRC-framed, LSN-sequenced records and torn-tail
+//! recovery.
 //!
-//! Record frame: `len u32 | crc u32 | payload`. Replay distinguishes the
-//! two ways a frame can be invalid:
+//! Record frame: `len u32 | crc u32 | lsn u64 | payload`, where `crc`
+//! covers `lsn || payload` and `lsn` is the monotone log sequence
+//! number the engine assigned the write (the currency of replication
+//! shipping and session guarantees — see `tb_common::engine`). Replay
+//! distinguishes the two ways a frame can be invalid:
 //!
 //! * **Torn tail** — the partial frame a crash leaves at the end of the
 //!   log, with nothing valid after it. Replay truncates the file there
@@ -18,7 +22,17 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use tb_common::{crc32, fault, Error, Result};
+use tb_common::{fault, Crc32, Error, Result};
+
+/// Bytes before the payload: `len u32 | crc u32 | lsn u64`.
+const FRAME_HEADER: usize = 16;
+
+/// CRC over `lsn || payload` — the whole checksummed span of a frame.
+fn frame_crc(lsn: u64, payload: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(&lsn.to_le_bytes()).update(payload);
+    c.finalize()
+}
 
 /// When the WAL forces data to the OS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,12 +78,12 @@ impl Wal {
         Error::Io("WAL poisoned by an unrepaired append failure; reopen to recover".into())
     }
 
-    /// Appends one record.
-    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+    /// Appends one record sequenced at `lsn`.
+    pub fn append(&mut self, lsn: u64, payload: &[u8]) -> Result<()> {
         if self.poisoned {
             return Err(Self::poisoned_err());
         }
-        match self.try_append(payload) {
+        match self.try_append(lsn, payload) {
             Ok(()) => Ok(()),
             Err(e) => {
                 // The frame may be partially buffered or flushed; cut
@@ -81,11 +95,12 @@ impl Wal {
         }
     }
 
-    fn try_append(&mut self, payload: &[u8]) -> Result<()> {
+    fn try_append(&mut self, lsn: u64, payload: &[u8]) -> Result<()> {
         fault::hit("wal.append.header")?;
-        let mut header = [0u8; 8];
+        let mut header = [0u8; FRAME_HEADER];
         header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        header[4..8].copy_from_slice(&frame_crc(lsn, payload).to_le_bytes());
+        header[8..].copy_from_slice(&lsn.to_le_bytes());
         self.writer.write_all(&header)?;
         fault::write_all("wal.append.payload", &mut self.writer, payload)?;
         match self.policy {
@@ -98,7 +113,7 @@ impl Wal {
         }
         // Count the frame only once it is fully in the OS: `len` is the
         // truncation point `repair` falls back to.
-        self.len += 8 + payload.len() as u64;
+        self.len += (FRAME_HEADER + payload.len()) as u64;
         Ok(())
     }
 
@@ -160,11 +175,11 @@ impl Wal {
         Ok(())
     }
 
-    /// Replays all intact records. A torn tail (nothing valid after the
-    /// broken frame) is truncated in place; an invalid frame with valid
-    /// records after it is mid-log corruption and surfaces as
-    /// [`Error::Corruption`].
-    pub fn replay(path: &Path) -> Result<Vec<Vec<u8>>> {
+    /// Replays all intact records as `(lsn, payload)` in log order. A
+    /// torn tail (nothing valid after the broken frame) is truncated in
+    /// place; an invalid frame with valid records after it is mid-log
+    /// corruption and surfaces as [`Error::Corruption`].
+    pub fn replay(path: &Path) -> Result<Vec<(u64, Vec<u8>)>> {
         let mut file = match File::open(path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(vec![]),
@@ -176,8 +191,8 @@ impl Wal {
         let mut pos = 0usize;
         let valid_end = loop {
             match parse_frame(&buf, pos) {
-                Some((payload, next)) => {
-                    records.push(payload.to_vec());
+                Some((lsn, payload, next)) => {
+                    records.push((lsn, payload.to_vec()));
                     pos = next;
                 }
                 None => break pos,
@@ -209,28 +224,30 @@ impl Wal {
 }
 
 /// Parses one complete, checksum-valid frame at `pos`.
-fn parse_frame(buf: &[u8], pos: usize) -> Option<(&[u8], usize)> {
-    if pos + 8 > buf.len() {
+fn parse_frame(buf: &[u8], pos: usize) -> Option<(u64, &[u8], usize)> {
+    if pos + FRAME_HEADER > buf.len() {
         return None;
     }
     let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
     let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
-    let start = pos + 8;
+    let lsn = u64::from_le_bytes(buf[pos + 8..pos + 16].try_into().unwrap());
+    let start = pos + FRAME_HEADER;
     if start.checked_add(len)? > buf.len() {
         return None;
     }
     let payload = &buf[start..start + len];
-    (crc32(payload) == crc).then_some((payload, start + len))
+    (frame_crc(lsn, payload) == crc).then_some((lsn, payload, start + len))
 }
 
 /// True when any complete valid frame starts after `from` — the signal
 /// that an invalid frame is mid-log corruption rather than a torn tail.
 /// (A byte-by-byte scan; it only runs on an already-broken log, and a
 /// 1-in-2^32 checksum collision is the worst a false positive costs.)
-/// The inclusive bound matters: an empty-payload frame is exactly 8
-/// bytes, so the last possible frame start is `len - 8` itself.
+/// The inclusive bound matters: an empty-payload frame is exactly
+/// [`FRAME_HEADER`] bytes, so the last possible frame start is
+/// `len - FRAME_HEADER` itself.
 fn has_frame_after(buf: &[u8], from: usize) -> bool {
-    (from + 1..=buf.len().saturating_sub(8)).any(|pos| parse_frame(buf, pos).is_some())
+    (from + 1..=buf.len().saturating_sub(FRAME_HEADER)).any(|pos| parse_frame(buf, pos).is_some())
 }
 
 #[cfg(test)]
@@ -248,12 +265,16 @@ mod tests {
         let (_dir, p) = tmp("roundtrip");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
-            wal.append(b"one").unwrap();
-            wal.append(b"two").unwrap();
-            wal.append(b"").unwrap();
+            wal.append(1, b"one").unwrap();
+            wal.append(2, b"two").unwrap();
+            wal.append(7, b"").unwrap();
         }
         let recs = Wal::replay(&p).unwrap();
-        assert_eq!(recs, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
+        assert_eq!(
+            recs,
+            vec![(1, b"one".to_vec()), (2, b"two".to_vec()), (7, vec![])],
+            "records replay with the LSNs they were sequenced at"
+        );
     }
 
     #[test]
@@ -267,25 +288,29 @@ mod tests {
         let (_dir, p) = tmp("torn");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
-            wal.append(b"intact-record").unwrap();
+            wal.append(1, b"intact-record").unwrap();
         }
         // Simulate a torn append: a partial frame at the end.
         {
             let mut f = OpenOptions::new().append(true).open(&p).unwrap();
             f.write_all(&100u32.to_le_bytes()).unwrap(); // length with no payload
             f.write_all(&0u32.to_le_bytes()).unwrap();
+            f.write_all(&2u64.to_le_bytes()).unwrap();
             f.write_all(b"partial").unwrap();
         }
         let recs = Wal::replay(&p).unwrap();
-        assert_eq!(recs, vec![b"intact-record".to_vec()]);
+        assert_eq!(recs, vec![(1, b"intact-record".to_vec())]);
         // File physically truncated: a fresh append then replays cleanly.
         let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
-        wal.append(b"after-recovery").unwrap();
+        wal.append(2, b"after-recovery").unwrap();
         drop(wal);
         let recs = Wal::replay(&p).unwrap();
         assert_eq!(
             recs,
-            vec![b"intact-record".to_vec(), b"after-recovery".to_vec()]
+            vec![
+                (1, b"intact-record".to_vec()),
+                (2, b"after-recovery".to_vec())
+            ]
         );
     }
 
@@ -294,15 +319,16 @@ mod tests {
         let (_dir, p) = tmp("corrupt");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
-            wal.append(b"good").unwrap();
-            wal.append(b"will-be-corrupted").unwrap();
-            wal.append(b"reachable-and-valid").unwrap();
+            wal.append(1, b"good").unwrap();
+            wal.append(2, b"will-be-corrupted").unwrap();
+            wal.append(3, b"reachable-and-valid").unwrap();
         }
         let before = std::fs::read(&p).unwrap();
         {
             let mut f = OpenOptions::new().write(true).open(&p).unwrap();
             // Flip a payload byte of the second record.
-            f.seek(SeekFrom::Start(8 + 4 + 8 + 3)).unwrap();
+            let second_payload = (FRAME_HEADER + 4) + FRAME_HEADER;
+            f.seek(SeekFrom::Start(second_payload as u64 + 3)).unwrap();
             f.write_all(b"X").unwrap();
         }
         let err = Wal::replay(&p).unwrap_err();
@@ -319,12 +345,13 @@ mod tests {
         let (_dir, p) = tmp("corrupt-before-empty");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
-            wal.append(b"will-be-corrupted").unwrap();
-            wal.append(b"").unwrap(); // valid 8-byte frame, last in file
+            wal.append(1, b"will-be-corrupted").unwrap();
+            // Valid header-only frame, last in file.
+            wal.append(2, b"").unwrap();
         }
         {
             let mut f = OpenOptions::new().write(true).open(&p).unwrap();
-            f.seek(SeekFrom::Start(8 + 2)).unwrap();
+            f.seek(SeekFrom::Start(FRAME_HEADER as u64 + 2)).unwrap();
             f.write_all(b"X").unwrap();
         }
         // The empty record after the bad frame is still acknowledged
@@ -337,8 +364,8 @@ mod tests {
         let (_dir, p) = tmp("corrupt-last");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
-            wal.append(b"good-first").unwrap();
-            wal.append(b"payload-torn-by-crash").unwrap();
+            wal.append(1, b"good-first").unwrap();
+            wal.append(2, b"payload-torn-by-crash").unwrap();
         }
         {
             let len = std::fs::metadata(&p).unwrap().len();
@@ -349,7 +376,7 @@ mod tests {
         }
         // Nothing valid follows, so this recovers as a torn tail.
         let recs = Wal::replay(&p).unwrap();
-        assert_eq!(recs, vec![b"good-first".to_vec()]);
+        assert_eq!(recs, vec![(1, b"good-first".to_vec())]);
     }
 
     #[test]
@@ -358,20 +385,23 @@ mod tests {
         let _g = crate::fault_test_gate();
         let (_dir, p) = tmp("append-repair");
         let mut wal = Wal::open(&p, SyncPolicy::OsBuffer).unwrap();
-        wal.append(b"before-the-fault").unwrap();
+        wal.append(1, b"before-the-fault").unwrap();
         // The payload write fails after the header entered the buffer.
         // (Scoped: parallel tests in this binary must not trip it.)
         fault::arm_scoped("wal.append.payload", 1, FaultMode::Error);
-        let err = wal.append(b"never-lands").unwrap_err();
+        let err = wal.append(2, b"never-lands").unwrap_err();
         fault::reset();
         assert!(matches!(err, Error::FaultInjected(_)), "{err}");
         // The log stays usable and the next append lands right after
         // the last complete frame — no garbage in between.
-        wal.append(b"after-the-fault").unwrap();
+        wal.append(2, b"after-the-fault").unwrap();
         drop(wal);
         assert_eq!(
             Wal::replay(&p).unwrap(),
-            vec![b"before-the-fault".to_vec(), b"after-the-fault".to_vec()]
+            vec![
+                (1, b"before-the-fault".to_vec()),
+                (2, b"after-the-fault".to_vec())
+            ]
         );
     }
 
@@ -379,7 +409,7 @@ mod tests {
     fn reset_empties_log() {
         let (_dir, p) = tmp("reset");
         let mut wal = Wal::open(&p, SyncPolicy::OsBuffer).unwrap();
-        wal.append(b"flushed-to-sstable").unwrap();
+        wal.append(1, b"flushed-to-sstable").unwrap();
         assert!(!wal.is_empty());
         wal.reset().unwrap();
         assert!(wal.is_empty());
@@ -392,16 +422,16 @@ mod tests {
         let (_dir, p) = tmp("reopen");
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
-            wal.append(b"first").unwrap();
+            wal.append(1, b"first").unwrap();
         }
         {
             let mut wal = Wal::open(&p, SyncPolicy::EveryWrite).unwrap();
             assert!(!wal.is_empty());
-            wal.append(b"second").unwrap();
+            wal.append(2, b"second").unwrap();
         }
         assert_eq!(
             Wal::replay(&p).unwrap(),
-            vec![b"first".to_vec(), b"second".to_vec()]
+            vec![(1, b"first".to_vec()), (2, b"second".to_vec())]
         );
     }
 }

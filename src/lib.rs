@@ -57,7 +57,7 @@ pub use tierbase_core as store;
 pub mod prelude {
     pub use tb_cache::ReplicationMode;
     pub use tb_common::{
-        BatchReadStats, EngineOp, Error, Key, KvEngine, OpOutcome, Result, TtlState, Value,
+        BatchReadStats, EngineOp, Error, Key, KvEngine, Lsn, OpOutcome, Result, TtlState, Value,
     };
     pub use tb_costmodel::{CostMetrics, InstanceSpec, WorkloadDemand};
     pub use tb_frontend::{Frontend, FrontendConfig};

@@ -5,8 +5,9 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tierbase::cluster::{CoordinatorGroup, NodeId, NodeStore, RoutingTable};
-use tierbase::common::SLOT_COUNT;
+use tierbase::cluster::{ClusterClient, CoordinatorGroup, NodeId, NodeStore, RoutingTable};
+use tierbase::common::fault::{self, FaultMode};
+use tierbase::common::{Lsn, SLOT_COUNT};
 use tierbase::prelude::*;
 
 // A tiny engine for cluster property tests (fast, deterministic).
@@ -36,6 +37,223 @@ impl KvEngine for MapEngine {
     fn label(&self) -> String {
         "map".into()
     }
+}
+
+type DeleteHook = Box<dyn Fn(&Key) + Send + Sync>;
+
+/// A map engine that fires a hook on every delete — the probe for
+/// observing rebalance eviction order from the victim's seat.
+struct HookEngine {
+    map: std::sync::Mutex<BTreeMap<Key, Value>>,
+    on_delete: std::sync::Mutex<Option<DeleteHook>>,
+}
+
+impl HookEngine {
+    fn shared() -> Arc<Self> {
+        Arc::new(Self {
+            map: std::sync::Mutex::new(BTreeMap::new()),
+            on_delete: std::sync::Mutex::new(None),
+        })
+    }
+}
+
+impl KvEngine for HookEngine {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        Ok(self.map.lock().unwrap().get(key).cloned())
+    }
+    fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.map.lock().unwrap().insert(key, value);
+        Ok(())
+    }
+    fn delete(&self, key: &Key) -> Result<()> {
+        if let Some(hook) = self.on_delete.lock().unwrap().as_ref() {
+            hook(key);
+        }
+        self.map.lock().unwrap().remove(key);
+        Ok(())
+    }
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+    fn label(&self) -> String {
+        "hook-map".into()
+    }
+}
+
+/// Regression (PR 8): `add_node_and_rebalance` must flip routing
+/// *before* evicting source copies. The old copy→evict→flip order
+/// opened a window where the still-routed old owner had already deleted
+/// a migrated key — a routed read returned `None` for a live key. The
+/// delete hook observes the exact eviction instant and asserts both
+/// halves of the fix: routing no longer points at the evicting node,
+/// and the new owner already serves the key.
+#[test]
+fn rebalance_never_opens_a_lost_read_window() {
+    let source_engine = HookEngine::shared();
+    let nodes = vec![NodeStore::new(NodeId(0), source_engine.clone())];
+    let group = Arc::new(CoordinatorGroup::bootstrap(1, nodes).unwrap());
+
+    for i in 0..200 {
+        group
+            .node(NodeId(0))
+            .unwrap()
+            .read()
+            .put(Key::from(format!("w-{i}")), Value::from(format!("v{i}")))
+            .unwrap();
+    }
+
+    // The new node's engine, held directly: the hook reads through it
+    // rather than `group.node()` (the rebalance holds the node-list
+    // lock while evicting).
+    let new_engine = HookEngine::shared();
+    let new_node = NodeStore::new(NodeId(1), new_engine.clone());
+
+    let evictions = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    *source_engine.on_delete.lock().unwrap() = Some(Box::new({
+        let group = group.clone();
+        let new_engine = new_engine.clone();
+        let evictions = evictions.clone();
+        move |key: &Key| {
+            evictions.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let owner = group.routing().owner_of_key(key.as_slice());
+            assert_ne!(
+                owner,
+                NodeId(0),
+                "evicting a key the routing table still sends to this node \
+                 (lost-read window: a routed get now returns None)"
+            );
+            let expected = Value::from(format!(
+                "v{}",
+                String::from_utf8_lossy(key.as_slice()).trim_start_matches("w-")
+            ));
+            assert_eq!(
+                new_engine.get(key).unwrap(),
+                Some(expected),
+                "routing flipped before the new owner held the key"
+            );
+        }
+    }));
+
+    let moved = group
+        .add_node_and_rebalance(new_node)
+        .expect("rebalance succeeds");
+    assert!(moved > 0, "some keys must migrate for the probe to bite");
+    assert_eq!(
+        evictions.load(std::sync::atomic::Ordering::SeqCst),
+        moved,
+        "every migrated key is evicted from its source exactly once"
+    );
+    assert_eq!(group.total_keys(), 200, "rebalance conserves keys");
+}
+
+/// Regression (PR 8): a failed ship must fail the ack — and the
+/// primary-side inventory must keep tracking the primary, which *did*
+/// apply the write. Before the fix, `put` acked `Ok` while skipping the
+/// inventory insert on ship failure, so the key survived on the primary
+/// but was invisible to rebalance migration: `add_node_and_rebalance`
+/// silently stranded it.
+#[test]
+fn failed_ship_keeps_inventory_and_ack_aligned_through_rebalance() {
+    let nodes =
+        vec![NodeStore::new(NodeId(0), MapEngine::shared()).with_replica(MapEngine::shared())];
+    let group = CoordinatorGroup::bootstrap(1, nodes).unwrap();
+    let handle = group.node(NodeId(0)).unwrap();
+
+    for i in 0..64 {
+        // Every single ship fails: each write errs (indeterminate ack)
+        // but lands on the primary.
+        fault::arm_scoped("repl.ship", 1, FaultMode::Error);
+        let err = handle
+            .read()
+            .put(Key::from(format!("s-{i}")), Value::from(format!("v{i}")));
+        assert!(err.is_err(), "failed ship must not ack");
+    }
+    fault::reset();
+    assert_eq!(
+        group.total_keys(),
+        64,
+        "unshipped writes still live on (and are tracked by) the primary"
+    );
+
+    let moved = group
+        .add_node_and_rebalance(NodeStore::new(NodeId(1), MapEngine::shared()))
+        .unwrap();
+    assert!(moved > 0, "inventory-tracked keys migrate");
+    assert_eq!(group.total_keys(), 64, "no key stranded by migration");
+    let table = group.routing();
+    for i in 0..64 {
+        let key = Key::from(format!("s-{i}"));
+        let owner = table.owner_of_key(key.as_slice());
+        assert_eq!(
+            group.node(owner).unwrap().read().get(&key).unwrap(),
+            Some(Value::from(format!("v{i}"))),
+            "key s-{i} unreadable at its routed owner after rebalance"
+        );
+    }
+}
+
+/// Regression (PR 8): `run_failover` used to leave a promoted node
+/// replica-less, so a *second* crash fell through to slot reassignment
+/// and discarded every write since the first failover. With a replica
+/// factory the promotion re-seeds, and two back-to-back crash+failover
+/// cycles lose nothing.
+#[test]
+fn double_crash_failover_loses_nothing() {
+    fn map_engine() -> Arc<dyn KvEngine> {
+        MapEngine::shared()
+    }
+    let nodes = vec![NodeStore::new(NodeId(0), map_engine()).with_replica_factory(map_engine)];
+    let group = Arc::new(CoordinatorGroup::bootstrap(1, nodes).unwrap());
+    let client = ClusterClient::connect(group.clone());
+    let handle = group.node(NodeId(0)).unwrap();
+
+    for i in 0..40 {
+        client
+            .put(Key::from(format!("a-{i}")), Value::from(format!("A{i}")))
+            .unwrap();
+    }
+    handle.read().crash();
+    // Reads fail over transparently; batch A survives crash #1.
+    for i in 0..40 {
+        assert_eq!(
+            client.get(&Key::from(format!("a-{i}"))).unwrap(),
+            Some(Value::from(format!("A{i}"))),
+            "a-{i} lost in first failover"
+        );
+    }
+    assert!(
+        handle.read().has_replica(),
+        "promotion must re-seed a replica from the factory"
+    );
+    assert!(
+        client.session_token(NodeId(0)) > Lsn::NONE,
+        "acked writes minted a session token"
+    );
+
+    for i in 0..40 {
+        client
+            .put(Key::from(format!("b-{i}")), Value::from(format!("B{i}")))
+            .unwrap();
+    }
+    handle.read().crash();
+    // Crash #2: both batches survive — the re-seeded replica covered
+    // every write acked after the first promotion.
+    for i in 0..40 {
+        assert_eq!(
+            client.get(&Key::from(format!("a-{i}"))).unwrap(),
+            Some(Value::from(format!("A{i}"))),
+            "a-{i} lost in second failover"
+        );
+        assert_eq!(
+            client.get(&Key::from(format!("b-{i}"))).unwrap(),
+            Some(Value::from(format!("B{i}"))),
+            "b-{i} lost in second failover"
+        );
+    }
+    assert!(
+        handle.read().has_replica(),
+        "re-seeded again after crash #2"
+    );
 }
 
 proptest! {

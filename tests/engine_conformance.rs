@@ -134,20 +134,32 @@ fn conformance(engine: &dyn KvEngine) {
     ]);
     assert_eq!(outcomes.len(), 9, "[{label}] one completion per op");
     assert_eq!(outcomes[0], Ok(OpOutcome::Value(None)), "[{label}] ab[0]");
-    assert_eq!(outcomes[1], Ok(OpOutcome::Done), "[{label}] ab[1]");
+    assert!(
+        matches!(outcomes[1], Ok(OpOutcome::Done(_))),
+        "[{label}] ab[1]: {:?}",
+        outcomes[1]
+    );
     assert_eq!(
         outcomes[2],
         Ok(OpOutcome::Value(Some(v(0)))),
         "[{label}] get must see the in-batch put"
     );
-    assert_eq!(outcomes[3], Ok(OpOutcome::Done), "[{label}] first cas wins");
+    assert!(
+        matches!(outcomes[3], Ok(OpOutcome::Done(_))),
+        "[{label}] first cas wins: {:?}",
+        outcomes[3]
+    );
     assert_eq!(
         outcomes[4],
         Err(Error::CasMismatch),
         "[{label}] second cas must observe the first's write — and its \
          per-op failure must not poison the batch"
     );
-    assert_eq!(outcomes[5], Ok(OpOutcome::Done), "[{label}] ab[5]");
+    assert!(
+        matches!(outcomes[5], Ok(OpOutcome::Done(_))),
+        "[{label}] ab[5]: {:?}",
+        outcomes[5]
+    );
     assert_eq!(
         outcomes[6],
         Ok(OpOutcome::Values(vec![
@@ -158,7 +170,11 @@ fn conformance(engine: &dyn KvEngine) {
         ])),
         "[{label}] in-batch multi_get alignment"
     );
-    assert_eq!(outcomes[7], Ok(OpOutcome::Done), "[{label}] ab[7]");
+    assert!(
+        matches!(outcomes[7], Ok(OpOutcome::Done(_))),
+        "[{label}] ab[7]: {:?}",
+        outcomes[7]
+    );
     assert_eq!(
         outcomes[8],
         Ok(OpOutcome::Value(None)),

@@ -47,10 +47,10 @@ fn one_snapshot_spans_every_layer() {
     assert!(fe.multi_get(&keys).unwrap().iter().all(Option::is_some));
     fe.shutdown();
 
-    // --- cluster: routed ops and a client-observed failover ---------
+    // --- cluster: replicated routed ops, a client-observed failover --
     let nodes = vec![
-        NodeStore::new(NodeId(0), map_engine()),
-        NodeStore::new(NodeId(1), map_engine()),
+        NodeStore::new(NodeId(0), map_engine()).with_replica_factory(map_engine),
+        NodeStore::new(NodeId(1), map_engine()).with_replica(map_engine()),
     ];
     let coordinators = Arc::new(CoordinatorGroup::bootstrap(1, nodes).unwrap());
     let client = ClusterClient::connect(coordinators.clone());
@@ -77,6 +77,8 @@ fn one_snapshot_spans_every_layer() {
         "frontend_submitted",
         "frontend_completed",
         "cluster_failovers",
+        "repl_shipped",
+        "repl_ship_frames",
     ] {
         assert!(
             snap.counter(counter) > 0,
@@ -93,6 +95,18 @@ fn one_snapshot_spans_every_layer() {
             .keys()
             .any(|k| k.starts_with("cluster_node")),
         "per-node fan-out histograms missing"
+    );
+    // Replication health: the live channels report their watermark
+    // position and lag through per-channel snapshot sources.
+    assert!(
+        snap.gauges.contains_key("repl_applied_lsn"),
+        "replication applied-LSN gauge missing: {:?}",
+        snap.gauges
+    );
+    assert!(
+        snap.gauges.contains_key("repl_lag"),
+        "replication lag gauge missing: {:?}",
+        snap.gauges
     );
 
     // Prometheus rendering: every layer prefix present, and the whole
