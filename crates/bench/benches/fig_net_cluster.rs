@@ -1,0 +1,301 @@
+//! Network serving: socket pipelining vs per-op round trips, socket vs
+//! in-process overhead, and a real multi-process cluster under YCSB.
+//!
+//! Shape to reproduce: a per-op socket client pays one round trip per
+//! request, capping throughput near 1/RTT; the pipelined wire protocol
+//! ships a burst per write and the server lowers it onto ONE
+//! `apply_batch`, so the round trip and the group commit amortize
+//! across the burst (TierBase §4.1.2's batched remote-tier round
+//! trips, now across a process boundary). The cluster rows replay YCSB
+//! through slot routing over three `tb-server` node processes,
+//! including a mid-run node kill with replica promotion.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tb_bench::{bench_dir, budget, drive, print_table, BenchReport};
+use tb_cluster::{ClusterClient, CoordinatorGroup, NodeId, NodeStore};
+use tb_common::{EngineOp, KvEngine};
+use tb_frontend::{Frontend, FrontendConfig};
+use tb_lsm::{LsmConfig, LsmDb};
+use tb_server::{Server, ServerClient};
+use tb_workload::{Op, Trace, Workload, WorkloadSpec};
+
+/// Node-process mode: serve a pipelined front-end over an LSM engine
+/// on the given Unix socket until stdin closes.
+fn serve_node(sock: &str) {
+    let dir = bench_dir(&format!("net-node-{}", std::process::id()));
+    let db: Arc<dyn KvEngine> = Arc::new(LsmDb::open(LsmConfig::new(&dir)).expect("open lsm"));
+    let fe = Arc::new(Frontend::start(db, FrontendConfig::with_shards(2)));
+    let server = Server::bind_unix(sock, fe.clone()).expect("bind node socket");
+    let mut sink = String::new();
+    let _ = std::io::stdin().read_line(&mut sink);
+    server.stop();
+    fe.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn spawn_node(sock: &std::path::Path) -> Child {
+    Command::new(std::env::current_exe().expect("current_exe"))
+        .env("TB_NET_NODE", sock)
+        .stdin(Stdio::piped())
+        .spawn()
+        .expect("spawn node process")
+}
+
+fn await_ready(sock: &std::path::Path) -> ServerClient {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(client) = ServerClient::connect_unix(sock) {
+            if client.ping().is_ok() {
+                return client;
+            }
+        }
+        assert!(Instant::now() < deadline, "node never bound {sock:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn lower(op: &Op) -> EngineOp {
+    match op {
+        Op::Read { key } => EngineOp::Get(key.clone()),
+        Op::Insert { key, value }
+        | Op::Update { key, value }
+        | Op::ReadModifyWrite { key, value } => EngineOp::Put(key.clone(), value.clone()),
+        Op::Delete { key } => EngineOp::Delete(key.clone()),
+        Op::Scan { start, end, limit } => EngineOp::Scan {
+            start: start.clone(),
+            end: Some(end.clone()),
+            limit: *limit as usize,
+        },
+    }
+}
+
+/// Replays the run trace in bursts of `burst` ops per `apply_batch`
+/// call — over a socket client that is one wire round trip per burst.
+fn drive_bursts(engine: &dyn KvEngine, run: &Trace, burst: usize) -> (f64, usize) {
+    let ops = run.ops();
+    let mut errors = 0;
+    let started = Instant::now();
+    for chunk in ops.chunks(burst) {
+        let batch: Vec<EngineOp> = chunk.iter().map(lower).collect();
+        errors += engine
+            .apply_batch(batch)
+            .iter()
+            .filter(|r| r.is_err())
+            .count();
+    }
+    (
+        ops.len() as f64 / started.elapsed().as_secs_f64().max(1e-9),
+        errors,
+    )
+}
+
+/// Replays a trace through the cluster client per-op, `threads` wide.
+fn drive_cluster(client: &ClusterClient, trace: &Trace, threads: usize) -> (f64, usize) {
+    let ops = trace.ops();
+    let next = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ops.len() {
+                    return;
+                }
+                let ok = match &ops[i] {
+                    Op::Read { key } => client.get(key).is_ok(),
+                    Op::Insert { key, value } | Op::Update { key, value } => {
+                        client.put(key.clone(), value.clone()).is_ok()
+                    }
+                    Op::Delete { key } => client.delete(key).is_ok(),
+                    Op::ReadModifyWrite { key, value } => {
+                        client.get(key).is_ok() && client.put(key.clone(), value.clone()).is_ok()
+                    }
+                    Op::Scan { start, end, limit } => {
+                        client.scan(start, Some(end), *limit as usize).is_ok()
+                    }
+                };
+                if !ok {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    (
+        ops.len() as f64 / started.elapsed().as_secs_f64().max(1e-9),
+        errors.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    if let Ok(sock) = std::env::var("TB_NET_NODE") {
+        serve_node(&sock);
+        return;
+    }
+
+    let records = budget(2_000);
+    let ops = budget(10_000);
+    let mut report = BenchReport::new("fig_net_cluster");
+    let mut rows = Vec::new();
+
+    // ---- one server: per-op vs pipelined vs in-process ---------------
+    let dir = bench_dir("net-single");
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let sock = dir.join("tb.sock");
+    let mut child = spawn_node(&sock);
+    let client = await_ready(&sock);
+
+    let (load, run) = Workload::new(WorkloadSpec::ycsb_b(records, ops)).generate();
+    for op in load.ops() {
+        tb_bench::apply_op(&client, op);
+    }
+
+    let per_op = drive(&client, &Trace::new(Vec::new()), &run, 1);
+    rows.push(vec![
+        "socket-per-op".into(),
+        format!("{:.1}", per_op.qps / 1000.0),
+        format!("{}", per_op.errors),
+    ]);
+    report.add_values(
+        "socket_per_op",
+        &[("qps", per_op.qps), ("errors", per_op.errors as f64)],
+    );
+
+    let (pipe_qps, pipe_errs) = drive_bursts(&client, &run, 64);
+    rows.push(vec![
+        "socket-pipelined(64)".into(),
+        format!("{:.1}", pipe_qps / 1000.0),
+        format!("{pipe_errs}"),
+    ]);
+    report.add_values(
+        "socket_pipelined",
+        &[("qps", pipe_qps), ("errors", pipe_errs as f64)],
+    );
+
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // The same serving stack without the socket: quantifies the wire
+    // overhead the pipeline has to amortize.
+    let db: Arc<dyn KvEngine> =
+        Arc::new(LsmDb::open(LsmConfig::new(dir.join("inproc"))).expect("open lsm"));
+    let fe = Frontend::start(db, FrontendConfig::with_shards(2));
+    for op in load.ops() {
+        tb_bench::apply_op(&fe, op);
+    }
+    let (local_qps, local_errs) = drive_bursts(&fe, &run, 64);
+    rows.push(vec![
+        "in-process(64)".into(),
+        format!("{:.1}", local_qps / 1000.0),
+        format!("{local_errs}"),
+    ]);
+    report.add_values(
+        "in_process",
+        &[("qps", local_qps), ("errors", local_errs as f64)],
+    );
+    fe.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        pipe_qps > per_op.qps,
+        "pipelining must beat per-op round trips ({pipe_qps:.0} vs {:.0})",
+        per_op.qps
+    );
+
+    // ---- multi-process socket cluster under YCSB ---------------------
+    let cdir = bench_dir("net-cluster");
+    std::fs::create_dir_all(&cdir).expect("bench dir");
+    let socks: Vec<_> = (0..3).map(|i| cdir.join(format!("n{i}.sock"))).collect();
+    let mut children: Vec<Child> = socks.iter().map(|s| spawn_node(s)).collect();
+    for sock in &socks {
+        await_ready(sock);
+    }
+    let nodes: Vec<NodeStore> = socks
+        .iter()
+        .enumerate()
+        .map(|(i, sock)| {
+            let primary: Arc<dyn KvEngine> =
+                Arc::new(ServerClient::connect_unix(sock).expect("connect"));
+            let replica: Arc<dyn KvEngine> =
+                Arc::new(LsmDb::open(LsmConfig::new(cdir.join(format!("r{i}")))).expect("replica"));
+            NodeStore::new(NodeId(i as u32), primary).with_replica(replica)
+        })
+        .collect();
+    let coordinators = Arc::new(CoordinatorGroup::bootstrap(3, nodes).expect("bootstrap"));
+    let cluster = ClusterClient::connect(coordinators.clone());
+
+    let mut cluster_load: Option<Trace> = None;
+    for (label, spec) in [
+        ("ycsb-a", WorkloadSpec::ycsb_a(records, ops / 2)),
+        ("ycsb-b", WorkloadSpec::ycsb_b(records, ops / 2)),
+        ("ycsb-e", WorkloadSpec::ycsb_e(records, ops / 4)),
+    ] {
+        let (load, run) = Workload::new(spec).generate();
+        if cluster_load.is_none() {
+            drive_cluster(&cluster, &load, 4);
+            cluster_load = Some(load);
+        }
+        let (qps, errors) = drive_cluster(&cluster, &run, 4);
+        rows.push(vec![
+            format!("cluster-{label}"),
+            format!("{:.1}", qps / 1000.0),
+            format!("{errors}"),
+        ]);
+        report.add_values(
+            format!("cluster_{}", label.replace('-', "_")),
+            &[("qps", qps), ("errors", errors as f64)],
+        );
+    }
+
+    // ---- failover under load: kill a node process mid-replay ---------
+    let (_, run) = Workload::new(WorkloadSpec::ycsb_a(records, ops / 2)).generate();
+    let started = Instant::now();
+    let half = run.ops().len() / 2;
+    let (first, second) = (
+        Trace::new(run.ops()[..half].to_vec()),
+        Trace::new(run.ops()[half..].to_vec()),
+    );
+    let (_, errs_before) = drive_cluster(&cluster, &first, 4);
+    let _ = children[1].kill();
+    let _ = children[1].wait();
+    let (_, errs_after) = drive_cluster(&cluster, &second, 4);
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let failover_qps = run.ops().len() as f64 / elapsed;
+    let errors = errs_before + errs_after;
+    rows.push(vec![
+        "cluster-failover".into(),
+        format!("{:.1}", failover_qps / 1000.0),
+        format!("{errors}"),
+    ]);
+    report.add_values(
+        "cluster_failover",
+        &[("qps", failover_qps), ("errors", errors as f64)],
+    );
+    assert_eq!(errors, 0, "failover must be transparent to the replay");
+
+    // Every loaded key survives the promotion.
+    for op in cluster_load.expect("load ran").ops() {
+        if let Op::Insert { key, .. } = op {
+            assert!(
+                cluster.get(key).expect("cluster get").is_some(),
+                "key {key:?} lost across failover"
+            );
+        }
+    }
+
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&cdir);
+
+    print_table(
+        "Network serving: pipelined wire protocol vs per-op, 3-process socket cluster (YCSB)",
+        &["configuration", "kqps", "errors"],
+        &rows,
+    );
+    report.write().expect("write bench report");
+}

@@ -186,7 +186,7 @@ impl LruShard {
                     // Undo speculative evictions? They were clean LRU
                     // entries — dropping them early is harmless, the
                     // caller treats them as evicted either way.
-                    return Err(Error::Backpressure("cache full of dirty entries".into()));
+                    return Err(Error::backpressure("cache full of dirty entries"));
                 }
             }
         }
@@ -459,7 +459,7 @@ mod tests {
         s.insert(k(2), v(10), true, Medium::Dram).unwrap();
         s.insert(k(3), v(10), true, Medium::Dram).unwrap();
         let err = s.insert(k(4), v(10), false, Medium::Dram).unwrap_err();
-        assert!(matches!(err, Error::Backpressure(_)));
+        assert!(matches!(err, Error::Backpressure { .. }));
         // Cleaning one unblocks the insert.
         s.mark_clean(&k(1));
         s.insert(k(4), v(10), false, Medium::Dram).unwrap();

@@ -562,8 +562,12 @@ mod tests {
             Ok(())
         }
         fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-            self.multi_gets
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // Empty batches are failover liveness probes
+            // (`NodeStore::probe`), not data fetches — don't count them.
+            if !keys.is_empty() {
+                self.multi_gets
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
             let m = self.map.lock();
             Ok(keys.iter().map(|k| m.get(k).cloned()).collect())
         }

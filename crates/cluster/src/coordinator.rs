@@ -100,7 +100,10 @@ impl CoordinatorGroup {
         let mut failed = Vec::new();
         let nodes = self.nodes.read();
         for node in nodes.iter() {
-            let dead = !node.read().is_alive();
+            // Probe, don't just trust the flag: a socket-backed primary
+            // whose server process died reports `Unavailable` remotely
+            // while the local flag still says alive.
+            let dead = !node.read().probe();
             if !dead {
                 continue;
             }
@@ -314,5 +317,77 @@ mod tests {
                 "key k{i} lost after rebalance"
             );
         }
+    }
+
+    /// An engine whose process "dies" remotely — like a killed
+    /// tb-server behind a `ServerClient` — without `NodeStore::crash`
+    /// ever being called locally.
+    #[derive(Default)]
+    struct RemoteEngine {
+        dead: std::sync::atomic::AtomicBool,
+        map: Mutex<BTreeMap<Key, Value>>,
+    }
+
+    impl RemoteEngine {
+        fn check(&self) -> Result<()> {
+            if self.dead.load(std::sync::atomic::Ordering::SeqCst) {
+                Err(tb_common::Error::Unavailable("connection refused".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl KvEngine for RemoteEngine {
+        fn get(&self, key: &Key) -> Result<Option<Value>> {
+            self.check()?;
+            Ok(self.map.lock().get(key).cloned())
+        }
+        fn put(&self, key: Key, value: Value) -> Result<()> {
+            self.check()?;
+            self.map.lock().insert(key, value);
+            Ok(())
+        }
+        fn delete(&self, key: &Key) -> Result<()> {
+            self.check()?;
+            self.map.lock().remove(key);
+            Ok(())
+        }
+        fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+            // A socket client fails the whole exchange, even an empty
+            // probe batch; the default lowering would skip `get` for
+            // zero keys and hide the outage.
+            self.check()?;
+            keys.iter().map(|k| self.get(k)).collect()
+        }
+        fn resident_bytes(&self) -> u64 {
+            0
+        }
+        fn label(&self) -> String {
+            "remote-stub".into()
+        }
+    }
+
+    #[test]
+    fn failover_probe_detects_remotely_dead_primary() {
+        let remote = Arc::new(RemoteEngine::default());
+        let nodes = vec![
+            NodeStore::new(NodeId(0), remote.clone()),
+            NodeStore::new(NodeId(1), MapEngine::shared()),
+        ];
+        let c = CoordinatorGroup::bootstrap(1, nodes).unwrap();
+        assert!(c.run_failover().unwrap().is_empty(), "all healthy");
+
+        // The server process behind node 0 dies; the local alive flag
+        // still says alive, only a probe can tell.
+        remote.dead.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(c.node(NodeId(0)).unwrap().read().is_alive());
+        let failed = c.run_failover().unwrap();
+        assert_eq!(failed, vec![NodeId(0)]);
+        assert!(!c.node(NodeId(0)).unwrap().read().is_alive());
+        // No replica: every slot now routes to the surviving node.
+        let table = c.routing();
+        assert!(table.slots_of(NodeId(0)).is_empty());
+        assert_eq!(table.slots_of(NodeId(1)).len(), 16384);
     }
 }

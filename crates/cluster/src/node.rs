@@ -138,6 +138,25 @@ impl NodeStore {
         self.alive.load(Ordering::SeqCst)
     }
 
+    /// Actively checks the node's health. The local `alive` flag only
+    /// catches simulated [`NodeStore::crash`] calls; a *socket-backed*
+    /// primary (a tb-server `ServerClient`) can die remotely without
+    /// flipping it. The probe therefore also spends one cheap engine
+    /// round trip (an empty `multi_get`) and records a remotely-dead
+    /// primary as crashed, so failover sweeps see it.
+    pub fn probe(&self) -> bool {
+        if !self.is_alive() {
+            return false;
+        }
+        match self.primary.multi_get(&[]) {
+            Err(Error::Unavailable(_)) => {
+                self.alive.store(false, Ordering::SeqCst);
+                false
+            }
+            _ => true,
+        }
+    }
+
     /// Whether a replica is currently attached (failover decides
     /// between promotion and slot reassignment on this).
     pub fn has_replica(&self) -> bool {

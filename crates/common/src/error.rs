@@ -24,8 +24,19 @@ pub enum Error {
     /// The caller supplied an invalid argument or configuration.
     InvalidArgument(String),
     /// The component is shedding load (e.g. write-back dirty-data threshold
-    /// exceeded); the caller should retry later.
-    Backpressure(String),
+    /// exceeded or a front-end submission queue at capacity); the caller
+    /// should retry later.
+    ///
+    /// `queue_depth` is a retry-after hint: the depth of the queue that
+    /// refused the request at the moment of rejection (0 = unknown). A
+    /// caller can use it to scale its backoff — deeper queue, longer wait.
+    Backpressure {
+        /// Human-readable cause.
+        reason: String,
+        /// Depth of the refusing queue at rejection time; 0 when the
+        /// shedding component has no queue to report.
+        queue_depth: u32,
+    },
     /// A write to the storage tier failed; in write-through mode the cache
     /// entry has been invalidated.
     StorageWriteFailed(String),
@@ -45,7 +56,18 @@ impl fmt::Display for Error {
             Error::Corruption(m) => write!(f, "corruption: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
-            Error::Backpressure(m) => write!(f, "backpressure: {m}"),
+            Error::Backpressure {
+                reason,
+                queue_depth: 0,
+            } => {
+                write!(f, "backpressure: {reason}")
+            }
+            Error::Backpressure {
+                reason,
+                queue_depth,
+            } => {
+                write!(f, "backpressure: {reason} (queue depth {queue_depth})")
+            }
             Error::StorageWriteFailed(m) => write!(f, "storage write failed: {m}"),
             Error::Unavailable(m) => write!(f, "unavailable: {m}"),
             Error::FaultInjected(m) => write!(f, "fault injected: {m}"),
@@ -63,12 +85,101 @@ impl From<std::io::Error> for Error {
 }
 
 impl Error {
+    /// Backpressure with no queue-depth hint (depth unknown / not queue-based).
+    pub fn backpressure(reason: impl Into<String>) -> Self {
+        Error::Backpressure {
+            reason: reason.into(),
+            queue_depth: 0,
+        }
+    }
+
+    /// Backpressure carrying the depth of the refusing queue as a
+    /// retry-after hint.
+    pub fn backpressure_at_depth(reason: impl Into<String>, queue_depth: u32) -> Self {
+        Error::Backpressure {
+            reason: reason.into(),
+            queue_depth,
+        }
+    }
+
+    /// The queue-depth retry hint, if this is a backpressure error that
+    /// carries one.
+    pub fn queue_depth(&self) -> Option<u32> {
+        match self {
+            Error::Backpressure { queue_depth, .. } if *queue_depth > 0 => Some(*queue_depth),
+            _ => None,
+        }
+    }
+
     /// True when retrying the operation later may succeed.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            Error::Backpressure(_) | Error::Unavailable(_) | Error::StorageWriteFailed(_)
+            Error::Backpressure { .. } | Error::Unavailable(_) | Error::StorageWriteFailed(_)
         )
+    }
+
+    /// Stable single-byte code identifying the error *kind* on the wire.
+    ///
+    /// The tb-server protocol ships errors as `(code, detail message)`
+    /// pairs; [`Error::from_wire`] reverses the mapping. Message-free
+    /// variants (`NotFound`, `CasMismatch`) round-trip to the exact enum
+    /// value so cross-socket callers can compare with `==` just like
+    /// in-process ones. Codes are append-only: never renumber.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            Error::NotFound => 1,
+            Error::CasMismatch => 2,
+            Error::Corruption(_) => 3,
+            Error::Io(_) => 4,
+            Error::InvalidArgument(_) => 5,
+            Error::Backpressure { .. } => 6,
+            Error::StorageWriteFailed(_) => 7,
+            Error::Unavailable(_) => 8,
+            Error::FaultInjected(_) => 9,
+            Error::Internal(_) => 10,
+        }
+    }
+
+    /// Rebuild an error from its wire `(code, message)` representation.
+    ///
+    /// Unknown codes (from a newer peer) degrade to [`Error::Internal`]
+    /// rather than being dropped. Backpressure's queue-depth hint travels
+    /// in a dedicated field of the RETRY frame, so it is re-attached by
+    /// the protocol layer, not here.
+    pub fn from_wire(code: u8, message: String) -> Self {
+        match code {
+            1 => Error::NotFound,
+            2 => Error::CasMismatch,
+            3 => Error::Corruption(message),
+            4 => Error::Io(message),
+            5 => Error::InvalidArgument(message),
+            6 => Error::Backpressure {
+                reason: message,
+                queue_depth: 0,
+            },
+            7 => Error::StorageWriteFailed(message),
+            8 => Error::Unavailable(message),
+            9 => Error::FaultInjected(message),
+            10 => Error::Internal(message),
+            other => Error::Internal(format!("unknown wire error code {other}: {message}")),
+        }
+    }
+
+    /// The detail message carried by this error (empty for message-free
+    /// variants). Used by the wire protocol's encode side.
+    pub fn wire_message(&self) -> &str {
+        match self {
+            Error::NotFound | Error::CasMismatch => "",
+            Error::Corruption(m)
+            | Error::Io(m)
+            | Error::InvalidArgument(m)
+            | Error::StorageWriteFailed(m)
+            | Error::Unavailable(m)
+            | Error::FaultInjected(m)
+            | Error::Internal(m) => m,
+            Error::Backpressure { reason, .. } => reason,
+        }
     }
 }
 
@@ -84,6 +195,14 @@ mod tests {
             "corruption: bad crc"
         );
         assert_eq!(Error::CasMismatch.to_string(), "compare-and-set mismatch");
+        assert_eq!(
+            Error::backpressure("shed").to_string(),
+            "backpressure: shed"
+        );
+        assert_eq!(
+            Error::backpressure_at_depth("queue full", 128).to_string(),
+            "backpressure: queue full (queue depth 128)"
+        );
     }
 
     #[test]
@@ -95,9 +214,44 @@ mod tests {
 
     #[test]
     fn retryability() {
-        assert!(Error::Backpressure("full".into()).is_retryable());
+        assert!(Error::backpressure("full").is_retryable());
         assert!(Error::Unavailable("node down".into()).is_retryable());
         assert!(!Error::NotFound.is_retryable());
         assert!(!Error::Corruption("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn queue_depth_hint() {
+        assert_eq!(Error::backpressure("full").queue_depth(), None);
+        assert_eq!(
+            Error::backpressure_at_depth("full", 64).queue_depth(),
+            Some(64)
+        );
+        assert_eq!(Error::NotFound.queue_depth(), None);
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        let cases = vec![
+            Error::NotFound,
+            Error::CasMismatch,
+            Error::Corruption("crc".into()),
+            Error::Io("eio".into()),
+            Error::InvalidArgument("bad".into()),
+            Error::backpressure("full"),
+            Error::StorageWriteFailed("wal".into()),
+            Error::Unavailable("down".into()),
+            Error::FaultInjected("boom".into()),
+            Error::Internal("bug".into()),
+        ];
+        for e in cases {
+            let back = Error::from_wire(e.wire_code(), e.wire_message().to_string());
+            assert_eq!(back, e, "round trip changed {e:?}");
+        }
+        // Unknown codes degrade to Internal rather than vanishing.
+        assert!(matches!(
+            Error::from_wire(200, "future".into()),
+            Error::Internal(_)
+        ));
     }
 }

@@ -902,7 +902,7 @@ impl Inner {
                     .insert_full(key.clone(), stored.clone(), true, expires_at)
                 {
                     Ok(()) => {}
-                    Err(Error::Backpressure(_)) => {
+                    Err(Error::Backpressure { .. }) => {
                         // Reclaim by flushing dirty data, then retry once.
                         self.flush_dirty()?;
                         self.cache.insert_full(key, stored, true, expires_at)?;
@@ -1014,7 +1014,7 @@ impl Inner {
         if let Some(ring) = &self.ring {
             match ring.append(&rec) {
                 Ok(()) => {}
-                Err(Error::Backpressure(_)) => {
+                Err(Error::Backpressure { .. }) => {
                     // Ring full: batch-drain to the "cloud" WAL file and retry
                     // (the PMem ring is a staging buffer, §4.3).
                     self.drain_ring_to_file()?;

@@ -351,12 +351,20 @@ impl Frontend {
             }
             Err((PushRefused::Full, (_, c, _))) => {
                 FrontendStats::bump(&self.inner.stats.backpressure_rejections, 1);
+                // The queue was at capacity when it refused us; report that
+                // depth as the retry-after hint so callers (and the wire
+                // protocol's RETRY reply) can scale their backoff.
+                let depth = self.inner.shards[shard].queue.len() as u32;
+                let err = Error::backpressure_at_depth(
+                    format!(
+                        "shard {shard} queue full ({} requests)",
+                        self.inner.config.queue_capacity
+                    ),
+                    depth.max(self.inner.config.queue_capacity as u32),
+                );
                 // Resolve the orphan ticket so nothing can wait on it.
-                c.complete(Err(Error::Backpressure(format!(
-                    "shard {shard} queue full ({} requests)",
-                    self.inner.config.queue_capacity
-                ))));
-                Err(Error::Backpressure(format!("shard {shard} queue full")))
+                c.complete(Err(err.clone()));
+                Err(err)
             }
             Err((PushRefused::Closed, (_, c, _))) => {
                 c.complete(Err(Error::Unavailable("front-end shut down".into())));
@@ -498,6 +506,25 @@ impl Frontend {
 
     /// Batched write: splits the pairs by shard, pipelines one
     /// `MultiPut` per shard, awaits all.
+    ///
+    /// # Cross-shard semantics: independent commit, not a transaction
+    ///
+    /// Each per-shard slice commits on its own; there is no cross-shard
+    /// atomicity and no rollback. When one shard fails mid-batch the
+    /// documented (and regression-tested) partial state is:
+    ///
+    /// * every pair routed to a *healthy* shard is applied and durable
+    ///   per that shard's sync policy;
+    /// * the pairs of the *failing* shard follow the engine's error
+    ///   contract for that slice (indeterminate on error — see the
+    ///   LSN/ack contract in `tb_common::engine`);
+    /// * the call reports the first shard error. Callers needing
+    ///   per-pair attribution submit per-shard batches themselves.
+    ///
+    /// The tb-server wire protocol inherits exactly these semantics for
+    /// its `MULTIPUT` frame and never converts a partial failure into
+    /// an all-or-nothing ack: each op in a pipelined burst gets its own
+    /// positional outcome reply.
     pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<()> {
         self.scatter_put(pairs).wait().map(|_| ())
     }

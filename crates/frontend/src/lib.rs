@@ -411,7 +411,15 @@ mod tests {
         for i in 0..64 {
             match fe.try_submit(Request::Put(k(i), v(i))) {
                 Ok(t) => accepted.push(t),
-                Err(Error::Backpressure(_)) => rejected += 1,
+                Err(e @ Error::Backpressure { .. }) => {
+                    // The shed carries a retry-after hint: the refusing
+                    // queue's depth, at least the configured capacity.
+                    assert!(
+                        e.queue_depth() >= Some(8),
+                        "backpressure must carry the queue depth, got {e:?}"
+                    );
+                    rejected += 1;
+                }
                 Err(e) => panic!("unexpected error {e:?}"),
             }
         }

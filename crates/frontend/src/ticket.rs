@@ -330,8 +330,8 @@ mod tests {
         let (t2, c2) = ticket();
         let g = gather(vec![(vec![0], t1), (vec![1], t2)], 2);
         c1.complete(Ok(Response::Values(vec![None])));
-        c2.complete(Err(Error::Backpressure("shard full".into())));
-        assert!(matches!(g.wait(), Err(Error::Backpressure(_))));
+        c2.complete(Err(Error::backpressure("shard full")));
+        assert!(matches!(g.wait(), Err(Error::Backpressure { .. })));
     }
 
     #[test]

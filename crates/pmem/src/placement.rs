@@ -94,13 +94,13 @@ impl HybridCapacity {
         match medium {
             Medium::Dram => {
                 if u.dram + len as u64 > self.dram_capacity {
-                    return Err(Error::Backpressure("DRAM capacity exhausted".into()));
+                    return Err(Error::backpressure("DRAM capacity exhausted"));
                 }
                 u.dram += len as u64;
             }
             Medium::Pmem => {
                 if u.pmem + len as u64 > self.pmem_capacity {
-                    return Err(Error::Backpressure("PMem capacity exhausted".into()));
+                    return Err(Error::backpressure("PMem capacity exhausted"));
                 }
                 u.pmem += len as u64;
             }

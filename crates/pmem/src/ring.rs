@@ -129,7 +129,7 @@ impl PersistentRingBuffer {
             (s.head, s.tail)
         };
         if (tail - head) as usize + frame_len > self.data_len {
-            return Err(Error::Backpressure(format!(
+            return Err(Error::backpressure(format!(
                 "ring full: {} used of {}",
                 (tail - head),
                 self.data_len
@@ -289,7 +289,7 @@ mod tests {
         ring.append(&rec).unwrap();
         ring.append(&rec).unwrap();
         let err = ring.append(&rec).unwrap_err();
-        assert!(matches!(err, Error::Backpressure(_)), "{err}");
+        assert!(matches!(err, Error::Backpressure { .. }), "{err}");
         // Draining frees space.
         ring.drain_batch(1).unwrap();
         ring.append(&rec).unwrap();

@@ -1,0 +1,181 @@
+//! Per-connection serving: reassemble pipeline bursts, lower each onto
+//! ONE `KvEngine::apply_batch`, reply positionally.
+
+use crate::proto::{decode_request, encode_reply, FrameDecoder, Reply, Request};
+use crate::server::Shared;
+use crate::stats::ServerStats;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use tb_common::OpOutcome;
+
+/// A connected byte stream over either transport.
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Kicks any blocked read/write on every clone of this stream.
+    pub(crate) fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One decoded request's place in the burst while the engine runs.
+enum Slot {
+    /// An engine op, submitted to `apply_batch`; resolved positionally.
+    Pending,
+    /// A control frame (or a body decode failure), resolved inline.
+    Ready(Reply),
+}
+
+/// Serves one connection until the peer closes, an unrecoverable
+/// protocol error occurs, or the server shuts down.
+pub(crate) fn serve_conn(shared: Arc<Shared>, mut stream: Stream) {
+    ServerStats::bump(&shared.stats.conns_opened, 1);
+    shared.stats.conns_active.fetch_add(1, Ordering::Relaxed);
+    let mut dec = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 << 10];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        ServerStats::bump(&shared.stats.bytes_in, n as u64);
+        dec.feed(&buf[..n]);
+        // Everything complete so far IS the pipeline burst.
+        let frames = match dec.frames() {
+            Ok(frames) => frames,
+            Err(e) => {
+                // Framing broke: the stream cannot be resynchronized.
+                // Best-effort ERR so a non-pipelined peer learns why,
+                // then drop the connection.
+                ServerStats::bump(&shared.stats.decode_errors, 1);
+                let mut out = Vec::new();
+                encode_reply(&Reply::Outcome(Err(e)), &mut out);
+                let _ = stream.write_all(&out);
+                break;
+            }
+        };
+        if frames.is_empty() {
+            continue;
+        }
+        if !serve_burst(&shared, &mut stream, frames) {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    shared.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Serves one decoded burst; returns false when the connection died.
+///
+/// All engine ops in the burst go down as ONE `apply_batch` submission
+/// (that is the whole point of the wire protocol: network pipelining
+/// lowers 1:1 onto the engine's batch path, preserving group-commit and
+/// batched-read wins). Control frames resolve around it: `PING`/`STATS`
+/// immediately, `SYNC` *after* the batch so it acts as a trailing
+/// barrier covering every op in the burst. A body that fails to decode
+/// gets a per-slot `ERR` reply — framing is intact, the connection
+/// survives.
+fn serve_burst(shared: &Arc<Shared>, stream: &mut Stream, frames: Vec<bytes::Bytes>) -> bool {
+    let mut slots: Vec<Slot> = Vec::with_capacity(frames.len());
+    let mut ops = Vec::new();
+    let mut op_slots = Vec::new();
+    let mut sync_slots = Vec::new();
+    for frame in &frames {
+        match decode_request(frame) {
+            Ok(Request::Op(op)) => {
+                op_slots.push(slots.len());
+                ops.push(op);
+                slots.push(Slot::Pending);
+            }
+            Ok(Request::Ping) => slots.push(Slot::Ready(Reply::Pong)),
+            Ok(Request::Stats) => slots.push(Slot::Ready(Reply::StatsText(
+                tb_obs::global().snapshot().to_prometheus(),
+            ))),
+            Ok(Request::Sync) => {
+                sync_slots.push(slots.len());
+                slots.push(Slot::Pending);
+            }
+            Err(e) => {
+                ServerStats::bump(&shared.stats.decode_errors, 1);
+                slots.push(Slot::Ready(Reply::Outcome(Err(e))));
+            }
+        }
+    }
+    let outcomes = if ops.is_empty() {
+        Vec::new()
+    } else {
+        ServerStats::bump(&shared.stats.bursts, 1);
+        ServerStats::bump(&shared.stats.ops, ops.len() as u64);
+        let t0 = tb_obs::start();
+        let outcomes = shared.engine.apply_batch(ops);
+        tb_obs::histo!("server_burst_ns").record_since(t0);
+        outcomes
+    };
+    for (slot, outcome) in op_slots.into_iter().zip(outcomes) {
+        slots[slot] = Slot::Ready(Reply::Outcome(outcome));
+    }
+    for slot in sync_slots {
+        let outcome = shared
+            .engine
+            .sync()
+            .map(|_| OpOutcome::Done(shared.engine.applied_lsn()));
+        slots[slot] = Slot::Ready(Reply::Outcome(outcome));
+    }
+    let mut out = Vec::new();
+    for slot in slots {
+        let reply = match slot {
+            Slot::Ready(reply) => reply,
+            Slot::Pending => Reply::Outcome(Err(tb_common::Error::Internal(
+                "burst slot left unresolved".into(),
+            ))),
+        };
+        encode_reply(&reply, &mut out);
+    }
+    ServerStats::bump(&shared.stats.bytes_out, out.len() as u64);
+    stream.write_all(&out).is_ok()
+}

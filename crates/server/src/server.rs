@@ -1,0 +1,198 @@
+//! The socket server: TCP or Unix-socket listener, one serving thread
+//! per connection, clean shutdown.
+
+use crate::conn::{serve_conn, Stream};
+use crate::stats::{ServerStats, ServerStatsSnapshot};
+use parking_lot::Mutex;
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tb_common::{KvEngine, Result};
+
+/// Where a [`Server`] is listening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerAddr {
+    /// TCP socket address (queryable for the OS-assigned port).
+    Tcp(SocketAddr),
+    /// Unix-domain socket path (removed again on shutdown).
+    Unix(PathBuf),
+}
+
+impl fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerAddr::Tcp(a) => write!(f, "tcp://{a}"),
+            ServerAddr::Unix(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+/// State shared between the accept loop and connection threads.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<dyn KvEngine>,
+    pub(crate) stats: ServerStats,
+    pub(crate) shutdown: AtomicBool,
+    /// Stream clones of live connections, kept so shutdown can kick
+    /// their blocked reads.
+    pub(crate) conns: Mutex<Vec<Stream>>,
+    pub(crate) conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            Listener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+}
+
+/// A socket front door over any [`KvEngine`] — typically a
+/// `Frontend`, so decoded pipeline bursts ride its group-commit and
+/// batched-read paths; a bare engine works too.
+///
+/// One thread accepts, one thread serves each connection. Dropping the
+/// server (or calling [`Server::stop`]) closes the listener, kicks
+/// every in-flight connection, and joins all threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: ServerAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    _obs: tb_obs::SourceGuard,
+}
+
+impl Server {
+    /// Binds a TCP listener (use port 0 for an OS-assigned port, then
+    /// [`Server::addr`] to learn it) and starts serving `engine`.
+    pub fn bind_tcp(addr: impl ToSocketAddrs, engine: Arc<dyn KvEngine>) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = ServerAddr::Tcp(listener.local_addr()?);
+        Self::start(Listener::Tcp(listener), bound, engine)
+    }
+
+    /// Binds a Unix-domain socket (a stale socket file at `path` is
+    /// replaced) and starts serving `engine`.
+    pub fn bind_unix(path: impl AsRef<Path>, engine: Arc<dyn KvEngine>) -> Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Self::start(Listener::Unix(listener), ServerAddr::Unix(path), engine)
+    }
+
+    fn start(listener: Listener, addr: ServerAddr, engine: Arc<dyn KvEngine>) -> Result<Server> {
+        listener.set_nonblocking()?;
+        let shared = Arc::new(Shared {
+            engine,
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let obs = {
+            let shared = shared.clone();
+            tb_obs::global().register_source(move |b| {
+                let s = shared.stats.snapshot();
+                b.counter("server_conns_opened", s.conns_opened);
+                b.gauge("server_conns_active", s.conns_active as i64);
+                b.counter("server_bursts", s.bursts);
+                b.counter("server_ops", s.ops);
+                b.counter("server_bytes_in", s.bytes_in);
+                b.counter("server_bytes_out", s.bytes_out);
+                b.counter("server_decode_errors", s.decode_errors);
+            })
+        };
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+            _obs: obs,
+        })
+    }
+
+    /// Where this server is listening.
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Arc<dyn KvEngine> {
+        &self.shared.engine
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting, kicks every live connection, joins all serving
+    /// threads. Idempotent; also runs on drop.
+    pub fn stop(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for conn in self.shared.conns.lock().drain(..) {
+            conn.shutdown_both();
+        }
+        if let Some(handle) = self.accept.lock().take() {
+            let _ = handle.join();
+        }
+        // A connection may have been accepted between the flag and the
+        // accept thread noticing; sweep again now that accepting is done.
+        for conn in self.shared.conns.lock().drain(..) {
+            conn.shutdown_both();
+        }
+        for handle in self.shared.conn_handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+        if let ServerAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                if let Ok(kick) = stream.try_clone() {
+                    shared.conns.lock().push(kick);
+                }
+                let shared2 = shared.clone();
+                let handle = std::thread::spawn(move || serve_conn(shared2, stream));
+                shared.conn_handles.lock().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Serving-side counters, exported into the `tb-obs` global registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative counters for one [`crate::Server`]. Readable locally via
+/// [`crate::Server::stats`] and exported as `server_*` metrics in
+/// `tb_obs::global()` snapshots (which the wire `STATS` command
+/// returns as Prometheus exposition).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's life.
+    pub conns_opened: AtomicU64,
+    /// Connections currently being served.
+    pub conns_active: AtomicU64,
+    /// Pipeline bursts lowered onto the engine (one `apply_batch` each).
+    pub bursts: AtomicU64,
+    /// Engine ops served (sum of burst sizes; ops/burst = ops/bursts).
+    pub ops: AtomicU64,
+    /// Raw bytes read off sockets.
+    pub bytes_in: AtomicU64,
+    /// Raw bytes written to sockets.
+    pub bytes_out: AtomicU64,
+    /// Frame-level decode failures (connection dropped) plus per-slot
+    /// body decode failures (answered with `ERR`, connection kept).
+    pub decode_errors: AtomicU64,
+}
+
+/// Point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    pub conns_opened: u64,
+    pub conns_active: u64,
+    pub bursts: u64,
+    pub ops: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub decode_errors: u64,
+}
+
+impl ServerStats {
+    pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStatsSnapshot {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServerStatsSnapshot {
+            conns_opened: c(&self.conns_opened),
+            conns_active: c(&self.conns_active),
+            bursts: c(&self.bursts),
+            ops: c(&self.ops),
+            bytes_in: c(&self.bytes_in),
+            bytes_out: c(&self.bytes_out),
+            decode_errors: c(&self.decode_errors),
+        }
+    }
+}

@@ -93,7 +93,7 @@ fn main() -> Result<()> {
                     let key = Key::from(format!("telemetry:{}", i % 64));
                     match fe.try_submit(Request::Put(key, Value::from("tick"))) {
                         Ok(_) => {}
-                        Err(Error::Backpressure(_)) => {
+                        Err(Error::Backpressure { .. }) => {
                             shed.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(e) => panic!("unexpected error: {e}"),

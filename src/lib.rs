@@ -18,6 +18,7 @@
 //! | [`workload`] | `tb-workload` | YCSB-style generators, datasets, trace record/replay |
 //! | [`frontend`] | `tb-frontend` | pipelined request front-end: sharded submission queues, group-commit workers, backpressure |
 //! | [`cluster`] | `tb-cluster` | hash-slot sharding, coordinators, failover, smart client, proxy |
+//! | [`server`] | `tb-server` | network serving: pipelined wire protocol, TCP/Unix-socket server, `KvEngine` socket client |
 //! | [`obs`] | `tb-obs` | unified telemetry: global metrics registry (counters/gauges/latency histograms), span tracer, Prometheus/JSON snapshots |
 //! | [`baselines`] | `tb-baselines` | redis-/memcached-/dragonfly-/cassandra-/hbase-like comparators |
 //! | [`common`] | `tb-common` | shared types, errors, clocks, histograms, hashing, `KvEngine` |
@@ -50,6 +51,7 @@ pub use tb_frontend as frontend;
 pub use tb_lsm as lsm;
 pub use tb_obs as obs;
 pub use tb_pmem as pmem;
+pub use tb_server as server;
 pub use tb_workload as workload;
 pub use tierbase_core as store;
 

@@ -439,3 +439,22 @@ fn pipelined_cluster_node_conforms() {
     client.delete(&Key::from("conf:a")).unwrap();
     assert_eq!(client.get(&Key::from("conf:a")).unwrap(), None);
 }
+
+#[test]
+fn socket_client_conforms() {
+    // 15th configuration: the whole battery over a real Unix socket —
+    // pipelined wire client → tb-server → Frontend → LsmDb. The network
+    // boundary must be invisible to the KvEngine contract (exact error
+    // identity included: CasMismatch and friends round-trip the wire).
+    use tierbase::server::{Server, ServerClient};
+    let dir = tmpdir("socket");
+    std::fs::create_dir_all(dir.path()).unwrap();
+    let sock = dir.path().join("tb.sock");
+    let db = Arc::new(LsmDb::open(LsmConfig::small_for_tests(dir.path().join("db"))).unwrap());
+    let fe = Arc::new(Frontend::start(db, FrontendConfig::with_shards(4)));
+    let server = Server::bind_unix(&sock, fe.clone()).unwrap();
+    let client = ServerClient::connect_unix(&sock).unwrap();
+    conformance(&client);
+    server.stop();
+    fe.shutdown();
+}
