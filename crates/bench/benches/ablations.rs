@@ -164,6 +164,7 @@ fn ablation_bloom() {
         config.sst = SstConfig {
             block_size: 4096,
             bloom_bits_per_key: bits,
+            ..SstConfig::default()
         };
         let db = LsmDb::open(config).unwrap();
         let n = 4_000 * scale();

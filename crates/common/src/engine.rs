@@ -135,6 +135,21 @@ pub struct BatchReadStats {
     pub scan_blocks_read: u64,
     /// Range-scan ops served (batched or point `scan` calls).
     pub scans: u64,
+    /// Data blocks written with a compressed frame payload (flush and
+    /// compaction; blocks that didn't shrink fall back to stored
+    /// frames). Zero for engines without block compression.
+    pub blocks_compressed: u64,
+    /// On-disk data-region bytes written (frames + codec dictionaries).
+    pub compressed_bytes_written: u64,
+    /// Raw block bytes before framing — against
+    /// `compressed_bytes_written`, the store's real compression ratio.
+    pub uncompressed_bytes_written: u64,
+    /// Block frames whose payload was decompressed on a read (stored
+    /// frames and legacy raw blocks don't count).
+    pub blocks_decompressed: u64,
+    /// Block frames that failed CRC or decode — each surfaced as a
+    /// per-slot corruption error, never a torn batch.
+    pub block_decode_errors: u64,
 }
 
 /// A key-value engine under test.

@@ -1,0 +1,516 @@
+//! Per-block compressed frames for the SSTable data path.
+//!
+//! Every on-disk data block is wrapped in a versioned frame:
+//!
+//! ```text
+//! frame := codec_tag u8 | uncompressed_len u32 LE | crc32(payload) u32 LE | payload
+//! ```
+//!
+//! The codec is chosen per table ([`BlockCodec`]) and its trained state
+//! (tzstd dictionary, PBC pattern table) is serialized into a
+//! table-level *dictionary payload* stored next to the data blocks, so
+//! a table is self-describing: reopening it needs only the footer's
+//! codec byte and the dictionary payload, never the training samples.
+//!
+//! Per-block stored fallback: when compression does not shrink a block
+//! (or the codec is [`BlockCodec::None`]) the frame carries the raw
+//! bytes under [`FRAME_TAG_STORED`] — still CRC-checked, so every block
+//! read is checksummed regardless of codec.
+
+use crate::dict::train_dictionary;
+use crate::lz::TrainedDict;
+use crate::pbc::{Pbc, PbcConfig, PbcModel};
+use crate::{Compressor, Tzstd, TzstdLevel};
+use std::sync::Arc;
+use tb_common::{crc32, Error, Result};
+
+/// `codec_tag u8 | uncompressed_len u32 | crc32 u32`.
+pub const FRAME_HEADER_LEN: usize = 1 + 4 + 4;
+
+/// Frame tag for an uncompressed (stored) payload — shared by every
+/// codec as the didn't-shrink fallback, and the only tag
+/// [`BlockCodec::None`] emits.
+pub const FRAME_TAG_STORED: u8 = 0;
+
+/// Writer-side cap on dictionary training samples collected from a
+/// flush/compaction input stream (first N put values, deterministic).
+pub const MAX_TRAIN_SAMPLES: usize = 512;
+
+/// Byte budget for a trained tzstd dictionary stored per table.
+pub const MAX_DICT_BYTES: usize = 4096;
+
+/// Per-table block codec, chosen from `LsmConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockCodec {
+    /// Stored frames only (still CRC-checked).
+    #[default]
+    None,
+    /// tzstd without a dictionary.
+    Lz,
+    /// Pattern-based compression; the trained model is the table's
+    /// dictionary payload.
+    Pbc,
+    /// tzstd with a dictionary trained on the table's input values.
+    Dict,
+}
+
+impl BlockCodec {
+    pub const ALL: [BlockCodec; 4] = [
+        BlockCodec::None,
+        BlockCodec::Lz,
+        BlockCodec::Pbc,
+        BlockCodec::Dict,
+    ];
+
+    /// The frame tag this codec stamps on compressed frames (and the
+    /// footer's codec byte). [`FRAME_TAG_STORED`] is deliberately the
+    /// same value as `None`'s tag: a `None` table only emits stored
+    /// frames.
+    pub fn tag(self) -> u8 {
+        match self {
+            BlockCodec::None => 0,
+            BlockCodec::Lz => 1,
+            BlockCodec::Pbc => 2,
+            BlockCodec::Dict => 3,
+        }
+    }
+
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(BlockCodec::None),
+            1 => Some(BlockCodec::Lz),
+            2 => Some(BlockCodec::Pbc),
+            3 => Some(BlockCodec::Dict),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockCodec::None => "none",
+            BlockCodec::Lz => "lz",
+            BlockCodec::Pbc => "pbc",
+            BlockCodec::Dict => "dict",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(BlockCodec::None),
+            "lz" => Some(BlockCodec::Lz),
+            "pbc" => Some(BlockCodec::Pbc),
+            "dict" => Some(BlockCodec::Dict),
+            _ => None,
+        }
+    }
+}
+
+/// A table's codec plus its trained state: built by the writer from
+/// sampled input values ([`BlockCodecState::train`]) or rebuilt by a
+/// reader from the stored dictionary payload
+/// ([`BlockCodecState::from_dict_payload`]).
+pub struct BlockCodecState {
+    codec: BlockCodec,
+    compressor: Option<Box<dyn Compressor>>,
+    dict_payload: Vec<u8>,
+}
+
+impl Default for BlockCodecState {
+    fn default() -> Self {
+        Self {
+            codec: BlockCodec::None,
+            compressor: None,
+            dict_payload: Vec::new(),
+        }
+    }
+}
+
+impl BlockCodecState {
+    /// Trains the codec from sampled input values (flush/compaction
+    /// collects the first [`MAX_TRAIN_SAMPLES`] put values, so training
+    /// is deterministic for a fixed input stream).
+    pub fn train(codec: BlockCodec, samples: &[Vec<u8>]) -> Self {
+        match codec {
+            BlockCodec::None => Self::default(),
+            BlockCodec::Lz => Self {
+                codec,
+                compressor: Some(Box::new(Tzstd::new(TzstdLevel(1)))),
+                dict_payload: Vec::new(),
+            },
+            BlockCodec::Dict => {
+                let dict = train_dictionary(samples, MAX_DICT_BYTES);
+                let (compressor, dict_payload): (Box<dyn Compressor>, Vec<u8>) = if dict.is_empty()
+                {
+                    (Box::new(Tzstd::new(TzstdLevel(1))), Vec::new())
+                } else {
+                    let payload = dict.as_bytes().to_vec();
+                    (Box::new(Tzstd::with_dict(TzstdLevel(1), dict)), payload)
+                };
+                Self {
+                    codec,
+                    compressor: Some(compressor),
+                    dict_payload,
+                }
+            }
+            BlockCodec::Pbc => {
+                let model = PbcModel::train(samples, &PbcConfig::default());
+                let dict_payload = model.to_bytes();
+                Self {
+                    codec,
+                    compressor: Some(Box::new(Pbc::new(Arc::new(model)))),
+                    dict_payload,
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the state from a table's stored dictionary payload.
+    pub fn from_dict_payload(codec: BlockCodec, payload: &[u8]) -> Result<Self> {
+        match codec {
+            BlockCodec::None => Ok(Self::default()),
+            BlockCodec::Lz => Ok(Self {
+                codec,
+                compressor: Some(Box::new(Tzstd::new(TzstdLevel(1)))),
+                dict_payload: Vec::new(),
+            }),
+            BlockCodec::Dict => {
+                let compressor: Box<dyn Compressor> = if payload.is_empty() {
+                    Box::new(Tzstd::new(TzstdLevel(1)))
+                } else {
+                    Box::new(Tzstd::with_dict(
+                        TzstdLevel(1),
+                        Arc::new(TrainedDict::new(payload.to_vec())),
+                    ))
+                };
+                Ok(Self {
+                    codec,
+                    compressor: Some(compressor),
+                    dict_payload: payload.to_vec(),
+                })
+            }
+            BlockCodec::Pbc => {
+                let model = PbcModel::from_bytes(payload)?;
+                Ok(Self {
+                    codec,
+                    compressor: Some(Box::new(Pbc::new(Arc::new(model)))),
+                    dict_payload: payload.to_vec(),
+                })
+            }
+        }
+    }
+
+    pub fn codec(&self) -> BlockCodec {
+        self.codec
+    }
+
+    /// The serialized trained state the writer must store per table.
+    pub fn dict_payload(&self) -> &[u8] {
+        &self.dict_payload
+    }
+
+    /// Appends one frame for `block` to `out`. Compresses when the
+    /// codec wins; falls back to a stored frame otherwise (so output
+    /// frames never exceed `block.len() + FRAME_HEADER_LEN`, modulo the
+    /// codec's own stored mode). Returns `true` when the frame carries
+    /// a compressed payload.
+    pub fn encode_frame(&self, block: &[u8], out: &mut Vec<u8>) -> bool {
+        if let Some(c) = &self.compressor {
+            let z = c.compress(block);
+            if z.len() < block.len() {
+                push_frame(out, self.codec.tag(), block.len(), &z);
+                return true;
+            }
+        }
+        push_frame(out, FRAME_TAG_STORED, block.len(), block);
+        false
+    }
+
+    /// Decodes and verifies one frame, returning the uncompressed block
+    /// bytes. Every failure — truncated header, CRC mismatch, foreign
+    /// codec tag, garbage payload, length mismatch — is
+    /// [`Error::Corruption`], so a bad block surfaces as a per-slot
+    /// corruption error and never a torn batch.
+    pub fn decode_frame(&self, frame: &[u8]) -> Result<Vec<u8>> {
+        if frame.len() < FRAME_HEADER_LEN {
+            return Err(Error::Corruption("sstable block frame truncated".into()));
+        }
+        let tag = frame[0];
+        let ulen = u32::from_le_bytes(frame[1..5].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(frame[5..9].try_into().unwrap());
+        let payload = &frame[FRAME_HEADER_LEN..];
+        if crc32(payload) != stored_crc {
+            return Err(Error::Corruption("sstable block frame crc mismatch".into()));
+        }
+        if tag == FRAME_TAG_STORED {
+            if payload.len() != ulen {
+                return Err(Error::Corruption(
+                    "stored block frame length mismatch".into(),
+                ));
+            }
+            return Ok(payload.to_vec());
+        }
+        match &self.compressor {
+            Some(c) if tag == self.codec.tag() => {
+                let raw = c
+                    .decompress(payload)
+                    .map_err(|e| Error::Corruption(format!("block frame payload: {e}")))?;
+                if raw.len() != ulen {
+                    return Err(Error::Corruption(format!(
+                        "block frame decompressed to {} bytes, header says {ulen}",
+                        raw.len()
+                    )));
+                }
+                Ok(raw)
+            }
+            _ => Err(Error::Corruption(format!(
+                "block frame codec tag {tag} does not match table codec {}",
+                self.codec.name()
+            ))),
+        }
+    }
+}
+
+fn push_frame(out: &mut Vec<u8>, tag: u8, uncompressed_len: usize, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(uncompressed_len as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(state: &BlockCodecState, block: &[u8]) {
+        let mut out = Vec::new();
+        state.encode_frame(block, &mut out);
+        assert!(out.len() >= FRAME_HEADER_LEN);
+        assert_eq!(state.decode_frame(&out).unwrap(), block);
+    }
+
+    /// Samples shaped like flush input: templated values the dict and
+    /// PBC codecs can learn from.
+    fn value_samples(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "city\t{i:06}\tSpringfield-{}\tpop={}\tcountry=XX\tzone=UTC+8",
+                    i % 50,
+                    i * 731
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    /// A block-shaped corpus: length-prefixed key/value entries with
+    /// shared-prefix keys and templated values, like the SSTable data
+    /// block encoding produces.
+    fn templated_block(entries: usize, seed: u64) -> Vec<u8> {
+        let mut block = Vec::new();
+        for i in 0..entries {
+            let key = format!("user{:012}", seed + i as u64);
+            let val = format!("record|{seed}|idx={i}|status=ok|padding=xxxxxxxxxxxxxxxx");
+            block.push(0u8);
+            block.extend_from_slice(&[key.len() as u8, val.len() as u8]);
+            block.extend_from_slice(key.as_bytes());
+            block.extend_from_slice(val.as_bytes());
+        }
+        block
+    }
+
+    fn all_states() -> Vec<BlockCodecState> {
+        let samples = value_samples(64);
+        BlockCodec::ALL
+            .iter()
+            .map(|&c| BlockCodecState::train(c, &samples))
+            .collect()
+    }
+
+    #[test]
+    fn tags_and_names_roundtrip() {
+        for codec in BlockCodec::ALL {
+            assert_eq!(BlockCodec::from_tag(codec.tag()), Some(codec));
+            assert_eq!(BlockCodec::parse(codec.name()), Some(codec));
+        }
+        assert_eq!(BlockCodec::from_tag(9), None);
+        assert_eq!(BlockCodec::parse("zstd"), None);
+    }
+
+    #[test]
+    fn empty_block_roundtrips_every_codec() {
+        for state in all_states() {
+            roundtrip(&state, b"");
+        }
+    }
+
+    #[test]
+    fn compressible_block_shrinks_under_lz() {
+        let state = BlockCodecState::train(BlockCodec::Lz, &[]);
+        let block = templated_block(40, 7);
+        let mut out = Vec::new();
+        let compressed = state.encode_frame(&block, &mut out);
+        assert!(compressed, "templated block should compress");
+        assert!(out.len() < block.len() + FRAME_HEADER_LEN);
+        assert_eq!(state.decode_frame(&out).unwrap(), block);
+    }
+
+    #[test]
+    fn incompressible_block_stores_raw() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let block: Vec<u8> = (0..2048).map(|_| rng.gen()).collect();
+        for state in all_states() {
+            let mut out = Vec::new();
+            let compressed = state.encode_frame(&block, &mut out);
+            if state.codec() != BlockCodec::None {
+                assert!(!compressed, "random bytes must not 'compress'");
+            }
+            assert_eq!(out[0], FRAME_TAG_STORED);
+            assert_eq!(out.len(), block.len() + FRAME_HEADER_LEN);
+            assert_eq!(state.decode_frame(&out).unwrap(), block);
+        }
+    }
+
+    #[test]
+    fn reader_state_rebuilt_from_dict_payload_decodes_writer_frames() {
+        let samples = value_samples(128);
+        let block = templated_block(60, 42);
+        for codec in BlockCodec::ALL {
+            let writer = BlockCodecState::train(codec, &samples);
+            let mut frame = Vec::new();
+            writer.encode_frame(&block, &mut frame);
+            let reader = BlockCodecState::from_dict_payload(codec, writer.dict_payload()).unwrap();
+            assert_eq!(
+                reader.decode_frame(&frame).unwrap(),
+                block,
+                "codec {} frames must decode from stored state alone",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dict_training_is_deterministic_for_fixed_input() {
+        let samples = value_samples(256);
+        for codec in [BlockCodec::Dict, BlockCodec::Pbc] {
+            let a = BlockCodecState::train(codec, &samples);
+            let b = BlockCodecState::train(codec, &samples);
+            assert_eq!(
+                a.dict_payload(),
+                b.dict_payload(),
+                "{} training must be deterministic",
+                codec.name()
+            );
+            let block = templated_block(30, 9);
+            let (mut fa, mut fb) = (Vec::new(), Vec::new());
+            a.encode_frame(&block, &mut fa);
+            b.encode_frame(&block, &mut fb);
+            assert_eq!(fa, fb, "{} frames must be deterministic", codec.name());
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_corruption_errors_never_panics() {
+        let block = templated_block(40, 11);
+        for state in all_states() {
+            let mut frame = Vec::new();
+            state.encode_frame(&block, &mut frame);
+            // Truncations, including below the header.
+            for cut in [0, 1, 4, FRAME_HEADER_LEN - 1, frame.len() - 1] {
+                assert!(
+                    matches!(state.decode_frame(&frame[..cut]), Err(Error::Corruption(_))),
+                    "truncation to {cut} must be Corruption ({})",
+                    state.codec().name()
+                );
+            }
+            // Any single flipped byte: either caught (Corruption) — a
+            // header/CRC flip always is — or it decodes to the original.
+            for i in 0..frame.len() {
+                let mut bad = frame.clone();
+                bad[i] ^= 0xff;
+                match state.decode_frame(&bad) {
+                    Err(Error::Corruption(_)) => {}
+                    Err(e) => panic!("non-corruption error {e} ({})", state.codec().name()),
+                    Ok(got) => assert_eq!(got, block),
+                }
+                if (5..9).contains(&i) {
+                    assert!(
+                        state.decode_frame(&bad).is_err(),
+                        "CRC byte flip must always be caught"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_codec_tag_rejected() {
+        let lz = BlockCodecState::train(BlockCodec::Lz, &[]);
+        let none = BlockCodecState::default();
+        let mut frame = Vec::new();
+        lz.encode_frame(&templated_block(40, 2), &mut frame);
+        assert_eq!(frame[0], BlockCodec::Lz.tag());
+        // A None table handed an Lz frame must refuse, not misparse.
+        assert!(matches!(
+            none.decode_frame(&frame),
+            Err(Error::Corruption(_))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Shared-prefix keys: `prefix:NNNN` entries, the common SSTable
+        /// key shape.
+        #[test]
+        fn prop_roundtrip_shared_prefix_blocks(
+            n in 0usize..120,
+            prefix in "[a-z]{1,12}",
+        ) {
+            let mut block = Vec::new();
+            for i in 0..n {
+                block.extend_from_slice(format!("{prefix}:{i:08}=v{i};").as_bytes());
+            }
+            for state in all_states() {
+                roundtrip(&state, &block);
+            }
+        }
+
+        /// Runs of identical values (tombstone runs, constant columns).
+        #[test]
+        fn prop_roundtrip_identical_value_runs(
+            byte in any::<u8>(),
+            run in 0usize..4096,
+        ) {
+            let block = vec![byte; run];
+            for state in all_states() {
+                roundtrip(&state, &block);
+            }
+        }
+
+        /// Incompressible random bytes, up to max block size.
+        #[test]
+        fn prop_roundtrip_random_blocks(
+            block in proptest::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            for state in all_states() {
+                roundtrip(&state, &block);
+            }
+        }
+
+        /// Max-size blocks (a full block_size worth of mixed content).
+        #[test]
+        fn prop_roundtrip_max_size_blocks(seed in any::<u64>()) {
+            let mut block = templated_block(80, seed);
+            block.truncate(4096);
+            while block.len() < 4096 {
+                block.push((seed as u8).wrapping_add(block.len() as u8));
+            }
+            for state in all_states() {
+                roundtrip(&state, &block);
+            }
+        }
+    }
+}

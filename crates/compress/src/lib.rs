@@ -20,12 +20,14 @@
 //! a compression-efficiency monitor with retrain triggers, and the
 //! compressor recommender surfaced by TierBase's Insight service.
 
+pub mod block;
 pub mod dict;
 pub mod framework;
 pub mod lz;
 pub mod pbc;
 pub mod rangecoder;
 
+pub use block::{BlockCodec, BlockCodecState, FRAME_HEADER_LEN, FRAME_TAG_STORED};
 pub use dict::train_dictionary;
 pub use framework::{
     CompressionMonitor, CompressionStats, CompressorChoice, CompressorRecommender, MonitorConfig,

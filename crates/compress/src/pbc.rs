@@ -256,6 +256,77 @@ impl PbcModel {
     pub fn fallback_dict(&self) -> Option<&Arc<TrainedDict>> {
         self.fallback.dictionary()
     }
+
+    /// Serializes the trained model — pattern table in order (records
+    /// reference patterns by index), fallback level, fallback
+    /// dictionary — so it can be stored as a table-level dictionary
+    /// payload and rebuilt by [`PbcModel::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.patterns.len() as u64);
+        for p in &self.patterns {
+            write_varint(&mut out, p.literals.len() as u64);
+            for lit in &p.literals {
+                write_varint(&mut out, lit.len() as u64);
+                out.extend_from_slice(lit);
+            }
+        }
+        out.extend_from_slice(&self.fallback.level().0.to_le_bytes());
+        let dict = self
+            .fallback
+            .dictionary()
+            .map(|d| d.as_bytes())
+            .unwrap_or(&[]);
+        write_varint(&mut out, dict.len() as u64);
+        out.extend_from_slice(dict);
+        out
+    }
+
+    /// Rebuilds a model serialized by [`PbcModel::to_bytes`]. Every
+    /// malformed input is an [`Error::Corruption`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let take = |bytes: &[u8], pos: &mut usize, len: usize| -> Result<Vec<u8>> {
+            let end = pos
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| Error::Corruption("PBC model truncated".into()))?;
+            let out = bytes[*pos..end].to_vec();
+            *pos = end;
+            Ok(out)
+        };
+        let pattern_count = read_varint(bytes, &mut pos)? as usize;
+        if pattern_count > bytes.len() {
+            return Err(Error::Corruption("implausible PBC pattern count".into()));
+        }
+        let mut patterns = Vec::with_capacity(pattern_count);
+        for _ in 0..pattern_count {
+            let lit_count = read_varint(bytes, &mut pos)? as usize;
+            if lit_count > bytes.len() {
+                return Err(Error::Corruption("implausible PBC literal count".into()));
+            }
+            let mut literals = Vec::with_capacity(lit_count);
+            for _ in 0..lit_count {
+                let len = read_varint(bytes, &mut pos)? as usize;
+                literals.push(take(bytes, &mut pos, len)?);
+            }
+            patterns.push(Pattern { literals });
+        }
+        let level = TzstdLevel(i32::from_le_bytes(
+            take(bytes, &mut pos, 4)?.try_into().expect("4 bytes"),
+        ));
+        let dict_len = read_varint(bytes, &mut pos)? as usize;
+        let dict_bytes = take(bytes, &mut pos, dict_len)?;
+        if pos != bytes.len() {
+            return Err(Error::Corruption("trailing garbage after PBC model".into()));
+        }
+        let fallback = if dict_bytes.is_empty() {
+            Tzstd::new(level)
+        } else {
+            Tzstd::with_dict(level, Arc::new(TrainedDict::new(dict_bytes)))
+        };
+        Ok(Self { patterns, fallback })
+    }
 }
 
 /// Agglomerative (complete-linkage) clustering over the sample indices.
@@ -633,6 +704,42 @@ mod tests {
         let gaps = p.match_record(rec).unwrap();
         let owned: Vec<Vec<u8>> = gaps.iter().map(|g| g.to_vec()).collect();
         assert_eq!(p.reconstruct(&owned), rec);
+    }
+
+    #[test]
+    fn model_serialization_roundtrips() {
+        let samples = kv_samples(64);
+        let model = PbcModel::train(&samples, &PbcConfig::default());
+        let bytes = model.to_bytes();
+        let back = PbcModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.patterns, model.patterns, "pattern order must survive");
+        assert_eq!(back.fallback.level(), model.fallback.level());
+        assert_eq!(
+            back.fallback_dict().map(|d| d.as_bytes().to_vec()),
+            model.fallback_dict().map(|d| d.as_bytes().to_vec())
+        );
+        // Records compressed by the original decode under the revived
+        // model (pattern ids reference positions).
+        let pbc = Pbc::new(Arc::new(model));
+        let revived = Pbc::new(Arc::new(back));
+        for rec in kv_samples(120).iter().skip(100) {
+            let z = pbc.compress(rec);
+            assert_eq!(&revived.decompress(&z).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn malformed_model_bytes_are_errors_not_panics() {
+        let model = PbcModel::train(&kv_samples(32), &PbcConfig::default());
+        let bytes = model.to_bytes();
+        assert!(PbcModel::from_bytes(&[]).is_err());
+        assert!(PbcModel::from_bytes(&[0xff; 3]).is_err());
+        for cut in 0..bytes.len().min(64) {
+            let _ = PbcModel::from_bytes(&bytes[..cut]); // must not panic
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(PbcModel::from_bytes(&trailing).is_err());
     }
 
     #[test]

@@ -14,8 +14,8 @@ use crate::compaction::{level_bytes, level_limit, merge_runs};
 use crate::memtable::{Entry, Memtable};
 use crate::read_pool::{FetchJob, ReadPool};
 use crate::sstable::{
-    decode_block, find_in_block, sync_parent_dir, write_sstable, BlockBuf, SstConfig, SstMeta,
-    SstReader,
+    decode_block, find_in_block, sync_parent_dir, write_sstable_with_stats, BlockBuf,
+    SstBuildStats, SstConfig, SstDecodeStats, SstMeta, SstReader,
 };
 use crate::wal::{SyncPolicy, Wal};
 use parking_lot::RwLock;
@@ -110,6 +110,29 @@ pub struct LsmStats {
     /// Range scans submitted (via [`LsmDb::scan`] or a batched
     /// `EngineOp::Scan`).
     pub scans: AtomicU64,
+    /// Data blocks whose frame carries a compressed payload (flush and
+    /// compaction combined; blocks that didn't shrink fall back to
+    /// stored frames and are not counted).
+    pub blocks_compressed: AtomicU64,
+    /// On-disk data-region bytes written (frames + dict payloads).
+    pub compressed_bytes_written: AtomicU64,
+    /// Raw block bytes before framing — with
+    /// `compressed_bytes_written`, the store's real compression ratio.
+    pub uncompressed_bytes_written: AtomicU64,
+    /// Decode-side counters (CRC-verified frames, decompressions,
+    /// corruption errors), shared by every table this engine opens.
+    pub decode: Arc<SstDecodeStats>,
+}
+
+impl LsmStats {
+    fn add_build(&self, build: &SstBuildStats) {
+        self.blocks_compressed
+            .fetch_add(build.blocks_compressed, Ordering::Relaxed);
+        self.compressed_bytes_written
+            .fetch_add(build.compressed_bytes, Ordering::Relaxed);
+        self.uncompressed_bytes_written
+            .fetch_add(build.uncompressed_bytes, Ordering::Relaxed);
+    }
 }
 
 /// One batched lookup after the submission pass.
@@ -182,6 +205,9 @@ impl LsmDb {
         std::fs::create_dir_all(&config.dir)?;
         let manifest_path = config.dir.join("MANIFEST");
         let (metas, manifest_lsn) = read_manifest(&manifest_path)?;
+        // Stats exist before any table opens: every reader shares the
+        // engine's decode counters from its first block read.
+        let stats = Arc::new(LsmStats::default());
         let mut max_id = 0u64;
         let mut levels: Vec<Vec<Arc<SstReader>>> = vec![Vec::new(); config.max_level + 1];
         for (level, meta) in metas {
@@ -191,7 +217,10 @@ impl LsmDb {
                     "manifest level {level} out of range"
                 )));
             }
-            levels[level].push(Arc::new(SstReader::open(meta)?));
+            levels[level].push(Arc::new(SstReader::open_shared(
+                meta,
+                stats.decode.clone(),
+            )?));
         }
 
         // Replay the WAL into a fresh memtable, tracking the highest
@@ -233,7 +262,6 @@ impl LsmDb {
 
         let read_pool =
             (config.read_pool_threads > 0).then(|| ReadPool::new(config.read_pool_threads));
-        let stats = Arc::new(LsmStats::default());
         let obs = {
             let stats = stats.clone();
             let pool_depth = read_pool.as_ref().map(ReadPool::depth_handle);
@@ -259,6 +287,23 @@ impl LsmDb {
                     c(&stats.batch_scan_blocks_read),
                 );
                 b.counter("lsm_scans", c(&stats.scans));
+                b.counter("lsm_blocks_compressed", c(&stats.blocks_compressed));
+                b.counter(
+                    "lsm_compressed_bytes_written",
+                    c(&stats.compressed_bytes_written),
+                );
+                b.counter(
+                    "lsm_uncompressed_bytes_written",
+                    c(&stats.uncompressed_bytes_written),
+                );
+                b.counter(
+                    "lsm_blocks_decompressed",
+                    c(&stats.decode.blocks_decompressed),
+                );
+                b.counter(
+                    "lsm_block_decode_errors",
+                    c(&stats.decode.block_decode_errors),
+                );
                 if let Some(depth) = &pool_depth {
                     b.gauge("lsm_read_pool_queue_depth", depth.current() as i64);
                     b.gauge("lsm_read_pool_queue_depth_hwm", depth.high_water() as i64);
@@ -471,6 +516,17 @@ impl LsmDb {
             fault::hit("batch.complete")
         };
         let fetch_t0 = tb_obs::start();
+        // Both fault passes run here, on the submitting thread, in the
+        // same sorted fetch order whether or not a pool is configured
+        // (positional determinism): `batch.block_read` fails the fetch
+        // outright; a surviving fetch then draws its `sst.block_decode`
+        // decision — a hit marks the block corrupt, and its frame is
+        // deterministically mangled at decode time so the slot fails
+        // with the same `Error::Corruption` a rotted disk would cause.
+        let decide = || -> Result<bool> {
+            fault::hit("batch.block_read")?;
+            Ok(fault::hit("sst.block_decode").is_err())
+        };
         let blocks: Vec<Result<BlockBuf>> = if pass.is_err() {
             Vec::new()
         } else if let Some(pool) = &self.read_pool {
@@ -479,27 +535,24 @@ impl LsmDb {
             // span reads, fetches overlap across pool workers (plus
             // this thread), and results return in submission order.
             //
-            // The `batch.block_read` fault pass runs *here*, on the
-            // submitting thread, in the same sorted fetch order the
-            // inline path uses: the Nth hit of the site fails exactly
-            // the Nth fetch with or without a pool (positional
-            // determinism), and a faulted fetch is never dispatched —
-            // its error scopes to the slots referencing that block
-            // alone, exactly like an inline read error.
-            let gates: Vec<Result<()>> = fetches
-                .iter()
-                .map(|_| fault::hit("batch.block_read"))
-                .collect();
+            // Fault decisions are drawn *here*, pre-dispatch (see
+            // `decide` above): a `batch.block_read`-faulted fetch is
+            // never dispatched — its error scopes to the slots
+            // referencing that block alone, exactly like an inline read
+            // error — while a corrupt-marked fetch is dispatched and
+            // fails at decode on whichever thread claims it.
+            let gates: Vec<Result<bool>> = fetches.iter().map(|_| decide()).collect();
             let jobs: Vec<FetchJob> = fetches
                 .iter()
                 .zip(&gates)
-                .filter(|(_, gate)| gate.is_ok())
-                .map(|(&i, _)| {
+                .filter_map(|(&i, gate)| {
+                    let corrupt = *gate.as_ref().ok()?;
                     let (table, idx) = &cands[i as usize];
-                    FetchJob {
+                    Some(FetchJob {
                         table: table.clone(),
                         block: *idx,
-                    }
+                        corrupt,
+                    })
                 })
                 .collect();
             self.stats
@@ -522,7 +575,7 @@ impl LsmDb {
             gates
                 .into_iter()
                 .map(|gate| match gate {
-                    Ok(()) => pooled.next().expect("one pooled result per clean fetch"),
+                    Ok(_) => pooled.next().expect("one pooled result per clean fetch"),
                     Err(e) => Err(e),
                 })
                 .collect()
@@ -531,8 +584,11 @@ impl LsmDb {
                 .iter()
                 .map(|&i| {
                     let (table, idx) = &cands[i as usize];
-                    fault::hit("batch.block_read")
-                        .and_then(|_| table.read_block(*idx).map(BlockBuf::from_vec))
+                    decide().and_then(|corrupt| {
+                        table
+                            .read_block_marked(*idx, corrupt)
+                            .map(BlockBuf::from_vec)
+                    })
                 })
                 .collect()
         };
@@ -862,14 +918,16 @@ impl LsmDb {
             .iter()
             .map(|(k, e)| (k.clone(), e.clone()))
             .collect();
-        let meta = write_sstable(id, &path, entries.into_iter(), &self.config.sst)?;
-        let reader = match SstReader::open(meta) {
+        let (meta, build) =
+            write_sstable_with_stats(id, &path, entries.into_iter(), &self.config.sst)?;
+        let reader = match SstReader::open_shared(meta, self.stats.decode.clone()) {
             Ok(r) => r,
             Err(e) => {
                 let _ = std::fs::remove_file(&path);
                 return Err(e);
             }
         };
+        self.stats.add_build(&build);
         // Newest L0 table goes first.
         inner.levels[0].insert(0, Arc::new(reader));
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
@@ -936,9 +994,15 @@ impl LsmDb {
         } else {
             let id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
             let path = self.config.dir.join(format!("{id:010}.sst"));
-            let meta = write_sstable(id, &path, merged.into_iter(), &self.config.sst)?;
-            match SstReader::open(meta) {
-                Ok(r) => Some(Arc::new(r)),
+            // Compaction re-samples the merged input and re-encodes:
+            // the output table trains its own dictionary.
+            let (meta, build) =
+                write_sstable_with_stats(id, &path, merged.into_iter(), &self.config.sst)?;
+            match SstReader::open_shared(meta, self.stats.decode.clone()) {
+                Ok(r) => {
+                    self.stats.add_build(&build);
+                    Some(Arc::new(r))
+                }
                 Err(e) => {
                     let _ = std::fs::remove_file(&path);
                     return Err(e);
@@ -1091,6 +1155,22 @@ impl KvEngine for LsmDb {
             read_pool_depth: self.read_pool.as_ref().map_or(0, ReadPool::queue_depth),
             scan_blocks_read: self.stats.batch_scan_blocks_read.load(Ordering::Relaxed),
             scans: self.stats.scans.load(Ordering::Relaxed),
+            blocks_compressed: self.stats.blocks_compressed.load(Ordering::Relaxed),
+            compressed_bytes_written: self.stats.compressed_bytes_written.load(Ordering::Relaxed),
+            uncompressed_bytes_written: self
+                .stats
+                .uncompressed_bytes_written
+                .load(Ordering::Relaxed),
+            blocks_decompressed: self
+                .stats
+                .decode
+                .blocks_decompressed
+                .load(Ordering::Relaxed),
+            block_decode_errors: self
+                .stats
+                .decode
+                .block_decode_errors
+                .load(Ordering::Relaxed),
         }
     }
 
@@ -1707,8 +1787,17 @@ mod tests {
     /// pooled — so tests can assert the pooled completion pass is
     /// observationally identical to the inline one.
     fn inline_and_pooled(name: &str, n: usize) -> (tb_common::TestDir, LsmDb, LsmDb) {
+        inline_and_pooled_codec(name, n, crate::sstable::BlockCodec::None)
+    }
+
+    fn inline_and_pooled_codec(
+        name: &str,
+        n: usize,
+        codec: crate::sstable::BlockCodec,
+    ) -> (tb_common::TestDir, LsmDb, LsmDb) {
         let dir = tmpdir(name);
         let mut config = LsmConfig::small_for_tests(dir.path());
+        config.sst.codec = codec;
         {
             let db = LsmDb::open(config.clone()).unwrap();
             for i in 0..n {
@@ -1959,6 +2048,157 @@ mod tests {
         assert!(
             after.block_dedup_hits > before.block_dedup_hits,
             "the get's staged refs deduped against the scan's"
+        );
+    }
+
+    #[test]
+    fn compressed_store_roundtrips_compacts_and_recovers() {
+        use crate::sstable::BlockCodec;
+        for codec in [BlockCodec::Lz, BlockCodec::Dict, BlockCodec::Pbc] {
+            let dir = tmpdir(&format!("codec-{}", codec.name()));
+            let mut config = LsmConfig::small_for_tests(dir.path());
+            config.sst.codec = codec;
+            {
+                let db = LsmDb::open(config.clone()).unwrap();
+                for i in 0..800 {
+                    db.put(k(i), v(i, "gen1")).unwrap();
+                }
+                for i in 0..400 {
+                    db.put(k(i), v(i, "gen2")).unwrap();
+                }
+                for i in (0..800).step_by(5) {
+                    db.delete(k(i)).unwrap();
+                }
+                db.flush().unwrap();
+                assert!(
+                    db.stats.compactions.load(Ordering::Relaxed) > 0,
+                    "small thresholds should have compacted ({})",
+                    codec.name()
+                );
+                // Flush + compaction re-encoded real data.
+                let stats = KvEngine::batch_read_stats(&db);
+                assert!(stats.blocks_compressed > 0, "codec {}", codec.name());
+                assert!(
+                    stats.compressed_bytes_written < stats.uncompressed_bytes_written,
+                    "codec {} never shrank the data region: {stats:?}",
+                    codec.name()
+                );
+                assert_eq!(stats.block_decode_errors, 0);
+            }
+            // Recovery opens the compressed tables from their own dict
+            // payloads (no training samples available at open).
+            let db = LsmDb::open(config).unwrap();
+            for i in 0..800 {
+                let got = db.get(&k(i)).unwrap();
+                if i % 5 == 0 {
+                    assert_eq!(got, None, "key {i} ({})", codec.name());
+                } else if i < 400 {
+                    assert_eq!(got, Some(v(i, "gen2")), "key {i} ({})", codec.name());
+                } else {
+                    assert_eq!(got, Some(v(i, "gen1")), "key {i} ({})", codec.name());
+                }
+            }
+            let rows = db.scan(&k(0), None, 10_000).unwrap();
+            assert_eq!(rows.len(), 800 - 160, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn batch_reads_decompress_each_block_once_inline_and_pooled() {
+        use crate::sstable::BlockCodec;
+        let n = 600;
+        let (_dir, inline, pooled) = inline_and_pooled_codec("codecdedup", n, BlockCodec::Dict);
+        let keys: Vec<Key> = (0..n).map(k).collect();
+        for db in [&inline, &pooled] {
+            let decoded_before = db.stats.decode.blocks_decoded.load(Ordering::Relaxed);
+            let before = KvEngine::batch_read_stats(db);
+            let outcomes = db.apply_batch(vec![EngineOp::MultiGet(keys.clone())]);
+            assert!(matches!(outcomes[0], Ok(OpOutcome::Values(_))));
+            let decoded = db.stats.decode.blocks_decoded.load(Ordering::Relaxed) - decoded_before;
+            let after = KvEngine::batch_read_stats(db);
+            let read = after.blocks_read - before.blocks_read;
+            // The acceptance contract: each needed block is fetched —
+            // and therefore CRC-verified and decompressed — exactly
+            // once per batch, inline and pooled alike.
+            assert_eq!(
+                decoded,
+                read,
+                "pool={}: {read} fetches decoded {decoded} frames",
+                db.read_pool_threads()
+            );
+            assert!(read < n as u64 / 4, "block reads did not dedup");
+            assert!(
+                after.blocks_decompressed > before.blocks_decompressed,
+                "dict tables should actually decompress"
+            );
+        }
+        assert_eq!(
+            inline.apply_batch(vec![EngineOp::MultiGet(keys.clone())]),
+            pooled.apply_batch(vec![EngineOp::MultiGet(keys)]),
+            "pooled results diverged from inline on a compressed store"
+        );
+    }
+
+    #[test]
+    fn block_decode_fault_is_positionally_deterministic() {
+        use tb_common::fault::{self, FaultMode};
+        let _g = crate::fault_test_gate();
+        let n = 400;
+        let (_dir, inline, pooled) =
+            inline_and_pooled_codec("decodefault", n, crate::sstable::BlockCodec::Lz);
+        let keys: Vec<Key> = (0..n).map(k).collect();
+        let clean = inline.apply_batch(vec![EngineOp::MultiGet(keys.clone())]);
+        let total_fetches = KvEngine::batch_read_stats(&inline).blocks_read;
+        assert!(total_fetches >= 2, "working set too small to be staged");
+        // For every block the decode fault can land on, inline and
+        // pooled passes must fail the identical slot set with
+        // Corruption, unrelated slots answer clean, and the store
+        // stays usable afterward.
+        for hit in 1..=total_fetches {
+            let mut failed = Vec::new();
+            for db in [&inline, &pooled] {
+                fault::arm_scoped("sst.block_decode", hit, FaultMode::Error);
+                let per_key =
+                    db.apply_batch(keys.iter().map(|key| EngineOp::Get(key.clone())).collect());
+                fault::reset();
+                let errs: Vec<usize> = per_key
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.is_err().then_some(i))
+                    .collect();
+                assert!(
+                    !errs.is_empty(),
+                    "hit {hit} never fired (pool={}, fetches={total_fetches})",
+                    db.read_pool_threads()
+                );
+                for (i, r) in per_key.iter().enumerate() {
+                    match r {
+                        Err(e) => assert!(
+                            matches!(e, Error::Corruption(_)),
+                            "decode fault must surface as Corruption, got {e:?}"
+                        ),
+                        Ok(outcome) => assert_eq!(
+                            outcome,
+                            &OpOutcome::Value(match &clean[0] {
+                                Ok(OpOutcome::Values(vs)) => vs[i].clone(),
+                                other => panic!("clean run failed: {other:?}"),
+                            }),
+                            "slot {i} answered differently under an unrelated decode fault"
+                        ),
+                    }
+                }
+                failed.push(errs);
+            }
+            assert_eq!(
+                failed[0], failed[1],
+                "hit {hit}: pooled decode fault landed on different slots than inline"
+            );
+        }
+        // Store stays usable: the corruption was injected, not real.
+        assert_eq!(
+            inline.apply_batch(vec![EngineOp::MultiGet(keys)]),
+            clean,
+            "store must serve cleanly after decode faults"
         );
     }
 

@@ -60,6 +60,7 @@ pub const FAULT_SITES: &[&str] = &[
     "compact.remove_obsolete",
     "batch.complete",
     "batch.block_read",
+    "sst.block_decode",
 ];
 
 /// The subset of [`FAULT_SITES`] that are buffer writes, where a torn

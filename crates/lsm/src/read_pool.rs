@@ -39,10 +39,16 @@ use tb_common::{Error, Result};
 /// gives the pool enough runs to overlap even for one big table scan.
 const MAX_RUN_BLOCKS: usize = 32;
 
-/// One fetch request: block `block` of `table`.
+/// One fetch request: block `block` of `table`. `corrupt` is the
+/// pre-computed `sst.block_decode` fault decision for this fetch (made
+/// on the submitting thread, in sorted fetch order, like every fault
+/// gate) — a marked block decodes to a per-slot `Error::Corruption` on
+/// whichever thread claims it, keeping pooled and inline paths
+/// positionally identical.
 pub struct FetchJob {
     pub table: Arc<SstReader>,
     pub block: usize,
+    pub corrupt: bool,
 }
 
 /// A maximal run of same-table, adjacent blocks — one unit of work.
@@ -52,6 +58,8 @@ struct Run {
     count: usize,
     /// `slots[slot_base..slot_base + count]` receive this run's blocks.
     slot_base: usize,
+    /// Per-block corruption marks, aligned with the run's blocks.
+    corrupt: Vec<bool>,
 }
 
 /// Shared state of one submitted chain.
@@ -75,19 +83,15 @@ impl Chain {
         loop {
             let i = self.cursor.fetch_add(1, Ordering::Relaxed);
             let Some(run) = self.runs.get(i) else { return };
-            let blocks = run.table.read_blocks(run.first_block, run.count);
+            // Frame decode (CRC verify + decompression) happens here,
+            // on the claiming thread; a bad frame fails only its own
+            // slot, a span IO error fails the whole run.
+            let blocks = run
+                .table
+                .read_blocks_marked(run.first_block, run.count, &run.corrupt);
             let mut state = self.state.lock();
-            match blocks {
-                Ok(blocks) => {
-                    for (j, block) in blocks.into_iter().enumerate() {
-                        state.slots[run.slot_base + j] = Some(Ok(block));
-                    }
-                }
-                Err(e) => {
-                    for j in 0..run.count {
-                        state.slots[run.slot_base + j] = Some(Err(e.clone()));
-                    }
-                }
+            for (j, block) in blocks.into_iter().enumerate() {
+                state.slots[run.slot_base + j] = Some(block);
             }
             state.runs_left -= 1;
             if state.runs_left == 0 {
@@ -263,13 +267,16 @@ fn build_chain(jobs: &[FetchJob]) -> Chain {
                 && run.count < MAX_RUN_BLOCKS
         });
         if extends {
-            runs.last_mut().expect("just matched").count += 1;
+            let run = runs.last_mut().expect("just matched");
+            run.count += 1;
+            run.corrupt.push(job.corrupt);
         } else {
             runs.push(Run {
                 table: job.table.clone(),
                 first_block: job.block,
                 count: 1,
                 slot_base: slot,
+                corrupt: vec![job.corrupt],
             });
         }
     }
@@ -331,7 +338,7 @@ mod tests {
             entries,
             &SstConfig {
                 block_size: 256,
-                bloom_bits_per_key: 10,
+                ..SstConfig::default()
             },
         )
         .unwrap();
@@ -357,6 +364,7 @@ mod tests {
         .map(|(block, t)| FetchJob {
             table: (*t).clone(),
             block: *block,
+            corrupt: false,
         })
         .collect();
         let results = pool.fetch_chain(&jobs);
@@ -392,6 +400,7 @@ mod tests {
                             .map(|block| FetchJob {
                                 table: t.clone(),
                                 block,
+                                corrupt: false,
                             })
                             .collect();
                         let results = pool.fetch_chain(&jobs);

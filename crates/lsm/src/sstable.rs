@@ -1,24 +1,45 @@
-//! Block-based sorted string tables.
+//! Block-based sorted string tables with compressed, checksummed
+//! block frames.
 //!
-//! File layout:
+//! File layout (v2, the only format written):
 //!
 //! ```text
-//! [data block]* [filter block] [index block] [footer]
+//! [block frame]* [dict payload] [filter block] [index block] [footer]
+//! block frame := codec_tag u8 | uncompressed_len u32 | crc32(payload) u32 | payload
 //! data entry  := flag u8 | varint(klen) | varint(vlen) | key | value
-//! index entry := varint(klen) | first_key | off u64 | len u32
-//! footer      := index_off u64 | index_len u32 | filter_off u64 |
-//!                filter_len u32 | entry_count u32 | crc u32 | MAGIC u32
+//! index entry := varint(klen) | first_key | off u64 | len u32   (on-disk frame extents)
+//! footer      := dict_off u64 | dict_len u32 | codec u8 |
+//!                index_off u64 | index_len u32 | filter_off u64 |
+//!                filter_len u32 | entry_count u32 | crc u32 | MAGIC2 u32
 //! ```
 //!
-//! Readers keep the sparse index and bloom filter in memory and read one
-//! data block per point lookup.
+//! Blocks are sized pre-compression (`SstConfig::block_size` bounds the
+//! *uncompressed* payload) and framed through the table's
+//! [`BlockCodec`]; index entries point at the variable-length on-disk
+//! frames. The codec's trained state (tzstd dictionary / PBC model) is
+//! sampled from the input values and stored as the table-level dict
+//! payload, so a table is self-describing. Every block read verifies
+//! the frame CRC before any key search; a bad block is a per-slot
+//! [`Error::Corruption`], never a torn batch.
+//!
+//! Compatibility gate: tables written before the framed format (legacy
+//! `MAGIC`, raw blocks, 36-byte footer) still open and read — the
+//! footer magic selects the read path.
+//!
+//! Readers keep the sparse index and bloom filter in memory and read
+//! one frame per point lookup.
 
 use crate::bloom::BloomFilter;
 use crate::memtable::Entry;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tb_common::{crc32, fault, read_varint, write_varint, Error, Key, Result, Value};
+use tb_compress::block::MAX_TRAIN_SAMPLES;
+pub use tb_compress::block::{BlockCodec, FRAME_HEADER_LEN, FRAME_TAG_STORED};
+use tb_compress::BlockCodecState;
 
 /// Fsyncs `path`'s parent directory so a just-renamed file survives a
 /// crash of the directory metadata. `site` names the fault point.
@@ -30,8 +51,12 @@ pub(crate) fn sync_parent_dir(path: &Path, site: &'static str) -> Result<()> {
     Ok(())
 }
 
+/// Legacy raw-block format (pre-compression).
 const MAGIC: u32 = 0x7b5d_57a1;
 const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 4 + 4 + 4;
+/// Framed format: compressed, checksummed blocks + dict payload.
+const MAGIC2: u32 = 0x7b5d_57a2;
+const FOOTER2_LEN: usize = 8 + 4 + 1 + FOOTER_LEN;
 const FLAG_PUT: u8 = 0;
 const FLAG_TOMBSTONE: u8 = 1;
 
@@ -42,6 +67,9 @@ pub struct SstConfig {
     pub block_size: usize,
     /// Bloom filter bits per key.
     pub bloom_bits_per_key: usize,
+    /// Per-table block codec; trained state is sampled from the input
+    /// values at flush/compaction and stored in the table.
+    pub codec: BlockCodec,
 }
 
 impl Default for SstConfig {
@@ -49,6 +77,7 @@ impl Default for SstConfig {
         Self {
             block_size: 4096,
             bloom_bits_per_key: 10,
+            codec: BlockCodec::None,
         }
     }
 }
@@ -64,6 +93,35 @@ pub struct SstMeta {
     pub file_size: u64,
 }
 
+/// What one table build did on the compression dimension.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SstBuildStats {
+    /// Data blocks written.
+    pub blocks: u64,
+    /// Blocks whose frame carries a compressed payload (the rest fell
+    /// back to stored frames).
+    pub blocks_compressed: u64,
+    /// Raw block bytes before framing.
+    pub uncompressed_bytes: u64,
+    /// On-disk data region bytes: frames (headers included) plus the
+    /// dict payload.
+    pub compressed_bytes: u64,
+}
+
+/// Decode-side counters, shared by every reader of one store so the
+/// engine can export them (`lsm_block_decode_errors` and friends).
+#[derive(Debug, Default)]
+pub struct SstDecodeStats {
+    /// Frames decoded (CRC-verified) on any read path.
+    pub blocks_decoded: AtomicU64,
+    /// Frames whose payload was actually decompressed (stored frames
+    /// and legacy raw blocks don't count).
+    pub blocks_decompressed: AtomicU64,
+    /// Frames that failed CRC/decode — surfaced as per-slot
+    /// [`Error::Corruption`].
+    pub block_decode_errors: AtomicU64,
+}
+
 /// Writes a sorted entry stream into an SSTable file.
 pub fn write_sstable(
     id: u64,
@@ -71,22 +129,28 @@ pub fn write_sstable(
     entries: impl Iterator<Item = (Key, Entry)>,
     config: &SstConfig,
 ) -> Result<SstMeta> {
-    let mut data = Vec::new();
-    let mut index = Vec::new();
-    let mut filter_items: Vec<Key> = Vec::new();
-    let mut block_start = 0usize;
+    write_sstable_with_stats(id, path, entries, config).map(|(meta, _)| meta)
+}
+
+/// [`write_sstable`], also returning the build's compression counters.
+pub fn write_sstable_with_stats(
+    id: u64,
+    path: &Path,
+    entries: impl Iterator<Item = (Key, Entry)>,
+    config: &SstConfig,
+) -> Result<(SstMeta, SstBuildStats)> {
+    // Pass 1 (streaming): encode entries into uncompressed blocks cut
+    // at `block_size`, collecting the codec's training samples (first
+    // MAX_TRAIN_SAMPLES put values — deterministic for a fixed input).
+    let mut blocks: Vec<(Key, Vec<u8>)> = Vec::new();
+    let mut block = Vec::new();
     let mut block_first_key: Option<Key> = None;
+    let mut samples: Vec<Vec<u8>> = Vec::new();
+    let mut filter_items: Vec<Key> = Vec::new();
     let mut min_key: Option<Key> = None;
     let mut max_key: Option<Key> = None;
     let mut entry_count = 0u32;
     let mut prev_key: Option<Key> = None;
-
-    let finish_block = |index: &mut Vec<u8>, first: &Key, start: usize, end: usize| {
-        write_varint(index, first.len() as u64);
-        index.extend_from_slice(first.as_slice());
-        index.extend_from_slice(&(start as u64).to_le_bytes());
-        index.extend_from_slice(&((end - start) as u32).to_le_bytes());
-    };
 
     for (key, entry) in entries {
         if let Some(prev) = &prev_key {
@@ -102,17 +166,20 @@ pub fn write_sstable(
         }
         match &entry {
             Entry::Put(v) => {
-                data.push(FLAG_PUT);
-                write_varint(&mut data, key.len() as u64);
-                write_varint(&mut data, v.len() as u64);
-                data.extend_from_slice(key.as_slice());
-                data.extend_from_slice(v.as_slice());
+                block.push(FLAG_PUT);
+                write_varint(&mut block, key.len() as u64);
+                write_varint(&mut block, v.len() as u64);
+                block.extend_from_slice(key.as_slice());
+                block.extend_from_slice(v.as_slice());
+                if samples.len() < MAX_TRAIN_SAMPLES {
+                    samples.push(v.as_slice().to_vec());
+                }
             }
             Entry::Tombstone => {
-                data.push(FLAG_TOMBSTONE);
-                write_varint(&mut data, key.len() as u64);
-                write_varint(&mut data, 0);
-                data.extend_from_slice(key.as_slice());
+                block.push(FLAG_TOMBSTONE);
+                write_varint(&mut block, key.len() as u64);
+                write_varint(&mut block, 0);
+                block.extend_from_slice(key.as_slice());
             }
         }
         filter_items.push(key.clone());
@@ -120,20 +187,44 @@ pub fn write_sstable(
         max_key = Some(key.clone());
         entry_count += 1;
 
-        if data.len() - block_start >= config.block_size {
+        if block.len() >= config.block_size {
             let first = block_first_key.take().expect("block has a first key");
-            finish_block(&mut index, &first, block_start, data.len());
-            block_start = data.len();
+            blocks.push((first, std::mem::take(&mut block)));
         }
     }
     if let Some(first) = block_first_key.take() {
-        finish_block(&mut index, &first, block_start, data.len());
+        blocks.push((first, std::mem::take(&mut block)));
     }
     if entry_count == 0 {
         return Err(Error::InvalidArgument(
             "refusing to write empty sstable".into(),
         ));
     }
+
+    // Pass 2: train the codec on the sampled values, then frame-encode
+    // every block. Index entries point at the on-disk frame extents.
+    let codec_state = BlockCodecState::train(config.codec, &samples);
+    let mut stats = SstBuildStats::default();
+    let mut data = Vec::new();
+    let mut index = Vec::new();
+    for (first, raw) in &blocks {
+        let frame_start = data.len();
+        stats.blocks += 1;
+        stats.uncompressed_bytes += raw.len() as u64;
+        if codec_state.encode_frame(raw, &mut data) {
+            stats.blocks_compressed += 1;
+        }
+        write_varint(&mut index, first.len() as u64);
+        index.extend_from_slice(first.as_slice());
+        index.extend_from_slice(&(frame_start as u64).to_le_bytes());
+        index.extend_from_slice(&((data.len() - frame_start) as u32).to_le_bytes());
+    }
+    // The dict payload rides in the data region, after the frames, so
+    // the existing `sst.write.data` fault site covers it.
+    let dict_off = data.len() as u64;
+    let dict_payload = codec_state.dict_payload();
+    data.extend_from_slice(dict_payload);
+    stats.compressed_bytes = data.len() as u64;
 
     let mut bloom = BloomFilter::new(filter_items.len(), config.bloom_bits_per_key);
     for k in &filter_items {
@@ -144,7 +235,10 @@ pub fn write_sstable(
     let filter_off = data.len() as u64;
     let index_off = filter_off + filter.len() as u64;
 
-    let mut footer = Vec::with_capacity(FOOTER_LEN);
+    let mut footer = Vec::with_capacity(FOOTER2_LEN);
+    footer.extend_from_slice(&dict_off.to_le_bytes());
+    footer.extend_from_slice(&(dict_payload.len() as u32).to_le_bytes());
+    footer.push(config.codec.tag());
     footer.extend_from_slice(&index_off.to_le_bytes());
     footer.extend_from_slice(&(index.len() as u32).to_le_bytes());
     footer.extend_from_slice(&filter_off.to_le_bytes());
@@ -152,7 +246,7 @@ pub fn write_sstable(
     footer.extend_from_slice(&entry_count.to_le_bytes());
     let crc = crc32(&footer);
     footer.extend_from_slice(&crc.to_le_bytes());
-    footer.extend_from_slice(&MAGIC.to_le_bytes());
+    footer.extend_from_slice(&MAGIC2.to_le_bytes());
 
     let tmp = path.with_extension("tmp");
     let written = (|| -> Result<()> {
@@ -173,15 +267,16 @@ pub fn write_sstable(
         return Err(e);
     }
 
-    let file_size = (data.len() + filter.len() + index.len() + FOOTER_LEN) as u64;
-    Ok(SstMeta {
+    let file_size = (data.len() + filter.len() + index.len() + FOOTER2_LEN) as u64;
+    let meta = SstMeta {
         id,
         path: path.to_path_buf(),
         min_key: min_key.expect("non-empty"),
         max_key: max_key.expect("non-empty"),
         entry_count,
         file_size,
-    })
+    };
+    Ok((meta, stats))
 }
 
 struct IndexEntry {
@@ -192,6 +287,7 @@ struct IndexEntry {
 
 /// One fetched data block, possibly a window into a larger coalesced
 /// span read shared (refcounted, copy-free) with its neighbor blocks.
+/// For framed tables the buffer owns the *decompressed* bytes.
 #[derive(Debug, Clone)]
 pub struct BlockBuf {
     span: std::sync::Arc<Vec<u8>>,
@@ -221,7 +317,9 @@ impl BlockBuf {
 /// Block reads are positional (`pread`-style), so any number of
 /// threads — the tree-lock-free completion pass, the parallel
 /// [`crate::read_pool::ReadPool`] workers — can fetch blocks from one
-/// reader concurrently without serializing on a seek cursor.
+/// reader concurrently without serializing on a seek cursor. Frame
+/// decode (CRC verify + decompression) happens on whichever thread
+/// claimed the read, so pooled and inline paths stay byte-identical.
 pub struct SstReader {
     file: File,
     /// Platforms without a positional read serialize their shared
@@ -231,38 +329,112 @@ pub struct SstReader {
     index: Vec<IndexEntry>,
     bloom: BloomFilter,
     pub meta: SstMeta,
+    /// Format gate: `true` for framed (v2) tables, `false` for legacy
+    /// raw-block (v1) tables that predate compression.
+    framed: bool,
+    codec_state: BlockCodecState,
+    decode_stats: Arc<SstDecodeStats>,
 }
 
 impl SstReader {
-    /// Opens and validates a table written by [`write_sstable`].
+    /// Opens and validates a table with private decode counters.
     pub fn open(meta: SstMeta) -> Result<Self> {
+        Self::open_shared(meta, Arc::new(SstDecodeStats::default()))
+    }
+
+    /// Opens and validates a table written by [`write_sstable`] (either
+    /// format), recording decode activity into `decode_stats` (one
+    /// engine shares a single stats instance across all its tables).
+    pub fn open_shared(meta: SstMeta, decode_stats: Arc<SstDecodeStats>) -> Result<Self> {
         let mut file = File::open(&meta.path)?;
         let file_len = file.metadata()?.len();
         if file_len < FOOTER_LEN as u64 {
             return Err(Error::Corruption("sstable shorter than footer".into()));
         }
-        let mut footer = vec![0u8; FOOTER_LEN];
-        file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
-        file.read_exact(&mut footer)?;
-        let magic = u32::from_le_bytes(footer[FOOTER_LEN - 4..].try_into().unwrap());
-        if magic != MAGIC {
-            return Err(Error::Corruption("bad sstable magic".into()));
-        }
-        let stored_crc =
-            u32::from_le_bytes(footer[FOOTER_LEN - 8..FOOTER_LEN - 4].try_into().unwrap());
-        if crc32(&footer[..FOOTER_LEN - 8]) != stored_crc {
-            return Err(Error::Corruption("sstable footer crc mismatch".into()));
-        }
-        let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
-        let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
-        let filter_off = u64::from_le_bytes(footer[12..20].try_into().unwrap());
-        let filter_len = u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
+        let mut magic_bytes = [0u8; 4];
+        file.seek(SeekFrom::End(-4))?;
+        file.read_exact(&mut magic_bytes)?;
+        let magic = u32::from_le_bytes(magic_bytes);
 
-        if index_off + index_len as u64 + FOOTER_LEN as u64 != file_len {
-            return Err(Error::Corruption(
-                "sstable section offsets inconsistent".into(),
-            ));
-        }
+        let (framed, dict_off, dict_len, index_off, index_len, filter_off, filter_len) = match magic
+        {
+            MAGIC2 => {
+                if file_len < FOOTER2_LEN as u64 {
+                    return Err(Error::Corruption("sstable shorter than footer".into()));
+                }
+                let mut footer = vec![0u8; FOOTER2_LEN];
+                file.seek(SeekFrom::End(-(FOOTER2_LEN as i64)))?;
+                file.read_exact(&mut footer)?;
+                let stored_crc = u32::from_le_bytes(
+                    footer[FOOTER2_LEN - 8..FOOTER2_LEN - 4].try_into().unwrap(),
+                );
+                if crc32(&footer[..FOOTER2_LEN - 8]) != stored_crc {
+                    return Err(Error::Corruption("sstable footer crc mismatch".into()));
+                }
+                let dict_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+                let dict_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+                let codec_tag = footer[12];
+                let index_off = u64::from_le_bytes(footer[13..21].try_into().unwrap());
+                let index_len = u32::from_le_bytes(footer[21..25].try_into().unwrap()) as usize;
+                let filter_off = u64::from_le_bytes(footer[25..33].try_into().unwrap());
+                let filter_len = u32::from_le_bytes(footer[33..37].try_into().unwrap()) as usize;
+                if BlockCodec::from_tag(codec_tag).is_none() {
+                    return Err(Error::Corruption(format!(
+                        "unknown sstable codec tag {codec_tag}"
+                    )));
+                }
+                if index_off + index_len as u64 + FOOTER2_LEN as u64 != file_len
+                    || dict_off + dict_len as u64 != filter_off
+                    || filter_off + filter_len as u64 != index_off
+                {
+                    return Err(Error::Corruption(
+                        "sstable section offsets inconsistent".into(),
+                    ));
+                }
+                (
+                    true, dict_off, dict_len, index_off, index_len, filter_off, filter_len,
+                )
+            }
+            MAGIC => {
+                // Legacy pre-compression table: raw blocks, no dict.
+                let mut footer = vec![0u8; FOOTER_LEN];
+                file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+                file.read_exact(&mut footer)?;
+                let stored_crc =
+                    u32::from_le_bytes(footer[FOOTER_LEN - 8..FOOTER_LEN - 4].try_into().unwrap());
+                if crc32(&footer[..FOOTER_LEN - 8]) != stored_crc {
+                    return Err(Error::Corruption("sstable footer crc mismatch".into()));
+                }
+                let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+                let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+                let filter_off = u64::from_le_bytes(footer[12..20].try_into().unwrap());
+                let filter_len = u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
+                if index_off + index_len as u64 + FOOTER_LEN as u64 != file_len {
+                    return Err(Error::Corruption(
+                        "sstable section offsets inconsistent".into(),
+                    ));
+                }
+                (false, 0, 0, index_off, index_len, filter_off, filter_len)
+            }
+            _ => return Err(Error::Corruption("bad sstable magic".into())),
+        };
+
+        let codec_state = if framed {
+            let codec_tag = {
+                // Re-read the codec byte via the validated footer copy.
+                let mut footer = vec![0u8; FOOTER2_LEN];
+                file.seek(SeekFrom::End(-(FOOTER2_LEN as i64)))?;
+                file.read_exact(&mut footer)?;
+                footer[12]
+            };
+            let codec = BlockCodec::from_tag(codec_tag).expect("validated above");
+            let mut dict_payload = vec![0u8; dict_len];
+            file.seek(SeekFrom::Start(dict_off))?;
+            file.read_exact(&mut dict_payload)?;
+            BlockCodecState::from_dict_payload(codec, &dict_payload)?
+        } else {
+            BlockCodecState::default()
+        };
 
         let mut filter_bytes = vec![0u8; filter_len];
         file.seek(SeekFrom::Start(filter_off))?;
@@ -300,7 +472,15 @@ impl SstReader {
             index,
             bloom,
             meta,
+            framed,
+            codec_state,
+            decode_stats,
         })
+    }
+
+    /// The table's block codec (`None` for legacy tables).
+    pub fn codec(&self) -> BlockCodec {
+        self.codec_state.codec()
     }
 
     /// Point lookup. `None` means "not in this table"; a tombstone is
@@ -382,12 +562,63 @@ impl SstReader {
         Ok(out)
     }
 
-    /// Reads data block `idx` (the IO half of a point lookup).
+    /// Reads and decodes data block `idx` (the IO half of a point
+    /// lookup): fetch the on-disk frame, verify its CRC, decompress.
     pub fn read_block(&self, idx: usize) -> Result<Vec<u8>> {
+        self.read_block_marked(idx, false)
+    }
+
+    /// [`Self::read_block`] with a fault-injection corruption mark: a
+    /// marked block's frame is deterministically mangled before decode
+    /// (bad CRC / truncated frame / garbage payload, chosen by frame
+    /// length), so it surfaces as the same [`Error::Corruption`] a real
+    /// torn or rotted block would — on either completion pass.
+    pub fn read_block_marked(&self, idx: usize, corrupt: bool) -> Result<Vec<u8>> {
+        let raw = self.read_raw_block(idx)?;
+        self.decode(raw, corrupt)
+    }
+
+    /// The on-disk bytes of block `idx` (frame or legacy raw block).
+    fn read_raw_block(&self, idx: usize) -> Result<Vec<u8>> {
         let e = &self.index[idx];
         let mut buf = vec![0u8; e.len as usize];
         self.read_at(&mut buf, e.offset)?;
         Ok(buf)
+    }
+
+    /// Decodes one fetched frame, tracking decode/decompression/error
+    /// counters and the decompression latency histogram.
+    fn decode(&self, raw: Vec<u8>, corrupt: bool) -> Result<Vec<u8>> {
+        if !self.framed {
+            // Legacy table: no frame to verify. A corruption mark still
+            // must fail the slot deterministically.
+            if corrupt {
+                return Err(Error::Corruption("sstable block marked corrupt".into()));
+            }
+            return Ok(raw);
+        }
+        let frame = if corrupt { mangle_frame(&raw) } else { raw };
+        self.decode_stats
+            .blocks_decoded
+            .fetch_add(1, Ordering::Relaxed);
+        let compressed = frame.first().is_some_and(|&tag| tag != FRAME_TAG_STORED);
+        let t0 = tb_obs::start();
+        let out = self.codec_state.decode_frame(&frame);
+        match &out {
+            Ok(_) if compressed => {
+                tb_obs::histo!("lsm_block_decompress_ns").record_since(t0);
+                self.decode_stats
+                    .blocks_decompressed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {}
+            Err(_) => {
+                self.decode_stats
+                    .block_decode_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        out
     }
 
     /// Number of data blocks in this table.
@@ -395,17 +626,37 @@ impl SstReader {
         self.index.len()
     }
 
-    /// Reads `count` consecutive data blocks starting at `first` with
-    /// one positional read of the whole span — data blocks are laid out
-    /// back-to-back, so a sorted per-batch fetch chain can coalesce an
-    /// adjacent run into a single syscall (the buffered stand-in for
-    /// one io_uring SQE chain over the run). Returns one [`BlockBuf`]
-    /// per block, aligned with `first..first + count`; all of them
-    /// share the single span allocation (no per-block copy).
+    /// Reads and decodes `count` consecutive data blocks starting at
+    /// `first`. The on-disk frames are laid out back-to-back, so the
+    /// whole run is fetched with one positional read of the span (the
+    /// buffered stand-in for one io_uring SQE chain); each frame is
+    /// then decoded by the claiming thread. Returns one [`BlockBuf`]
+    /// per block, aligned with `first..first + count`. Legacy tables
+    /// share the single span allocation copy-free; framed tables own
+    /// their decompressed bytes.
     pub fn read_blocks(&self, first: usize, count: usize) -> Result<Vec<BlockBuf>> {
+        self.read_blocks_marked(first, count, &[])
+            .into_iter()
+            .collect()
+    }
+
+    /// [`Self::read_blocks`] with per-block corruption marks (empty =
+    /// none marked) and per-block results: one bad frame fails only its
+    /// own slot, the rest of the run still answers. An IO error on the
+    /// span read fails every block in the run.
+    pub fn read_blocks_marked(
+        &self,
+        first: usize,
+        count: usize,
+        corrupt: &[bool],
+    ) -> Vec<Result<BlockBuf>> {
         debug_assert!(count > 0 && first + count <= self.index.len());
+        debug_assert!(corrupt.is_empty() || corrupt.len() == count);
+        let marked = |i: usize| corrupt.get(i).copied().unwrap_or(false);
         if count == 1 {
-            return Ok(vec![BlockBuf::from_vec(self.read_block(first)?)]);
+            return vec![self
+                .read_block_marked(first, marked(0))
+                .map(BlockBuf::from_vec)];
         }
         let run = &self.index[first..first + count];
         let span: u64 = run.iter().map(|e| e.len as u64).sum();
@@ -414,26 +665,40 @@ impl SstReader {
             .all(|w| w[0].offset + w[0].len as u64 == w[1].offset);
         if !contiguous {
             // Defensive: a gap in the layout falls back to block reads.
-            return run
-                .iter()
-                .enumerate()
-                .map(|(i, _)| Ok(BlockBuf::from_vec(self.read_block(first + i)?)))
+            return (0..count)
+                .map(|i| {
+                    self.read_block_marked(first + i, marked(i))
+                        .map(BlockBuf::from_vec)
+                })
                 .collect();
         }
         let mut buf = vec![0u8; span as usize];
-        self.read_at(&mut buf, run[0].offset)?;
-        let span = std::sync::Arc::new(buf);
+        if let Err(e) = self.read_at(&mut buf, run[0].offset) {
+            return (0..count).map(|_| Err(e.clone())).collect();
+        }
+        if !self.framed && corrupt.iter().all(|&c| !c) {
+            // Legacy fast path: raw blocks window into the shared span.
+            let span = std::sync::Arc::new(buf);
+            let mut out = Vec::with_capacity(count);
+            let mut pos = 0usize;
+            for e in run {
+                out.push(Ok(BlockBuf {
+                    span: span.clone(),
+                    start: pos,
+                    end: pos + e.len as usize,
+                }));
+                pos += e.len as usize;
+            }
+            return out;
+        }
         let mut out = Vec::with_capacity(count);
         let mut pos = 0usize;
-        for e in run {
-            out.push(BlockBuf {
-                span: span.clone(),
-                start: pos,
-                end: pos + e.len as usize,
-            });
+        for (i, e) in run.iter().enumerate() {
+            let frame = buf[pos..pos + e.len as usize].to_vec();
             pos += e.len as usize;
+            out.push(self.decode(frame, marked(i)).map(BlockBuf::from_vec));
         }
-        Ok(out)
+        out
     }
 
     #[cfg(unix)]
@@ -470,6 +735,128 @@ impl SstReader {
         file.read_exact(buf)?;
         Ok(())
     }
+}
+
+/// Deterministically mangles a frame for the `sst.block_decode` fault
+/// site, cycling through the three corruption shapes by frame length:
+/// a flipped CRC byte, a truncation below the header, and a garbage
+/// payload (CRC re-stamped for compressed frames so the *codec* has to
+/// catch it; left stale for stored frames so the CRC check does).
+fn mangle_frame(frame: &[u8]) -> Vec<u8> {
+    let mut bad = frame.to_vec();
+    match frame.len() % 3 {
+        0 => {
+            if bad.len() > 5 {
+                bad[5] ^= 0xff;
+            } else {
+                bad.clear();
+            }
+        }
+        1 => bad.truncate(bad.len().min(FRAME_HEADER_LEN - 5)),
+        _ => {
+            for b in bad.iter_mut().skip(FRAME_HEADER_LEN) {
+                *b = 0x5a;
+            }
+            if bad.len() > FRAME_HEADER_LEN && bad[0] != FRAME_TAG_STORED {
+                let crc = crc32(&bad[FRAME_HEADER_LEN..]);
+                bad[5..9].copy_from_slice(&crc.to_le_bytes());
+            }
+        }
+    }
+    bad
+}
+
+/// Writes the legacy (pre-compression, raw-block) v1 format — kept so
+/// the compatibility gate stays exercised: a table written before the
+/// framed format must open and read correctly through today's reader.
+#[cfg(test)]
+pub(crate) fn write_sstable_v1_for_tests(
+    id: u64,
+    path: &Path,
+    entries: impl Iterator<Item = (Key, Entry)>,
+    config: &SstConfig,
+) -> Result<SstMeta> {
+    let mut data = Vec::new();
+    let mut index = Vec::new();
+    let mut filter_items: Vec<Key> = Vec::new();
+    let mut block_start = 0usize;
+    let mut block_first_key: Option<Key> = None;
+    let mut min_key: Option<Key> = None;
+    let mut max_key: Option<Key> = None;
+    let mut entry_count = 0u32;
+
+    let finish_block = |index: &mut Vec<u8>, first: &Key, start: usize, end: usize| {
+        write_varint(index, first.len() as u64);
+        index.extend_from_slice(first.as_slice());
+        index.extend_from_slice(&(start as u64).to_le_bytes());
+        index.extend_from_slice(&((end - start) as u32).to_le_bytes());
+    };
+
+    for (key, entry) in entries {
+        if block_first_key.is_none() {
+            block_first_key = Some(key.clone());
+        }
+        match &entry {
+            Entry::Put(v) => {
+                data.push(FLAG_PUT);
+                write_varint(&mut data, key.len() as u64);
+                write_varint(&mut data, v.len() as u64);
+                data.extend_from_slice(key.as_slice());
+                data.extend_from_slice(v.as_slice());
+            }
+            Entry::Tombstone => {
+                data.push(FLAG_TOMBSTONE);
+                write_varint(&mut data, key.len() as u64);
+                write_varint(&mut data, 0);
+                data.extend_from_slice(key.as_slice());
+            }
+        }
+        filter_items.push(key.clone());
+        min_key.get_or_insert_with(|| key.clone());
+        max_key = Some(key.clone());
+        entry_count += 1;
+        if data.len() - block_start >= config.block_size {
+            let first = block_first_key.take().expect("block has a first key");
+            finish_block(&mut index, &first, block_start, data.len());
+            block_start = data.len();
+        }
+    }
+    if let Some(first) = block_first_key.take() {
+        finish_block(&mut index, &first, block_start, data.len());
+    }
+
+    let mut bloom = BloomFilter::new(filter_items.len(), config.bloom_bits_per_key);
+    for k in &filter_items {
+        bloom.insert(k.as_slice());
+    }
+    let filter = bloom.to_bytes();
+    let filter_off = data.len() as u64;
+    let index_off = filter_off + filter.len() as u64;
+
+    let mut footer = Vec::with_capacity(FOOTER_LEN);
+    footer.extend_from_slice(&index_off.to_le_bytes());
+    footer.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    footer.extend_from_slice(&filter_off.to_le_bytes());
+    footer.extend_from_slice(&(filter.len() as u32).to_le_bytes());
+    footer.extend_from_slice(&entry_count.to_le_bytes());
+    let crc = crc32(&footer);
+    footer.extend_from_slice(&crc.to_le_bytes());
+    footer.extend_from_slice(&MAGIC.to_le_bytes());
+
+    let mut bytes = data;
+    bytes.extend_from_slice(&filter);
+    bytes.extend_from_slice(&index);
+    bytes.extend_from_slice(&footer);
+    let file_size = bytes.len() as u64;
+    std::fs::write(path, &bytes)?;
+    Ok(SstMeta {
+        id,
+        path: path.to_path_buf(),
+        min_key: min_key.expect("non-empty"),
+        max_key: max_key.expect("non-empty"),
+        entry_count,
+        file_size,
+    })
 }
 
 /// Decodes every entry of a data block in key order (a range scan's
@@ -555,6 +942,14 @@ mod tests {
         let path = dir.create().join(name);
         let meta = write_sstable(1, &path, entries.into_iter(), &SstConfig::default()).unwrap();
         (dir, SstReader::open(meta).unwrap())
+    }
+
+    fn cfg(block_size: usize, codec: BlockCodec) -> SstConfig {
+        SstConfig {
+            block_size,
+            bloom_bits_per_key: 10,
+            codec,
+        }
     }
 
     #[test]
@@ -653,12 +1048,14 @@ mod tests {
     fn small_blocks_force_multiple_index_entries() {
         let dir = tmpdir();
         let path = dir.create().join("blocks.sst");
-        let cfg = SstConfig {
-            block_size: 64,
-            bloom_bits_per_key: 10,
-        };
         let entries = sample_entries(200);
-        let meta = write_sstable(1, &path, entries.clone().into_iter(), &cfg).unwrap();
+        let meta = write_sstable(
+            1,
+            &path,
+            entries.clone().into_iter(),
+            &cfg(64, BlockCodec::None),
+        )
+        .unwrap();
         let r = SstReader::open(meta).unwrap();
         assert!(
             r.index.len() > 5,
@@ -687,12 +1084,14 @@ mod tests {
     fn locate_range_covers_exactly_the_overlapping_blocks() {
         let dir = tmpdir();
         let path = dir.create().join("range.sst");
-        let cfg = SstConfig {
-            block_size: 64,
-            bloom_bits_per_key: 10,
-        };
         let entries = sample_entries(200);
-        let meta = write_sstable(1, &path, entries.clone().into_iter(), &cfg).unwrap();
+        let meta = write_sstable(
+            1,
+            &path,
+            entries.clone().into_iter(),
+            &cfg(64, BlockCodec::None),
+        )
+        .unwrap();
         let r = SstReader::open(meta).unwrap();
         assert!(r.block_count() > 5);
 
@@ -732,27 +1131,29 @@ mod tests {
 
     #[test]
     fn span_read_matches_per_block_reads() {
-        let dir = tmpdir();
-        let path = dir.create().join("span.sst");
-        let cfg = SstConfig {
-            block_size: 128,
-            bloom_bits_per_key: 10,
-        };
-        let meta = write_sstable(1, &path, sample_entries(300).into_iter(), &cfg).unwrap();
-        let r = SstReader::open(meta).unwrap();
-        let blocks = r.block_count();
-        assert!(blocks > 8, "span test needs many blocks, got {blocks}");
-        // Every run shape: full table, interior runs, single block, tail.
-        for (first, count) in [(0, blocks), (1, blocks - 2), (3, 1), (blocks - 2, 2)] {
-            let spans = r.read_blocks(first, count).unwrap();
-            assert_eq!(spans.len(), count);
-            for (i, span) in spans.iter().enumerate() {
-                assert_eq!(
-                    span.as_slice(),
-                    r.read_block(first + i).unwrap().as_slice(),
-                    "span read of block {} diverged",
-                    first + i
-                );
+        // Both paths must return identical (decompressed) bytes, for
+        // every codec — the pooled/inline byte-identity contract.
+        for codec in BlockCodec::ALL {
+            let dir = tmpdir();
+            let path = dir.create().join("span.sst");
+            let meta =
+                write_sstable(1, &path, sample_entries(300).into_iter(), &cfg(128, codec)).unwrap();
+            let r = SstReader::open(meta).unwrap();
+            let blocks = r.block_count();
+            assert!(blocks > 8, "span test needs many blocks, got {blocks}");
+            // Every run shape: full table, interior runs, single block, tail.
+            for (first, count) in [(0, blocks), (1, blocks - 2), (3, 1), (blocks - 2, 2)] {
+                let spans = r.read_blocks(first, count).unwrap();
+                assert_eq!(spans.len(), count);
+                for (i, span) in spans.iter().enumerate() {
+                    assert_eq!(
+                        span.as_slice(),
+                        r.read_block(first + i).unwrap().as_slice(),
+                        "span read of block {} diverged (codec {})",
+                        first + i,
+                        codec.name()
+                    );
+                }
             }
         }
     }
@@ -766,10 +1167,7 @@ mod tests {
             1,
             &path,
             entries.clone().into_iter(),
-            &SstConfig {
-                block_size: 256,
-                bloom_bits_per_key: 10,
-            },
+            &cfg(256, BlockCodec::Lz),
         )
         .unwrap();
         let r = std::sync::Arc::new(SstReader::open(meta).unwrap());
@@ -786,5 +1184,203 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn every_codec_roundtrips_the_full_table() {
+        for codec in BlockCodec::ALL {
+            let dir = tmpdir();
+            let path = dir.create().join("codec.sst");
+            let entries = sample_entries(400);
+            let (meta, stats) =
+                write_sstable_with_stats(1, &path, entries.clone().into_iter(), &cfg(512, codec))
+                    .unwrap();
+            assert_eq!(stats.blocks as usize, {
+                let r = SstReader::open(meta.clone()).unwrap();
+                r.block_count()
+            });
+            let r = SstReader::open(meta).unwrap();
+            assert_eq!(r.codec(), codec);
+            assert_eq!(r.scan().unwrap(), entries, "codec {}", codec.name());
+            for (k, e) in &entries {
+                assert_eq!(
+                    r.get(k).unwrap().as_ref(),
+                    Some(e),
+                    "codec {}",
+                    codec.name()
+                );
+            }
+            if codec != BlockCodec::None {
+                assert!(
+                    stats.blocks_compressed > 0,
+                    "codec {} never compressed a block",
+                    codec.name()
+                );
+                assert!(stats.compressed_bytes < stats.uncompressed_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_table_detects_data_corruption() {
+        // Flip bytes inside a data frame: reads of that block fail with
+        // Corruption (never a panic, never silent garbage), other
+        // blocks still read.
+        let dir = tmpdir();
+        let path = dir.create().join("bitrot.sst");
+        let entries = sample_entries(300);
+        let meta = write_sstable(
+            1,
+            &path,
+            entries.clone().into_iter(),
+            &cfg(256, BlockCodec::Lz),
+        )
+        .unwrap();
+        let r = SstReader::open(meta.clone()).unwrap();
+        assert!(r.block_count() > 3);
+        let victim = &r.index[1];
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Hit the middle of block 1's frame payload.
+        let off = victim.offset as usize + victim.len as usize / 2;
+        bytes[off] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = SstReader::open(meta).unwrap();
+        match r.read_block(1) {
+            Err(Error::Corruption(_)) => {}
+            other => panic!("bit rot must be Corruption, got {other:?}"),
+        }
+        assert_eq!(
+            r.decode_stats.block_decode_errors.load(Ordering::Relaxed),
+            1
+        );
+        // Unrelated blocks are unaffected.
+        assert!(r.read_block(0).is_ok());
+        assert!(r.read_block(2).is_ok());
+        // Marked span reads fail only the bad slot.
+        let results = r.read_blocks_marked(0, 3, &[]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn marked_corrupt_blocks_fail_deterministically() {
+        for codec in BlockCodec::ALL {
+            let dir = tmpdir();
+            let path = dir.create().join("marked.sst");
+            let meta =
+                write_sstable(1, &path, sample_entries(300).into_iter(), &cfg(256, codec)).unwrap();
+            let r = SstReader::open(meta).unwrap();
+            let blocks = r.block_count();
+            assert!(blocks >= 3);
+            for idx in 0..blocks {
+                match r.read_block_marked(idx, true) {
+                    Err(Error::Corruption(_)) => {}
+                    other => panic!(
+                        "marked block {idx} (codec {}) must be Corruption, got {other:?}",
+                        codec.name()
+                    ),
+                }
+                // Unmarked read of the same block still answers.
+                assert!(r.read_block(idx).is_ok());
+            }
+            // Span path: only marked slots fail.
+            let mut marks = vec![false; blocks];
+            marks[1] = true;
+            let results = r.read_blocks_marked(0, blocks, &marks);
+            for (i, res) in results.iter().enumerate() {
+                assert_eq!(res.is_err(), i == 1, "slot {i} (codec {})", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_table_opens_and_reads() {
+        // The compatibility gate: a pre-refactor (raw-block, MAGIC v1)
+        // table opens and serves every read path post-refactor.
+        let dir = tmpdir();
+        let path = dir.create().join("legacy.sst");
+        let entries = sample_entries(300);
+        let meta = write_sstable_v1_for_tests(
+            7,
+            &path,
+            entries.clone().into_iter(),
+            &cfg(128, BlockCodec::None),
+        )
+        .unwrap();
+        let r = SstReader::open(meta).unwrap();
+        assert!(!r.framed, "v1 table must take the legacy read path");
+        assert_eq!(r.codec(), BlockCodec::None);
+        assert_eq!(r.scan().unwrap(), entries);
+        for (k, e) in &entries {
+            assert_eq!(r.get(k).unwrap().as_ref(), Some(e), "key {k:?}");
+        }
+        // Span reads (the pooled path) work and match block reads.
+        let blocks = r.block_count();
+        assert!(blocks > 5);
+        let spans = r.read_blocks(0, blocks).unwrap();
+        for (i, span) in spans.iter().enumerate() {
+            assert_eq!(span.as_slice(), r.read_block(i).unwrap().as_slice());
+        }
+        // No frame decode happened — legacy blocks are raw.
+        assert_eq!(r.decode_stats.blocks_decoded.load(Ordering::Relaxed), 0);
+        // Marked corruption still fails per-slot on legacy tables.
+        assert!(r.read_block_marked(0, true).is_err());
+    }
+
+    #[test]
+    fn dict_payload_survives_reopen() {
+        // Dict/PBC state must round-trip through the file alone (no
+        // training samples at open time).
+        let dir = tmpdir();
+        for codec in [BlockCodec::Dict, BlockCodec::Pbc] {
+            let path = dir.create().join(format!("{}.sst", codec.name()));
+            let entries: Vec<(Key, Entry)> = (0..400)
+                .map(|i| {
+                    (
+                        Key::from(format!("user{i:012}")),
+                        Entry::Put(Value::from(format!(
+                            "city\t{i}\tMetropolis-{}\tpop={}\tcountry=XX",
+                            i % 10,
+                            i * 37
+                        ))),
+                    )
+                })
+                .collect();
+            let (meta, stats) =
+                write_sstable_with_stats(1, &path, entries.clone().into_iter(), &cfg(512, codec))
+                    .unwrap();
+            assert!(
+                stats.blocks_compressed > 0,
+                "{} should compress templated rows",
+                codec.name()
+            );
+            let r = SstReader::open(meta).unwrap();
+            assert_eq!(r.scan().unwrap(), entries, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn decode_stats_count_each_block_once() {
+        let dir = tmpdir();
+        let path = dir.create().join("stats.sst");
+        let meta = write_sstable(
+            1,
+            &path,
+            sample_entries(300).into_iter(),
+            &cfg(256, BlockCodec::Lz),
+        )
+        .unwrap();
+        let stats = Arc::new(SstDecodeStats::default());
+        let r = SstReader::open_shared(meta, stats.clone()).unwrap();
+        let blocks = r.block_count();
+        let _ = r.read_blocks(0, blocks).unwrap();
+        assert_eq!(
+            stats.blocks_decoded.load(Ordering::Relaxed),
+            blocks as u64,
+            "span read must decode each frame exactly once"
+        );
+        assert!(stats.blocks_decompressed.load(Ordering::Relaxed) > 0);
+        assert_eq!(stats.block_decode_errors.load(Ordering::Relaxed), 0);
     }
 }

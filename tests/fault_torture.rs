@@ -69,7 +69,8 @@ fn fresh_dir(tag: &str) -> TestDir {
 /// Small thresholds so the scripted workload crosses several flushes
 /// and at least one compaction — every fault site gets hit.
 /// `read_pool_threads` selects the completion pass: 0 = inline fetch,
-/// 2 = the parallel shard read pool.
+/// 2 = the parallel shard read pool. Tables are written compressed so
+/// the `sst.block_decode` enumeration corrupts real frames.
 fn torture_config(dir: &std::path::Path, read_pool_threads: usize) -> LsmConfig {
     LsmConfig {
         dir: dir.to_path_buf(),
@@ -80,6 +81,7 @@ fn torture_config(dir: &std::path::Path, read_pool_threads: usize) -> LsmConfig 
         sst: SstConfig {
             block_size: 512,
             bloom_bits_per_key: 10,
+            codec: tierbase::compress::BlockCodec::Lz,
         },
         wal_sync: SyncPolicy::OsBuffer,
         read_pool_threads,
@@ -635,12 +637,13 @@ fn torn_write_torture_pipelined() {
     );
 }
 
-/// Scan batches through the `batch.block_read` enumeration: for every
-/// hit position the fault can land on, a batch mixing range scans and
-/// point gets must fail *only* the completion slots whose staged reads
-/// reference the faulted block — identically on the inline and pooled
-/// completion passes — while every other slot answers the same as a
-/// clean run.
+/// Scan batches through the `batch.block_read` *and* `sst.block_decode`
+/// enumerations: for every hit position either fault can land on, a
+/// batch mixing range scans and point gets must fail *only* the
+/// completion slots whose staged reads reference the faulted block —
+/// identically on the inline and pooled completion passes — while every
+/// other slot answers the same as a clean run (a block-read fault never
+/// fetches; a decode fault fetches a frame that fails CRC/decode).
 #[test]
 fn scan_batch_block_read_fault_fails_only_its_slots() {
     let _g = gate();
@@ -690,36 +693,51 @@ fn scan_batch_block_read_fault_fails_only_its_slots() {
     let total_fetches = KvEngine::batch_read_stats(&inline).blocks_read;
     assert!(total_fetches >= 4, "scan batch staged too few blocks");
 
-    for hit in 1..=cap_or(total_fetches) {
-        let mut failed = Vec::new();
-        for (which, db) in [("inline", &inline), ("pooled", &pooled)] {
-            fault::arm_scoped("batch.block_read", hit, FaultMode::Error);
-            let outcomes = db.apply_batch(ops());
-            fault::reset();
-            let errs: Vec<usize> = outcomes
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| r.is_err().then_some(i))
-                .collect();
-            assert!(
-                !errs.is_empty(),
-                "hit {hit} never fired ({which}: fetches={total_fetches})"
-            );
-            for (i, r) in outcomes.iter().enumerate() {
-                if r.is_ok() {
-                    assert_eq!(
-                        r, &clean[i],
-                        "{which} hit {hit}: slot {i} answered differently \
-                         under an unrelated block fault"
-                    );
+    for site in ["batch.block_read", "sst.block_decode"] {
+        for hit in 1..=cap_or(total_fetches) {
+            let mut failed = Vec::new();
+            for (which, db) in [("inline", &inline), ("pooled", &pooled)] {
+                fault::arm_scoped(site, hit, FaultMode::Error);
+                let outcomes = db.apply_batch(ops());
+                fault::reset();
+                let errs: Vec<usize> = outcomes
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.is_err().then_some(i))
+                    .collect();
+                assert!(
+                    !errs.is_empty(),
+                    "{site} hit {hit} never fired ({which}: fetches={total_fetches})"
+                );
+                if site == "sst.block_decode" {
+                    for i in &errs {
+                        assert!(
+                            matches!(outcomes[*i], Err(Error::Corruption(_))),
+                            "{which} {site} hit {hit}: slot {i} must fail with \
+                             Corruption, got {:?}",
+                            outcomes[*i]
+                        );
+                    }
                 }
+                for (i, r) in outcomes.iter().enumerate() {
+                    if r.is_ok() {
+                        assert_eq!(
+                            r, &clean[i],
+                            "{which} {site} hit {hit}: slot {i} answered differently \
+                             under an unrelated block fault"
+                        );
+                    }
+                }
+                failed.push(errs);
             }
-            failed.push(errs);
+            assert_eq!(
+                failed[0], failed[1],
+                "{site} hit {hit}: pooled fault landed on different slots than inline"
+            );
         }
-        assert_eq!(
-            failed[0], failed[1],
-            "hit {hit}: pooled scan fault landed on different slots than inline"
-        );
+        // The store stays usable between and after fault rounds.
+        let again = inline.apply_batch(ops());
+        assert_eq!(again, clean, "store must serve cleanly after {site} faults");
     }
 }
 

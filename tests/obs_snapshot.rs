@@ -29,9 +29,14 @@ fn one_snapshot_spans_every_layer() {
     }
 
     // --- lsm + frontend: pipelined serving over a durable engine ----
+    // The engine writes LZ-compressed SSTable blocks so the snapshot
+    // also covers the compression telemetry: build counters at flush,
+    // decode counters + the decompress histogram on the read back.
     let lsm_dir = tierbase::common::test_dir("obs-snap-lsm");
-    let db: Arc<dyn KvEngine> = Arc::new(LsmDb::open(LsmConfig::new(lsm_dir.path())).unwrap());
-    let fe = Frontend::start(db, FrontendConfig::with_shards(2));
+    let mut lsm_config = LsmConfig::new(lsm_dir.path());
+    lsm_config.sst.codec = tierbase::compress::BlockCodec::Lz;
+    let db = Arc::new(LsmDb::open(lsm_config).unwrap());
+    let fe = Frontend::start(db.clone(), FrontendConfig::with_shards(2));
     let tickets: Vec<_> = (0..64)
         .map(|i| {
             fe.submit(Request::Put(
@@ -43,8 +48,27 @@ fn one_snapshot_spans_every_layer() {
     for t in tickets {
         t.wait().unwrap();
     }
+    // Force the memtable into a compressed table, then read everything
+    // back through the batched path so every block decompresses.
+    db.flush().unwrap();
     let keys: Vec<Key> = (0..64).map(|i| Key::from(format!("fk{i}"))).collect();
     assert!(fe.multi_get(&keys).unwrap().iter().all(Option::is_some));
+    // The engine's compression counters flow through BatchReadStats
+    // into the front-end stats snapshot.
+    let batch = fe.stats_snapshot().engine_batch;
+    assert!(
+        batch.blocks_compressed > 0,
+        "no compressed blocks: {batch:?}"
+    );
+    assert!(
+        batch.compressed_bytes_written < batch.uncompressed_bytes_written,
+        "compression did not shrink the data region: {batch:?}"
+    );
+    assert!(
+        batch.blocks_decompressed > 0,
+        "no decompressions: {batch:?}"
+    );
+    assert_eq!(batch.block_decode_errors, 0, "clean run decoded dirty");
     fe.shutdown();
 
     // --- cluster: replicated routed ops, a client-observed failover --
@@ -74,6 +98,10 @@ fn one_snapshot_spans_every_layer() {
         "cache_inserts",
         "lsm_puts",
         "lsm_batches",
+        "lsm_blocks_compressed",
+        "lsm_compressed_bytes_written",
+        "lsm_uncompressed_bytes_written",
+        "lsm_blocks_decompressed",
         "frontend_submitted",
         "frontend_completed",
         "cluster_failovers",
@@ -89,6 +117,21 @@ fn one_snapshot_spans_every_layer() {
     assert!(
         snap.histograms.contains_key("frontend_e2e_ns"),
         "front-end latency histogram missing"
+    );
+    assert!(
+        snap.histograms.contains_key("lsm_block_decompress_ns"),
+        "block decompress histogram missing"
+    );
+    // Registered but untouched in a clean run: present at zero.
+    assert_eq!(
+        snap.counter("lsm_block_decode_errors"),
+        0,
+        "clean run recorded decode errors"
+    );
+    assert!(
+        snap.counters.contains_key("lsm_block_decode_errors"),
+        "decode-error counter not registered: {:?}",
+        snap.counters
     );
     assert!(
         snap.histograms
